@@ -1,0 +1,27 @@
+//! Clean-room re-implementations of Li & Chang's feasibility ("stability")
+//! algorithms \[LC01, Li03\], as described in Sections 5.3–5.4 of the
+//! paper. They serve two purposes in this reproduction:
+//!
+//! 1. **Baselines** for the experiment suite (E5/E6): the paper argues its
+//!    uniform FEASIBLE algorithm matches these specialized procedures on
+//!    CQ and UCQ while extending to CQ¬/UCQ¬; we measure both agreement
+//!    and relative cost.
+//! 2. **Differential-testing oracles**: on plain CQ/UCQ inputs, all of
+//!    `CQstable`, `CQstable*`, `UCQstable`, `UCQstable*`, and FEASIBLE
+//!    must return identical verdicts.
+//!
+//! | Algorithm | Strategy |
+//! |---|---|
+//! | [`cq_stable`] | minimize to the core `M ≡ Q`, check `M` orderable |
+//! | [`cq_stable_star`] | compute `ans(Q)`, check `ans(Q) ⊑ Q` |
+//! | [`ucq_stable`] | minimize the union, check every disjunct feasible |
+//! | [`ucq_stable_star`] | union `P` of feasible disjuncts, check `Q ⊑ P` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cq_stable;
+mod ucq_stable;
+
+pub use cq_stable::{cq_stable, cq_stable_star};
+pub use ucq_stable::{ucq_stable, ucq_stable_star};

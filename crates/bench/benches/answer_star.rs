@@ -1,0 +1,68 @@
+//! Criterion bench for algorithm ANSWER\* (paper, Figure 4; experiments
+//! E9/E10): runtime evaluation through pattern-enforcing sources, the
+//! call-cache ablation, and the domain-enumeration refinement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lap_core::{answer_star, answer_star_with_domain, plan_star};
+use lap_engine::{eval_ordered_union, SourceRegistry};
+use lap_workload::families::gav_unfolding;
+use lap_workload::{gen_instance, InstanceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_answer_star(c: &mut Criterion) {
+    let mut group = c.benchmark_group("answer_star");
+    for tuples in [20usize, 80, 320] {
+        let inst = gav_unfolding(3, 2, 1);
+        let cfg = InstanceConfig {
+            domain_size: 12,
+            tuples_per_relation: tuples,
+        };
+        let db = gen_instance(&inst.schema, &cfg, &mut StdRng::seed_from_u64(1));
+        group.bench_with_input(BenchmarkId::new("answer_star", tuples), &tuples, |b, _| {
+            b.iter(|| answer_star(&inst.query, &inst.schema, &db).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("with_domain_views", tuples),
+            &tuples,
+            |b, _| {
+                b.iter(|| {
+                    answer_star_with_domain(&inst.query, &inst.schema, &db, 1_000_000).unwrap()
+                })
+            },
+        );
+        // Ablation: evaluating the overestimate plan with vs without the
+        // source-call cache.
+        let pair = plan_star(&inst.query, &inst.schema);
+        let parts = pair.over.eval_parts();
+        group.bench_with_input(BenchmarkId::new("eval_no_cache", tuples), &tuples, |b, _| {
+            b.iter(|| {
+                let mut reg = SourceRegistry::new(&db, &inst.schema);
+                eval_ordered_union(&parts, &mut reg).unwrap()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("eval_with_cache", tuples),
+            &tuples,
+            |b, _| {
+                b.iter(|| {
+                    let mut reg = SourceRegistry::with_cache(&db, &inst.schema);
+                    eval_ordered_union(&parts, &mut reg).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short sampling so `cargo bench --workspace` finishes in minutes;
+    // raise for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(600))
+        .sample_size(10);
+    targets = bench_answer_star
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for algorithm ANSWERABLE (paper, Figure 1; experiment
+//! E2). The paper claims quadratic time (Proposition 2 / Corollary 3);
+//! reversed chains are the worst case (one discovery per pass), forward
+//! chains the best case (single pass).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lap_core::answerable_split;
+use lap_workload::families::{forward_chain, reversed_chain, star};
+
+fn bench_answerable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("answerable");
+    for n in [8usize, 32, 128, 512] {
+        let rev = reversed_chain(n);
+        group.bench_with_input(BenchmarkId::new("reversed_chain", n), &n, |b, _| {
+            b.iter(|| answerable_split(&rev.query.disjuncts[0], &rev.schema))
+        });
+        let fwd = forward_chain(n);
+        group.bench_with_input(BenchmarkId::new("forward_chain", n), &n, |b, _| {
+            b.iter(|| answerable_split(&fwd.query.disjuncts[0], &fwd.schema))
+        });
+        let st = star(n);
+        group.bench_with_input(BenchmarkId::new("star", n), &n, |b, _| {
+            b.iter(|| answerable_split(&st.query.disjuncts[0], &st.schema))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short sampling so `cargo bench --workspace` finishes in minutes;
+    // raise for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(600))
+        .sample_size(10);
+    targets = bench_answerable
+}
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Criterion bench comparing the paper's uniform FEASIBLE against the Li &
+//! Chang baselines on their home classes (paper §5.3–5.4; experiments
+//! E5/E6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lap_baselines::{cq_stable, cq_stable_star, ucq_stable, ucq_stable_star};
+use lap_core::feasible;
+use lap_ir::{Schema, UnionQuery};
+use lap_workload::{gen_query, gen_schema, QueryConfig, SchemaConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload(disjuncts: usize, positives: usize, n: usize) -> Vec<(UnionQuery, Schema)> {
+    (0..n as u64)
+        .map(|seed| {
+            let schema = gen_schema(
+                &SchemaConfig {
+                    free_scan_fraction: 0.5,
+                    ..SchemaConfig::default()
+                },
+                &mut StdRng::seed_from_u64(seed % 8),
+            );
+            let q = gen_query(
+                &schema,
+                &QueryConfig {
+                    num_disjuncts: disjuncts,
+                    positive_per_disjunct: positives,
+                    negative_per_disjunct: 0,
+                    extra_vars: 2,
+                    head_arity: 2,
+                    constant_fraction: 0.1,
+                    constant_pool: 3,
+                },
+                &mut StdRng::seed_from_u64(seed),
+            );
+            (q, schema)
+        })
+        .collect()
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    for positives in [3usize, 6] {
+        let cqs = workload(1, positives, 50);
+        group.bench_with_input(BenchmarkId::new("cq_stable", positives), &positives, |b, _| {
+            b.iter(|| {
+                for (q, s) in &cqs {
+                    std::hint::black_box(cq_stable(&q.disjuncts[0], s));
+                }
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("cq_stable_star", positives),
+            &positives,
+            |b, _| {
+                b.iter(|| {
+                    for (q, s) in &cqs {
+                        std::hint::black_box(cq_stable_star(&q.disjuncts[0], s));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("feasible_on_cq", positives),
+            &positives,
+            |b, _| {
+                b.iter(|| {
+                    for (q, s) in &cqs {
+                        std::hint::black_box(feasible(q, s));
+                    }
+                })
+            },
+        );
+    }
+    for disjuncts in [2usize, 5] {
+        let ucqs = workload(disjuncts, 3, 50);
+        group.bench_with_input(
+            BenchmarkId::new("ucq_stable", disjuncts),
+            &disjuncts,
+            |b, _| {
+                b.iter(|| {
+                    for (q, s) in &ucqs {
+                        std::hint::black_box(ucq_stable(q, s));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ucq_stable_star", disjuncts),
+            &disjuncts,
+            |b, _| {
+                b.iter(|| {
+                    for (q, s) in &ucqs {
+                        std::hint::black_box(ucq_stable_star(q, s));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("feasible_on_ucq", disjuncts),
+            &disjuncts,
+            |b, _| {
+                b.iter(|| {
+                    for (q, s) in &ucqs {
+                        std::hint::black_box(feasible(q, s));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short sampling so `cargo bench --workspace` finishes in minutes;
+    // raise for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(600))
+        .sample_size(10);
+    targets = bench_baselines
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for the constraints subsystem (experiment E12): the
+//! chase, satisfiability-modulo-Σ, and the semantic optimizer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lap_bench::runner::example6_family;
+use lap_constraints::{
+    chase, feasible_under, prune_unsatisfiable, satisfiable_under, DEFAULT_CHASE_ROUNDS,
+};
+
+fn bench_constraints(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constraints");
+    for k in [1usize, 4, 16] {
+        let (q, schema, cs) = example6_family(k);
+        let blocked = q.disjuncts[1].clone(); // first Example-6 disjunct
+        group.bench_with_input(BenchmarkId::new("chase_one_disjunct", k), &k, |b, _| {
+            b.iter(|| chase(&blocked, &cs, DEFAULT_CHASE_ROUNDS))
+        });
+        group.bench_with_input(BenchmarkId::new("sat_under_sigma", k), &k, |b, _| {
+            b.iter(|| satisfiable_under(&blocked, &cs, DEFAULT_CHASE_ROUNDS))
+        });
+        group.bench_with_input(BenchmarkId::new("prune_union", k), &k, |b, _| {
+            b.iter(|| prune_unsatisfiable(&q, &cs))
+        });
+        group.bench_with_input(BenchmarkId::new("feasible_under", k), &k, |b, _| {
+            b.iter(|| feasible_under(&q, &cs, &schema))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short sampling so `cargo bench --workspace` finishes in minutes;
+    // raise for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(600))
+        .sample_size(10);
+    targets = bench_constraints
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion bench for the containment engines (paper §5.1; experiments
+//! E8/E11): Chandra–Merlin mapping search vs the canonical-database oracle
+//! vs the acyclic (GYO + Yannakakis) fast path, and the Wei–Lausen
+//! recursion on the excluded-middle family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lap_containment::{
+    cq_contained, cq_contained_acyclic, cq_contained_canonical, ucqn_contained,
+};
+use lap_ir::ConjunctiveQuery;
+use lap_workload::families::excluded_middle_pair;
+use lap_workload::{gen_query, gen_schema, QueryConfig, SchemaConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_cq_pairs(n: usize, positives: usize) -> Vec<(ConjunctiveQuery, ConjunctiveQuery)> {
+    let schema = gen_schema(
+        &SchemaConfig {
+            free_scan_fraction: 0.5,
+            ..SchemaConfig::default()
+        },
+        &mut StdRng::seed_from_u64(42),
+    );
+    let cfg = QueryConfig {
+        num_disjuncts: 1,
+        positive_per_disjunct: positives,
+        negative_per_disjunct: 0,
+        extra_vars: 2,
+        head_arity: 2,
+        constant_fraction: 0.1,
+        constant_pool: 3,
+    };
+    (0..n as u64)
+        .map(|seed| {
+            let p = gen_query(&schema, &cfg, &mut StdRng::seed_from_u64(seed)).disjuncts[0].clone();
+            let q = gen_query(&schema, &cfg, &mut StdRng::seed_from_u64(seed + 9999)).disjuncts[0]
+                .clone();
+            (p, q)
+        })
+        .collect()
+}
+
+fn bench_containment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("containment");
+    for positives in [3usize, 6] {
+        let pairs = random_cq_pairs(50, positives);
+        group.bench_with_input(BenchmarkId::new("cq_mapping", positives), &positives, |b, _| {
+            b.iter(|| {
+                for (p, q) in &pairs {
+                    std::hint::black_box(cq_contained(p, q));
+                }
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("cq_canonical_db", positives),
+            &positives,
+            |b, _| {
+                b.iter(|| {
+                    for (p, q) in &pairs {
+                        std::hint::black_box(cq_contained_canonical(p, q));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cq_acyclic_path", positives),
+            &positives,
+            |b, _| {
+                b.iter(|| {
+                    for (p, q) in &pairs {
+                        std::hint::black_box(cq_contained_acyclic(p, q));
+                    }
+                })
+            },
+        );
+    }
+    for n in [2usize, 4, 6, 8] {
+        let (p, q) = excluded_middle_pair(n);
+        group.bench_with_input(BenchmarkId::new("ucqn_excluded_middle", n), &n, |b, _| {
+            b.iter(|| ucqn_contained(&p, &q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short sampling so `cargo bench --workspace` finishes in minutes;
+    // raise for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(600))
+        .sample_size(10);
+    targets = bench_containment
+}
+criterion_main!(benches);

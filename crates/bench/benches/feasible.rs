@@ -1,0 +1,46 @@
+//! Criterion bench for algorithm FEASIBLE (paper, Figure 3; experiments
+//! E4/E7/E11): the quadratic fast paths vs the containment-backed slow
+//! path, and the Theorem-18 worst-case family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lap_core::{containment_to_feasibility, feasible};
+use lap_workload::families::{excluded_middle_pair, feasible_not_orderable, reversed_chain};
+
+fn bench_feasible(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feasible");
+    // Fast path: plans coincide, no containment check.
+    for n in [8usize, 32, 128] {
+        let rev = reversed_chain(n);
+        group.bench_with_input(BenchmarkId::new("fast_path_chain", n), &n, |b, _| {
+            b.iter(|| feasible(&rev.query, &rev.schema))
+        });
+    }
+    // Slow path: the Example-3 family always needs the containment check.
+    for k in [1usize, 4, 16] {
+        let inst = feasible_not_orderable(k);
+        group.bench_with_input(BenchmarkId::new("containment_path_ex3", k), &k, |b, _| {
+            b.iter(|| feasible(&inst.query, &inst.schema))
+        });
+    }
+    // Worst case: Theorem-18 instances of the excluded-middle family.
+    for n in [2usize, 4, 6] {
+        let (p, q) = excluded_middle_pair(n);
+        let inst = containment_to_feasibility(&p, &q);
+        group.bench_with_input(BenchmarkId::new("thm18_excluded_middle", n), &n, |b, _| {
+            b.iter(|| feasible(&inst.query, &inst.schema))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short sampling so `cargo bench --workspace` finishes in minutes;
+    // raise for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(600))
+        .sample_size(10);
+    targets = bench_feasible
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for the GAV mediator pipeline (experiment E15):
+//! unfolding growth and the full compile-time pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lap_mediator::{unfold, GavView, Mediator};
+
+fn views(k: usize) -> (Vec<GavView>, String) {
+    let mut text = String::new();
+    for j in 0..k {
+        text.push_str(&format!("SrcB{j}^oooo. SrcC{j}^oo.\n"));
+    }
+    text.push_str("Shelf^o.\n");
+    for j in 0..k {
+        text.push_str(&format!("Book(i, a, t) :- SrcB{j}(i, a, t, p).\n"));
+        text.push_str(&format!("Catalog(i, a) :- SrcC{j}(i, a).\n"));
+    }
+    text.push_str("Lib(i) :- Shelf(i).\n");
+    let program = lap_ir::parse_program(&text).expect("parses");
+    let mut vs = Vec::new();
+    for q in &program.queries {
+        for rule in &q.disjuncts {
+            vs.push(GavView::from_rule(rule).expect("valid view"));
+        }
+    }
+    (vs, text)
+}
+
+fn bench_mediator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mediator");
+    let q = lap_ir::parse_query("Q(i, a, t) :- Book(i, a, t), Catalog(i, a), not Lib(i).")
+        .expect("parses");
+    for k in [1usize, 2, 4, 8] {
+        let (vs, text) = views(k);
+        group.bench_with_input(BenchmarkId::new("unfold", k), &k, |b, _| {
+            b.iter(|| unfold(&q, &vs, 100_000).expect("unfolds"))
+        });
+        let mediator = Mediator::from_program(&text).expect("mediator parses");
+        group.bench_with_input(BenchmarkId::new("full_pipeline", k), &k, |b, _| {
+            b.iter(|| mediator.plan(&q).expect("plans"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short sampling so `cargo bench --workspace` finishes in minutes;
+    // raise for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(600))
+        .sample_size(10);
+    targets = bench_mediator
+}
+criterion_main!(benches);

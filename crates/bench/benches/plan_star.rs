@@ -1,0 +1,36 @@
+//! Criterion bench for algorithm PLAN\* (paper, Figure 2; experiment E3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lap_core::plan_star;
+use lap_workload::families::{feasible_not_orderable, gav_unfolding, reversed_chain};
+
+fn bench_plan_star(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_star");
+    for n in [8usize, 32, 128] {
+        let rev = reversed_chain(n);
+        group.bench_with_input(BenchmarkId::new("reversed_chain", n), &n, |b, _| {
+            b.iter(|| plan_star(&rev.query, &rev.schema))
+        });
+        let fno = feasible_not_orderable(n);
+        group.bench_with_input(BenchmarkId::new("example3_family", n), &n, |b, _| {
+            b.iter(|| plan_star(&fno.query, &fno.schema))
+        });
+        let gav = gav_unfolding(n, n, n);
+        group.bench_with_input(BenchmarkId::new("gav_unfolding", n), &n, |b, _| {
+            b.iter(|| plan_star(&gav.query, &gav.schema))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short sampling so `cargo bench --workspace` finishes in minutes;
+    // raise for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(600))
+        .sample_size(10);
+    targets = bench_plan_star
+}
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Criterion bench for the plan optimizer (experiment E14): ordering
+//! search cost and the runtime payoff in source calls.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lap_core::{feasible_detailed, plan_star};
+use lap_engine::{eval_ordered_union, SourceRegistry};
+use lap_planner::{best_order, greedy_order, minimal_executable_plan, optimize_plan_pair, CostModel, Strategy};
+use lap_workload::{gen_instance, gen_query, gen_schema, InstanceConfig, QueryConfig, SchemaConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner");
+
+    // Ordering-search cost on a single n-literal disjunct.
+    for n in [4usize, 6, 8, 10] {
+        let schema = gen_schema(
+            &SchemaConfig {
+                free_scan_fraction: 0.6,
+                ..SchemaConfig::default()
+            },
+            &mut StdRng::seed_from_u64(1),
+        );
+        let q = gen_query(
+            &schema,
+            &QueryConfig {
+                num_disjuncts: 1,
+                positive_per_disjunct: n,
+                negative_per_disjunct: 0,
+                extra_vars: 3,
+                head_arity: 2,
+                constant_fraction: 0.0,
+                constant_pool: 3,
+            },
+            &mut StdRng::seed_from_u64(n as u64),
+        );
+        let cq = q.disjuncts[0].clone();
+        let model = CostModel::new();
+        if greedy_order(&cq, &schema, &model).is_none() {
+            continue; // not orderable: nothing to search
+        }
+        group.bench_with_input(BenchmarkId::new("greedy_order", n), &n, |b, _| {
+            b.iter(|| greedy_order(&cq, &schema, &model))
+        });
+        group.bench_with_input(BenchmarkId::new("best_order", n), &n, |b, _| {
+            b.iter(|| best_order(&cq, &schema, &model))
+        });
+    }
+
+    // End-to-end payoff: evaluation under each strategy.
+    let schema = gen_schema(
+        &SchemaConfig {
+            free_scan_fraction: 0.6,
+            ..SchemaConfig::default()
+        },
+        &mut StdRng::seed_from_u64(7),
+    );
+    let q = gen_query(
+        &schema,
+        &QueryConfig {
+            num_disjuncts: 2,
+            positive_per_disjunct: 4,
+            negative_per_disjunct: 0,
+            extra_vars: 2,
+            head_arity: 2,
+            constant_fraction: 0.0,
+            constant_pool: 3,
+        },
+        &mut StdRng::seed_from_u64(11),
+    );
+    let report = feasible_detailed(&q, &schema);
+    let db = gen_instance(
+        &schema,
+        &InstanceConfig {
+            domain_size: 10,
+            tuples_per_relation: 40,
+        },
+        &mut StdRng::seed_from_u64(13),
+    );
+    let model = CostModel::from_database(&db);
+    let pair = plan_star(&q, &schema);
+    for (name, strategy) in [
+        ("eval_answerable_order", Strategy::AnswerableOrder),
+        ("eval_greedy_order", Strategy::Greedy),
+        ("eval_best_order", Strategy::Exhaustive),
+    ] {
+        let optimized = optimize_plan_pair(&pair, &schema, &model, strategy);
+        let parts = optimized.over.eval_parts();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut reg = SourceRegistry::new(&db, &schema);
+                eval_ordered_union(&parts, &mut reg)
+            })
+        });
+    }
+    if report.feasible {
+        if let Some(min_plan) = minimal_executable_plan(&q, &schema) {
+            let parts: Vec<_> = min_plan
+                .disjuncts
+                .iter()
+                .map(|cq| (cq.clone(), Vec::new()))
+                .collect();
+            group.bench_function("eval_minimal_plan", |b| {
+                b.iter(|| {
+                    let mut reg = SourceRegistry::new(&db, &schema);
+                    eval_ordered_union(&parts, &mut reg)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short sampling so `cargo bench --workspace` finishes in minutes;
+    // raise for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(600))
+        .sample_size(10);
+    targets = bench_planner
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Experiment driver: prints the E1–E11 tables.
+//!
+//! ```sh
+//! cargo run --release -p lap-bench --bin experiments             # all, text
+//! cargo run --release -p lap-bench --bin experiments -- e2 e11  # subset
+//! cargo run --release -p lap-bench --bin experiments -- --markdown
+//! ```
+
+use lap_bench::runner;
+use lap_bench::tables::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+
+    let sizes = [8usize, 16, 32, 64, 128, 256];
+    type Runner = Box<dyn Fn() -> Table>;
+    let all: Vec<(&str, Runner)> = vec![
+        ("e1", Box::new(runner::e1_example_fidelity)),
+        ("e2", Box::new(move || runner::e2_answerable_scaling(&sizes))),
+        ("e3", Box::new(move || runner::e3_plan_star_scaling(&sizes))),
+        ("e4", Box::new(|| runner::e4_fast_path_effectiveness(200))),
+        ("e5", Box::new(|| runner::e5_cq_baselines(100))),
+        ("e6", Box::new(|| runner::e6_ucq_baselines(60))),
+        ("e7", Box::new(|| runner::e7_negation_cost(60))),
+        ("e8", Box::new(|| runner::e8_containment_engines(100))),
+        ("e9", Box::new(|| runner::e9_runtime_completeness(100))),
+        ("e10", Box::new(|| runner::e10_domain_enumeration(30))),
+        ("e11", Box::new(runner::e11_hardness_stress)),
+        ("e12", Box::new(runner::e12_semantic_optimizer)),
+        ("e13", Box::new(runner::e13_recursion_profile)),
+        ("e14", Box::new(|| runner::e14_plan_ordering(60))),
+        ("e15", Box::new(runner::e15_mediator_pipeline)),
+        ("e16", Box::new(runner::e16_index_ablation)),
+        ("e17", Box::new(runner::e17_end_to_end_scenario)),
+    ];
+
+    for (id, run) in &all {
+        if !selected.is_empty() && !selected.iter().any(|s| s == id) {
+            continue;
+        }
+        let table = run();
+        if markdown {
+            println!("{}", table.to_markdown());
+        } else {
+            println!("{table}");
+        }
+    }
+}

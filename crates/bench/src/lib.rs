@@ -1,0 +1,19 @@
+//! Benchmark harness regenerating the paper's examples and the E1–E11
+//! experiment tables.
+//!
+//! The paper (a theory paper) has no empirical tables; its "figures" are
+//! the four algorithm listings and its empirical content is ten worked
+//! examples plus complexity claims. This crate turns each of those into a
+//! measured, reproducible experiment:
+//!
+//! * `cargo run --release -p lap-bench --bin experiments` prints every
+//!   table (E1–E11); `--markdown` emits the EXPERIMENTS.md body; a list of
+//!   ids (e.g. `e2 e11`) restricts the run.
+//! * `cargo bench -p lap-bench` runs the Criterion micro-benchmarks, one
+//!   group per algorithm figure plus containment and the baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod tables;

@@ -1,0 +1,1054 @@
+//! The experiment suite E1–E11 (see DESIGN.md §6 and EXPERIMENTS.md).
+//!
+//! Each experiment returns a [`Table`]; the `experiments` binary prints
+//! them all. Everything is seeded — rerunning reproduces identical
+//! workloads (timings vary with the machine, shapes should not).
+
+use crate::tables::{fmt_duration, time_median, Table};
+use lap_baselines::{cq_stable, cq_stable_star, ucq_stable, ucq_stable_star};
+use lap_containment::{
+    contained, cq_contained, cq_contained_acyclic, cq_contained_canonical, is_acyclic,
+    ucqn_contained,
+};
+use lap_core::{
+    answer_star, answer_star_with_domain, answerable_split, containment_to_feasibility, feasible,
+    feasible_detailed, plan_star, Completeness, DecisionPath,
+};
+use lap_constraints::{feasible_under, prune_unsatisfiable, ConstraintSet, InclusionDep};
+use lap_containment::ucqn_contained_stats;
+use lap_engine::{eval_oracle, eval_ordered_union, SourceRegistry};
+use lap_mediator::Mediator;
+use lap_planner::{minimal_executable_plan, optimize_plan_pair, CostModel, Strategy};
+use lap_ir::{parse_program, Predicate, Schema, UnionQuery};
+use lap_workload::families::{
+    excluded_middle_pair, feasible_not_orderable, forward_chain, gav_unfolding, reversed_chain,
+    star,
+};
+use lap_workload::scenario::{bookstore, BookstoreConfig};
+use lap_workload::{
+    gen_instance, gen_instance_with_inclusion, gen_query, gen_schema, InstanceConfig, QueryConfig,
+    SchemaConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Number of timing iterations per measured point.
+const TIMING_ITERS: usize = 9;
+
+fn default_schema(seed: u64) -> Schema {
+    gen_schema(
+        &SchemaConfig {
+            num_relations: 5,
+            min_arity: 1,
+            max_arity: 3,
+            patterns_per_relation: 2,
+            input_fraction: 0.4,
+            free_scan_fraction: 0.5,
+        },
+        &mut StdRng::seed_from_u64(seed),
+    )
+}
+
+fn query_cfg(disjuncts: usize, positives: usize, negatives: usize) -> QueryConfig {
+    QueryConfig {
+        num_disjuncts: disjuncts,
+        positive_per_disjunct: positives,
+        negative_per_disjunct: negatives,
+        extra_vars: 2,
+        head_arity: 2,
+        constant_fraction: 0.1,
+        constant_pool: 3,
+    }
+}
+
+/// E1 — example fidelity: each of the paper's ten worked examples produces
+/// exactly the outcome the paper states.
+pub fn e1_example_fidelity() -> Table {
+    let mut t = Table::new(
+        "E1 — paper example fidelity",
+        "Each worked example of the paper, checked programmatically (see tests/paper_examples.rs for the full assertions).",
+        &["example", "paper's claim", "reproduced"],
+    );
+    let checks: Vec<(&str, &str, bool)> = vec![
+        ("Ex. 1", "bookstore query not executable, but feasible via reordering", {
+            let p = parse_program(
+                "B^ioo. B^oio. C^oo. L^o.\nQ(i, a, t) :- B(i, a, t), C(i, a), not L(i).",
+            )
+            .unwrap();
+            let q = p.single_query().unwrap();
+            !lap_core::is_executable(q, &p.schema)
+                && feasible_detailed(q, &p.schema).decided_by == DecisionPath::PlansCoincide
+        }),
+        ("Ex. 2", "B^ioo/B^oio admit by-isbn and by-author calls, not a free scan", {
+            let schema = Schema::from_patterns(&[("B", "ioo"), ("B", "oio")]).unwrap();
+            let decl = schema.relation(lap_ir::Symbol::intern("B")).unwrap();
+            decl.callable_with(|j| j == 0)
+                && decl.callable_with(|j| j == 1)
+                && !decl.callable_with(|_| false)
+        }),
+        ("Ex. 3", "two-rule union feasible but not orderable", {
+            let inst = feasible_not_orderable(1);
+            !lap_core::is_orderable(&inst.query, &inst.schema)
+                && feasible(&inst.query, &inst.schema)
+        }),
+        ("Ex. 4", "PLAN* yields the printed Qu (T only) and Qo (with y = null)", {
+            let p = parse_program(
+                "S^o. R^oo. B^ii. T^oo.\nQ(x, y) :- not S(z), R(x, z), B(x, y).\nQ(x, y) :- T(x, y).",
+            )
+            .unwrap();
+            let pair = plan_star(p.single_query().unwrap(), &p.schema);
+            pair.under.parts.len() == 1
+                && pair.over.parts.len() == 2
+                && pair.over.parts[0].to_string() == "Q(x, y) :- R(x, z), not S(z), y = null."
+        }),
+        ("Ex. 5", "infeasible query, yet runtime-complete on an R.z ⊆ S instance", {
+            let p = parse_program(
+                "S^o. R^oo. B^ii. T^oo.\nQ(x, y) :- not S(z), R(x, z), B(x, y).\nQ(x, y) :- T(x, y).",
+            )
+            .unwrap();
+            let q = p.single_query().unwrap();
+            let db = lap_engine::Database::from_facts("R(1, 10). S(10). T(7, 8). B(1, 4).").unwrap();
+            !feasible(q, &p.schema) && answer_star(q, &p.schema, &db).unwrap().is_complete()
+        }),
+        ("Ex. 6", "foreign-key-closed instances are always runtime-complete", {
+            let p = parse_program(
+                "S^o. R^oo. B^ii. T^oo.\nQ(x, y) :- not S(z), R(x, z), B(x, y).\nQ(x, y) :- T(x, y).",
+            )
+            .unwrap();
+            let q = p.single_query().unwrap();
+            (0..5u64).all(|seed| {
+                let db = gen_instance_with_inclusion(
+                    &p.schema,
+                    &InstanceConfig { domain_size: 8, tuples_per_relation: 10 },
+                    "R", 1, "S", 0,
+                    &mut StdRng::seed_from_u64(seed),
+                );
+                answer_star(q, &p.schema, &db).unwrap().is_complete()
+            })
+        }),
+        ("Ex. 7", "surviving overestimate binding yields (a, null), no numeric bound", {
+            let p = parse_program(
+                "S^o. R^oo. B^ii. T^oo.\nQ(x, y) :- not S(z), R(x, z), B(x, y).\nQ(x, y) :- T(x, y).",
+            )
+            .unwrap();
+            let db = lap_engine::Database::from_facts("R(1, 2). S(3). B(1, 9).").unwrap();
+            let rep = answer_star(p.single_query().unwrap(), &p.schema, &db).unwrap();
+            rep.delta.contains(&vec![lap_engine::Value::int(1), lap_engine::Value::Null])
+                && rep.completeness == Completeness::Unknown
+        }),
+        ("Ex. 8", "dom(y) view turns the false underestimate into a working plan", {
+            let p = parse_program(
+                "S^o. R^oo. B^ii. T^oo.\nQ(x, y) :- not S(z), R(x, z), B(x, y).\nQ(x, y) :- T(x, y).",
+            )
+            .unwrap();
+            let db = lap_engine::Database::from_facts("R(1, 2). S(3). B(1, 2). T(5, 6).").unwrap();
+            let rep = answer_star_with_domain(p.single_query().unwrap(), &p.schema, &db, 10_000)
+                .unwrap();
+            rep.improved_under.len() == 2 && rep.base.under.len() == 1
+        }),
+        ("Ex. 9", "CQstable minimizes to F,B; CQstable*/FEASIBLE check ans ⊑ Q; all accept", {
+            let p = parse_program("F^o. B^i.\nQ(x) :- F(x), B(x), B(y), F(z).").unwrap();
+            let q = p.single_query().unwrap();
+            let cq = &q.disjuncts[0];
+            lap_containment::minimize_cq(cq).body.len() == 2
+                && cq_stable(cq, &p.schema)
+                && cq_stable_star(cq, &p.schema)
+                && feasible(q, &p.schema)
+        }),
+        ("Ex. 10", "UCQstable minimizes to F; UCQstable*/FEASIBLE accept the union", {
+            let p = parse_program(
+                "F^o. G^o. H^o. B^i.\nQ(x) :- F(x), G(x).\nQ(x) :- F(x), H(x), B(y).\nQ(x) :- F(x).",
+            )
+            .unwrap();
+            let q = p.single_query().unwrap();
+            lap_containment::minimize_ucq(q).disjuncts.len() == 1
+                && ucq_stable(q, &p.schema)
+                && ucq_stable_star(q, &p.schema)
+                && feasible(q, &p.schema)
+        }),
+    ];
+    for (id, claim, ok) in checks {
+        t.row(vec![
+            id.to_owned(),
+            claim.to_owned(),
+            if ok { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t
+}
+
+/// Fits the growth exponent between consecutive (n, time) points.
+fn growth_exponent(prev: (usize, Duration), cur: (usize, Duration)) -> f64 {
+    let dn = (cur.0 as f64 / prev.0 as f64).ln();
+    let dt = (cur.1.as_nanos().max(1) as f64 / prev.1.as_nanos().max(1) as f64).ln();
+    dt / dn
+}
+
+/// E2 — ANSWERABLE scaling (Fig. 1; Proposition 2 claims quadratic time).
+pub fn e2_answerable_scaling(sizes: &[usize]) -> Table {
+    let mut t = Table::new(
+        "E2 — ANSWERABLE scaling (Fig. 1)",
+        "Reversed chains force one discovery per pass (worst case, claim: quadratic); forward chains finish in one pass (claim: linear). exponent = log-log slope vs previous row.",
+        &["n (literals)", "reversed chain", "exp", "forward chain", "exp"],
+    );
+    let mut prev: Option<((usize, Duration), (usize, Duration))> = None;
+    for &n in sizes {
+        let rev = reversed_chain(n);
+        let fwd = forward_chain(n);
+        let d_rev = time_median(TIMING_ITERS, || {
+            std::hint::black_box(answerable_split(&rev.query.disjuncts[0], &rev.schema));
+        });
+        let d_fwd = time_median(TIMING_ITERS, || {
+            std::hint::black_box(answerable_split(&fwd.query.disjuncts[0], &fwd.schema));
+        });
+        let (e_rev, e_fwd) = match prev {
+            Some((pr, pf)) => (
+                format!("{:.2}", growth_exponent(pr, (n, d_rev))),
+                format!("{:.2}", growth_exponent(pf, (n, d_fwd))),
+            ),
+            None => ("-".into(), "-".into()),
+        };
+        t.row(vec![
+            n.to_string(),
+            fmt_duration(d_rev),
+            e_rev,
+            fmt_duration(d_fwd),
+            e_fwd,
+        ]);
+        prev = Some(((n, d_rev), (n, d_fwd)));
+    }
+    t
+}
+
+/// E3 — PLAN\* scaling (Fig. 2; claim: quadratic).
+pub fn e3_plan_star_scaling(sizes: &[usize]) -> Table {
+    let mut t = Table::new(
+        "E3 — PLAN* scaling (Fig. 2)",
+        "PLAN* = ANSWERABLE per disjunct + plan assembly; same quadratic worst case. Star queries have maximal fan-out at one variable.",
+        &["n (literals)", "reversed chain", "star", "2-disjunct union"],
+    );
+    for &n in sizes {
+        let rev = reversed_chain(n);
+        let st = star(n);
+        let fno = feasible_not_orderable(n);
+        let d_rev = time_median(TIMING_ITERS, || {
+            std::hint::black_box(plan_star(&rev.query, &rev.schema));
+        });
+        let d_star = time_median(TIMING_ITERS, || {
+            std::hint::black_box(plan_star(&st.query, &st.schema));
+        });
+        let d_fno = time_median(TIMING_ITERS, || {
+            std::hint::black_box(plan_star(&fno.query, &fno.schema));
+        });
+        t.row(vec![
+            n.to_string(),
+            fmt_duration(d_rev),
+            fmt_duration(d_star),
+            fmt_duration(d_fno),
+        ]);
+    }
+    t
+}
+
+/// E4 — how often FEASIBLE's fast paths decide without containment.
+pub fn e4_fast_path_effectiveness(num_queries: usize) -> Table {
+    let mut t = Table::new(
+        "E4 — FEASIBLE fast-path effectiveness (Fig. 3)",
+        "Random UCQ¬ workloads: fraction of feasibility decisions reached by each branch, and the mean decision time per branch.",
+        &["negatives/disjunct", "plans coincide", "null shortcut", "containment needed", "mean time (coincide)", "mean time (containment)"],
+    );
+    for negs in 0..=3usize {
+        let mut counts = [0usize; 3];
+        let mut time_fast = Duration::ZERO;
+        let mut time_slow = Duration::ZERO;
+        for seed in 0..num_queries as u64 {
+            let schema = default_schema(seed % 16);
+            let q = gen_query(&schema, &query_cfg(2, 3, negs), &mut StdRng::seed_from_u64(seed));
+            let t0 = std::time::Instant::now();
+            let report = feasible_detailed(&q, &schema);
+            let dt = t0.elapsed();
+            match report.decided_by {
+                DecisionPath::PlansCoincide => {
+                    counts[0] += 1;
+                    time_fast += dt;
+                }
+                DecisionPath::OverestimateHasNull => counts[1] += 1,
+                DecisionPath::ContainmentCheck => {
+                    counts[2] += 1;
+                    time_slow += dt;
+                }
+            }
+        }
+        let pct = |c: usize| format!("{:.0}%", 100.0 * c as f64 / num_queries as f64);
+        let mean = |total: Duration, c: usize| {
+            if c == 0 {
+                "-".to_owned()
+            } else {
+                fmt_duration(total / c as u32)
+            }
+        };
+        t.row(vec![
+            negs.to_string(),
+            pct(counts[0]),
+            pct(counts[1]),
+            pct(counts[2]),
+            mean(time_fast, counts[0]),
+            mean(time_slow, counts[2]),
+        ]);
+    }
+    t
+}
+
+/// E5 — CQ baselines: CQstable vs CQstable\* (≡ FEASIBLE on CQ).
+pub fn e5_cq_baselines(num_queries: usize) -> Table {
+    let mut t = Table::new(
+        "E5 — CQ feasibility: CQstable vs CQstable*/FEASIBLE (§5.3)",
+        "Random plain CQs; the three algorithms must agree; CQstable pays for minimization up front, CQstable* can skip the containment when ans(Q) = Q.",
+        &["positives", "agreement", "CQstable", "CQstable*", "FEASIBLE"],
+    );
+    for positives in [3usize, 5, 7] {
+        let mut agree = true;
+        let queries: Vec<(UnionQuery, Schema)> = (0..num_queries as u64)
+            .map(|seed| {
+                let schema = default_schema(seed % 16);
+                let q = gen_query(
+                    &schema,
+                    &query_cfg(1, positives, 0),
+                    &mut StdRng::seed_from_u64(1000 + seed),
+                );
+                (q, schema)
+            })
+            .collect();
+        for (q, schema) in &queries {
+            let f = feasible(q, schema);
+            agree &= cq_stable(&q.disjuncts[0], schema) == f
+                && cq_stable_star(&q.disjuncts[0], schema) == f;
+        }
+        let d_stable = time_median(3, || {
+            for (q, schema) in &queries {
+                std::hint::black_box(cq_stable(&q.disjuncts[0], schema));
+            }
+        });
+        let d_star = time_median(3, || {
+            for (q, schema) in &queries {
+                std::hint::black_box(cq_stable_star(&q.disjuncts[0], schema));
+            }
+        });
+        let d_feasible = time_median(3, || {
+            for (q, schema) in &queries {
+                std::hint::black_box(feasible(q, schema));
+            }
+        });
+        t.row(vec![
+            positives.to_string(),
+            if agree { "100%".into() } else { "DISAGREE".into() },
+            fmt_duration(d_stable / num_queries as u32),
+            fmt_duration(d_star / num_queries as u32),
+            fmt_duration(d_feasible / num_queries as u32),
+        ]);
+    }
+    t
+}
+
+/// E6 — UCQ baselines: UCQstable vs UCQstable\* vs FEASIBLE.
+pub fn e6_ucq_baselines(num_queries: usize) -> Table {
+    let mut t = Table::new(
+        "E6 — UCQ feasibility: UCQstable vs UCQstable* vs FEASIBLE (§5.4)",
+        "Random plain UCQs; all three must agree. UCQstable minimizes the union first; UCQstable* and FEASIBLE avoid minimization.",
+        &["disjuncts", "agreement", "UCQstable", "UCQstable*", "FEASIBLE"],
+    );
+    for disjuncts in [2usize, 4, 6] {
+        let mut agree = true;
+        let queries: Vec<(UnionQuery, Schema)> = (0..num_queries as u64)
+            .map(|seed| {
+                let schema = default_schema(seed % 16);
+                let q = gen_query(
+                    &schema,
+                    &query_cfg(disjuncts, 3, 0),
+                    &mut StdRng::seed_from_u64(2000 + seed),
+                );
+                (q, schema)
+            })
+            .collect();
+        for (q, schema) in &queries {
+            let f = feasible(q, schema);
+            agree &= ucq_stable(q, schema) == f && ucq_stable_star(q, schema) == f;
+        }
+        let d_stable = time_median(3, || {
+            for (q, schema) in &queries {
+                std::hint::black_box(ucq_stable(q, schema));
+            }
+        });
+        let d_star = time_median(3, || {
+            for (q, schema) in &queries {
+                std::hint::black_box(ucq_stable_star(q, schema));
+            }
+        });
+        let d_feasible = time_median(3, || {
+            for (q, schema) in &queries {
+                std::hint::black_box(feasible(q, schema));
+            }
+        });
+        t.row(vec![
+            disjuncts.to_string(),
+            if agree { "100%".into() } else { "DISAGREE".into() },
+            fmt_duration(d_stable / num_queries as u32),
+            fmt_duration(d_star / num_queries as u32),
+            fmt_duration(d_feasible / num_queries as u32),
+        ]);
+    }
+    t
+}
+
+/// E7 — cost of negation and union width on the full UCQ¬ decision.
+pub fn e7_negation_cost(num_queries: usize) -> Table {
+    let mut t = Table::new(
+        "E7 — feasibility cost vs negation and union width (Cor. 19)",
+        "Mean FEASIBLE time on random UCQ¬; the Π₂ᴾ worst case hides behind the fast paths until negation and width grow.",
+        &["disjuncts", "neg = 0", "neg = 1", "neg = 2", "neg = 3"],
+    );
+    for disjuncts in [1usize, 2, 4] {
+        let mut cells = vec![disjuncts.to_string()];
+        for negs in 0..=3usize {
+            let queries: Vec<(UnionQuery, Schema)> = (0..num_queries as u64)
+                .map(|seed| {
+                    let schema = default_schema(seed % 16);
+                    let q = gen_query(
+                        &schema,
+                        &query_cfg(disjuncts, 3, negs),
+                        &mut StdRng::seed_from_u64(3000 + seed),
+                    );
+                    (q, schema)
+                })
+                .collect();
+            let d = time_median(3, || {
+                for (q, schema) in &queries {
+                    std::hint::black_box(feasible(q, schema));
+                }
+            });
+            cells.push(fmt_duration(d / num_queries as u32));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// E8 — containment engines: mapping vs canonical DB vs acyclic fast path.
+pub fn e8_containment_engines(num_pairs: usize) -> Table {
+    let mut t = Table::new(
+        "E8 — CONT(CQ) engines (§5.1, [CR97] fast path)",
+        "Random CQ pairs: the two generic engines agree 100%; when Q is acyclic the GYO+Yannakakis path applies (poly-time).",
+        &["positives", "agreement", "acyclic Q", "mapping", "canonical DB", "acyclic path"],
+    );
+    for positives in [3usize, 5, 7] {
+        let pairs: Vec<_> = (0..num_pairs as u64)
+            .map(|seed| {
+                let schema = default_schema(seed % 16);
+                let p = gen_query(&schema, &query_cfg(1, positives, 0), &mut StdRng::seed_from_u64(seed))
+                    .disjuncts[0]
+                    .clone();
+                let q = gen_query(
+                    &schema,
+                    &query_cfg(1, positives, 0),
+                    &mut StdRng::seed_from_u64(seed + 5000),
+                )
+                .disjuncts[0]
+                    .clone();
+                (p, q)
+            })
+            .collect();
+        let mut agree = true;
+        let mut acyclic_count = 0usize;
+        for (p, q) in &pairs {
+            let a = cq_contained(p, q);
+            agree &= a == cq_contained_canonical(p, q);
+            if is_acyclic(q) {
+                acyclic_count += 1;
+                agree &= cq_contained_acyclic(p, q) == Some(a);
+            }
+        }
+        let d_map = time_median(3, || {
+            for (p, q) in &pairs {
+                std::hint::black_box(cq_contained(p, q));
+            }
+        });
+        let d_canon = time_median(3, || {
+            for (p, q) in &pairs {
+                std::hint::black_box(cq_contained_canonical(p, q));
+            }
+        });
+        let d_acyc = time_median(3, || {
+            for (p, q) in &pairs {
+                std::hint::black_box(cq_contained_acyclic(p, q));
+            }
+        });
+        t.row(vec![
+            positives.to_string(),
+            if agree { "100%".into() } else { "DISAGREE".into() },
+            format!("{:.0}%", 100.0 * acyclic_count as f64 / num_pairs as f64),
+            fmt_duration(d_map / num_pairs as u32),
+            fmt_duration(d_canon / num_pairs as u32),
+            fmt_duration(d_acyc / num_pairs as u32),
+        ]);
+    }
+    t
+}
+
+/// E9 — runtime completeness of infeasible plans (Fig. 4; Examples 5–6).
+pub fn e9_runtime_completeness(num_runs: usize) -> Table {
+    let mut t = Table::new(
+        "E9 — runtime completeness for infeasible queries (Fig. 4)",
+        "GAV-style plans with blocked disjuncts over random instances vs foreign-key-closed instances (Example 6's semantic constraint).",
+        &["instance family", "runs", "infeasible", "complete at runtime", "mean lower bound (incomplete, null-free Δ)"],
+    );
+    let p = parse_program(
+        "S^o. R^oo. B^ii. T^oo.\n\
+         Q(x, y) :- not S(z), R(x, z), B(x, y).\n\
+         Q(x, y) :- T(x, y).",
+    )
+    .unwrap();
+    let q = p.single_query().unwrap();
+    assert!(!feasible(q, &p.schema));
+    let cfg = InstanceConfig {
+        domain_size: 8,
+        tuples_per_relation: 10,
+    };
+    for (label, fk_closed) in [("random", false), ("R.z ⊆ S.z (fk-closed)", true)] {
+        let mut complete = 0usize;
+        let mut bounds: Vec<f64> = Vec::new();
+        for seed in 0..num_runs as u64 {
+            let mut rng = StdRng::seed_from_u64(7000 + seed);
+            let db = if fk_closed {
+                gen_instance_with_inclusion(&p.schema, &cfg, "R", 1, "S", 0, &mut rng)
+            } else {
+                gen_instance(&p.schema, &cfg, &mut rng)
+            };
+            let rep = answer_star(q, &p.schema, &db).unwrap();
+            match rep.completeness {
+                Completeness::Complete => complete += 1,
+                Completeness::AtLeast(r) => bounds.push(r),
+                Completeness::Unknown => {}
+            }
+        }
+        let mean_bound = if bounds.is_empty() {
+            "-".to_owned()
+        } else {
+            format!("{:.2}", bounds.iter().sum::<f64>() / bounds.len() as f64)
+        };
+        t.row(vec![
+            label.to_owned(),
+            num_runs.to_string(),
+            "yes".into(),
+            format!("{:.0}%", 100.0 * complete as f64 / num_runs as f64),
+            mean_bound,
+        ]);
+    }
+    t
+}
+
+/// E10 — domain enumeration: recall recovered vs calls spent (Example 8).
+pub fn e10_domain_enumeration(num_runs: usize) -> Table {
+    let mut t = Table::new(
+        "E10 — domain-enumeration refinement of the underestimate (Ex. 8, [DL97])",
+        "GAV plans with blocked disjuncts: recall of ansᵤ against the oracle, without and with dom(x) views, and the extra source calls spent.",
+        &["blocked disjuncts", "recall (plain)", "recall (dom)", "mean dom calls", "fixpoint reached"],
+    );
+    for blocked in [1usize, 2, 3] {
+        let inst = gav_unfolding(2, blocked, 1);
+        let cfg = InstanceConfig {
+            domain_size: 6,
+            tuples_per_relation: 8,
+        };
+        let mut plain_hits = 0usize;
+        let mut dom_hits = 0usize;
+        let mut oracle_total = 0usize;
+        let mut calls = 0u64;
+        let mut fixpoints = 0usize;
+        for seed in 0..num_runs as u64 {
+            let db = gen_instance(&inst.schema, &cfg, &mut StdRng::seed_from_u64(8000 + seed));
+            let oracle = eval_oracle(&inst.query, &db).unwrap();
+            let rep =
+                answer_star_with_domain(&inst.query, &inst.schema, &db, 100_000).unwrap();
+            oracle_total += oracle.len();
+            plain_hits += rep.base.under.intersection(&oracle).count();
+            dom_hits += rep.improved_under.intersection(&oracle).count();
+            calls += rep.domain_calls;
+            fixpoints += rep.domain_complete as usize;
+        }
+        let recall = |hits: usize| {
+            if oracle_total == 0 {
+                "-".to_owned()
+            } else {
+                format!("{:.0}%", 100.0 * hits as f64 / oracle_total as f64)
+            }
+        };
+        t.row(vec![
+            blocked.to_string(),
+            recall(plain_hits),
+            recall(dom_hits),
+            format!("{:.0}", calls as f64 / num_runs as f64),
+            format!("{}/{}", fixpoints, num_runs),
+        ]);
+    }
+    t
+}
+
+/// E11 — hardness stress: Theorem 18 instances and the excluded-middle
+/// family driving the Wei–Lausen recursion.
+pub fn e11_hardness_stress() -> Table {
+    let mut t = Table::new(
+        "E11 — worst-case stress (Thm. 18, Π₂ᴾ core)",
+        "Excluded-middle family: P(x):-R(x) vs the union over all 2^n sign patterns of S1..Sn. Both the direct containment and the Theorem-18 feasibility instance are measured; verdicts must agree (always contained/feasible).",
+        &["n", "disjuncts", "CONT time", "FEASIBLE(thm18) time", "verdicts agree"],
+    );
+    for n in [2usize, 4, 6, 8] {
+        let (p, q) = excluded_middle_pair(n);
+        let d_cont = time_median(3, || {
+            std::hint::black_box(ucqn_contained(&p, &q));
+        });
+        let inst = containment_to_feasibility(&p, &q);
+        let d_feas = time_median(3, || {
+            std::hint::black_box(feasible(&inst.query, &inst.schema));
+        });
+        let cont = contained(&p, &q);
+        let feas = feasible(&inst.query, &inst.schema);
+        t.row(vec![
+            n.to_string(),
+            (1usize << n).to_string(),
+            fmt_duration(d_cont),
+            fmt_duration(d_feas),
+            if cont && feas { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t
+}
+
+/// Builds the E12 family: `k` Example-6-style blocked disjuncts (each with
+/// its own relations and foreign key) plus one executable disjunct, and the
+/// matching constraint set.
+pub fn example6_family(k: usize) -> (UnionQuery, Schema, ConstraintSet) {
+    let mut text = String::from("T^oo.\n");
+    for j in 0..k {
+        text.push_str(&format!("S{j}^o. R{j}^oo. B{j}^ii.\n"));
+    }
+    text.push_str("Q(x, y) :- T(x, y).\n");
+    for j in 0..k {
+        text.push_str(&format!(
+            "Q(x, y) :- not S{j}(z), R{j}(x, z), B{j}(x, y).\n"
+        ));
+    }
+    let p = parse_program(&text).expect("family parses");
+    let mut cs = ConstraintSet::new();
+    for j in 0..k {
+        cs = cs.with_inclusion(InclusionDep::new(
+            Predicate::new(&format!("R{j}"), 2),
+            vec![1],
+            Predicate::new(&format!("S{j}"), 1),
+            vec![0],
+        ));
+    }
+    (p.single_query().unwrap().clone(), p.schema, cs)
+}
+
+/// E12 — the semantic optimizer (Example 6): integrity constraints prune
+/// the blocked disjuncts at compile time, flipping feasibility.
+pub fn e12_semantic_optimizer() -> Table {
+    let mut t = Table::new(
+        "E12 — semantic optimizer under integrity constraints (Ex. 6)",
+        "k blocked Example-6 disjuncts, each with a foreign key Rj.z ⊆ Sj.z: plain FEASIBLE rejects; chase-based pruning discards every blocked disjunct and the remainder is feasible.",
+        &["blocked disjuncts", "feasible (plain)", "pruned disjuncts", "feasible (under Σ)", "prune+decide time"],
+    );
+    for k in [1usize, 2, 4, 8] {
+        let (q, schema, cs) = example6_family(k);
+        let plain = feasible(&q, &schema);
+        let pruned = prune_unsatisfiable(&q, &cs);
+        let d = time_median(TIMING_ITERS, || {
+            std::hint::black_box(feasible_under(&q, &cs, &schema));
+        });
+        let constrained = feasible_under(&q, &cs, &schema).feasible;
+        t.row(vec![
+            k.to_string(),
+            plain.to_string(),
+            format!("{} of {}", q.disjuncts.len() - pruned.disjuncts.len(), q.disjuncts.len()),
+            constrained.to_string(),
+            fmt_duration(d),
+        ]);
+    }
+    t
+}
+
+/// E13 — where the Π₂ᴾ effort goes: instrumentation of the Wei–Lausen
+/// recursion on the excluded-middle family.
+pub fn e13_recursion_profile() -> Table {
+    let mut t = Table::new(
+        "E13 — Wei–Lausen recursion profile (Thms. 12–13)",
+        "Counters for P(x):-R(x) ⊑ ∨ sign patterns over S1..Sn: the recursion visits the sign tree; memoization collapses repeated subproblems.",
+        &["n", "recursive calls", "cache hits", "mappings checked", "peak |P⁺|"],
+    );
+    for n in [2usize, 4, 6, 8] {
+        let (p, q) = excluded_middle_pair(n);
+        let (result, stats) = ucqn_contained_stats(&p, &q);
+        assert!(result);
+        t.row(vec![
+            n.to_string(),
+            stats.recursive_calls.to_string(),
+            stats.cache_hits.to_string(),
+            stats.mappings_checked.to_string(),
+            stats.max_p_atoms.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E14 — cost-based plan ordering and plan minimization: *actual* source
+/// calls through the pattern-enforcing engine, per strategy.
+pub fn e14_plan_ordering(num_runs: usize) -> Table {
+    let mut t = Table::new(
+        "E14 — plan ordering and minimization (capability-based optimization)",
+        "Feasible random queries + instances: mean source calls to evaluate the overestimate plan under each ordering strategy, and with the minimal executable plan. Lower is better; all orders return identical answers.",
+        &["workload", "ANSWERABLE order", "greedy", "exhaustive", "minimal plan"],
+    );
+    for (label, positives) in [("3 literals/disjunct", 3usize), ("5 literals/disjunct", 5)] {
+        let mut calls = [0u64; 4];
+        let mut runs = 0u64;
+        let mut seed = 0u64;
+        while runs < num_runs as u64 && seed < 10 * num_runs as u64 {
+            seed += 1;
+            let schema = default_schema(seed % 16);
+            let q = gen_query(
+                &schema,
+                &query_cfg(2, positives, 0),
+                &mut StdRng::seed_from_u64(40_000 + seed),
+            );
+            let report = feasible_detailed(&q, &schema);
+            if !report.feasible || report.plans.over.has_null() {
+                continue;
+            }
+            let db = gen_instance(
+                &schema,
+                &InstanceConfig { domain_size: 8, tuples_per_relation: 20 },
+                &mut StdRng::seed_from_u64(50_000 + seed),
+            );
+            let model = CostModel::from_database(&db);
+            let strategies = [
+                optimize_plan_pair(&report.plans, &schema, &model, Strategy::AnswerableOrder),
+                optimize_plan_pair(&report.plans, &schema, &model, Strategy::Greedy),
+                optimize_plan_pair(&report.plans, &schema, &model, Strategy::Exhaustive),
+            ];
+            let mut answers = None;
+            let mut ok = true;
+            let mut measured = [0u64; 4];
+            for (k, pair) in strategies.iter().enumerate() {
+                let mut reg = SourceRegistry::new(&db, &schema);
+                match eval_ordered_union(&pair.over.eval_parts(), &mut reg) {
+                    Ok(rows) => {
+                        if let Some(prev) = &answers {
+                            assert_eq!(prev, &rows, "strategies must agree (seed {seed})");
+                        } else {
+                            answers = Some(rows);
+                        }
+                        measured[k] = reg.stats().calls;
+                    }
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            // The minimal executable plan (equivalent, possibly fewer
+            // literals/disjuncts) — answers may legitimately equal the
+            // query's, which is what the other plans compute too.
+            let Some(min_plan) = minimal_executable_plan(&q, &schema) else {
+                continue;
+            };
+            let parts: Vec<_> = min_plan
+                .disjuncts
+                .iter()
+                .map(|cq| (cq.clone(), Vec::new()))
+                .collect();
+            let mut reg = SourceRegistry::new(&db, &schema);
+            let Ok(rows) = eval_ordered_union(&parts, &mut reg) else {
+                continue;
+            };
+            assert_eq!(answers.as_ref(), Some(&rows), "minimal plan must agree (seed {seed})");
+            measured[3] = reg.stats().calls;
+            for k in 0..4 {
+                calls[k] += measured[k];
+            }
+            runs += 1;
+        }
+        let mean = |c: u64| {
+            if runs == 0 { "-".to_owned() } else { format!("{:.1}", c as f64 / runs as f64) }
+        };
+        t.row(vec![
+            format!("{label} ({runs} runs)"),
+            mean(calls[0]),
+            mean(calls[1]),
+            mean(calls[2]),
+            mean(calls[3]),
+        ]);
+    }
+    t
+}
+
+/// Builds a mediator with `k` interchangeable source views per global
+/// relation (all-output sources), plus an atomic `Lib` view.
+fn scaled_mediator(k: usize) -> Mediator {
+    let mut text = String::new();
+    for j in 0..k {
+        text.push_str(&format!("SrcB{j}^oooo. SrcC{j}^oo.\n"));
+    }
+    text.push_str("Shelf^o.\n");
+    for j in 0..k {
+        text.push_str(&format!("Book(i, a, t) :- SrcB{j}(i, a, t, p).\n"));
+        text.push_str(&format!("Catalog(i, a) :- SrcC{j}(i, a).\n"));
+    }
+    text.push_str("Lib(i) :- Shelf(i).\n");
+    Mediator::from_program(&text).expect("mediator parses")
+}
+
+/// E15 — the mediator pipeline: unfolding growth and end-to-end compile
+/// time (unfold → prune → FEASIBLE) as views multiply.
+pub fn e15_mediator_pipeline() -> Table {
+    let mut t = Table::new(
+        "E15 — GAV mediator pipeline (§6, BIRN context)",
+        "Global query Q(i,a,t) :- Book, Catalog, ¬Lib over k interchangeable views per global relation: the unfolding has k² disjuncts; the pipeline (unfold + prune + FEASIBLE) stays fast because every disjunct is orderable.",
+        &["views/relation", "unfolded disjuncts", "feasible", "pipeline time"],
+    );
+    let q = lap_ir::parse_query(
+        "Q(i, a, t) :- Book(i, a, t), Catalog(i, a), not Lib(i).",
+    )
+    .expect("query parses");
+    for k in [1usize, 2, 4, 8] {
+        let mediator = scaled_mediator(k);
+        let plan = mediator.plan(&q).expect("plans");
+        let d = time_median(TIMING_ITERS, || {
+            std::hint::black_box(mediator.plan(&q).expect("plans"));
+        });
+        t.row(vec![
+            k.to_string(),
+            plan.unfolded.disjuncts.len().to_string(),
+            plan.feasibility.feasible.to_string(),
+            fmt_duration(d),
+        ]);
+    }
+    t
+}
+
+/// E16 — source-side hash indexes vs scans (engine ablation): wall time to
+/// evaluate a join-heavy executable plan as the instance grows.
+pub fn e16_index_ablation() -> Table {
+    let mut t = Table::new(
+        "E16 — source index ablation (engine substrate)",
+        "Chain join S ⋈ R ⋈ R ⋈ R through R^io over growing instances: lazily-built hash indexes vs full scans per call. Answers are identical; only the source-side lookup differs.",
+        &["tuples in R", "indexed", "scan", "speedup"],
+    );
+    let program = parse_program(
+        "S^o. R^io.\n\
+         Q(x0, x3) :- S(x0), R(x0, x1), R(x1, x2), R(x2, x3).",
+    )
+    .expect("parses");
+    let q = program.single_query().expect("one query");
+    let pair = plan_star(q, &program.schema);
+    let parts = pair.under.eval_parts();
+    for n in [200usize, 800, 3200] {
+        let mut db = lap_engine::Database::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..n {
+            use rand::Rng;
+            let a = rng.gen_range(0..(n as i64 / 4).max(4));
+            let b = rng.gen_range(0..(n as i64 / 4).max(4));
+            db.insert("R", vec![lap_engine::Value::int(a), lap_engine::Value::int(b)])
+                .expect("arity ok");
+        }
+        for v in 0..10i64 {
+            db.insert("S", vec![lap_engine::Value::int(v)]).expect("arity ok");
+        }
+        let d_indexed = time_median(5, || {
+            let mut reg = SourceRegistry::new(&db, &program.schema);
+            std::hint::black_box(eval_ordered_union(&parts, &mut reg).expect("runs"));
+        });
+        let d_scan = time_median(5, || {
+            let mut reg = SourceRegistry::without_indexes(&db, &program.schema);
+            std::hint::black_box(eval_ordered_union(&parts, &mut reg).expect("runs"));
+        });
+        t.row(vec![
+            n.to_string(),
+            fmt_duration(d_indexed),
+            fmt_duration(d_scan),
+            format!("{:.1}x", d_scan.as_secs_f64() / d_indexed.as_secs_f64().max(1e-12)),
+        ]);
+    }
+    t
+}
+
+/// E17 — end-to-end federated-bookstore scenario: compile-time vs runtime
+/// breakdown as the universe scales.
+pub fn e17_end_to_end_scenario() -> Table {
+    let mut t = Table::new(
+        "E17 — end-to-end federated bookstore (motivating scenario at scale)",
+        "v×c-disjunct standing query over v vendors, c catalogs, a library, and an ISBN-only price service: prepare-once (PLAN* + FEASIBLE) vs execute-per-instance (ANSWER* evaluation), plus answers and source calls.",
+        &["books", "disjuncts", "compile", "execute", "answers", "source calls"],
+    );
+    for books in [100usize, 400, 1600] {
+        let cfg = BookstoreConfig {
+            vendors: 2,
+            catalogs: 2,
+            books,
+            authors: books / 5,
+            ..BookstoreConfig::default()
+        };
+        let scenario = bookstore(&cfg, &mut StdRng::seed_from_u64(17));
+        let program = parse_program(&scenario.program_text()).expect("scenario parses");
+        let q = program.single_query().expect("one query").clone();
+        let d_compile = time_median(TIMING_ITERS, || {
+            std::hint::black_box(lap_core::PreparedQuery::compile(&q, &program.schema));
+        });
+        let prepared = lap_core::PreparedQuery::compile(&q, &program.schema);
+        assert!(prepared.is_feasible(), "standing query must be feasible");
+        let d_exec = time_median(5, || {
+            std::hint::black_box(prepared.execute(&scenario.db).expect("executes"));
+        });
+        let rep = prepared.execute(&scenario.db).expect("executes");
+        assert!(rep.is_complete());
+        t.row(vec![
+            books.to_string(),
+            q.disjuncts.len().to_string(),
+            fmt_duration(d_compile),
+            fmt_duration(d_exec),
+            rep.under.len().to_string(),
+            rep.stats.calls.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Runs every experiment with the default sizes used in EXPERIMENTS.md.
+pub fn run_all() -> Vec<Table> {
+    let sizes = [8usize, 16, 32, 64, 128, 256];
+    vec![
+        e1_example_fidelity(),
+        e2_answerable_scaling(&sizes),
+        e3_plan_star_scaling(&sizes),
+        e4_fast_path_effectiveness(200),
+        e5_cq_baselines(100),
+        e6_ucq_baselines(60),
+        e7_negation_cost(60),
+        e8_containment_engines(100),
+        e9_runtime_completeness(100),
+        e10_domain_enumeration(30),
+        e11_hardness_stress(),
+        e12_semantic_optimizer(),
+        e13_recursion_profile(),
+        e14_plan_ordering(60),
+        e15_mediator_pipeline(),
+        e16_index_ablation(),
+        e17_end_to_end_scenario(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_all_examples_reproduce() {
+        let t = e1_example_fidelity();
+        assert_eq!(t.rows.len(), 10);
+        for row in &t.rows {
+            assert_eq!(row[2], "yes", "example {} failed: {}", row[0], row[1]);
+        }
+    }
+
+    #[test]
+    fn e4_small_run_has_sane_fractions() {
+        let t = e4_fast_path_effectiveness(20);
+        assert_eq!(t.rows.len(), 4);
+    }
+
+    #[test]
+    fn e5_small_run_agrees() {
+        let t = e5_cq_baselines(10);
+        for row in &t.rows {
+            assert_eq!(row[1], "100%");
+        }
+    }
+
+    #[test]
+    fn e6_small_run_agrees() {
+        let t = e6_ucq_baselines(10);
+        for row in &t.rows {
+            assert_eq!(row[1], "100%");
+        }
+    }
+
+    #[test]
+    fn e8_small_run_agrees() {
+        let t = e8_containment_engines(10);
+        for row in &t.rows {
+            assert_eq!(row[1], "100%");
+        }
+    }
+
+    #[test]
+    fn e9_fk_closed_is_always_complete() {
+        let t = e9_runtime_completeness(20);
+        assert_eq!(t.rows[1][3], "100%", "fk-closed instances must be complete");
+    }
+
+    #[test]
+    fn e12_constraints_flip_feasibility() {
+        let t = e12_semantic_optimizer();
+        for row in &t.rows {
+            assert_eq!(row[1], "false");
+            assert_eq!(row[3], "true");
+        }
+    }
+
+    #[test]
+    fn e13_counters_grow_with_n() {
+        let t = e13_recursion_profile();
+        let calls: Vec<u64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        assert!(calls.windows(2).all(|w| w[0] < w[1]), "{calls:?}");
+    }
+
+    #[test]
+    fn e14_orders_agree_and_never_lose() {
+        let t = e14_plan_ordering(10);
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn e15_unfolding_squares_and_stays_feasible() {
+        let t = e15_mediator_pipeline();
+        let counts: Vec<usize> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        assert_eq!(counts, vec![1, 4, 16, 64]);
+        for row in &t.rows {
+            assert_eq!(row[2], "true");
+        }
+    }
+
+    #[test]
+    fn e16_runs_and_produces_rows() {
+        let t = e16_index_ablation();
+        assert_eq!(t.rows.len(), 3);
+    }
+
+    #[test]
+    fn e17_scenario_is_feasible_and_complete() {
+        let t = e17_end_to_end_scenario();
+        assert_eq!(t.rows.len(), 3);
+    }
+
+    #[test]
+    fn e11_small_n_agree() {
+        let t = e11_hardness_stress();
+        for row in &t.rows {
+            assert_eq!(row[4], "yes");
+        }
+    }
+}

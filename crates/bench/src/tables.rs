@@ -1,0 +1,150 @@
+//! Plain-text / markdown table rendering for the experiment harness.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A rendered experiment table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id + short title, e.g. `"E2 — ANSWERABLE scaling"`.
+    pub title: String,
+    /// One line of context (workload, parameters, the paper claim).
+    pub caption: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (each row must match `columns.len()`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        caption: impl Into<String>,
+        columns: &[&str],
+    ) -> Table {
+        Table {
+            title: title.into(),
+            caption: caption.into(),
+            columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders as GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n{}\n\n", self.title, self.caption));
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.columns.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "  {}", self.caption)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "  ")?;
+            for (w, cell) in widths.iter().zip(cells.iter()) {
+                write!(f, "{cell:<w$}  ", w = w)?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.columns)?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(f, &rule)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a duration compactly (`12.3µs`, `4.56ms`, `1.23s`).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Runs `f` repeatedly and returns the median wall time over `iters`
+/// executions (with one warmup).
+pub fn time_median(iters: usize, mut f: impl FnMut()) -> Duration {
+    f(); // warmup
+    let mut samples: Vec<Duration> = (0..iters.max(1))
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_text_and_markdown() {
+        let mut t = Table::new("E0 — demo", "a caption", &["n", "time"]);
+        t.row(vec!["8".into(), "1.2µs".into()]);
+        t.row(vec!["16".into(), "4.9µs".into()]);
+        let text = t.to_string();
+        assert!(text.contains("E0 — demo"));
+        assert!(text.contains("16"));
+        let md = t.to_markdown();
+        assert!(md.starts_with("### E0 — demo"));
+        assert!(md.contains("| 8 | 1.2µs |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_checked() {
+        let mut t = Table::new("t", "c", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+
+    #[test]
+    fn median_timing_is_positive() {
+        let d = time_median(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(d > Duration::ZERO);
+    }
+}

@@ -1,0 +1,309 @@
+//! The (restricted) chase of a CQ¬ body with inclusion and functional
+//! dependencies, and satisfiability modulo constraints.
+//!
+//! The chase extends the *positive* part of a query with the logical
+//! consequences of `Σ`:
+//!
+//! * an **FD step** `R: X → Y` unifies the `Y`-columns of two `R`-atoms
+//!   that agree syntactically on their `X`-columns (a clash of two distinct
+//!   constants proves unsatisfiability outright);
+//! * an **IND step** `R[X] ⊆ S[Y]` adds an `S`-atom (fresh variables in
+//!   the unconstrained columns) for any `R`-atom whose projection is not
+//!   yet witnessed.
+//!
+//! Over a chased body, Proposition 8 generalizes: the query is
+//! unsatisfiable **under Σ** iff some negative literal's atom appears
+//! among the chased positive atoms. Unsatisfiability verdicts are sound
+//! even if the chase is cut short (every derived atom is a consequence);
+//! the *satisfiable* verdict additionally needs the fixpoint, hence the
+//! [`SatVerdict::Unknown`] case for cyclic INDs that exceed the round cap.
+
+use crate::deps::ConstraintSet;
+use lap_ir::{Atom, ConjunctiveQuery, FreshVarGen, Literal, Substitution, Term, Var};
+use std::collections::HashSet;
+
+/// Outcome of a satisfiability-modulo-constraints check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SatVerdict {
+    /// A contradiction was derived: no instance satisfying `Σ` satisfies
+    /// the query body.
+    Unsatisfiable,
+    /// The chase reached its fixpoint and the chased body is a model.
+    Satisfiable,
+    /// The round cap was hit before a fixpoint (cyclic inclusions);
+    /// treat as possibly satisfiable.
+    Unknown,
+}
+
+/// Result of chasing a query body.
+#[derive(Clone, Debug)]
+pub struct ChaseResult {
+    /// The query with the chased positive atoms appended and all FD
+    /// unifications applied (head and negatives included).
+    pub query: ConjunctiveQuery,
+    /// True iff an FD clashed two distinct constants (hard contradiction).
+    pub constant_clash: bool,
+    /// True iff the fixpoint was reached within the round cap.
+    pub complete: bool,
+}
+
+/// Default bound on chase rounds (each round applies every constraint
+/// once); only cyclic inclusion dependencies can exhaust it.
+pub const DEFAULT_CHASE_ROUNDS: usize = 16;
+
+/// Chases `q` with `cs` for at most `max_rounds` rounds.
+pub fn chase(q: &ConjunctiveQuery, cs: &ConstraintSet, max_rounds: usize) -> ChaseResult {
+    let mut query = q.clone();
+    let mut fresh = FreshVarGen::new();
+    let mut constant_clash = false;
+    let mut complete = false;
+
+    for _ in 0..max_rounds {
+        let mut changed = false;
+
+        // FD steps to local fixpoint.
+        while let Some((v_from, t_to)) = find_fd_unification(&query, cs, &mut constant_clash) {
+            let mut s = Substitution::new();
+            s.insert(v_from, t_to);
+            query = query.apply(&s);
+            changed = true;
+        }
+        if constant_clash {
+            return ChaseResult {
+                query,
+                constant_clash: true,
+                complete: true,
+            };
+        }
+
+        // IND steps: add missing witnesses.
+        let additions = find_ind_additions(&query, cs, &mut fresh);
+        if !additions.is_empty() {
+            changed = true;
+            query.body.extend(additions.into_iter().map(Literal::pos));
+        }
+
+        if !changed {
+            complete = true;
+            break;
+        }
+    }
+
+    ChaseResult {
+        query,
+        constant_clash,
+        complete,
+    }
+}
+
+/// Finds one FD-mandated unification `(var, term)`, or sets
+/// `constant_clash` when two distinct constants must be equal.
+fn find_fd_unification(
+    q: &ConjunctiveQuery,
+    cs: &ConstraintSet,
+    constant_clash: &mut bool,
+) -> Option<(Var, Term)> {
+    let atoms: Vec<&Atom> = q.body.iter().filter(|l| l.positive).map(|l| &l.atom).collect();
+    for fd in &cs.functionals {
+        let rel: Vec<&&Atom> = atoms.iter().filter(|a| a.predicate == fd.relation).collect();
+        for i in 0..rel.len() {
+            for j in (i + 1)..rel.len() {
+                let (a, b) = (rel[i], rel[j]);
+                if fd.determinant.iter().any(|&c| a.args[c] != b.args[c]) {
+                    continue;
+                }
+                for &c in &fd.dependent {
+                    match (a.args[c], b.args[c]) {
+                        (x, y) if x == y => {}
+                        (Term::Var(v), t) | (t, Term::Var(v)) => return Some((v, t)),
+                        (Term::Const(_), Term::Const(_)) => {
+                            *constant_clash = true;
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Finds all missing inclusion witnesses for the current body.
+fn find_ind_additions(
+    q: &ConjunctiveQuery,
+    cs: &ConstraintSet,
+    fresh: &mut FreshVarGen,
+) -> Vec<Atom> {
+    let atoms: Vec<&Atom> = q.body.iter().filter(|l| l.positive).map(|l| &l.atom).collect();
+    let mut additions: Vec<Atom> = Vec::new();
+    let mut planned: HashSet<(lap_ir::Predicate, Vec<usize>, Vec<Term>)> = HashSet::new();
+    for ind in &cs.inclusions {
+        for a in atoms.iter().filter(|a| a.predicate == ind.from) {
+            let proj: Vec<Term> = ind.from_cols.iter().map(|&c| a.args[c]).collect();
+            let witnessed = atoms.iter().any(|s| {
+                s.predicate == ind.to
+                    && ind
+                        .to_cols
+                        .iter()
+                        .zip(proj.iter())
+                        .all(|(&c, &t)| s.args[c] == t)
+            });
+            if witnessed {
+                continue;
+            }
+            // Avoid planning the same witness twice in one round.
+            if !planned.insert((ind.to, ind.to_cols.clone(), proj.clone())) {
+                continue;
+            }
+            let mut args: Vec<Term> = (0..ind.to.arity)
+                .map(|_| Term::Var(fresh.fresh()))
+                .collect();
+            for (&c, &t) in ind.to_cols.iter().zip(proj.iter()) {
+                args[c] = t;
+            }
+            additions.push(Atom::new(ind.to, args));
+        }
+    }
+    additions
+}
+
+/// Satisfiability of a CQ¬ body **under** the constraints `Σ` (generalizing
+/// Proposition 8 via the chase).
+pub fn satisfiable_under(q: &ConjunctiveQuery, cs: &ConstraintSet, max_rounds: usize) -> SatVerdict {
+    if !lap_ir::is_satisfiable(q) {
+        return SatVerdict::Unsatisfiable;
+    }
+    if cs.is_empty() {
+        return SatVerdict::Satisfiable;
+    }
+    let result = chase(q, cs, max_rounds);
+    if result.constant_clash {
+        return SatVerdict::Unsatisfiable;
+    }
+    if !lap_ir::is_satisfiable(&result.query) {
+        return SatVerdict::Unsatisfiable;
+    }
+    if result.complete {
+        SatVerdict::Satisfiable
+    } else {
+        SatVerdict::Unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::{FunctionalDep, InclusionDep};
+    use lap_ir::{parse_cq, Predicate};
+
+    fn example_6_constraints() -> ConstraintSet {
+        // R.z (col 1) is a foreign key referencing S.z (col 0).
+        ConstraintSet::new().with_inclusion(InclusionDep::new(
+            Predicate::new("R", 2),
+            vec![1],
+            Predicate::new("S", 1),
+            vec![0],
+        ))
+    }
+
+    #[test]
+    fn example_6_disjunct_is_unsat_under_fk() {
+        let q = parse_cq("Q(x, y) :- not S(z), R(x, z), B(x, y).").unwrap();
+        assert_eq!(
+            satisfiable_under(&q, &example_6_constraints(), DEFAULT_CHASE_ROUNDS),
+            SatVerdict::Unsatisfiable
+        );
+        // Without the constraint it is satisfiable.
+        assert_eq!(
+            satisfiable_under(&q, &ConstraintSet::new(), DEFAULT_CHASE_ROUNDS),
+            SatVerdict::Satisfiable
+        );
+    }
+
+    #[test]
+    fn ind_adds_fresh_witness_columns() {
+        // R[0] ⊆ T[1] with T binary: the witness is T(_fresh, x).
+        let cs = ConstraintSet::new().with_inclusion(InclusionDep::new(
+            Predicate::new("R", 1),
+            vec![0],
+            Predicate::new("T", 2),
+            vec![1],
+        ));
+        let q = parse_cq("Q(x) :- R(x).").unwrap();
+        let r = chase(&q, &cs, DEFAULT_CHASE_ROUNDS);
+        assert!(r.complete);
+        let t_atom = r
+            .query
+            .body
+            .iter()
+            .find(|l| l.atom.predicate.name.as_str() == "T")
+            .expect("witness added");
+        assert_eq!(t_atom.atom.args[1], Term::var("x"));
+        assert!(t_atom.atom.args[0].is_var());
+    }
+
+    #[test]
+    fn fd_unifies_dependent_columns() {
+        // R: 0 → 1 and two R-atoms sharing x: y and z unify; the negative
+        // literal then contradicts.
+        let cs = ConstraintSet::new()
+            .with_functional(FunctionalDep::new(Predicate::new("R", 2), vec![0], vec![1]));
+        let q = parse_cq("Q(x) :- R(x, y), R(x, z), S(y), not S(z).").unwrap();
+        assert_eq!(
+            satisfiable_under(&q, &cs, DEFAULT_CHASE_ROUNDS),
+            SatVerdict::Unsatisfiable
+        );
+    }
+
+    #[test]
+    fn fd_constant_clash_is_unsat() {
+        let cs = ConstraintSet::new()
+            .with_functional(FunctionalDep::new(Predicate::new("R", 2), vec![0], vec![1]));
+        let q = parse_cq("Q(x) :- R(x, 1), R(x, 2).").unwrap();
+        assert_eq!(
+            satisfiable_under(&q, &cs, DEFAULT_CHASE_ROUNDS),
+            SatVerdict::Unsatisfiable
+        );
+        let ok = parse_cq("Q(x) :- R(x, 1), R(y, 2).").unwrap();
+        assert_eq!(
+            satisfiable_under(&ok, &cs, DEFAULT_CHASE_ROUNDS),
+            SatVerdict::Satisfiable
+        );
+    }
+
+    #[test]
+    fn cyclic_inclusions_hit_the_cap() {
+        // R[0] ⊆ S[0] and S[0]... cyclic via fresh columns: R(x) ⊆ T[0],
+        // T[1] ⊆ R[0] keeps inventing values forever.
+        let r = Predicate::new("R", 1);
+        let t = Predicate::new("T", 2);
+        let cs = ConstraintSet::new()
+            .with_inclusion(InclusionDep::new(r, vec![0], t, vec![0]))
+            .with_inclusion(InclusionDep::new(t, vec![1], r, vec![0]));
+        let q = parse_cq("Q(x) :- R(x).").unwrap();
+        let result = chase(&q, &cs, 4);
+        assert!(!result.complete);
+        assert_eq!(satisfiable_under(&q, &cs, 4), SatVerdict::Unknown);
+    }
+
+    #[test]
+    fn chase_applies_substitution_to_head_and_negatives() {
+        let cs = ConstraintSet::new()
+            .with_functional(FunctionalDep::new(Predicate::new("R", 2), vec![0], vec![1]));
+        let q = parse_cq("Q(y, z) :- R(x, y), R(x, z), not B(z).").unwrap();
+        let r = chase(&q, &cs, DEFAULT_CHASE_ROUNDS);
+        // y and z unified: head has a repeated term, negation follows it.
+        assert_eq!(r.query.head.args[0], r.query.head.args[1]);
+        let neg = r.query.body.iter().find(|l| !l.positive).unwrap();
+        assert_eq!(neg.atom.args[0], r.query.head.args[0]);
+    }
+
+    #[test]
+    fn satisfied_inclusion_adds_nothing() {
+        let cs = example_6_constraints();
+        let q = parse_cq("Q(x) :- R(x, z), S(z).").unwrap();
+        let r = chase(&q, &cs, DEFAULT_CHASE_ROUNDS);
+        assert!(r.complete);
+        assert_eq!(r.query.body.len(), 2, "witness already present");
+    }
+}

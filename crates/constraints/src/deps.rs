@@ -1,0 +1,184 @@
+//! Integrity-constraint types: inclusion and functional dependencies.
+
+use lap_ir::Predicate;
+use std::fmt;
+
+/// An inclusion dependency `R[c1…ck] ⊆ S[d1…dk]`: every projection of an
+/// `R`-tuple onto `c1…ck` appears as the projection of some `S`-tuple onto
+/// `d1…dk`. The paper's Example 6 uses the unary case "`R.z` is a foreign
+/// key referencing `S.z`".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InclusionDep {
+    /// The referencing relation.
+    pub from: Predicate,
+    /// Referencing columns (0-based), same length as `to_cols`.
+    pub from_cols: Vec<usize>,
+    /// The referenced relation.
+    pub to: Predicate,
+    /// Referenced columns (0-based).
+    pub to_cols: Vec<usize>,
+}
+
+impl InclusionDep {
+    /// Builds and validates an inclusion dependency.
+    pub fn new(
+        from: Predicate,
+        from_cols: Vec<usize>,
+        to: Predicate,
+        to_cols: Vec<usize>,
+    ) -> InclusionDep {
+        assert_eq!(from_cols.len(), to_cols.len(), "column lists must align");
+        assert!(!from_cols.is_empty(), "at least one column");
+        assert!(from_cols.iter().all(|&c| c < from.arity), "from columns in range");
+        assert!(to_cols.iter().all(|&c| c < to.arity), "to columns in range");
+        InclusionDep {
+            from,
+            from_cols,
+            to,
+            to_cols,
+        }
+    }
+}
+
+impl fmt::Display for InclusionDep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] ⊆ {}[{}]",
+            self.from.name,
+            cols(&self.from_cols),
+            self.to.name,
+            cols(&self.to_cols)
+        )
+    }
+}
+
+/// A functional dependency `R: c1…ck → d1…dm`: tuples agreeing on the
+/// determinant columns agree on the dependent columns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunctionalDep {
+    /// The constrained relation.
+    pub relation: Predicate,
+    /// Determinant columns (0-based).
+    pub determinant: Vec<usize>,
+    /// Dependent columns (0-based).
+    pub dependent: Vec<usize>,
+}
+
+impl FunctionalDep {
+    /// Builds and validates a functional dependency.
+    pub fn new(relation: Predicate, determinant: Vec<usize>, dependent: Vec<usize>) -> FunctionalDep {
+        assert!(!determinant.is_empty() && !dependent.is_empty());
+        assert!(determinant.iter().chain(&dependent).all(|&c| c < relation.arity));
+        FunctionalDep {
+            relation,
+            determinant,
+            dependent,
+        }
+    }
+
+    /// A key constraint: `determinant → all other columns`.
+    pub fn key(relation: Predicate, determinant: Vec<usize>) -> FunctionalDep {
+        let dependent: Vec<usize> =
+            (0..relation.arity).filter(|c| !determinant.contains(c)).collect();
+        FunctionalDep::new(relation, determinant, dependent)
+    }
+}
+
+impl fmt::Display for FunctionalDep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {}",
+            self.relation.name,
+            cols(&self.determinant),
+            cols(&self.dependent)
+        )
+    }
+}
+
+fn cols(cs: &[usize]) -> String {
+    cs.iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// A set of integrity constraints `Σ`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConstraintSet {
+    /// Inclusion dependencies.
+    pub inclusions: Vec<InclusionDep>,
+    /// Functional dependencies.
+    pub functionals: Vec<FunctionalDep>,
+}
+
+impl ConstraintSet {
+    /// An empty constraint set.
+    pub fn new() -> ConstraintSet {
+        ConstraintSet::default()
+    }
+
+    /// Adds an inclusion dependency (builder style).
+    pub fn with_inclusion(mut self, ind: InclusionDep) -> ConstraintSet {
+        self.inclusions.push(ind);
+        self
+    }
+
+    /// Adds a functional dependency (builder style).
+    pub fn with_functional(mut self, fd: FunctionalDep) -> ConstraintSet {
+        self.functionals.push(fd);
+        self
+    }
+
+    /// True iff no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.inclusions.is_empty() && self.functionals.is_empty()
+    }
+}
+
+impl fmt::Display for ConstraintSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for ind in &self.inclusions {
+            writeln!(f, "{ind}")?;
+        }
+        for fd in &self.functionals {
+            writeln!(f, "{fd}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let r = Predicate::new("R", 2);
+        let s = Predicate::new("S", 1);
+        let ind = InclusionDep::new(r, vec![1], s, vec![0]);
+        assert_eq!(ind.to_string(), "R[1] ⊆ S[0]");
+        let fd = FunctionalDep::new(r, vec![0], vec![1]);
+        assert_eq!(fd.to_string(), "R: 0 -> 1");
+    }
+
+    #[test]
+    fn key_covers_remaining_columns() {
+        let r = Predicate::new("R", 4);
+        let k = FunctionalDep::key(r, vec![0, 2]);
+        assert_eq!(k.dependent, vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column lists must align")]
+    fn misaligned_inclusion_panics() {
+        InclusionDep::new(Predicate::new("R", 2), vec![0, 1], Predicate::new("S", 2), vec![0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_fd_panics() {
+        FunctionalDep::new(Predicate::new("R", 2), vec![0], vec![5]);
+    }
+}

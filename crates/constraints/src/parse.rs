@@ -1,0 +1,216 @@
+//! Text syntax for constraint sets, so `Σ` can live in a file next to the
+//! query program:
+//!
+//! ```text
+//! % inclusion dependency: R.1 ⊆ S.0  (multi-column: R[0,1] <= S[1,0].)
+//! R[1] <= S[0].
+//! % functional dependency: first column of P determines the second
+//! P: 0 -> 1.
+//! ```
+//!
+//! Relation arities are resolved against a [`Schema`], so column indices
+//! are validated at parse time.
+
+use crate::deps::{ConstraintSet, FunctionalDep, InclusionDep};
+use lap_ir::{Schema, Symbol};
+use std::fmt;
+
+/// Errors from [`parse_constraints`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintParseError {
+    /// Syntax error with the offending statement.
+    Syntax(String),
+    /// A relation is not declared in the schema.
+    UnknownRelation(String),
+    /// A column index is out of range for the relation's arity.
+    ColumnOutOfRange {
+        /// Relation name.
+        relation: String,
+        /// The offending column.
+        column: usize,
+        /// The relation's arity.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for ConstraintParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintParseError::Syntax(s) => write!(f, "cannot parse constraint {s:?}"),
+            ConstraintParseError::UnknownRelation(r) => {
+                write!(f, "constraint references undeclared relation {r}")
+            }
+            ConstraintParseError::ColumnOutOfRange {
+                relation,
+                column,
+                arity,
+            } => write!(
+                f,
+                "column {column} out of range for {relation} (arity {arity})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConstraintParseError {}
+
+/// Parses a constraint file (see module docs) against `schema`.
+pub fn parse_constraints(
+    text: &str,
+    schema: &Schema,
+) -> Result<ConstraintSet, ConstraintParseError> {
+    let mut cs = ConstraintSet::new();
+    // Strip line comments first (a comment may contain `.`), then split
+    // statements on `.`.
+    let decommented: String = text
+        .lines()
+        .map(|l| {
+            let cut = l.find(['%', '#']).map(|i| &l[..i]).unwrap_or(l);
+            format!("{cut}\n")
+        })
+        .collect();
+    for raw in decommented.split('.') {
+        let stmt = raw.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        if let Some((lhs, rhs)) = stmt.split_once("<=") {
+            let (from, from_cols) = parse_cols(lhs, schema)?;
+            let (to, to_cols) = parse_cols(rhs, schema)?;
+            if from_cols.len() != to_cols.len() || from_cols.is_empty() {
+                return Err(ConstraintParseError::Syntax(stmt.to_owned()));
+            }
+            cs.inclusions.push(InclusionDep::new(from, from_cols, to, to_cols));
+        } else if let Some((rel_part, fd_part)) = stmt.split_once(':') {
+            let Some((det, dep)) = fd_part.split_once("->") else {
+                return Err(ConstraintParseError::Syntax(stmt.to_owned()));
+            };
+            let pred = lookup(rel_part.trim(), schema)?;
+            let determinant = parse_col_list(det, pred, schema)?;
+            let dependent = parse_col_list(dep, pred, schema)?;
+            if determinant.is_empty() || dependent.is_empty() {
+                return Err(ConstraintParseError::Syntax(stmt.to_owned()));
+            }
+            cs.functionals
+                .push(FunctionalDep::new(pred, determinant, dependent));
+        } else {
+            return Err(ConstraintParseError::Syntax(stmt.to_owned()));
+        }
+    }
+    Ok(cs)
+}
+
+fn lookup(name: &str, schema: &Schema) -> Result<lap_ir::Predicate, ConstraintParseError> {
+    schema
+        .relation(Symbol::intern(name))
+        .map(|d| d.predicate)
+        .ok_or_else(|| ConstraintParseError::UnknownRelation(name.to_owned()))
+}
+
+/// Parses `Name[c1,c2,…]`.
+fn parse_cols(
+    part: &str,
+    schema: &Schema,
+) -> Result<(lap_ir::Predicate, Vec<usize>), ConstraintParseError> {
+    let part = part.trim();
+    let Some((name, rest)) = part.split_once('[') else {
+        return Err(ConstraintParseError::Syntax(part.to_owned()));
+    };
+    let Some(cols_text) = rest.strip_suffix(']') else {
+        return Err(ConstraintParseError::Syntax(part.to_owned()));
+    };
+    let pred = lookup(name.trim(), schema)?;
+    let cols = parse_col_list(cols_text, pred, schema)?;
+    Ok((pred, cols))
+}
+
+fn parse_col_list(
+    text: &str,
+    pred: lap_ir::Predicate,
+    _schema: &Schema,
+) -> Result<Vec<usize>, ConstraintParseError> {
+    let mut cols = Vec::new();
+    for piece in text.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        let c: usize = piece
+            .parse()
+            .map_err(|_| ConstraintParseError::Syntax(piece.to_owned()))?;
+        if c >= pred.arity {
+            return Err(ConstraintParseError::ColumnOutOfRange {
+                relation: pred.name.to_string(),
+                column: c,
+                arity: pred.arity,
+            });
+        }
+        cols.push(c);
+    }
+    Ok(cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::from_patterns(&[("R", "oo"), ("S", "o"), ("P", "ooo")]).unwrap()
+    }
+
+    #[test]
+    fn parses_inclusions_and_fds() {
+        let cs = parse_constraints(
+            "% fk\nR[1] <= S[0].\nP: 0 -> 1, 2.",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(cs.inclusions.len(), 1);
+        assert_eq!(cs.inclusions[0].to_string(), "R[1] ⊆ S[0]");
+        assert_eq!(cs.functionals.len(), 1);
+        assert_eq!(cs.functionals[0].to_string(), "P: 0 -> 1,2");
+    }
+
+    #[test]
+    fn multi_column_inclusion() {
+        let cs = parse_constraints("P[0, 1] <= P[1, 2].", &schema()).unwrap();
+        assert_eq!(cs.inclusions[0].from_cols, vec![0, 1]);
+        assert_eq!(cs.inclusions[0].to_cols, vec![1, 2]);
+    }
+
+    #[test]
+    fn rejects_unknown_relation() {
+        assert!(matches!(
+            parse_constraints("Z[0] <= S[0].", &schema()),
+            Err(ConstraintParseError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_column() {
+        assert!(matches!(
+            parse_constraints("R[5] <= S[0].", &schema()),
+            Err(ConstraintParseError::ColumnOutOfRange { column: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_misaligned_columns() {
+        assert!(matches!(
+            parse_constraints("P[0, 1] <= S[0].", &schema()),
+            Err(ConstraintParseError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_constraints("hello world.", &schema()).is_err());
+        assert!(parse_constraints("R: zero -> 1.", &schema()).is_err());
+    }
+
+    #[test]
+    fn empty_and_comment_only_files_are_empty_sets() {
+        let cs = parse_constraints("% nothing here\n\n", &schema()).unwrap();
+        assert!(cs.is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! Canonical-database ("frozen query") containment oracle for CQs.
+//!
+//! `P ⊑ Q` iff the frozen head of `P` is an answer of `Q` over the
+//! canonical database `[P]` obtained by freezing `P`'s variables into fresh
+//! constants (Chandra–Merlin). This is a deliberately *independent*
+//! implementation from [`crate::cq::cq_contained`] — a naive fact-scan
+//! evaluator with no atom reordering or predicate indexing — used as a
+//! differential-testing oracle in the property-test suite and as the
+//! substrate for the acyclic fast path.
+
+use lap_ir::{Atom, Constant, ConjunctiveQuery, Substitution, Term, Var};
+use std::collections::HashMap;
+
+/// Freezes the variables of `p` into fresh constants `_frz_<name>`.
+/// Returns the substitution used.
+pub fn freezing_substitution(p: &ConjunctiveQuery) -> Substitution {
+    let mut s = Substitution::new();
+    for v in p.vars() {
+        s.insert(v, Term::Const(Constant::str(&format!("_frz_{}", v.name()))));
+    }
+    s
+}
+
+/// The canonical database of `p`: its positive body atoms with variables
+/// frozen to constants.
+pub fn canonical_facts(p: &ConjunctiveQuery) -> Vec<Atom> {
+    let s = freezing_substitution(p);
+    p.body
+        .iter()
+        .filter(|l| l.positive)
+        .map(|l| s.apply_atom(&l.atom))
+        .collect()
+}
+
+/// `P ⊑ Q` for plain CQs via the canonical database.
+pub fn cq_contained_canonical(p: &ConjunctiveQuery, q: &ConjunctiveQuery) -> bool {
+    debug_assert!(p.is_positive() && q.is_positive());
+    let s = freezing_substitution(p);
+    let facts = canonical_facts(p);
+    let frozen_head = s.apply_atom(&p.head);
+    // Unify q's head with the frozen head to seed the evaluation.
+    if q.head.predicate != frozen_head.predicate {
+        return false;
+    }
+    let mut env: HashMap<Var, Constant> = HashMap::new();
+    for (&qt, &ft) in q.head.args.iter().zip(frozen_head.args.iter()) {
+        let Term::Const(fc) = ft else {
+            unreachable!("frozen head is ground")
+        };
+        match qt {
+            Term::Var(v) => {
+                if let Some(&prev) = env.get(&v) {
+                    if prev != fc {
+                        return false;
+                    }
+                } else {
+                    env.insert(v, fc);
+                }
+            }
+            Term::Const(c) if c == fc => {}
+            Term::Const(_) => return false,
+        }
+    }
+    let atoms: Vec<&Atom> = q.body.iter().map(|l| &l.atom).collect();
+    eval(&atoms, 0, &facts, &mut env)
+}
+
+/// Naive left-to-right evaluation of a list of atoms over ground facts.
+fn eval(atoms: &[&Atom], depth: usize, facts: &[Atom], env: &mut HashMap<Var, Constant>) -> bool {
+    let Some(atom) = atoms.get(depth) else {
+        return true;
+    };
+    'facts: for fact in facts {
+        if fact.predicate != atom.predicate {
+            continue;
+        }
+        let mut bound_here: Vec<Var> = Vec::new();
+        for (&at, &ft) in atom.args.iter().zip(fact.args.iter()) {
+            let Term::Const(fc) = ft else {
+                unreachable!("facts are ground")
+            };
+            match at {
+                Term::Var(v) => match env.get(&v) {
+                    Some(&prev) if prev != fc => {
+                        for v in bound_here.drain(..) {
+                            env.remove(&v);
+                        }
+                        continue 'facts;
+                    }
+                    Some(_) => {}
+                    None => {
+                        env.insert(v, fc);
+                        bound_here.push(v);
+                    }
+                },
+                Term::Const(c) if c == fc => {}
+                Term::Const(_) => {
+                    for v in bound_here.drain(..) {
+                        env.remove(&v);
+                    }
+                    continue 'facts;
+                }
+            }
+        }
+        if eval(atoms, depth + 1, facts, env) {
+            return true;
+        }
+        for v in bound_here {
+            env.remove(&v);
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::cq_contained;
+    use lap_ir::parse_cq;
+
+    fn both(p: &str, q: &str) -> (bool, bool) {
+        let p = parse_cq(p).unwrap();
+        let q = parse_cq(q).unwrap();
+        (cq_contained(&p, &q), cq_contained_canonical(&p, &q))
+    }
+
+    #[test]
+    fn agrees_with_mapping_implementation() {
+        let cases = [
+            ("Q(x) :- R(x, y), R(y, z).", "Q(x) :- R(x, u)."),
+            ("Q(x) :- R(x, u).", "Q(x) :- R(x, y), R(y, z)."),
+            ("Q(x) :- R(x, x).", "Q(x) :- R(x, y)."),
+            ("Q(x) :- R(x, y).", "Q(x) :- R(x, x)."),
+            ("Q(x) :- R(x, 1).", "Q(x) :- R(x, y)."),
+            ("Q(x) :- R(x, y).", "Q(x) :- R(x, 1)."),
+            ("Q(x, y) :- R(x, z), S(z, y).", "Q(x, y) :- R(x, z), S(z, y)."),
+            ("Q(x) :- R(x), S(x).", "Q(x) :- S(x), R(x)."),
+        ];
+        for (p, q) in cases {
+            let (a, b) = both(p, q);
+            assert_eq!(a, b, "disagreement on P={p} Q={q}");
+        }
+    }
+
+    #[test]
+    fn canonical_facts_are_ground() {
+        let p = parse_cq("Q(x) :- R(x, y), S(y, 3).").unwrap();
+        for f in canonical_facts(&p) {
+            assert!(f.is_ground(), "{f}");
+        }
+    }
+
+    #[test]
+    fn head_constant_mismatch_fails() {
+        let (a, b) = both("Q(1) :- R(1).", "Q(2) :- R(2).");
+        assert!(!a);
+        assert!(!b);
+    }
+
+    #[test]
+    fn head_constants_match() {
+        let (a, b) = both("Q(1) :- R(1).", "Q(1) :- R(x).");
+        // Q's head Q(1) vs frozen head Q(1): fine; body R(x) matches R(1).
+        assert!(a);
+        assert!(b);
+    }
+}

@@ -1,0 +1,97 @@
+//! Query containment for CQ, UCQ, CQ¬, and UCQ¬.
+//!
+//! This crate implements the containment machinery that the paper's
+//! `FEASIBLE` algorithm reduces to (Section 5.1):
+//!
+//! * [`cq_contained`] — Chandra–Merlin containment of plain conjunctive
+//!   queries via containment-mapping search (**NP**-complete) \[CM77\].
+//! * [`cq_contained_canonical`] — an independent canonical-database oracle
+//!   for the same problem, used for differential testing.
+//! * [`cq_contained_acyclic`] — the polynomial fast path for acyclic
+//!   right-hand queries (GYO join tree + boolean Yannakakis) \[CR97\].
+//! * [`ucq_contained`] — Sagiv–Yannakakis containment of unions \[SY80\].
+//! * [`ucqn_contained`] / [`cqn_in_ucqn`] — the Wei–Lausen procedure for
+//!   queries with safe negation (**Π₂ᴾ**-complete), Theorems 12–13 of the
+//!   paper \[WL03\].
+//! * [`minimize_cq`] / [`minimize_ucq`] — cores and union minimization, the
+//!   subroutines of the Li–Chang baseline algorithms.
+//!
+//! The top-level entry point [`contained`] dispatches to the cheapest
+//! applicable procedure: plain-positive pairs take the UCQ path (a plain
+//! mapping search per disjunct pair), anything with negation takes the
+//! Wei–Lausen recursion — which degenerates to exactly the positive check
+//! when no negative literals are present, making the treatment uniform in
+//! the sense of the paper's Section 5.
+//!
+//! ```
+//! use lap_containment::contained;
+//! use lap_ir::parse_query;
+//!
+//! let p = parse_query("Q(x) :- R(x).").unwrap();
+//! let q = parse_query(
+//!     "Q(x) :- R(x), S(x).\n\
+//!      Q(x) :- R(x), not S(x).",
+//! )
+//! .unwrap();
+//! assert!(contained(&p, &q)); // needs the excluded-middle recursion
+//! assert!(contained(&q, &p));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acyclic;
+mod canonical;
+mod cq;
+mod mapping;
+mod minimize;
+mod ucq;
+mod ucqn;
+
+pub use acyclic::{cq_contained_acyclic, is_acyclic, join_tree, JoinTree};
+pub use canonical::{canonical_facts, cq_contained_canonical, freezing_substitution};
+pub use cq::{cq_contained, cq_equivalent};
+pub use mapping::{for_each_homomorphism, has_homomorphism, unify_heads};
+pub use minimize::{minimize_cq, minimize_ucq, minimize_union_ucqn};
+pub use ucq::{ucq_contained, ucq_equivalent};
+pub use ucqn::{cqn_in_ucqn, ucqn_contained, ucqn_contained_stats, ucqn_equivalent, ContainmentStats};
+
+use lap_ir::UnionQuery;
+
+/// `P ⊑ Q`: containment of UCQ¬ queries, dispatching to the cheapest
+/// applicable decision procedure (see crate docs).
+pub fn contained(p: &UnionQuery, q: &UnionQuery) -> bool {
+    if p.is_positive() && q.is_positive() {
+        ucq_contained(p, q)
+    } else {
+        ucqn_contained(p, q)
+    }
+}
+
+/// `P ≡ Q`: equivalence of UCQ¬ queries.
+pub fn equivalent(p: &UnionQuery, q: &UnionQuery) -> bool {
+    contained(p, q) && contained(q, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lap_ir::parse_query;
+
+    #[test]
+    fn dispatch_agrees_on_positive_queries() {
+        let p = parse_query("Q(x) :- R(x, y), R(y, z).").unwrap();
+        let q = parse_query("Q(x) :- R(x, u).").unwrap();
+        assert_eq!(ucq_contained(&p, &q), ucqn_contained(&p, &q));
+        assert_eq!(ucq_contained(&q, &p), ucqn_contained(&q, &p));
+        assert!(contained(&p, &q));
+        assert!(!contained(&q, &p));
+    }
+
+    #[test]
+    fn equivalence_is_symmetric_containment() {
+        let p = parse_query("Q(x) :- R(x, y).").unwrap();
+        let q = parse_query("Q(a) :- R(a, b).").unwrap();
+        assert!(equivalent(&p, &q));
+    }
+}

@@ -1,0 +1,304 @@
+//! Algorithm ANSWER\* (paper, Figure 4): runtime processing of plans with
+//! completeness information, plus the domain-enumeration refinement of the
+//! underestimate (Section 4.2, Example 8).
+
+use crate::plan::{plan_star, PlanPair};
+use lap_engine::{
+    enumerate_domain, eval_ordered_union, CallStats, Database, EngineError, SourceRegistry, Tuple,
+    Value,
+};
+use lap_ir::{Atom, ConjunctiveQuery, Literal, Predicate, Schema, Term, UnionQuery, Var};
+use std::collections::{BTreeSet, HashSet};
+
+/// Completeness information attached to a runtime answer (Figure 4's
+/// output messages, as data).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Completeness {
+    /// `Δ = ∅`: the underestimate *is* the complete answer — even if the
+    /// query is infeasible (Example 5).
+    Complete,
+    /// `Δ ≠ ∅`, null-free: the answer is at least `|ansᵤ| / |ansₒ|`
+    /// complete.
+    AtLeast(f64),
+    /// `Δ` contains nulls: no numeric bound can be given (Example 7).
+    Unknown,
+}
+
+/// The result of running ANSWER\* on an instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnswerReport {
+    /// `ansᵤ` — the certain answers produced by `Qᵘ`.
+    pub under: BTreeSet<Tuple>,
+    /// `ansₒ` — the possible answers produced by `Qᵒ` (may contain nulls).
+    pub over: BTreeSet<Tuple>,
+    /// `Δ = ansₒ ∖ ansᵤ` — the tuples that *may* be part of the answer.
+    pub delta: BTreeSet<Tuple>,
+    /// The completeness verdict.
+    pub completeness: Completeness,
+    /// Source-call statistics for evaluating both plans.
+    pub stats: CallStats,
+    /// The plans that were executed.
+    pub plans: PlanPair,
+}
+
+impl AnswerReport {
+    /// True iff the answer is known complete at runtime.
+    pub fn is_complete(&self) -> bool {
+        matches!(self.completeness, Completeness::Complete)
+    }
+}
+
+/// Algorithm ANSWER\* (Figure 4): compute `Qᵘ`, `Qᵒ` with PLAN\*, evaluate
+/// both against `db` through pattern-enforcing sources, and report the
+/// underestimate together with `Δ` and completeness information.
+pub fn answer_star(
+    q: &UnionQuery,
+    schema: &Schema,
+    db: &Database,
+) -> Result<AnswerReport, EngineError> {
+    let plans = plan_star(q, schema);
+    let mut reg = SourceRegistry::new(db, schema);
+    let under = eval_ordered_union(&plans.under.eval_parts(), &mut reg)?;
+    let over = eval_ordered_union(&plans.over.eval_parts(), &mut reg)?;
+    let stats = reg.stats();
+    Ok(build_report(under, over, stats, plans))
+}
+
+pub(crate) fn build_report(
+    under: BTreeSet<Tuple>,
+    over: BTreeSet<Tuple>,
+    stats: CallStats,
+    plans: PlanPair,
+) -> AnswerReport {
+    let delta: BTreeSet<Tuple> = over.difference(&under).cloned().collect();
+    let completeness = if delta.is_empty() {
+        Completeness::Complete
+    } else if delta.iter().any(|t| t.iter().any(|v| v.is_null())) {
+        Completeness::Unknown
+    } else {
+        // Δ is null-free and non-empty, so |ansₒ| ≥ 1.
+        Completeness::AtLeast(under.len() as f64 / over.len() as f64)
+    };
+    AnswerReport {
+        under,
+        over,
+        delta,
+        completeness,
+        stats,
+        plans,
+    }
+}
+
+/// The result of [`answer_star_with_domain`]: the plain report plus the
+/// improved underestimate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ImprovedAnswerReport {
+    /// The base ANSWER\* report.
+    pub base: AnswerReport,
+    /// The improved `ansᵤ`, evaluated with `dom(x)` views substituted for
+    /// the missing bindings of unanswerable literals. Always a superset of
+    /// `base.under` and a subset of the true answer.
+    pub improved_under: BTreeSet<Tuple>,
+    /// Whether domain enumeration reached its fixpoint within budget.
+    pub domain_complete: bool,
+    /// Source calls spent on domain enumeration.
+    pub domain_calls: u64,
+    /// Calls + tuples spent evaluating the improved plans.
+    pub improved_stats: CallStats,
+}
+
+/// ANSWER\* with the Section-4.2 underestimate refinement: for every
+/// disjunct with a non-empty unanswerable part, re-admit it by prefixing
+/// `dom(v)` atoms for each variable the unanswerable literals need, where
+/// `dom` is a domain-enumeration view over the sources (Example 8).
+///
+/// `domain_budget` caps the number of source calls spent enumerating the
+/// domain.
+pub fn answer_star_with_domain(
+    q: &UnionQuery,
+    schema: &Schema,
+    db: &Database,
+    domain_budget: u64,
+) -> Result<ImprovedAnswerReport, EngineError> {
+    let base = answer_star(q, schema, db)?;
+
+    // Enumerate the reachable domain, seeded with the query's constants.
+    let mut seed: BTreeSet<Value> = BTreeSet::new();
+    for cq in &q.disjuncts {
+        for lit in &cq.body {
+            for &arg in &lit.atom.args {
+                if let Term::Const(c) = arg {
+                    seed.insert(Value::from(c));
+                }
+            }
+        }
+    }
+    let mut reg = SourceRegistry::with_cache(db, schema);
+    let dom = enumerate_domain(&mut reg, &seed, domain_budget)?;
+    let domain_calls = reg.stats().calls;
+
+    // Materialize dom as an auxiliary relation the improved plans can scan.
+    let dom_pred = Predicate::new("_dom", 1);
+    let mut db2 = db.clone();
+    for &v in &dom.values {
+        db2.insert("_dom", vec![v])?;
+    }
+    let mut schema2 = schema.clone();
+    schema2
+        .add_pattern_str("_dom", "o")
+        .expect("fresh unary relation");
+    let _ = dom_pred;
+
+    // Build improved plans: answerable part, then dom(v) for each variable
+    // still unbound, then the unanswerable literals (all bound now).
+    let mut parts: Vec<(ConjunctiveQuery, Vec<Var>)> = Vec::new();
+    for cq in &q.disjuncts {
+        let split = crate::answerable::answerable_split(cq, schema);
+        if split.unsatisfiable {
+            continue;
+        }
+        let mut body: Vec<Literal> = split.answerable.clone();
+        if !split.unanswerable.is_empty() {
+            let bound: HashSet<Var> = body.iter().flat_map(|l| l.vars()).collect();
+            let mut needed: Vec<Var> = Vec::new();
+            for lit in &split.unanswerable {
+                for v in lit.vars() {
+                    if !bound.contains(&v) && !needed.contains(&v) {
+                        needed.push(v);
+                    }
+                }
+            }
+            for v in &needed {
+                body.push(Literal::pos(Atom::from_parts("_dom", vec![Term::Var(*v)])));
+            }
+            body.extend(split.unanswerable.iter().cloned());
+        }
+        parts.push((ConjunctiveQuery::new(cq.head.clone(), body), Vec::new()));
+    }
+
+    let mut reg2 = SourceRegistry::new(&db2, &schema2);
+    let improved_under = eval_ordered_union(&parts, &mut reg2)?;
+    debug_assert!(
+        base.under.is_subset(&improved_under),
+        "domain refinement must not lose certain answers"
+    );
+    Ok(ImprovedAnswerReport {
+        base,
+        improved_under,
+        domain_complete: dom.complete,
+        domain_calls,
+        improved_stats: reg2.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lap_ir::parse_program;
+
+    fn run(text: &str, facts: &str) -> AnswerReport {
+        let p = parse_program(text).unwrap();
+        let db = Database::from_facts(facts).unwrap();
+        answer_star(p.single_query().unwrap(), &p.schema, &db).unwrap()
+    }
+
+    const EX4: &str = "S^o. R^oo. B^ii. T^oo.\n\
+                       Q(x, y) :- not S(z), R(x, z), B(x, y).\n\
+                       Q(x, y) :- T(x, y).";
+
+    #[test]
+    fn example_5_runtime_complete_despite_infeasibility() {
+        // R(x,z), ¬S(z) produces nothing (all R.z values are in S), so the
+        // unanswerable B is irrelevant and the answer is complete.
+        let report = run(EX4, "R(1, 10). S(10). T(7, 8).");
+        assert!(report.is_complete());
+        assert_eq!(report.under.len(), 1);
+        assert!(report.under.contains(&vec![Value::int(7), Value::int(8)]));
+        assert_eq!(report.delta.len(), 0);
+    }
+
+    #[test]
+    fn example_7_null_tuple_in_delta() {
+        // R(a, b) with ¬S(b) satisfied: the overestimate contributes
+        // (a, null) and no completeness bound can be given.
+        let report = run(EX4, r#"R(1, 10). S(99). T(7, 8). B(1, 5)."#);
+        assert_eq!(report.completeness, Completeness::Unknown);
+        assert!(report
+            .delta
+            .contains(&vec![Value::int(1), Value::Null]));
+        // The true answer contains (1, 5); the underestimate misses it.
+        assert!(!report.under.contains(&vec![Value::int(1), Value::int(5)]));
+    }
+
+    #[test]
+    fn ratio_when_delta_null_free() {
+        // Two disjuncts, no nulls: F^o fully answerable; G-with-B dropped
+        // from Qᵘ but its answerable part G(x) (head var x bound) has no
+        // nulls, so Δ is null-free.
+        let text = "F^o. G^o. B^i.\n\
+                    Q(x) :- F(x).\n\
+                    Q(x) :- G(x), B(y).";
+        let report = run(text, "F(1). G(2). B(5).");
+        match report.completeness {
+            Completeness::AtLeast(r) => assert!((r - 0.5).abs() < 1e-9),
+            other => panic!("expected AtLeast, got {other:?}"),
+        }
+        assert_eq!(report.delta.len(), 1);
+    }
+
+    #[test]
+    fn feasible_query_always_complete_at_runtime() {
+        let text = "B^ioo. B^oio. C^oo. L^o.\n\
+                    Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).";
+        let report = run(
+            text,
+            r#"B(1, "a", "t1"). B(2, "b", "t2"). C(1, "a"). C(2, "b"). L(1)."#,
+        );
+        assert!(report.is_complete());
+        assert_eq!(report.under.len(), 1);
+    }
+
+    #[test]
+    fn stats_are_collected() {
+        let text = "C^oo.\nQ(i) :- C(i, a).";
+        let report = run(text, r#"C(1, "a"). C(2, "b")."#);
+        // Qᵘ and Qᵒ coincide; both are evaluated: 2 calls total.
+        assert_eq!(report.stats.calls, 2);
+        assert!(report.stats.tuples_returned >= 4);
+    }
+
+    #[test]
+    fn example_8_domain_improvement_recovers_answers() {
+        // B^ii unanswerable in Q1; dom enumeration finds B's second column
+        // values via R and S scans... here dom comes from R^oo and T^oo.
+        let text = "S^o. R^oo. B^ii. T^oo.\n\
+                    Q(x, y) :- not S(z), R(x, z), B(x, y).\n\
+                    Q(x, y) :- T(x, y).";
+        let p = parse_program(text).unwrap();
+        let db = Database::from_facts("R(1, 10). B(1, 10). T(7, 8).").unwrap();
+        let rep = answer_star_with_domain(p.single_query().unwrap(), &p.schema, &db, 10_000)
+            .unwrap();
+        // Base underestimate has only the T tuple.
+        assert_eq!(rep.base.under.len(), 1);
+        // dom ⊇ {1, 10, 7, 8}; B(1, 10) becomes checkable: (1, 10) is a
+        // certain answer now.
+        assert!(rep.improved_under.contains(&vec![Value::int(1), Value::int(10)]));
+        assert_eq!(rep.improved_under.len(), 2);
+        assert!(rep.domain_complete);
+    }
+
+    #[test]
+    fn domain_improvement_never_loses_answers() {
+        let text = "F^o. G^o. B^i.\n\
+                    Q(x) :- F(x).\n\
+                    Q(x) :- G(x), B(y).";
+        let p = parse_program(text).unwrap();
+        let db = Database::from_facts("F(1). G(2). B(1).").unwrap();
+        let rep =
+            answer_star_with_domain(p.single_query().unwrap(), &p.schema, &db, 10_000).unwrap();
+        assert!(rep.base.under.is_subset(&rep.improved_under));
+        // B(1) is reachable? dom = {1, 2} via F^o, G^o; B^i called with 1
+        // and 2; B(1) holds, so G(2), B(y=1) succeeds: 2 joins the answers.
+        assert!(rep.improved_under.contains(&vec![Value::int(2)]));
+    }
+}

@@ -1,0 +1,348 @@
+//! Algorithm ANSWERABLE (paper, Figure 1) and the answerable part `ans(Q)`
+//! (Definitions 6–7).
+
+use lap_ir::{is_satisfiable, ConjunctiveQuery, Literal, Schema, Term, UnionQuery, Var};
+use std::collections::HashSet;
+
+/// The decomposition of a CQ¬ into its answerable and unanswerable parts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnswerableSplit {
+    /// True iff the query is unsatisfiable (then `ans(Q) = false` and both
+    /// literal lists are empty).
+    pub unsatisfiable: bool,
+    /// The answerable literals, *in the order ANSWERABLE added them* — this
+    /// order is an executable order for this sub-plan.
+    pub answerable: Vec<Literal>,
+    /// The literals that are not `Q`-answerable, in original order.
+    pub unanswerable: Vec<Literal>,
+}
+
+impl AnswerableSplit {
+    /// True iff every literal is answerable (and the query satisfiable).
+    pub fn all_answerable(&self) -> bool {
+        !self.unsatisfiable && self.unanswerable.is_empty()
+    }
+
+    /// `ans(Q)` as a query with the same head, body in executable order.
+    /// `None` when the query is unsatisfiable (`ans(Q) = false`).
+    pub fn ans_query(&self, head: &lap_ir::Atom) -> Option<ConjunctiveQuery> {
+        if self.unsatisfiable {
+            None
+        } else {
+            Some(ConjunctiveQuery::new(head.clone(), self.answerable.clone()))
+        }
+    }
+}
+
+/// Can `lit` be executed given the bound variables `bound`?
+///
+/// * A **positive** literal is executable iff some declared access pattern
+///   of its relation has all its input slots covered by constants or bound
+///   variables (Definition 3's "adornments can be added").
+/// * A **negative** literal is executable iff *all* its variables are
+///   bound — negation only filters (Example 1) — and its relation exposes
+///   at least one access pattern, so membership can actually be tested.
+pub fn literal_executable(lit: &Literal, bound: &HashSet<Var>, schema: &Schema) -> bool {
+    let Some(decl) = schema.relation(lit.atom.predicate.name) else {
+        return false;
+    };
+    if decl.patterns.is_empty() {
+        return false;
+    }
+    let arg_bound = |j: usize| match lit.atom.args[j] {
+        Term::Const(_) => true,
+        Term::Var(v) => bound.contains(&v),
+    };
+    if lit.positive {
+        decl.callable_with(arg_bound)
+    } else {
+        (0..lit.atom.args.len()).all(arg_bound)
+    }
+}
+
+/// Algorithm ANSWERABLE (Figure 1), *without* the satisfiability shortcut:
+/// computes which literals of `q` are `Q`-answerable and in which order.
+/// Used directly for orderability (Proposition 1, which does not involve
+/// satisfiability).
+pub fn answerable_literals(q: &ConjunctiveQuery, schema: &Schema) -> (Vec<Literal>, Vec<Literal>) {
+    let mut in_a = vec![false; q.body.len()];
+    let mut answerable: Vec<Literal> = Vec::new();
+    let mut bound: HashSet<Var> = HashSet::new();
+    loop {
+        let mut done = true;
+        for (lit, in_a) in q.body.iter().zip(in_a.iter_mut()) {
+            if *in_a {
+                continue;
+            }
+            if literal_executable(lit, &bound, schema) {
+                *in_a = true;
+                answerable.push(lit.clone());
+                bound.extend(lit.vars());
+                done = false;
+            }
+        }
+        if done {
+            break;
+        }
+    }
+    let unanswerable = q
+        .body
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| !in_a[i])
+        .map(|(_, l)| l.clone())
+        .collect();
+    (answerable, unanswerable)
+}
+
+/// Algorithm ANSWERABLE (Figure 1) for a CQ¬ query: returns `false` (the
+/// unsatisfiable marker) or the answerable/unanswerable decomposition.
+pub fn answerable_split(q: &ConjunctiveQuery, schema: &Schema) -> AnswerableSplit {
+    if !is_satisfiable(q) {
+        return AnswerableSplit {
+            unsatisfiable: true,
+            answerable: Vec::new(),
+            unanswerable: Vec::new(),
+        };
+    }
+    let (answerable, unanswerable) = answerable_literals(q, schema);
+    AnswerableSplit {
+        unsatisfiable: false,
+        answerable,
+        unanswerable,
+    }
+}
+
+/// Definition 6: a literal `R̂(x̄)` — *not necessarily in `Q`* — is
+/// `Q`-answerable if there is an executable query consisting of `R̂(x̄)`
+/// and literals of `Q`.
+///
+/// Since answerable literals of `Q` bind a fixed closure of variables `B∞`
+/// regardless of order, this reduces to: run ANSWERABLE over `Q`'s own
+/// literals, then test `lit` against the resulting bound set.
+pub fn is_q_answerable(lit: &Literal, q: &ConjunctiveQuery, schema: &Schema) -> bool {
+    let (answerable, _) = answerable_literals(q, schema);
+    let bound: HashSet<Var> = answerable.iter().flat_map(|l| l.vars()).collect();
+    literal_executable(lit, &bound, schema)
+}
+
+/// `ans(Q)` for a UCQ¬ query (Definition 7): the union of the answerable
+/// parts of the disjuncts; unsatisfiable disjuncts contribute `false` and
+/// are dropped. The result's disjunct bodies are in executable order.
+pub fn ans(q: &UnionQuery, schema: &Schema) -> UnionQuery {
+    let mut disjuncts = Vec::new();
+    for cq in &q.disjuncts {
+        let split = answerable_split(cq, schema);
+        if let Some(a) = split.ans_query(&cq.head) {
+            disjuncts.push(a);
+        }
+    }
+    if disjuncts.is_empty() {
+        UnionQuery::empty(q.head.clone())
+    } else {
+        UnionQuery::new(disjuncts).expect("disjunct heads unchanged")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lap_ir::{parse_cq, parse_program};
+
+    fn setup(text: &str) -> (ConjunctiveQuery, Schema) {
+        let p = parse_program(text).unwrap();
+        let q = p.single_query().unwrap().disjuncts[0].clone();
+        (q, p.schema)
+    }
+
+    #[test]
+    fn example_1_is_fully_answerable() {
+        let (q, schema) = setup(
+            "B^ioo. B^oio. C^oo. L^o.\n\
+             Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).",
+        );
+        let split = answerable_split(&q, &schema);
+        assert!(split.all_answerable());
+        // ANSWERABLE discovers C first (free scan), then — still in the same
+        // pass — ¬L (its variable i is now bound), and B on the second pass.
+        let order: Vec<String> = split.answerable.iter().map(|l| l.to_string()).collect();
+        assert_eq!(order, vec!["C(i, a)", "not L(i)", "B(i, a, t)"]);
+    }
+
+    #[test]
+    fn negation_cannot_bind() {
+        // ¬S(z) would bind z if it could produce bindings; it cannot.
+        let (q, schema) = setup(
+            "S^o. R^oo. B^ii. T^oo.\n\
+             Q(x, y) :- not S(z), R(x, z), B(x, y).",
+        );
+        let split = answerable_split(&q, &schema);
+        // R binds x, z; then ¬S filters; B^ii never answerable (y unbound).
+        let ans: Vec<String> = split.answerable.iter().map(|l| l.to_string()).collect();
+        assert_eq!(ans, vec!["R(x, z)", "not S(z)"]);
+        let un: Vec<String> = split.unanswerable.iter().map(|l| l.to_string()).collect();
+        assert_eq!(un, vec!["B(x, y)"]);
+    }
+
+    #[test]
+    fn unsatisfiable_query_is_false() {
+        let (q, schema) = setup("R^o.\nQ(x) :- R(x), not R(x).");
+        let split = answerable_split(&q, &schema);
+        assert!(split.unsatisfiable);
+        assert!(split.ans_query(&q.head).is_none());
+    }
+
+    #[test]
+    fn example_3_unanswerable_existentials() {
+        let (q, schema) = setup(
+            "B^ioo. B^oio. L^o.\n\
+             Q(a) :- B(i, a, t), L(i), B(i2, a2, t).",
+        );
+        let split = answerable_split(&q, &schema);
+        // L^o binds i; B^ioo(i, a, t) follows; B(i2, a2, t) has no pattern
+        // with its inputs bound (i2 unbound for ioo, a2 unbound for oio).
+        let ans: Vec<String> = split.answerable.iter().map(|l| l.to_string()).collect();
+        assert_eq!(ans, vec!["L(i)", "B(i, a, t)"]);
+        assert_eq!(split.unanswerable.len(), 1);
+    }
+
+    #[test]
+    fn constants_count_as_bound() {
+        let (q, schema) = setup("B^i.\nQ(x) :- R(x), not B(3).");
+        // R undeclared -> unanswerable; ¬B(3) ground -> answerable first.
+        let split = answerable_split(&q, &schema);
+        assert_eq!(split.answerable.len(), 1);
+        assert_eq!(split.answerable[0].to_string(), "not B(3)");
+        assert_eq!(split.unanswerable.len(), 1);
+    }
+
+    #[test]
+    fn relation_without_patterns_is_unanswerable() {
+        let (q, schema) = setup("R^oo.\nQ(x) :- R(x, y), Z(y).");
+        // Z appears in no pattern declaration.
+        let split = answerable_split(&q, &schema);
+        assert_eq!(split.unanswerable.len(), 1);
+        assert_eq!(split.unanswerable[0].to_string(), "Z(y)");
+    }
+
+    #[test]
+    fn ans_union_drops_unsat_disjuncts() {
+        let p = parse_program(
+            "R^oo. S^o.\n\
+             Q(x) :- R(x, y), S(y), not S(y).\n\
+             Q(x) :- R(x, y).",
+        )
+        .unwrap();
+        let q = p.single_query().unwrap();
+        let a = ans(q, &p.schema);
+        assert_eq!(a.disjuncts.len(), 1);
+        assert_eq!(a.disjuncts[0].to_string(), "Q(x) :- R(x, y).");
+    }
+
+    #[test]
+    fn ans_of_fully_unsat_union_is_false() {
+        let p = parse_program("R^o.\nQ(x) :- R(x), not R(x).").unwrap();
+        let a = ans(p.single_query().unwrap(), &p.schema);
+        assert!(a.is_false());
+    }
+
+    #[test]
+    fn paper_example_9_ans() {
+        // F^o, B^i: Q(x) :- F(x), B(x), B(y), F(z) has ans = F(x),B(x),F(z).
+        let p = parse_program(
+            "F^o. B^i.\n\
+             Q(x) :- F(x), B(x), B(y), F(z).",
+        )
+        .unwrap();
+        let q = &p.single_query().unwrap().disjuncts[0];
+        let split = answerable_split(q, &p.schema);
+        let mut ans_lits: Vec<String> = split.answerable.iter().map(|l| l.to_string()).collect();
+        ans_lits.sort();
+        assert_eq!(ans_lits, vec!["B(x)", "F(x)", "F(z)"]);
+        assert_eq!(split.unanswerable.len(), 1);
+        assert_eq!(split.unanswerable[0].to_string(), "B(y)");
+    }
+
+    #[test]
+    fn quadratic_worst_case_chain_terminates() {
+        // R^io chain written in reverse order forces one discovery per pass.
+        let mut text = String::from("S^o. R^io.\n");
+        text.push_str("Q(x0) :- ");
+        let n = 60;
+        let mut parts = Vec::new();
+        for i in (0..n).rev() {
+            parts.push(format!("R(x{}, x{})", i, i + 1));
+        }
+        parts.push("S(x0)".to_owned());
+        text.push_str(&parts.join(", "));
+        text.push('.');
+        let (q, schema) = {
+            let p = parse_program(&text).unwrap();
+            (p.single_query().unwrap().disjuncts[0].clone(), p.schema)
+        };
+        let split = answerable_split(&q, &schema);
+        assert!(split.all_answerable());
+        assert_eq!(split.answerable[0].to_string(), "S(x0)");
+    }
+
+    #[test]
+    fn literal_executable_respects_patterns() {
+        let p = parse_program("B^oi.\nQ(x, y) :- B(x, y).").unwrap();
+        let lit = &p.single_query().unwrap().disjuncts[0].body[0];
+        let mut bound = HashSet::new();
+        assert!(!literal_executable(lit, &bound, &p.schema));
+        bound.insert(Var::new("y"));
+        assert!(literal_executable(lit, &bound, &p.schema));
+        let _ = parse_cq; // referenced helper
+    }
+}
+
+#[cfg(test)]
+mod def6_tests {
+    use super::*;
+    use lap_ir::{parse_literal, parse_program};
+
+    #[test]
+    fn external_literal_answerability() {
+        // Example-1 setting: with C^oo scannable, the external literal
+        // B(i, a, t2) is Q-answerable (i and a get bound), but P^ii(w, v)
+        // over fresh vars is not.
+        let p = parse_program(
+            "B^ioo. B^oio. C^oo. L^o. P^ii.\n\
+             Q(i, a) :- C(i, a).",
+        )
+        .unwrap();
+        let q = &p.single_query().unwrap().disjuncts[0];
+        let b = parse_literal("B(i, a, t2)").unwrap();
+        assert!(is_q_answerable(&b, q, &p.schema));
+        let unreachable = parse_literal("P(w, v)").unwrap();
+        assert!(!is_q_answerable(&unreachable, q, &p.schema));
+        // A negated external literal needs all its vars bound.
+        let neg_ok = parse_literal("not L(i)").unwrap();
+        assert!(is_q_answerable(&neg_ok, q, &p.schema));
+        let neg_bad = parse_literal("not L(t2)").unwrap();
+        assert!(!is_q_answerable(&neg_bad, q, &p.schema));
+    }
+
+    #[test]
+    fn proposition_9_q_answerable_implies_q_plus_answerable() {
+        // Negative literals of Q never contribute bindings, so dropping
+        // them must not change answerability (Proposition 9).
+        let p = parse_program(
+            "R^oo. S^o. B^io.\n\
+             Q(x) :- R(x, y), not S(y).",
+        )
+        .unwrap();
+        let q = &p.single_query().unwrap().disjuncts[0];
+        let q_plus = ConjunctiveQuery::new(
+            q.head.clone(),
+            q.body.iter().filter(|l| l.positive).cloned().collect(),
+        );
+        let b = parse_literal("B(x, w)").unwrap();
+        assert_eq!(
+            is_q_answerable(&b, q, &p.schema),
+            is_q_answerable(&b, &q_plus, &p.schema)
+        );
+        assert!(is_q_answerable(&b, q, &p.schema));
+    }
+}

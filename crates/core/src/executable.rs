@@ -1,0 +1,185 @@
+//! Executability (Definition 3) and orderability (Definition 4) tests.
+
+use crate::answerable::{answerable_literals, literal_executable};
+use lap_ir::{AccessPattern, ConjunctiveQuery, Schema, Term, UnionQuery, Var};
+use std::collections::HashSet;
+
+/// Checks Definition 3 for one CQ¬: can adornments be chosen so the body
+/// executes *in its given order*, every variable being bound (by an output
+/// slot of an earlier positive literal, or a constant) before it is needed
+/// at an input slot or in a negated literal?
+///
+/// Greedy left-to-right is complete here: whichever usable pattern is
+/// chosen for a literal, afterwards *all* its variables are bound, so the
+/// set of bound variables after each step does not depend on the choice.
+pub fn is_executable_cq(q: &ConjunctiveQuery, schema: &Schema) -> bool {
+    let mut bound: HashSet<Var> = HashSet::new();
+    for lit in &q.body {
+        if !literal_executable(lit, &bound, schema) {
+            return false;
+        }
+        bound.extend(lit.vars());
+    }
+    true
+}
+
+/// Definition 3 for a UCQ¬: every disjunct executable. The query `false`
+/// (no disjuncts) is vacuously executable; a disjunct with an empty body
+/// (`true`) is executable here only in the degenerate all-constant-head
+/// case — the paper treats `true` as non-executable, which for safe queries
+/// never arises.
+pub fn is_executable(q: &UnionQuery, schema: &Schema) -> bool {
+    q.disjuncts.iter().all(|cq| is_executable_cq(cq, schema))
+}
+
+/// Orderability of a CQ¬ (Definition 4) via Proposition 1: `Q` is orderable
+/// iff every literal of `Q` is `Q`-answerable. Quadratic (Corollary 3).
+pub fn is_orderable_cq(q: &ConjunctiveQuery, schema: &Schema) -> bool {
+    let (_, unanswerable) = answerable_literals(q, schema);
+    unanswerable.is_empty()
+}
+
+/// Orderability of a UCQ¬: every disjunct orderable.
+pub fn is_orderable(q: &UnionQuery, schema: &Schema) -> bool {
+    q.disjuncts.iter().all(|cq| is_orderable_cq(cq, schema))
+}
+
+/// Returns an executable reordering of `q`'s body (the ANSWERABLE discovery
+/// order), or `None` if `q` is not orderable.
+pub fn executable_order(q: &ConjunctiveQuery, schema: &Schema) -> Option<ConjunctiveQuery> {
+    let (answerable, unanswerable) = answerable_literals(q, schema);
+    if !unanswerable.is_empty() {
+        return None;
+    }
+    Some(ConjunctiveQuery::new(q.head.clone(), answerable))
+}
+
+/// Chooses a concrete adornment (access pattern) for every literal of an
+/// executable-ordered body, for display and for Definition 2's notion of a
+/// `P`-adornment. Positive literals get the most selective usable pattern;
+/// negative literals get the membership-test pattern.
+///
+/// Returns `None` if the body is not executable in its given order.
+pub fn choose_adornments(
+    q: &ConjunctiveQuery,
+    schema: &Schema,
+) -> Option<Vec<AccessPattern>> {
+    let mut bound: HashSet<Var> = HashSet::new();
+    let mut out = Vec::with_capacity(q.body.len());
+    for lit in &q.body {
+        let decl = schema.relation(lit.atom.predicate.name)?;
+        let arg_bound = |j: usize| match lit.atom.args[j] {
+            Term::Const(_) => true,
+            Term::Var(v) => bound.contains(&v),
+        };
+        let pattern = if lit.positive {
+            decl.usable_pattern(arg_bound)?
+        } else {
+            if !(0..lit.atom.args.len()).all(arg_bound) {
+                return None;
+            }
+            decl.usable_pattern(|_| true)?
+        };
+        out.push(pattern);
+        bound.extend(lit.vars());
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lap_ir::parse_program;
+
+    fn program(text: &str) -> (UnionQuery, Schema) {
+        let p = parse_program(text).unwrap();
+        (p.single_query().unwrap().clone(), p.schema)
+    }
+
+    #[test]
+    fn example_1_not_executable_but_orderable() {
+        let (q, schema) = program(
+            "B^ioo. B^oio. C^oo. L^o.\n\
+             Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).",
+        );
+        assert!(!is_executable(&q, &schema));
+        assert!(is_orderable(&q, &schema));
+        let ordered = executable_order(&q.disjuncts[0], &schema).unwrap();
+        assert!(is_executable_cq(&ordered, &schema));
+    }
+
+    #[test]
+    fn example_3_not_orderable() {
+        let (q, schema) = program(
+            "B^ioo. B^oio. L^o.\n\
+             Q(a) :- B(i, a, t), L(i), B(i2, a2, t).\n\
+             Q(a) :- B(i, a, t), L(i), not B(i2, a2, t).",
+        );
+        assert!(!is_orderable(&q, &schema));
+        // …but its equivalent rewriting is executable as written.
+        let (q2, schema2) = program(
+            "B^ioo. B^oio. L^o.\n\
+             Q(a) :- L(i), B(i, a, t).",
+        );
+        assert!(is_executable(&q2, &schema2));
+    }
+
+    #[test]
+    fn executable_implies_orderable() {
+        let (q, schema) = program(
+            "S^o. R^io.\n\
+             Q(x, y) :- S(x), R(x, y).",
+        );
+        assert!(is_executable(&q, &schema));
+        assert!(is_orderable(&q, &schema));
+    }
+
+    #[test]
+    fn adornment_choice_prefers_selective_patterns() {
+        let (q, schema) = program(
+            "C^oo. B^ioo. B^oio.\n\
+             Q(t) :- C(i, a), B(i, a, t).",
+        );
+        let adorn = choose_adornments(&q.disjuncts[0], &schema).unwrap();
+        assert_eq!(adorn[0].to_string(), "oo");
+        // With i and a both bound, B^ioo (1 input) vs B^oio (1 input):
+        // either is usable; the tie-break picks the max-input one, both
+        // have one input — accept either.
+        assert_eq!(adorn[1].num_inputs(), 1);
+    }
+
+    #[test]
+    fn adornments_fail_on_non_executable_order() {
+        let (q, schema) = program(
+            "B^ioo. C^oo.\n\
+             Q(t) :- B(i, a, t), C(i, a).",
+        );
+        assert!(choose_adornments(&q.disjuncts[0], &schema).is_none());
+    }
+
+    #[test]
+    fn negated_ground_literal_is_executable_first() {
+        let (q, schema) = program(
+            "L^o. C^oo.\n\
+             Q(i) :- not L(3), C(i, a).",
+        );
+        assert!(is_executable(&q, &schema));
+    }
+
+    #[test]
+    fn false_union_is_vacuously_executable() {
+        let (q, schema) = program("L^o.\nQ(x) :- false.");
+        assert!(is_executable(&q, &schema));
+        assert!(is_orderable(&q, &schema));
+    }
+
+    #[test]
+    fn executability_is_order_sensitive_orderability_is_not() {
+        let (q, schema) = program(
+            "S^o. R^io.\n\
+             Q(x, y) :- R(x, y), S(x).",
+        );
+        assert!(!is_executable(&q, &schema));
+        assert!(is_orderable(&q, &schema));
+    }
+}

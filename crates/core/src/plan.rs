@@ -1,0 +1,287 @@
+//! Algorithm PLAN\* (paper, Figure 2): underestimate and overestimate
+//! execution plans.
+
+use crate::answerable::answerable_split;
+use lap_ir::{display_adorned, ConjunctiveQuery, Schema, UnionQuery, Var};
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::executable::choose_adornments;
+
+/// One executable CQ¬ plan: a body in executable order plus the head
+/// variables to be emitted as `null` (only overestimate plans have any).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CqPlan {
+    /// The query with its body in executable order.
+    pub cq: ConjunctiveQuery,
+    /// Head variables not bound by the body, emitted as `null`
+    /// (the paper's `y = null` equations, Example 4).
+    pub null_vars: Vec<Var>,
+}
+
+impl CqPlan {
+    /// True iff this plan emits `null` values.
+    pub fn has_null(&self) -> bool {
+        !self.null_vars.is_empty()
+    }
+
+    /// Renders the plan with adornments when `schema` can supply them,
+    /// e.g. `Q(x, y) :- R^oo(x, z), not S^o(z), y = null.`
+    pub fn display_with(&self, schema: &Schema) -> String {
+        let adorn = choose_adornments(&self.cq, schema);
+        let mut parts: Vec<String> = self
+            .cq
+            .body
+            .iter()
+            .enumerate()
+            .map(|(i, lit)| display_adorned(lit, adorn.as_ref().map(|a| a[i])))
+            .collect();
+        for v in &self.null_vars {
+            parts.push(format!("{v} = null"));
+        }
+        if parts.is_empty() {
+            parts.push("true".to_owned());
+        }
+        format!("{} :- {}.", self.cq.head, parts.join(", "))
+    }
+}
+
+impl fmt::Display for CqPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = self.cq.body.iter().map(|l| l.to_string()).collect();
+        for v in &self.null_vars {
+            parts.push(format!("{v} = null"));
+        }
+        if parts.is_empty() {
+            parts.push("true".to_owned());
+        }
+        write!(f, "{} :- {}.", self.cq.head, parts.join(", "))
+    }
+}
+
+/// An executable UCQ¬ plan: a (possibly empty) union of [`CqPlan`]s.
+/// The empty union is the plan `false`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnionPlan {
+    /// The shared head atom (kept even when the union is empty).
+    pub head: lap_ir::Atom,
+    /// The executable disjunct plans.
+    pub parts: Vec<CqPlan>,
+}
+
+impl UnionPlan {
+    /// True iff the plan is `false` (no disjuncts).
+    pub fn is_false(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// True iff some disjunct emits nulls.
+    pub fn has_null(&self) -> bool {
+        self.parts.iter().any(CqPlan::has_null)
+    }
+
+    /// The plan as a plain UCQ¬ query. Only meaningful when
+    /// [`UnionPlan::has_null`] is false (null equations are not part of the
+    /// query language); `None` otherwise. A `false` plan maps to the empty
+    /// union.
+    pub fn as_query(&self) -> Option<UnionQuery> {
+        if self.has_null() {
+            return None;
+        }
+        if self.parts.is_empty() {
+            return Some(UnionQuery::empty(self.head.clone()));
+        }
+        UnionQuery::new(self.parts.iter().map(|p| p.cq.clone()).collect()).ok()
+    }
+
+    /// The `(query, null-vars)` pairs consumed by the engine's
+    /// [`lap_engine::eval_ordered_union`].
+    pub fn eval_parts(&self) -> Vec<(ConjunctiveQuery, Vec<Var>)> {
+        self.parts
+            .iter()
+            .map(|p| (p.cq.clone(), p.null_vars.clone()))
+            .collect()
+    }
+}
+
+impl fmt::Display for UnionPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.parts.is_empty() {
+            return write!(f, "{} :- false.", self.head);
+        }
+        for (i, p) in self.parts.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The pair of plans PLAN\* produces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanPair {
+    /// `Qᵘ` — sound underestimate: only disjuncts whose every literal is
+    /// answerable survive, so `Qᵘ ⊑ Q`.
+    pub under: UnionPlan,
+    /// `Qᵒ` — complete overestimate: every satisfiable disjunct survives as
+    /// its answerable part, unbound head variables becoming `null`, so
+    /// `Q ⊑ Qᵒ` (reading `null` as "possibly more answers here").
+    pub over: UnionPlan,
+}
+
+impl PlanPair {
+    /// The compile-time fast path of FEASIBLE: if the two plans coincide,
+    /// `Q` is orderable (hence feasible) and `Qᵘ` is an exact plan.
+    pub fn coincide(&self) -> bool {
+        self.under == self.over
+    }
+}
+
+/// Algorithm PLAN\* (Figure 2). Quadratic in the size of `Q`.
+///
+/// For each disjunct `Qᵢ`:
+/// * unsatisfiable ⇒ contributes to neither plan (`false` disjunct);
+/// * `Uᵢ = ∅` ⇒ `Aᵢ` (in executable order) joins **both** plans;
+/// * `Uᵢ ≠ ∅` ⇒ `Qᵢ` is dropped from `Qᵘ`; `Qᵢᵒ = Aᵢ` with every head
+///   variable not occurring in `Aᵢ` set to `null` joins `Qᵒ`.
+pub fn plan_star(q: &UnionQuery, schema: &Schema) -> PlanPair {
+    let mut under = Vec::new();
+    let mut over = Vec::new();
+    for cq in &q.disjuncts {
+        let split = answerable_split(cq, schema);
+        if split.unsatisfiable {
+            continue;
+        }
+        let a_query = ConjunctiveQuery::new(cq.head.clone(), split.answerable.clone());
+        let a_vars: HashSet<Var> = a_query.body.iter().flat_map(|l| l.vars()).collect();
+        let null_vars: Vec<Var> = a_query
+            .free_vars()
+            .into_iter()
+            .filter(|v| !a_vars.contains(v))
+            .collect();
+        let over_plan = CqPlan {
+            cq: a_query.clone(),
+            null_vars,
+        };
+        if split.unanswerable.is_empty() {
+            debug_assert!(!over_plan.has_null(), "safe fully-answerable plan has no nulls");
+            under.push(over_plan.clone());
+        }
+        over.push(over_plan);
+    }
+    PlanPair {
+        under: UnionPlan {
+            head: q.head.clone(),
+            parts: under,
+        },
+        over: UnionPlan {
+            head: q.head.clone(),
+            parts: over,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lap_ir::parse_program;
+
+    fn plans(text: &str) -> (PlanPair, Schema) {
+        let p = parse_program(text).unwrap();
+        let q = p.single_query().unwrap();
+        (plan_star(q, &p.schema), p.schema)
+    }
+
+    #[test]
+    fn example_4_under_and_over() {
+        let (pair, _) = plans(
+            "S^o. R^oo. B^ii. T^oo.\n\
+             Q(x, y) :- not S(z), R(x, z), B(x, y).\n\
+             Q(x, y) :- T(x, y).",
+        );
+        // Qᵘ: first disjunct dropped (B unanswerable); T stays.
+        assert_eq!(pair.under.parts.len(), 1);
+        assert_eq!(pair.under.parts[0].to_string(), "Q(x, y) :- T(x, y).");
+        // Qᵒ: first disjunct becomes R(x,z), ¬S(z), y = null; T stays.
+        assert_eq!(pair.over.parts.len(), 2);
+        assert_eq!(
+            pair.over.parts[0].to_string(),
+            "Q(x, y) :- R(x, z), not S(z), y = null."
+        );
+        assert_eq!(pair.over.parts[1].to_string(), "Q(x, y) :- T(x, y).");
+        assert!(pair.over.has_null());
+        assert!(!pair.coincide());
+    }
+
+    #[test]
+    fn orderable_query_has_coinciding_plans() {
+        let (pair, schema) = plans(
+            "B^ioo. B^oio. C^oo. L^o.\n\
+             Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).",
+        );
+        assert!(pair.coincide());
+        assert!(!pair.over.has_null());
+        // The shared plan is executable as ordered.
+        for part in &pair.under.parts {
+            assert!(crate::executable::is_executable_cq(&part.cq, &schema));
+        }
+    }
+
+    #[test]
+    fn unsat_disjunct_contributes_to_neither() {
+        let (pair, _) = plans(
+            "R^oo.\n\
+             Q(x) :- R(x, y), not R(x, y).\n\
+             Q(x) :- R(x, x).",
+        );
+        assert_eq!(pair.under.parts.len(), 1);
+        assert_eq!(pair.over.parts.len(), 1);
+        assert!(pair.coincide());
+    }
+
+    #[test]
+    fn fully_unanswerable_disjunct_becomes_all_null_row() {
+        let (pair, _) = plans(
+            "B^ii.\n\
+             Q(x, y) :- B(x, y).",
+        );
+        assert!(pair.under.is_false());
+        assert_eq!(pair.over.parts.len(), 1);
+        let p = &pair.over.parts[0];
+        assert!(p.cq.body.is_empty());
+        assert_eq!(p.null_vars.len(), 2);
+        assert_eq!(p.to_string(), "Q(x, y) :- x = null, y = null.");
+    }
+
+    #[test]
+    fn as_query_respects_nulls() {
+        let (pair, _) = plans(
+            "S^o. R^oo. B^ii. T^oo.\n\
+             Q(x, y) :- not S(z), R(x, z), B(x, y).\n\
+             Q(x, y) :- T(x, y).",
+        );
+        assert!(pair.over.as_query().is_none());
+        let uq = pair.under.as_query().unwrap();
+        assert_eq!(uq.disjuncts.len(), 1);
+    }
+
+    #[test]
+    fn false_plan_as_query_is_empty_union() {
+        let (pair, _) = plans("B^ii.\nQ(x, y) :- B(x, y).");
+        let uq = pair.under.as_query().unwrap();
+        assert!(uq.is_false());
+        assert_eq!(pair.under.to_string(), "Q(x, y) :- false.");
+    }
+
+    #[test]
+    fn display_with_adornments() {
+        let (pair, schema) = plans(
+            "C^oo. B^ioo. L^o.\n\
+             Q(i, t) :- C(i, a), B(i, a, t), not L(i).",
+        );
+        let shown = pair.under.parts[0].display_with(&schema);
+        assert_eq!(shown, "Q(i, t) :- C^oo(i, a), B^ioo(i, a, t), not L^o(i).");
+    }
+}

@@ -1,0 +1,147 @@
+//! Prepared queries: compile once, execute many times.
+//!
+//! The paper separates compile time ("before any specific database
+//! instance is considered") from runtime (Section 4). [`PreparedQuery`]
+//! materializes that separation as an API: feasibility analysis, plan
+//! construction, and (optionally) cost-based validation happen once; each
+//! [`PreparedQuery::execute`] then only pays the runtime price.
+
+use crate::answer::{build_report, AnswerReport};
+use crate::feasible::{feasible_detailed, DecisionPath, FeasibilityReport};
+use crate::plan::PlanPair;
+use lap_engine::{eval_ordered_union, Database, EngineError, SourceRegistry};
+use lap_ir::{Schema, UnionQuery};
+use std::collections::BTreeSet;
+
+/// A query compiled against a schema of access patterns.
+#[derive(Clone, Debug)]
+pub struct PreparedQuery {
+    query: UnionQuery,
+    schema: Schema,
+    report: FeasibilityReport,
+}
+
+impl PreparedQuery {
+    /// Compiles `q` against `schema`: runs PLAN\* and FEASIBLE once.
+    pub fn compile(q: &UnionQuery, schema: &Schema) -> PreparedQuery {
+        PreparedQuery {
+            query: q.clone(),
+            schema: schema.clone(),
+            report: feasible_detailed(q, schema),
+        }
+    }
+
+    /// The compiled query.
+    pub fn query(&self) -> &UnionQuery {
+        &self.query
+    }
+
+    /// Is the query feasible (answers guaranteed complete on every
+    /// instance)?
+    pub fn is_feasible(&self) -> bool {
+        self.report.feasible
+    }
+
+    /// The feasibility analysis, including how it was decided.
+    pub fn feasibility(&self) -> &FeasibilityReport {
+        &self.report
+    }
+
+    /// The compiled plans.
+    pub fn plans(&self) -> &PlanPair {
+        &self.report.plans
+    }
+
+    /// Executes against an instance (algorithm ANSWER\*, reusing the
+    /// compiled plans). For feasible queries the overestimate in the
+    /// report *is* the exact answer.
+    pub fn execute(&self, db: &Database) -> Result<AnswerReport, EngineError> {
+        let mut reg = SourceRegistry::new(db, &self.schema);
+        let under = eval_ordered_union(&self.report.plans.under.eval_parts(), &mut reg)?;
+        let over = eval_ordered_union(&self.report.plans.over.eval_parts(), &mut reg)?;
+        Ok(build_report(under, over, reg.stats(), self.report.plans.clone()))
+    }
+
+    /// Executes and returns the *best available* answer set: the exact
+    /// answer (overestimate) for feasible null-free plans, the certain
+    /// answers otherwise.
+    pub fn execute_best(&self, db: &Database) -> Result<BTreeSet<lap_engine::Tuple>, EngineError> {
+        let report = self.execute(db)?;
+        if self.report.feasible && !self.report.plans.over.has_null() {
+            Ok(report.over)
+        } else {
+            Ok(report.under)
+        }
+    }
+
+    /// How the feasibility decision was reached (fast path vs containment).
+    pub fn decision_path(&self) -> DecisionPath {
+        self.report.decided_by
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lap_engine::eval_oracle;
+    use lap_ir::parse_program;
+
+    fn setup(text: &str) -> (UnionQuery, Schema) {
+        let p = parse_program(text).unwrap();
+        (p.single_query().unwrap().clone(), p.schema)
+    }
+
+    #[test]
+    fn compile_once_execute_many() {
+        let (q, schema) = setup(
+            "B^ioo. B^oio. C^oo. L^o.\n\
+             Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).",
+        );
+        let prepared = PreparedQuery::compile(&q, &schema);
+        assert!(prepared.is_feasible());
+        for facts in [
+            r#"B(1, "a", "t"). C(1, "a")."#,
+            r#"B(1, "a", "t"). C(1, "a"). L(1)."#,
+            r#"C(9, "z")."#,
+        ] {
+            let db = Database::from_facts(facts).unwrap();
+            let rep = prepared.execute(&db).unwrap();
+            assert!(rep.is_complete());
+            let oracle = eval_oracle(&q, &db).unwrap();
+            assert_eq!(rep.under, oracle, "on {facts}");
+        }
+    }
+
+    #[test]
+    fn execute_best_returns_exact_answers_for_feasible_queries() {
+        // Example 3: feasible via containment; the underestimate is empty
+        // but execute_best returns the exact overestimate.
+        let (q, schema) = setup(
+            "B^ioo. B^oio. L^o.\n\
+             Q(a) :- B(i, a, t), L(i), B(i2, a2, t).\n\
+             Q(a) :- B(i, a, t), L(i), not B(i2, a2, t).",
+        );
+        let prepared = PreparedQuery::compile(&q, &schema);
+        assert!(prepared.is_feasible());
+        let db = Database::from_facts(r#"B(1, "adams", "t"). L(1)."#).unwrap();
+        let best = prepared.execute_best(&db).unwrap();
+        assert_eq!(best.len(), 1);
+        // ANSWER* alone would have reported only the (empty) underestimate.
+        let rep = prepared.execute(&db).unwrap();
+        assert!(rep.under.is_empty());
+    }
+
+    #[test]
+    fn infeasible_prepared_query_returns_certain_answers() {
+        let (q, schema) = setup(
+            "S^o. R^oo. B^ii. T^oo.\n\
+             Q(x, y) :- not S(z), R(x, z), B(x, y).\n\
+             Q(x, y) :- T(x, y).",
+        );
+        let prepared = PreparedQuery::compile(&q, &schema);
+        assert!(!prepared.is_feasible());
+        let db = Database::from_facts("T(1, 2). R(3, 4). B(3, 5).").unwrap();
+        let best = prepared.execute_best(&db).unwrap();
+        assert_eq!(best.len(), 1); // only the certain (1, 2)
+    }
+}

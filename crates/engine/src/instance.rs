@@ -1,0 +1,236 @@
+//! Database instances (sets of relations) and a ground-fact loader.
+
+use crate::error::EngineError;
+use crate::relation::Relation;
+use crate::value::{Tuple, Value};
+use lap_ir::{parse_literal, Symbol, Term};
+use std::collections::BTreeMap;
+
+/// A database instance `D`: a relation per name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Database {
+    relations: BTreeMap<Symbol, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Gets a relation, if present.
+    pub fn relation(&self, name: Symbol) -> Option<&Relation> {
+        self.relations.get(&name)
+    }
+
+    /// Gets (creating if absent) the relation `name` with the given arity.
+    /// Errors if the relation exists with a different arity.
+    pub fn relation_mut(&mut self, name: Symbol, arity: usize) -> Result<&mut Relation, EngineError> {
+        let rel = self
+            .relations
+            .entry(name)
+            .or_insert_with(|| Relation::new(arity));
+        if rel.arity() != arity {
+            return Err(EngineError::ArityMismatch {
+                expected: rel.arity(),
+                found: arity,
+            });
+        }
+        Ok(rel)
+    }
+
+    /// Inserts one fact.
+    pub fn insert(&mut self, name: &str, tuple: Tuple) -> Result<(), EngineError> {
+        let sym = Symbol::intern(name);
+        let arity = tuple.len();
+        self.relation_mut(sym, arity)?.insert(tuple)
+    }
+
+    /// Loads facts from text, one ground atom per `.`-terminated statement:
+    ///
+    /// ```
+    /// use lap_engine::Database;
+    /// let db = Database::from_facts(
+    ///     r#"B(1, "tolkien", "lotr"). B(2, "tolkien", "hobbit"). L(1)."#,
+    /// )
+    /// .unwrap();
+    /// assert_eq!(db.relation(lap_ir::Symbol::intern("B")).unwrap().len(), 2);
+    /// ```
+    pub fn from_facts(text: &str) -> Result<Database, EngineError> {
+        let mut db = Database::new();
+        for stmt in split_statements(text) {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            let lit = parse_literal(stmt).map_err(|e| EngineError::NotGround(e.to_string()))?;
+            if !lit.positive {
+                return Err(EngineError::NotGround(stmt.to_owned()));
+            }
+            let mut tuple = Vec::with_capacity(lit.atom.args.len());
+            for &arg in &lit.atom.args {
+                match arg {
+                    Term::Const(c) => tuple.push(Value::from(c)),
+                    Term::Var(_) => return Err(EngineError::NotGround(stmt.to_owned())),
+                }
+            }
+            db.insert(lit.atom.predicate.name.as_str(), tuple)?;
+        }
+        Ok(db)
+    }
+
+    /// Iterates over `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Relation)> {
+        self.relations.iter().map(|(&s, r)| (s, r))
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+}
+
+/// Splits fact text into `.`-terminated statements, respecting quoted
+/// strings (a `.`, `%`, or `#` inside `"…"` is data, not syntax) and
+/// stripping `%`/`#` line comments.
+fn split_statements(text: &str) -> Vec<String> {
+    let mut statements = Vec::new();
+    let mut current = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_string = !in_string;
+                current.push(c);
+            }
+            '\\' if in_string => {
+                current.push(c);
+                if let Some(&next) = chars.peek() {
+                    current.push(next);
+                    chars.next();
+                }
+            }
+            '.' if !in_string => {
+                statements.push(std::mem::take(&mut current));
+            }
+            '%' | '#' if !in_string => {
+                for next in chars.by_ref() {
+                    if next == '\n' {
+                        break;
+                    }
+                }
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        statements.push(current);
+    }
+    statements
+}
+
+impl std::fmt::Display for Database {
+    /// Dumps the instance as ground facts, parseable by
+    /// [`Database::from_facts`] (string values are re-quoted).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (name, rel) in self.iter() {
+            for row in rel.iter() {
+                write!(f, "{name}(")?;
+                for (i, v) in row.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match v {
+                        Value::Str(s) => write!(f, "{:?}", s.as_str())?,
+                        other => write!(f, "{other}")?,
+                    }
+                }
+                writeln!(f, ").")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_ground_facts() {
+        let db = Database::from_facts(
+            r#"
+            % the bookstore
+            B(1, "tolkien", "lotr").
+            B(2, "tolkien", "hobbit").
+            L(1).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(db.total_tuples(), 3);
+        let b = db.relation(Symbol::intern("B")).unwrap();
+        assert!(b.contains(&[Value::int(1), Value::str("tolkien"), Value::str("lotr")]));
+    }
+
+    #[test]
+    fn rejects_non_ground_facts() {
+        assert!(matches!(
+            Database::from_facts("B(x, 1)."),
+            Err(EngineError::NotGround(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_negated_facts() {
+        assert!(matches!(
+            Database::from_facts("not B(1, 2)."),
+            Err(EngineError::NotGround(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_arity_drift() {
+        assert!(Database::from_facts("R(1). R(1, 2).").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let db = Database::from_facts(
+            r#"B(1, "tolkien", "the lord"). B(-2, "x y", "q\"z"). L(1)."#,
+        )
+        .unwrap();
+        let dumped = db.to_string();
+        let reloaded = Database::from_facts(&dumped).unwrap();
+        assert_eq!(db, reloaded, "dump:\n{dumped}");
+    }
+
+    #[test]
+    fn dots_and_comment_chars_inside_strings_survive() {
+        let db = Database::from_facts(
+            r#"
+            B(1, "J.R.R. Tolkien", "100% wool #knit").  % trailing comment
+            B(2, "esc \" quote", "a").
+            "#,
+        )
+        .unwrap();
+        assert_eq!(db.total_tuples(), 2);
+        let b = db.relation(Symbol::intern("B")).unwrap();
+        assert!(b.contains(&[
+            Value::int(1),
+            Value::str("J.R.R. Tolkien"),
+            Value::str("100% wool #knit")
+        ]));
+        // And the dump round-trips.
+        let reloaded = Database::from_facts(&db.to_string()).unwrap();
+        assert_eq!(db, reloaded);
+    }
+
+    #[test]
+    fn insert_api() {
+        let mut db = Database::new();
+        db.insert("S", vec![Value::int(7)]).unwrap();
+        db.insert("S", vec![Value::int(7)]).unwrap(); // dup ok
+        assert_eq!(db.total_tuples(), 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! In-memory relational engine with access-pattern-enforcing sources.
+//!
+//! This crate is the *runtime substrate* of the reproduction: it plays the
+//! role of the distributed web-service sources that the paper's mediator
+//! (the BIRN system, \[GLM03\]) talks to. The pieces:
+//!
+//! * [`Value`], [`Tuple`], [`Relation`], [`Database`] — a small set-semantics
+//!   store with deterministic iteration.
+//! * [`SourceRegistry`] — the only read path: calls must name a declared
+//!   access pattern and supply every input slot (Definition 1), and the
+//!   registry counts calls and transferred tuples.
+//! * [`eval_ordered_cq`] / [`eval_ordered_union`] — left-to-right execution
+//!   of executable plans, with negation-as-filter and `null` head values
+//!   for overestimate plans.
+//! * [`eval_oracle`] — the unrestricted `ANSWER(Q, D)` ground truth.
+//! * [`enumerate_domain`] — `dom(x)` views (Example 8) under a call budget.
+//!
+//! ```
+//! use lap_engine::{Database, SourceRegistry, eval_ordered_cq};
+//! use lap_ir::{parse_cq, Schema};
+//!
+//! let db = Database::from_facts(r#"C(1, "adams"). B(1, "adams", "hhgttg")."#).unwrap();
+//! let schema = Schema::from_patterns(&[("B", "ioo"), ("C", "oo")]).unwrap();
+//! let mut sources = SourceRegistry::new(&db, &schema);
+//! let plan = parse_cq("Q(t) :- C(i, a), B(i, a, t).").unwrap();
+//! let answers = eval_ordered_cq(&plan, &[], &mut sources).unwrap();
+//! assert_eq!(answers.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod domain;
+mod error;
+mod eval;
+mod instance;
+mod oracle;
+mod parallel;
+mod relation;
+mod source;
+mod stats;
+mod trace;
+mod value;
+
+pub use domain::{enumerate_domain, DomainResult};
+pub use error::EngineError;
+pub use eval::{eval_ordered_cq, eval_ordered_union};
+pub use instance::Database;
+pub use oracle::{eval_oracle, eval_oracle_single};
+pub use parallel::eval_ordered_union_parallel;
+pub use relation::Relation;
+pub use source::SourceRegistry;
+pub use stats::CallStats;
+pub use trace::{eval_ordered_cq_traced, CqTrace, LiteralTrace};
+pub use value::{display_tuple, Tuple, Value};

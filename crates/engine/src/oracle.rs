@@ -1,0 +1,217 @@
+//! Unrestricted oracle evaluator: `ANSWER(Q, D)` with no access-pattern
+//! discipline.
+//!
+//! This is the ground truth the paper's runtime guarantees are stated
+//! against: `ansᵤ ⊆ ANSWER(Q, D)` and (modulo null rows)
+//! `ANSWER(Q, D) ⊆ ansₒ`. The oracle reads relations directly from the
+//! [`Database`], reorders each disjunct so positives precede negatives
+//! (safe queries bind everything positively), and never touches a
+//! [`crate::SourceRegistry`].
+
+use crate::error::EngineError;
+use crate::instance::Database;
+use crate::value::{Tuple, Value};
+use lap_ir::{ConjunctiveQuery, Literal, Term, UnionQuery, Var};
+use std::collections::{BTreeSet, HashMap};
+
+/// Evaluates a UCQ¬ query over a database with unrestricted access.
+/// Requires the query to be safe (errors on unbound negated variables).
+pub fn eval_oracle(q: &UnionQuery, db: &Database) -> Result<BTreeSet<Tuple>, EngineError> {
+    let mut out = BTreeSet::new();
+    for cq in &q.disjuncts {
+        eval_oracle_cq(cq, db, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Evaluates a single CQ¬ over a database with unrestricted access.
+pub fn eval_oracle_single(cq: &ConjunctiveQuery, db: &Database) -> Result<BTreeSet<Tuple>, EngineError> {
+    let mut out = BTreeSet::new();
+    eval_oracle_cq(cq, db, &mut out)?;
+    Ok(out)
+}
+
+fn eval_oracle_cq(
+    cq: &ConjunctiveQuery,
+    db: &Database,
+    out: &mut BTreeSet<Tuple>,
+) -> Result<(), EngineError> {
+    // Positives first (in order), then negatives: safety guarantees all
+    // negated variables are bound once the positives are processed.
+    let ordered: Vec<&Literal> = cq
+        .body
+        .iter()
+        .filter(|l| l.positive)
+        .chain(cq.body.iter().filter(|l| !l.positive))
+        .collect();
+    let mut env: HashMap<Var, Value> = HashMap::new();
+    rec(cq, &ordered, 0, db, &mut env, out)
+}
+
+fn rec(
+    cq: &ConjunctiveQuery,
+    body: &[&Literal],
+    depth: usize,
+    db: &Database,
+    env: &mut HashMap<Var, Value>,
+    out: &mut BTreeSet<Tuple>,
+) -> Result<(), EngineError> {
+    let Some(lit) = body.get(depth) else {
+        let mut tuple = Vec::with_capacity(cq.head.args.len());
+        for &arg in &cq.head.args {
+            match arg {
+                Term::Const(c) => tuple.push(Value::from(c)),
+                Term::Var(v) => match env.get(&v) {
+                    Some(&val) => tuple.push(val),
+                    None => {
+                        return Err(EngineError::NotExecutable {
+                            literal: cq.head.to_string(),
+                            reason: format!("unsafe query: head variable {v} unbound"),
+                        })
+                    }
+                },
+            }
+        }
+        out.insert(tuple);
+        return Ok(());
+    };
+    let atom = &lit.atom;
+    if lit.positive {
+        let Some(rel) = db.relation(atom.predicate.name) else {
+            return Ok(()); // empty relation: conjunct fails
+        };
+        'rows: for row in rel.iter() {
+            if row.len() != atom.args.len() {
+                return Err(EngineError::ArityMismatch {
+                    expected: atom.args.len(),
+                    found: row.len(),
+                });
+            }
+            let mut bound_here: Vec<Var> = Vec::new();
+            for (&arg, &val) in atom.args.iter().zip(row.iter()) {
+                match arg {
+                    Term::Const(c) => {
+                        if Value::from(c) != val {
+                            for v in bound_here.drain(..) {
+                                env.remove(&v);
+                            }
+                            continue 'rows;
+                        }
+                    }
+                    Term::Var(v) => match env.get(&v) {
+                        Some(&prev) if prev != val => {
+                            for v in bound_here.drain(..) {
+                                env.remove(&v);
+                            }
+                            continue 'rows;
+                        }
+                        Some(_) => {}
+                        None => {
+                            env.insert(v, val);
+                            bound_here.push(v);
+                        }
+                    },
+                }
+            }
+            rec(cq, body, depth + 1, db, env, out)?;
+            for v in bound_here {
+                env.remove(&v);
+            }
+        }
+        Ok(())
+    } else {
+        let mut values = Vec::with_capacity(atom.args.len());
+        for &arg in &atom.args {
+            match arg {
+                Term::Const(c) => values.push(Value::from(c)),
+                Term::Var(v) => match env.get(&v) {
+                    Some(&val) => values.push(val),
+                    None => {
+                        return Err(EngineError::UnboundNegation {
+                            literal: lit.to_string(),
+                        })
+                    }
+                },
+            }
+        }
+        let present = db
+            .relation(atom.predicate.name)
+            .is_some_and(|rel| rel.contains(&values));
+        if !present {
+            rec(cq, body, depth + 1, db, env, out)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lap_ir::{parse_cq, parse_query};
+
+    fn db() -> Database {
+        Database::from_facts(
+            r#"
+            B(1, "tolkien", "lotr"). B(2, "tolkien", "hobbit"). B(3, "adams", "hhgttg").
+            C(1, "tolkien"). C(3, "adams").
+            L(1).
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_1_semantics() {
+        let q = parse_query("Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).").unwrap();
+        let rows = eval_oracle(&q, &db()).unwrap();
+        assert_eq!(
+            rows.into_iter().collect::<Vec<_>>(),
+            vec![vec![Value::int(3), Value::str("adams"), Value::str("hhgttg")]]
+        );
+    }
+
+    #[test]
+    fn oracle_ignores_literal_order() {
+        // The oracle reorders internally, so negation-first works.
+        let q = parse_query("Q(i, a, t) :- not L(i), B(i, a, t), C(i, a).").unwrap();
+        let rows = eval_oracle(&q, &db()).unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn union_unions() {
+        let q = parse_query("Q(i) :- L(i).\nQ(i) :- C(i, a).").unwrap();
+        let rows = eval_oracle(&q, &db()).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn missing_relation_is_empty() {
+        let q = parse_query("Q(x) :- Zeta(x).").unwrap();
+        assert!(eval_oracle(&q, &db()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn negation_over_missing_relation_passes() {
+        let q = parse_query("Q(i) :- L(i), not Zeta(i).").unwrap();
+        assert_eq!(eval_oracle(&q, &db()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unsafe_query_is_an_error() {
+        let q = parse_query("Q(x) :- L(i), not Z(x, i).").unwrap();
+        assert!(eval_oracle(&q, &db()).is_err());
+    }
+
+    #[test]
+    fn single_cq_entry_point() {
+        let cq = parse_cq("Q(a) :- C(i, a).").unwrap();
+        assert_eq!(eval_oracle_single(&cq, &db()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn false_query_yields_nothing() {
+        let q = parse_query("Q(x) :- false.").unwrap();
+        assert!(eval_oracle(&q, &db()).unwrap().is_empty());
+    }
+}

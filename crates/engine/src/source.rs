@@ -1,0 +1,374 @@
+//! Access-pattern-enforcing source adapters.
+//!
+//! A [`SourceRegistry`] stands in for the paper's collection of web-service
+//! operations: the *only* way to read data through it is
+//! [`SourceRegistry::call`], which requires a declared access pattern and a
+//! value for every input slot — exactly the discipline of Definition 1.
+//! Violations are hard errors, never silently-wrong answers, so any plan
+//! that evaluates successfully through the registry is, constructively, an
+//! executable plan.
+
+use crate::error::EngineError;
+use crate::instance::Database;
+use crate::stats::CallStats;
+use crate::value::{Tuple, Value};
+use lap_ir::{AccessPattern, Schema, Symbol};
+use std::collections::HashMap;
+
+/// Cache key for one source call: relation, pattern, supplied inputs.
+type CallKey = (Symbol, AccessPattern, Vec<Option<Value>>);
+/// One hash index: projection of the indexed columns → matching rows.
+type ColumnIndex = HashMap<Vec<Value>, Vec<Tuple>>;
+
+/// The mediator's view of the sources: a database instance hidden behind
+/// access patterns, with call statistics and an optional call cache.
+pub struct SourceRegistry<'a> {
+    db: &'a Database,
+    schema: &'a Schema,
+    stats: CallStats,
+    cache: Option<HashMap<CallKey, Vec<Tuple>>>,
+    /// Lazily-built hash indexes keyed by (relation, indexed positions).
+    /// `None` disables indexing (every selection scans).
+    indexes: Option<HashMap<(Symbol, Vec<usize>), ColumnIndex>>,
+}
+
+impl<'a> SourceRegistry<'a> {
+    /// A registry without call caching: every call hits the source.
+    /// Sources answer input-slot selections through lazily-built hash
+    /// indexes (build once per (relation, slot set), then O(1) lookups).
+    pub fn new(db: &'a Database, schema: &'a Schema) -> SourceRegistry<'a> {
+        SourceRegistry {
+            db,
+            schema,
+            stats: CallStats::default(),
+            cache: None,
+            indexes: Some(HashMap::new()),
+        }
+    }
+
+    /// A registry with call caching: repeated identical calls are answered
+    /// locally (the "semijoin-style" optimization a mediator would apply).
+    pub fn with_cache(db: &'a Database, schema: &'a Schema) -> SourceRegistry<'a> {
+        SourceRegistry {
+            cache: Some(HashMap::new()),
+            ..SourceRegistry::new(db, schema)
+        }
+    }
+
+    /// A registry whose sources answer every selection by scanning — the
+    /// ablation baseline for the index experiment (E16).
+    pub fn without_indexes(db: &'a Database, schema: &'a Schema) -> SourceRegistry<'a> {
+        SourceRegistry {
+            indexes: None,
+            ..SourceRegistry::new(db, schema)
+        }
+    }
+
+    /// The schema this registry enforces.
+    pub fn schema(&self) -> &Schema {
+        self.schema
+    }
+
+    /// Accumulated call statistics.
+    pub fn stats(&self) -> CallStats {
+        self.stats
+    }
+
+    /// Resets the call statistics (the cache, if any, is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CallStats::default();
+    }
+
+    /// Calls relation `name` through `pattern`, supplying `inputs[j] =
+    /// Some(v)` for every input slot `j`. Returns the tuples matching the
+    /// supplied inputs — the full rows, as a web service would return them;
+    /// any additional client-side filtering (bound output slots, repeated
+    /// variables) is the evaluator's job.
+    ///
+    /// Errors if the pattern is not declared for the relation or an input
+    /// slot has no value. Values supplied at output slots are rejected:
+    /// per the paper's footnote 4, a source cannot accept them — the caller
+    /// must ignore the binding and filter after the call.
+    pub fn call(
+        &mut self,
+        name: Symbol,
+        pattern: AccessPattern,
+        inputs: &[Option<Value>],
+    ) -> Result<Vec<Tuple>, EngineError> {
+        let decl = self
+            .schema
+            .relation(name)
+            .ok_or_else(|| EngineError::UnknownRelation(name.to_string()))?;
+        if !decl.patterns.contains(&pattern) {
+            return Err(EngineError::PatternNotAvailable {
+                relation: name.to_string(),
+                requested: pattern,
+            });
+        }
+        if inputs.len() != pattern.arity() {
+            return Err(EngineError::ArityMismatch {
+                expected: pattern.arity(),
+                found: inputs.len(),
+            });
+        }
+        for (j, input) in inputs.iter().enumerate() {
+            match (pattern.is_input(j), input.is_some()) {
+                (true, false) => {
+                    return Err(EngineError::MissingInput {
+                        relation: name.to_string(),
+                        pattern,
+                        position: j,
+                    })
+                }
+                (false, true) => {
+                    return Err(EngineError::NotExecutable {
+                        literal: format!("{name}^{pattern}"),
+                        reason: format!("value supplied at output slot {j}"),
+                    })
+                }
+                _ => {}
+            }
+        }
+        let key = (name, pattern, inputs.to_vec());
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.get(&key) {
+                self.stats.cache_hits += 1;
+                return Ok(hit.clone());
+            }
+        }
+        // The relation may be declared but empty/absent in this instance.
+        let rows: Vec<Tuple> = match self.db.relation(name) {
+            Some(rel) => self.select_rows(name, rel, inputs),
+            None => Vec::new(),
+        };
+        self.stats.calls += 1;
+        self.stats.tuples_returned += rows.len() as u64;
+        if let Some(cache) = &mut self.cache {
+            cache.insert(key, rows.clone());
+        }
+        Ok(rows)
+    }
+
+    /// Answers an input-slot selection, via the hash index when enabled.
+    fn select_rows(
+        &mut self,
+        name: Symbol,
+        rel: &crate::relation::Relation,
+        inputs: &[Option<Value>],
+    ) -> Vec<Tuple> {
+        let positions: Vec<usize> = (0..inputs.len()).filter(|&j| inputs[j].is_some()).collect();
+        let Some(indexes) = &mut self.indexes else {
+            return rel.select(inputs).cloned().collect();
+        };
+        if positions.is_empty() {
+            return rel.iter().cloned().collect();
+        }
+        let index = indexes
+            .entry((name, positions.clone()))
+            .or_insert_with(|| {
+                let mut map: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+                for row in rel.iter() {
+                    let key: Vec<Value> = positions.iter().map(|&j| row[j]).collect();
+                    map.entry(key).or_default().push(row.clone());
+                }
+                map
+            });
+        let key: Vec<Value> = positions
+            .iter()
+            .map(|&j| inputs[j].expect("position is Some"))
+            .collect();
+        index.get(&key).cloned().unwrap_or_default()
+    }
+
+    /// Tests whether the fully-ground tuple `values` is in relation `name`,
+    /// using the most selective available pattern (all variables bound, so
+    /// every pattern is usable). This is how negated literals are checked.
+    pub fn membership_test(&mut self, name: Symbol, values: &[Value]) -> Result<bool, EngineError> {
+        let decl = self
+            .schema
+            .relation(name)
+            .ok_or_else(|| EngineError::UnknownRelation(name.to_string()))?;
+        let Some(pattern) = decl.usable_pattern(|_| true) else {
+            return Err(EngineError::NotExecutable {
+                literal: name.to_string(),
+                reason: "relation has no access pattern at all".to_owned(),
+            });
+        };
+        if values.len() != pattern.arity() {
+            return Err(EngineError::ArityMismatch {
+                expected: pattern.arity(),
+                found: values.len(),
+            });
+        }
+        let inputs: Vec<Option<Value>> = (0..pattern.arity())
+            .map(|j| pattern.is_input(j).then(|| values[j]))
+            .collect();
+        let rows = self.call(name, pattern, &inputs)?;
+        Ok(rows.iter().any(|row| row.as_slice() == values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lap_ir::Schema;
+
+    fn setup() -> (Database, Schema) {
+        let db = Database::from_facts(
+            r#"B(1, "tolkien", "lotr"). B(2, "tolkien", "hobbit"). B(3, "adams", "hhgttg"). L(1)."#,
+        )
+        .unwrap();
+        let schema = Schema::from_patterns(&[("B", "ioo"), ("B", "oio"), ("L", "o")]).unwrap();
+        (db, schema)
+    }
+
+    #[test]
+    fn call_with_author_input() {
+        let (db, schema) = setup();
+        let mut reg = SourceRegistry::new(&db, &schema);
+        let p = AccessPattern::parse("oio").unwrap();
+        let rows = reg
+            .call(Symbol::intern("B"), p, &[None, Some(Value::str("tolkien")), None])
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(reg.stats().calls, 1);
+        assert_eq!(reg.stats().tuples_returned, 2);
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        let (db, schema) = setup();
+        let mut reg = SourceRegistry::new(&db, &schema);
+        let p = AccessPattern::parse("oio").unwrap();
+        let err = reg.call(Symbol::intern("B"), p, &[None, None, None]).unwrap_err();
+        assert!(matches!(err, EngineError::MissingInput { position: 1, .. }));
+    }
+
+    #[test]
+    fn undeclared_pattern_is_an_error() {
+        let (db, schema) = setup();
+        let mut reg = SourceRegistry::new(&db, &schema);
+        let p = AccessPattern::parse("ooo").unwrap(); // B has no free scan
+        let err = reg
+            .call(Symbol::intern("B"), p, &[None, None, None])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::PatternNotAvailable { .. }));
+    }
+
+    #[test]
+    fn value_at_output_slot_is_rejected() {
+        let (db, schema) = setup();
+        let mut reg = SourceRegistry::new(&db, &schema);
+        let p = AccessPattern::parse("oio").unwrap();
+        let err = reg
+            .call(
+                Symbol::intern("B"),
+                p,
+                &[Some(Value::int(1)), Some(Value::str("tolkien")), None],
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::NotExecutable { .. }));
+    }
+
+    #[test]
+    fn membership_test_uses_best_pattern() {
+        let (db, schema) = setup();
+        let mut reg = SourceRegistry::new(&db, &schema);
+        assert!(reg.membership_test(Symbol::intern("L"), &[Value::int(1)]).unwrap());
+        assert!(!reg.membership_test(Symbol::intern("L"), &[Value::int(2)]).unwrap());
+        assert!(reg
+            .membership_test(
+                Symbol::intern("B"),
+                &[Value::int(1), Value::str("tolkien"), Value::str("lotr")]
+            )
+            .unwrap());
+    }
+
+    #[test]
+    fn cache_answers_repeated_calls() {
+        let (db, schema) = setup();
+        let mut reg = SourceRegistry::with_cache(&db, &schema);
+        let p = AccessPattern::parse("ioo").unwrap();
+        let args = [Some(Value::int(1)), None, None];
+        reg.call(Symbol::intern("B"), p, &args).unwrap();
+        reg.call(Symbol::intern("B"), p, &args).unwrap();
+        let s = reg.stats();
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.cache_hits, 1);
+    }
+
+    #[test]
+    fn declared_but_absent_relation_is_empty() {
+        let (db, _) = setup();
+        let schema = Schema::from_patterns(&[("Z", "o")]).unwrap();
+        let mut reg = SourceRegistry::new(&db, &schema);
+        let p = AccessPattern::parse("o").unwrap();
+        let rows = reg.call(Symbol::intern("Z"), p, &[None]).unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn unknown_relation_is_an_error() {
+        let (db, schema) = setup();
+        let mut reg = SourceRegistry::new(&db, &schema);
+        let p = AccessPattern::parse("o").unwrap();
+        assert!(matches!(
+            reg.call(Symbol::intern("Nope"), p, &[None]),
+            Err(EngineError::UnknownRelation(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod index_tests {
+    use super::*;
+    use lap_ir::Schema;
+
+    fn big_db() -> (Database, Schema) {
+        let mut db = Database::new();
+        for i in 0..200i64 {
+            db.insert("R", vec![Value::int(i % 20), Value::int(i)]).unwrap();
+        }
+        let schema = Schema::from_patterns(&[("R", "io"), ("R", "oo")]).unwrap();
+        (db, schema)
+    }
+
+    #[test]
+    fn indexed_and_scanned_selections_agree() {
+        let (db, schema) = big_db();
+        let p = AccessPattern::parse("io").unwrap();
+        let mut indexed = SourceRegistry::new(&db, &schema);
+        let mut scanned = SourceRegistry::without_indexes(&db, &schema);
+        for k in 0..25i64 {
+            let args = [Some(Value::int(k)), None];
+            let a = indexed.call(Symbol::intern("R"), p, &args).unwrap();
+            let b = scanned.call(Symbol::intern("R"), p, &args).unwrap();
+            let a_set: std::collections::BTreeSet<_> = a.into_iter().collect();
+            let b_set: std::collections::BTreeSet<_> = b.into_iter().collect();
+            assert_eq!(a_set, b_set, "k={k}");
+        }
+        assert_eq!(indexed.stats().calls, scanned.stats().calls);
+        assert_eq!(indexed.stats().tuples_returned, scanned.stats().tuples_returned);
+    }
+
+    #[test]
+    fn free_scan_returns_everything_with_indexes_on() {
+        let (db, schema) = big_db();
+        let p = AccessPattern::parse("oo").unwrap();
+        let mut reg = SourceRegistry::new(&db, &schema);
+        let rows = reg.call(Symbol::intern("R"), p, &[None, None]).unwrap();
+        assert_eq!(rows.len(), 200);
+    }
+
+    #[test]
+    fn index_is_reused_across_calls() {
+        let (db, schema) = big_db();
+        let p = AccessPattern::parse("io").unwrap();
+        let mut reg = SourceRegistry::new(&db, &schema);
+        for k in 0..20i64 {
+            reg.call(Symbol::intern("R"), p, &[Some(Value::int(k)), None]).unwrap();
+        }
+        // One index for (R, [0]) serves all twenty calls.
+        assert_eq!(reg.indexes.as_ref().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,285 @@
+//! Execution tracing: an `EXPLAIN ANALYZE` for executable plans.
+//!
+//! A mediator operator debugging a slow plan needs to know *where* the
+//! source calls go: which literal is invoked how often (the nested-loop
+//! multiplicity), how many tuples each call transfers, and how many
+//! bindings survive into the next literal. [`eval_ordered_cq_traced`] runs
+//! the exact same evaluation as [`crate::eval_ordered_cq`] while
+//! collecting a per-literal profile.
+
+use crate::error::EngineError;
+use crate::source::SourceRegistry;
+use crate::value::{Tuple, Value};
+use lap_ir::{ConjunctiveQuery, Term, Var};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-literal runtime counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LiteralTrace {
+    /// Rendering of the literal (position in the body order).
+    pub literal: String,
+    /// Times the literal was reached — the number of binding tuples
+    /// flowing in from the literals to its left.
+    pub invocations: u64,
+    /// Source calls issued (one per invocation; cached calls still count —
+    /// they are requests the plan makes, whether or not a wire is hit).
+    pub calls: u64,
+    /// Tuples transferred from the source across all calls.
+    pub rows_returned: u64,
+    /// Bindings that survived this literal (flowed to the right).
+    pub bindings_out: u64,
+}
+
+/// The profile of one executed CQ¬ plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CqTrace {
+    /// Per-literal counters, in body order.
+    pub literals: Vec<LiteralTrace>,
+    /// Distinct answers produced.
+    pub answers: u64,
+    /// Wall time spent evaluating this disjunct.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for CqTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>10}  {:>8}  {:>10}  {:>10}  literal",
+            "invoked", "calls", "rows", "out"
+        )?;
+        for l in &self.literals {
+            writeln!(
+                f,
+                "{:>10}  {:>8}  {:>10}  {:>10}  {}",
+                l.invocations, l.calls, l.rows_returned, l.bindings_out, l.literal
+            )?;
+        }
+        write!(
+            f,
+            "{} answer(s) in {:.2?}",
+            self.answers, self.elapsed
+        )
+    }
+}
+
+/// Evaluates an ordered CQ¬ plan exactly like [`crate::eval_ordered_cq`],
+/// additionally returning the per-literal profile.
+pub fn eval_ordered_cq_traced(
+    cq: &ConjunctiveQuery,
+    null_vars: &[Var],
+    reg: &mut SourceRegistry<'_>,
+) -> Result<(BTreeSet<Tuple>, CqTrace), EngineError> {
+    let start = Instant::now();
+    let mut out = BTreeSet::new();
+    let mut env: HashMap<Var, Value> = HashMap::new();
+    let mut literals: Vec<LiteralTrace> = cq
+        .body
+        .iter()
+        .map(|l| LiteralTrace {
+            literal: l.to_string(),
+            ..LiteralTrace::default()
+        })
+        .collect();
+    rec(cq, null_vars, reg, 0, &mut env, &mut out, &mut literals)?;
+    let trace = CqTrace {
+        literals,
+        answers: out.len() as u64,
+        elapsed: start.elapsed(),
+    };
+    Ok((out, trace))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec(
+    cq: &ConjunctiveQuery,
+    null_vars: &[Var],
+    reg: &mut SourceRegistry<'_>,
+    depth: usize,
+    env: &mut HashMap<Var, Value>,
+    out: &mut BTreeSet<Tuple>,
+    literals: &mut [LiteralTrace],
+) -> Result<(), EngineError> {
+    let Some(lit) = cq.body.get(depth) else {
+        let mut tuple = Vec::with_capacity(cq.head.args.len());
+        for &arg in &cq.head.args {
+            match arg {
+                Term::Const(c) => tuple.push(Value::from(c)),
+                Term::Var(v) => match env.get(&v) {
+                    Some(&val) => tuple.push(val),
+                    None if null_vars.contains(&v) => tuple.push(Value::Null),
+                    None => {
+                        return Err(EngineError::NotExecutable {
+                            literal: cq.head.to_string(),
+                            reason: format!("head variable {v} is neither bound nor declared null"),
+                        })
+                    }
+                },
+            }
+        }
+        out.insert(tuple);
+        return Ok(());
+    };
+    literals[depth].invocations += 1;
+    let atom = &lit.atom;
+    let name = atom.predicate.name;
+    if lit.positive {
+        let decl = reg
+            .schema()
+            .relation(name)
+            .ok_or_else(|| EngineError::UnknownRelation(name.to_string()))?;
+        let bound: Vec<Option<Value>> = atom
+            .args
+            .iter()
+            .map(|&t| match t {
+                Term::Const(c) => Some(Value::from(c)),
+                Term::Var(v) => env.get(&v).copied(),
+            })
+            .collect();
+        let Some(pattern) = decl.usable_pattern(|j| bound[j].is_some()) else {
+            return Err(EngineError::NotExecutable {
+                literal: lit.to_string(),
+                reason: "no usable access pattern".to_owned(),
+            });
+        };
+        let inputs: Vec<Option<Value>> = (0..pattern.arity())
+            .map(|j| if pattern.is_input(j) { bound[j] } else { None })
+            .collect();
+        let rows = reg.call(name, pattern, &inputs)?;
+        literals[depth].calls += 1;
+        literals[depth].rows_returned += rows.len() as u64;
+        'rows: for row in rows {
+            let mut bound_here: Vec<Var> = Vec::new();
+            for (&arg, &val) in atom.args.iter().zip(row.iter()) {
+                match arg {
+                    Term::Const(c) => {
+                        if Value::from(c) != val {
+                            for v in bound_here.drain(..) {
+                                env.remove(&v);
+                            }
+                            continue 'rows;
+                        }
+                    }
+                    Term::Var(v) => match env.get(&v) {
+                        Some(&prev) if prev != val => {
+                            for v in bound_here.drain(..) {
+                                env.remove(&v);
+                            }
+                            continue 'rows;
+                        }
+                        Some(_) => {}
+                        None => {
+                            env.insert(v, val);
+                            bound_here.push(v);
+                        }
+                    },
+                }
+            }
+            literals[depth].bindings_out += 1;
+            rec(cq, null_vars, reg, depth + 1, env, out, literals)?;
+            for v in bound_here {
+                env.remove(&v);
+            }
+        }
+        Ok(())
+    } else {
+        let mut values = Vec::with_capacity(atom.args.len());
+        for &arg in &atom.args {
+            match arg {
+                Term::Const(c) => values.push(Value::from(c)),
+                Term::Var(v) => match env.get(&v) {
+                    Some(&val) => values.push(val),
+                    None => {
+                        return Err(EngineError::UnboundNegation {
+                            literal: lit.to_string(),
+                        })
+                    }
+                },
+            }
+        }
+        literals[depth].calls += 1;
+        let present = reg.membership_test(name, &values)?;
+        if !present {
+            literals[depth].bindings_out += 1;
+            rec(cq, null_vars, reg, depth + 1, env, out, literals)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_ordered_cq;
+    use crate::instance::Database;
+    use lap_ir::{parse_cq, Schema};
+
+    fn setup() -> (Database, Schema) {
+        let db = Database::from_facts(
+            r#"
+            C(1, "a"). C(2, "b"). C(3, "c").
+            B(1, "a", "t1"). B(2, "b", "t2").
+            L(1).
+            "#,
+        )
+        .unwrap();
+        let schema =
+            Schema::from_patterns(&[("B", "ioo"), ("C", "oo"), ("L", "o")]).unwrap();
+        (db, schema)
+    }
+
+    #[test]
+    fn traced_answers_match_untraced() {
+        let (db, schema) = setup();
+        let plan = parse_cq("Q(i, t) :- C(i, a), B(i, a, t), not L(i).").unwrap();
+        let mut reg1 = SourceRegistry::new(&db, &schema);
+        let plain = eval_ordered_cq(&plan, &[], &mut reg1).unwrap();
+        let mut reg2 = SourceRegistry::new(&db, &schema);
+        let (traced, trace) = eval_ordered_cq_traced(&plan, &[], &mut reg2).unwrap();
+        assert_eq!(plain, traced);
+        assert_eq!(reg1.stats().calls, reg2.stats().calls);
+        assert_eq!(trace.answers, traced.len() as u64);
+    }
+
+    #[test]
+    fn counters_reflect_the_nested_loop() {
+        let (db, schema) = setup();
+        let plan = parse_cq("Q(i, t) :- C(i, a), B(i, a, t), not L(i).").unwrap();
+        let mut reg = SourceRegistry::new(&db, &schema);
+        let (_, trace) = eval_ordered_cq_traced(&plan, &[], &mut reg).unwrap();
+        // C: reached once, one scan, 3 rows, 3 bindings out.
+        assert_eq!(trace.literals[0].invocations, 1);
+        assert_eq!(trace.literals[0].calls, 1);
+        assert_eq!(trace.literals[0].rows_returned, 3);
+        assert_eq!(trace.literals[0].bindings_out, 3);
+        // B: reached 3 times (one per C row); only isbn 1 and 2 match.
+        assert_eq!(trace.literals[1].invocations, 3);
+        assert_eq!(trace.literals[1].calls, 3);
+        assert_eq!(trace.literals[1].bindings_out, 2);
+        // ¬L: reached twice; isbn 1 is in the library, so one survives.
+        assert_eq!(trace.literals[2].invocations, 2);
+        assert_eq!(trace.literals[2].bindings_out, 1);
+        assert_eq!(trace.answers, 1);
+    }
+
+    #[test]
+    fn display_renders_a_profile_table() {
+        let (db, schema) = setup();
+        let plan = parse_cq("Q(i) :- C(i, a), not L(i).").unwrap();
+        let mut reg = SourceRegistry::new(&db, &schema);
+        let (_, trace) = eval_ordered_cq_traced(&plan, &[], &mut reg).unwrap();
+        let shown = trace.to_string();
+        assert!(shown.contains("not L(i)"), "{shown}");
+        assert!(shown.contains("answer(s) in"), "{shown}");
+    }
+
+    #[test]
+    fn errors_match_untraced_behaviour() {
+        let (db, schema) = setup();
+        let bad = parse_cq("Q(i, t) :- B(i, a, t), C(i, a).").unwrap();
+        let mut reg = SourceRegistry::new(&db, &schema);
+        assert!(eval_ordered_cq_traced(&bad, &[], &mut reg).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Runtime values and tuples.
+
+use lap_ir::{Constant, Symbol};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A runtime value stored in a relation or returned by a source.
+///
+/// `Null` is the paper's special overestimate marker (Section 4.1): it
+/// stands for "one or more unknown values may exist here". It compares
+/// equal only to itself.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Value {
+    /// The unknown-value marker used in overestimate answers.
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// String value (interned).
+    Str(Symbol),
+}
+
+impl Value {
+    /// String value from a `&str`.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Symbol::intern(s))
+    }
+
+    /// Integer value.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// True iff this is the null marker.
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<Constant> for Value {
+    fn from(c: Constant) -> Value {
+        match c {
+            Constant::Int(i) => Value::Int(i),
+            Constant::Str(s) => Value::Str(s),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Deterministic total order independent of interner state:
+    /// `Null < Int(_) < Str(_)`, strings compared by content.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Int(_), Str(_)) => Ordering::Less,
+            (Str(_), Int(_)) => Ordering::Greater,
+            (Str(a), Str(b)) => a.as_str().cmp(b.as_str()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{}", s.as_str()),
+        }
+    }
+}
+
+/// A tuple of values — one row of a relation or one answer.
+pub type Tuple = Vec<Value>;
+
+/// Renders a tuple as `(v1, v2, …)`.
+pub fn display_tuple(t: &[Value]) -> String {
+    let items: Vec<String> = t.iter().map(|v| v.to_string()).collect();
+    format!("({})", items.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_equals_only_itself() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Null, Value::Int(0));
+        assert_ne!(Value::Null, Value::str(""));
+    }
+
+    #[test]
+    fn ordering_is_by_content_for_strings() {
+        // Intern in reverse lexicographic order to catch index-based cmp.
+        let b = Value::str("zzz_order");
+        let a = Value::str("aaa_order");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vals = [Value::Int(1), Value::str("a"), Value::Null];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Int(1));
+    }
+
+    #[test]
+    fn from_constant() {
+        assert_eq!(Value::from(Constant::int(3)), Value::Int(3));
+        assert_eq!(Value::from(Constant::str("x")), Value::str("x"));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(display_tuple(&[Value::Int(1), Value::Null]), "(1, null)");
+    }
+}

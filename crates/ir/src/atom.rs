@@ -1,0 +1,201 @@
+//! Predicates, atoms, and literals.
+
+use crate::symbol::Symbol;
+use crate::term::{Term, Var};
+use std::fmt;
+
+/// A relation symbol with its arity, e.g. `B/3` for `B(isbn, author, title)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Predicate {
+    /// The relation name.
+    pub name: Symbol,
+    /// Number of attributes.
+    pub arity: usize,
+}
+
+impl Predicate {
+    /// Creates a predicate.
+    pub fn new(name: &str, arity: usize) -> Predicate {
+        Predicate {
+            name: Symbol::intern(name),
+            arity,
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+impl fmt::Debug for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A relational atom `R(x̄)`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// The relation.
+    pub predicate: Predicate,
+    /// Argument terms; `args.len() == predicate.arity`.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom; panics if the argument count differs from the
+    /// predicate arity (a programming error, not a data error).
+    pub fn new(predicate: Predicate, args: Vec<Term>) -> Atom {
+        assert_eq!(
+            predicate.arity,
+            args.len(),
+            "arity mismatch constructing {}({} args)",
+            predicate.name,
+            args.len()
+        );
+        Atom { predicate, args }
+    }
+
+    /// Parses-free convenience: `Atom::from_parts("R", vec![t1, t2])`.
+    pub fn from_parts(name: &str, args: Vec<Term>) -> Atom {
+        let predicate = Predicate::new(name, args.len());
+        Atom { predicate, args }
+    }
+
+    /// Iterates over the variables occurring in the atom (with repeats).
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.args.iter().filter_map(|t| t.as_var())
+    }
+
+    /// True iff the atom contains no variables.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| !t.is_var())
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.predicate.name)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A literal `R̂(x̄)`: an atom or its negation (paper, Section 2).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    /// `true` for `R(x̄)`, `false` for `¬R(x̄)`.
+    pub positive: bool,
+    /// The underlying atom.
+    pub atom: Atom,
+}
+
+impl Literal {
+    /// A positive literal.
+    pub fn pos(atom: Atom) -> Literal {
+        Literal {
+            positive: true,
+            atom,
+        }
+    }
+
+    /// A negated literal.
+    pub fn neg(atom: Atom) -> Literal {
+        Literal {
+            positive: false,
+            atom,
+        }
+    }
+
+    /// The literal's predicate.
+    pub fn predicate(&self) -> Predicate {
+        self.atom.predicate
+    }
+
+    /// Iterates over the variables of the literal.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.atom.vars()
+    }
+
+    /// The complementary literal (`R(x̄)` ↔ `¬R(x̄)`).
+    pub fn complement(&self) -> Literal {
+        Literal {
+            positive: !self.positive,
+            atom: self.atom.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.positive {
+            write!(f, "not ")?;
+        }
+        write!(f, "{}", self.atom)
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r_xy() -> Atom {
+        Atom::from_parts("R", vec![Term::var("x"), Term::var("y")])
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        Atom::new(Predicate::new("R", 3), vec![Term::var("x")]);
+    }
+
+    #[test]
+    fn atom_vars_skip_constants() {
+        let a = Atom::from_parts("R", vec![Term::var("x"), Term::int(1)]);
+        let vars: Vec<_> = a.vars().collect();
+        assert_eq!(vars, vec![Var::new("x")]);
+        assert!(!a.is_ground());
+        let g = Atom::from_parts("R", vec![Term::int(1), Term::str("a")]);
+        assert!(g.is_ground());
+    }
+
+    #[test]
+    fn literal_complement_flips_sign() {
+        let l = Literal::pos(r_xy());
+        let c = l.complement();
+        assert!(!c.positive);
+        assert_eq!(c.atom, l.atom);
+        assert_eq!(c.complement(), l);
+    }
+
+    #[test]
+    fn display_negation() {
+        assert_eq!(Literal::neg(r_xy()).to_string(), "not R(x, y)");
+        assert_eq!(Literal::pos(r_xy()).to_string(), "R(x, y)");
+    }
+
+    #[test]
+    fn predicate_identity_includes_arity() {
+        assert_ne!(Predicate::new("R", 2), Predicate::new("R", 3));
+        assert_eq!(Predicate::new("R", 2), Predicate::new("R", 2));
+    }
+}

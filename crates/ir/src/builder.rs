@@ -1,0 +1,120 @@
+//! Fluent builders for constructing queries programmatically.
+//!
+//! The parser is the most readable way to write a fixed query; the builders
+//! are for *generated* queries (workload generators, reductions) where
+//! string formatting would be wasteful and error-prone.
+
+use crate::atom::{Atom, Literal};
+use crate::error::IrError;
+use crate::query::{ConjunctiveQuery, UnionQuery};
+use crate::term::Term;
+
+/// Builds a [`ConjunctiveQuery`] literal by literal.
+///
+/// ```
+/// use lap_ir::{CqBuilder, Term};
+///
+/// let q = CqBuilder::new("Q", vec![Term::var("x")])
+///     .pos("R", vec![Term::var("x"), Term::var("y")])
+///     .neg("S", vec![Term::var("y")])
+///     .build();
+/// assert_eq!(q.to_string(), "Q(x) :- R(x, y), not S(y).");
+/// ```
+#[derive(Clone, Debug)]
+pub struct CqBuilder {
+    head: Atom,
+    body: Vec<Literal>,
+}
+
+impl CqBuilder {
+    /// Starts a query with head `name(args…)`.
+    pub fn new(name: &str, args: Vec<Term>) -> CqBuilder {
+        CqBuilder {
+            head: Atom::from_parts(name, args),
+            body: Vec::new(),
+        }
+    }
+
+    /// Appends a positive literal.
+    pub fn pos(mut self, name: &str, args: Vec<Term>) -> CqBuilder {
+        self.body.push(Literal::pos(Atom::from_parts(name, args)));
+        self
+    }
+
+    /// Appends a negated literal.
+    pub fn neg(mut self, name: &str, args: Vec<Term>) -> CqBuilder {
+        self.body.push(Literal::neg(Atom::from_parts(name, args)));
+        self
+    }
+
+    /// Appends an already-built literal.
+    pub fn literal(mut self, lit: Literal) -> CqBuilder {
+        self.body.push(lit);
+        self
+    }
+
+    /// Finishes the query.
+    pub fn build(self) -> ConjunctiveQuery {
+        ConjunctiveQuery::new(self.head, self.body)
+    }
+}
+
+/// Builds a [`UnionQuery`] disjunct by disjunct.
+#[derive(Clone, Debug, Default)]
+pub struct UnionBuilder {
+    disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl UnionBuilder {
+    /// An empty builder.
+    pub fn new() -> UnionBuilder {
+        UnionBuilder::default()
+    }
+
+    /// Appends a disjunct.
+    pub fn disjunct(mut self, cq: ConjunctiveQuery) -> UnionBuilder {
+        self.disjuncts.push(cq);
+        self
+    }
+
+    /// Finishes the union (normalizing heads; see [`UnionQuery::new`]).
+    pub fn build(self) -> Result<UnionQuery, IrError> {
+        UnionQuery::new(self.disjuncts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn builder_matches_parser() {
+        let built = CqBuilder::new("Q", vec![Term::var("i"), Term::var("a"), Term::var("t")])
+            .pos("B", vec![Term::var("i"), Term::var("a"), Term::var("t")])
+            .pos("C", vec![Term::var("i"), Term::var("a")])
+            .neg("L", vec![Term::var("i")])
+            .build();
+        let parsed =
+            crate::parser::parse_cq("Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).").unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn union_builder() {
+        let q = UnionBuilder::new()
+            .disjunct(
+                CqBuilder::new("Q", vec![Term::var("x")])
+                    .pos("F", vec![Term::var("x")])
+                    .build(),
+            )
+            .disjunct(
+                CqBuilder::new("Q", vec![Term::var("x")])
+                    .pos("G", vec![Term::var("x")])
+                    .build(),
+            )
+            .build()
+            .unwrap();
+        assert_eq!(q.disjuncts.len(), 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! Display helpers shared by the workspace (adorned literals, rule lists).
+
+use crate::atom::Literal;
+use crate::pattern::AccessPattern;
+use std::fmt;
+
+/// Renders a literal with an adornment superscript, e.g. `B^oio(i, a, t)` or
+/// `not L^o(i)` — the notation of Definition 2.
+pub(crate) struct AdornedLiteral<'a>(pub &'a Literal, pub Option<AccessPattern>);
+
+impl fmt::Display for AdornedLiteral<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let AdornedLiteral(lit, pattern) = self;
+        if !lit.positive {
+            write!(f, "not ")?;
+        }
+        write!(f, "{}", lit.atom.predicate.name)?;
+        if let Some(p) = pattern {
+            write!(f, "^{p}")?;
+        }
+        write!(f, "(")?;
+        for (i, t) in lit.atom.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Public entry point: formats `lit` with an optional adornment.
+pub fn display_adorned(lit: &Literal, pattern: Option<AccessPattern>) -> String {
+    AdornedLiteral(lit, pattern).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_literal;
+
+    #[test]
+    fn adorned_positive() {
+        let l = parse_literal("B(i, a, t)").unwrap();
+        let p = AccessPattern::parse("oio").unwrap();
+        assert_eq!(display_adorned(&l, Some(p)), "B^oio(i, a, t)");
+    }
+
+    #[test]
+    fn adorned_negative_without_pattern() {
+        let l = parse_literal("not L(i)").unwrap();
+        assert_eq!(display_adorned(&l, None), "not L(i)");
+    }
+}

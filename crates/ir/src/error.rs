@@ -1,0 +1,91 @@
+//! Error type for IR construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or parsing queries and schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// An access-pattern word contained a character other than `i`/`o`, was
+    /// empty, or exceeded the maximum arity.
+    BadPattern(String),
+    /// A relation was declared twice with different arities.
+    ArityConflict {
+        /// Relation name.
+        relation: String,
+        /// Previously declared arity.
+        old: usize,
+        /// Conflicting arity.
+        new: usize,
+    },
+    /// Union construction was given no disjuncts. Use `UnionQuery::empty`
+    /// for the query `false`.
+    EmptyUnion,
+    /// Two rules of a union have different head predicates.
+    HeadMismatch {
+        /// First head seen.
+        expected: String,
+        /// Conflicting head.
+        found: String,
+    },
+    /// A rule head could not be renamed onto the union's canonical head
+    /// (the heads differ by more than a bijective variable renaming).
+    HeadNotRenamable(String),
+    /// Syntax error while parsing, with 1-based line and column.
+    Parse {
+        /// Line number.
+        line: usize,
+        /// Column number.
+        col: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A program was expected to define exactly one query.
+    NotSingleQuery(usize),
+    /// An atom used a relation with an arity conflicting with an earlier
+    /// use or declaration.
+    AtomArity {
+        /// Relation name.
+        relation: String,
+        /// Expected arity.
+        expected: usize,
+        /// Found argument count.
+        found: usize,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::BadPattern(w) => write!(f, "invalid access pattern {w:?}"),
+            IrError::ArityConflict { relation, old, new } => write!(
+                f,
+                "relation {relation} declared with arity {new}, but previously had arity {old}"
+            ),
+            IrError::EmptyUnion => write!(f, "a union query needs at least one disjunct"),
+            IrError::HeadMismatch { expected, found } => {
+                write!(f, "rule head {found} does not match union head {expected}")
+            }
+            IrError::HeadNotRenamable(h) => write!(
+                f,
+                "rule head {h} cannot be renamed onto the union's canonical head"
+            ),
+            IrError::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            IrError::NotSingleQuery(n) => {
+                write!(f, "expected a program defining exactly one query, found {n}")
+            }
+            IrError::AtomArity {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "relation {relation} used with {found} arguments, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for IrError {}

@@ -1,0 +1,636 @@
+//! Datalog-style parser for queries and access-pattern declarations.
+//!
+//! The concrete syntax follows the paper as closely as plain text allows:
+//!
+//! ```text
+//! % access patterns (Definition 1)
+//! B^ioo.  B^oio.  C^oo.  L^o.
+//!
+//! % a UCQ¬ query: one rule per disjunct, same head predicate
+//! Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).
+//! ```
+//!
+//! * identifiers in argument positions are **variables** (the paper writes
+//!   variables in lowercase; we accept any identifier),
+//! * constants are integers (`42`) or double-quoted strings (`"isbn"`),
+//! * negation is written `not`, `!`, or `¬`,
+//! * a body may be `true` (empty body) or `false` (the rule is dropped; if
+//!   every rule of a query is `false`, the query is the empty union),
+//! * `%` and `#` start line comments.
+
+use crate::atom::{Atom, Literal, Predicate};
+use crate::error::IrError;
+use crate::pattern::Schema;
+use crate::query::{ConjunctiveQuery, UnionQuery};
+use crate::symbol::Symbol;
+use crate::term::{Constant, Term, Var};
+use std::collections::HashMap;
+
+/// A parsed program: a schema of access patterns plus named queries.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Declared access patterns.
+    pub schema: Schema,
+    /// Queries in order of first appearance of their head predicate.
+    pub queries: Vec<UnionQuery>,
+}
+
+impl Program {
+    /// Returns the unique query of the program, or an error if the program
+    /// defines zero or several queries.
+    pub fn single_query(&self) -> Result<&UnionQuery, IrError> {
+        match self.queries.as_slice() {
+            [q] => Ok(q),
+            other => Err(IrError::NotSingleQuery(other.len())),
+        }
+    }
+
+    /// Looks up a query by head predicate name.
+    pub fn query(&self, name: &str) -> Option<&UnionQuery> {
+        let sym = Symbol::intern(name);
+        self.queries.iter().find(|q| q.signature.0.name == sym)
+    }
+}
+
+impl std::fmt::Display for Program {
+    /// Prints the schema declarations followed by every query's rules —
+    /// re-parseable by [`parse_program`].
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.schema)?;
+        for q in &self.queries {
+            writeln!(f, "{q}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses a full program (pattern declarations + rules).
+pub fn parse_program(text: &str) -> Result<Program, IrError> {
+    Parser::new(text).program()
+}
+
+/// Parses a program and returns its unique query (ignoring the schema).
+pub fn parse_query(text: &str) -> Result<UnionQuery, IrError> {
+    let program = parse_program(text)?;
+    program.single_query().cloned()
+}
+
+/// Parses a single rule as a CQ¬ query.
+pub fn parse_cq(text: &str) -> Result<ConjunctiveQuery, IrError> {
+    let q = parse_query(text)?;
+    match q.disjuncts.as_slice() {
+        [cq] => Ok(cq.clone()),
+        _ => Err(IrError::NotSingleQuery(q.disjuncts.len())),
+    }
+}
+
+/// Parses a single literal, e.g. `not L(i)` — convenient in tests.
+pub fn parse_literal(text: &str) -> Result<Literal, IrError> {
+    let mut p = Parser::new(text);
+    let lit = p.literal()?;
+    p.expect_eof()?;
+    Ok(lit)
+}
+
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Caret,
+    Arrow, // :- or <-
+    Not,   // not / ! / ¬
+    Eof,
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    col: usize,
+    tok: Tok,
+    tok_line: usize,
+    tok_col: usize,
+    /// Arity bookkeeping across the whole program.
+    arities: HashMap<Symbol, usize>,
+    /// Lexer error hit while priming the first token, surfaced on first use.
+    deferred_error: Option<IrError>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        let mut p = Parser {
+            chars: text.chars().peekable(),
+            line: 1,
+            col: 1,
+            tok: Tok::Eof,
+            tok_line: 1,
+            tok_col: 1,
+            arities: HashMap::new(),
+            deferred_error: None,
+        };
+        // Prime the first token; a lexer error is deferred to the first use.
+        if let Err(e) = p.advance() {
+            p.tok = Tok::Eof;
+            p.deferred_error = Some(e);
+        }
+        p
+    }
+
+    fn err(&self, message: impl Into<String>) -> IrError {
+        IrError::Parse {
+            line: self.tok_line,
+            col: self.tok_col,
+            message: message.into(),
+        }
+    }
+
+    fn bump_char(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if let Some(c) = c {
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        c
+    }
+
+    fn advance(&mut self) -> Result<(), IrError> {
+        loop {
+            // Skip whitespace and comments.
+            match self.chars.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump_char();
+                    continue;
+                }
+                Some('%') | Some('#') => {
+                    while let Some(&c) = self.chars.peek() {
+                        self.bump_char();
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                _ => break,
+            }
+        }
+        self.tok_line = self.line;
+        self.tok_col = self.col;
+        let Some(&c) = self.chars.peek() else {
+            self.tok = Tok::Eof;
+            return Ok(());
+        };
+        self.tok = match c {
+            '(' => {
+                self.bump_char();
+                Tok::LParen
+            }
+            ')' => {
+                self.bump_char();
+                Tok::RParen
+            }
+            ',' => {
+                self.bump_char();
+                Tok::Comma
+            }
+            '.' => {
+                self.bump_char();
+                Tok::Dot
+            }
+            '^' => {
+                self.bump_char();
+                Tok::Caret
+            }
+            '!' | '¬' => {
+                self.bump_char();
+                Tok::Not
+            }
+            ':' => {
+                self.bump_char();
+                if self.chars.peek() == Some(&'-') {
+                    self.bump_char();
+                    Tok::Arrow
+                } else {
+                    return Err(self.err("expected `:-`"));
+                }
+            }
+            '<' => {
+                self.bump_char();
+                if self.chars.peek() == Some(&'-') {
+                    self.bump_char();
+                    Tok::Arrow
+                } else {
+                    return Err(self.err("expected `<-`"));
+                }
+            }
+            '"' => {
+                self.bump_char();
+                let mut s = String::new();
+                loop {
+                    match self.bump_char() {
+                        Some('"') => break,
+                        Some('\\') => match self.bump_char() {
+                            Some(e @ ('"' | '\\')) => s.push(e),
+                            Some('n') => s.push('\n'),
+                            _ => return Err(self.err("bad escape in string")),
+                        },
+                        Some(ch) => s.push(ch),
+                        None => return Err(self.err("unterminated string")),
+                    }
+                }
+                Tok::Str(s)
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut s = String::new();
+                if c == '-' {
+                    s.push('-');
+                    self.bump_char();
+                    if !matches!(self.chars.peek(), Some(d) if d.is_ascii_digit()) {
+                        return Err(self.err("expected digits after `-`"));
+                    }
+                }
+                while let Some(&d) = self.chars.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        self.bump_char();
+                    } else {
+                        break;
+                    }
+                }
+                let n: i64 = s
+                    .parse()
+                    .map_err(|_| self.err(format!("integer out of range: {s}")))?;
+                Tok::Int(n)
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = self.chars.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == '\'' {
+                        s.push(d);
+                        self.bump_char();
+                    } else {
+                        break;
+                    }
+                }
+                if s == "not" {
+                    Tok::Not
+                } else {
+                    Tok::Ident(s)
+                }
+            }
+            other => return Err(self.err(format!("unexpected character {other:?}"))),
+        };
+        Ok(())
+    }
+
+    fn eat(&mut self, tok: &Tok) -> Result<(), IrError> {
+        if &self.tok == tok {
+            self.advance()
+        } else {
+            Err(self.err(format!("expected {tok:?}, found {:?}", self.tok)))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), IrError> {
+        if self.tok == Tok::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing input: {:?}", self.tok)))
+        }
+    }
+
+    fn check_arity(&mut self, name: &str, arity: usize) -> Result<Predicate, IrError> {
+        let sym = Symbol::intern(name);
+        match self.arities.get(&sym) {
+            Some(&expected) if expected != arity => Err(IrError::AtomArity {
+                relation: name.to_owned(),
+                expected,
+                found: arity,
+            }),
+            Some(_) => Ok(Predicate { name: sym, arity }),
+            None => {
+                self.arities.insert(sym, arity);
+                Ok(Predicate { name: sym, arity })
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, IrError> {
+        let t = match &self.tok {
+            Tok::Ident(s) => Term::Var(Var::new(s)),
+            Tok::Int(n) => Term::Const(Constant::Int(*n)),
+            Tok::Str(s) => Term::Const(Constant::str(s)),
+            other => return Err(self.err(format!("expected a term, found {other:?}"))),
+        };
+        self.advance()?;
+        Ok(t)
+    }
+
+    fn atom(&mut self) -> Result<Atom, IrError> {
+        let Tok::Ident(name) = self.tok.clone() else {
+            return Err(self.err(format!("expected a relation name, found {:?}", self.tok)));
+        };
+        self.advance()?;
+        self.eat(&Tok::LParen)?;
+        let mut args = Vec::new();
+        if self.tok != Tok::RParen {
+            loop {
+                args.push(self.term()?);
+                if self.tok == Tok::Comma {
+                    self.advance()?;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&Tok::RParen)?;
+        if args.is_empty() {
+            return Err(self.err(format!("relation {name} needs at least one argument")));
+        }
+        let predicate = self.check_arity(&name, args.len())?;
+        Ok(Atom { predicate, args })
+    }
+
+    fn literal(&mut self) -> Result<Literal, IrError> {
+        if self.tok == Tok::Not {
+            self.advance()?;
+            Ok(Literal::neg(self.atom()?))
+        } else {
+            Ok(Literal::pos(self.atom()?))
+        }
+    }
+
+    /// Body of a rule: `true`, `false`, or a literal list.
+    /// Returns `None` for `false` (the rule is dropped).
+    fn body(&mut self) -> Result<Option<Vec<Literal>>, IrError> {
+        if let Tok::Ident(s) = &self.tok {
+            if s == "true" {
+                self.advance()?;
+                return Ok(Some(Vec::new()));
+            }
+            if s == "false" {
+                self.advance()?;
+                return Ok(None);
+            }
+        }
+        let mut lits = vec![self.literal()?];
+        while self.tok == Tok::Comma {
+            self.advance()?;
+            lits.push(self.literal()?);
+        }
+        Ok(Some(lits))
+    }
+
+    fn program(&mut self) -> Result<Program, IrError> {
+        if let Some(e) = self.deferred_error.take() {
+            return Err(e);
+        }
+        let mut schema = Schema::new();
+        // head predicate -> (index in order, rules, any-false-rule head atom)
+        let mut order: Vec<Symbol> = Vec::new();
+        let mut rules: HashMap<Symbol, Vec<ConjunctiveQuery>> = HashMap::new();
+        let mut heads: HashMap<Symbol, Atom> = HashMap::new();
+
+        while self.tok != Tok::Eof {
+            let Tok::Ident(name) = self.tok.clone() else {
+                return Err(self.err(format!(
+                    "expected a declaration or rule, found {:?}",
+                    self.tok
+                )));
+            };
+            self.advance()?;
+            match self.tok {
+                Tok::Caret => {
+                    // Pattern declaration: Name ^ word . (word lexes as an
+                    // identifier consisting of i/o letters)
+                    self.advance()?;
+                    let Tok::Ident(word) = self.tok.clone() else {
+                        return Err(self.err("expected an access-pattern word after `^`"));
+                    };
+                    self.advance()?;
+                    schema.add_pattern_str(&name, &word)?;
+                    let decl_arity = word.len();
+                    // Record/check arity against atom uses.
+                    let sym = Symbol::intern(&name);
+                    if let Some(&a) = self.arities.get(&sym) {
+                        if a != decl_arity {
+                            return Err(IrError::ArityConflict {
+                                relation: name,
+                                old: a,
+                                new: decl_arity,
+                            });
+                        }
+                    } else {
+                        self.arities.insert(sym, decl_arity);
+                    }
+                    if self.tok == Tok::Dot {
+                        self.advance()?;
+                    }
+                }
+                Tok::LParen => {
+                    // A rule: parse the head atom (name already consumed).
+                    self.advance()?;
+                    let mut args = Vec::new();
+                    if self.tok != Tok::RParen {
+                        loop {
+                            args.push(self.term()?);
+                            if self.tok == Tok::Comma {
+                                self.advance()?;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat(&Tok::RParen)?;
+                    if args.is_empty() {
+                        return Err(self.err(format!("head {name} needs at least one argument")));
+                    }
+                    let predicate = self.check_arity(&name, args.len())?;
+                    let head = Atom { predicate, args };
+                    let body = if self.tok == Tok::Arrow {
+                        self.advance()?;
+                        self.body()?
+                    } else {
+                        // `Q(x).` — a bodyless (true) rule.
+                        Some(Vec::new())
+                    };
+                    self.eat(&Tok::Dot)?;
+                    let sym = predicate.name;
+                    if let std::collections::hash_map::Entry::Vacant(e) = rules.entry(sym) {
+                        order.push(sym);
+                        e.insert(Vec::new());
+                        heads.insert(sym, head.clone());
+                    }
+                    if let Some(body) = body {
+                        rules
+                            .get_mut(&sym)
+                            .expect("inserted above")
+                            .push(ConjunctiveQuery::new(head, body));
+                    }
+                }
+                _ => {
+                    return Err(self.err(format!(
+                        "expected `^` (pattern) or `(` (rule) after {name}, found {:?}",
+                        self.tok
+                    )))
+                }
+            }
+        }
+
+        let mut queries = Vec::with_capacity(order.len());
+        for sym in order {
+            let cqs = rules.remove(&sym).expect("tracked");
+            if cqs.is_empty() {
+                queries.push(UnionQuery::empty(heads.remove(&sym).expect("tracked")));
+            } else {
+                queries.push(UnionQuery::new(cqs)?);
+            }
+        }
+        Ok(Program { schema, queries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example_1() {
+        let p = parse_program(
+            "B^ioo. B^oio. C^oo. L^o.\n\
+             Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).",
+        )
+        .unwrap();
+        let q = p.single_query().unwrap();
+        assert_eq!(q.disjuncts.len(), 1);
+        assert_eq!(
+            q.disjuncts[0].to_string(),
+            "Q(i, a, t) :- B(i, a, t), C(i, a), not L(i)."
+        );
+        assert_eq!(p.schema.patterns(Symbol::intern("B")).len(), 2);
+    }
+
+    #[test]
+    fn multiple_rules_form_a_union() {
+        let q = parse_query(
+            "Q(a) :- B(i, a, t), L(i), B(i2, a2, t).\n\
+             Q(a) :- B(i, a, t), L(i), not B(i2, a2, t).",
+        )
+        .unwrap();
+        assert_eq!(q.disjuncts.len(), 2);
+    }
+
+    #[test]
+    fn false_body_drops_rule() {
+        let q = parse_query(
+            "Q(x, y) :- false.\n\
+             Q(x, y) :- T(x, y).",
+        )
+        .unwrap();
+        assert_eq!(q.disjuncts.len(), 1);
+        let empty = parse_query("Q(x) :- false.").unwrap();
+        assert!(empty.is_false());
+    }
+
+    #[test]
+    fn true_body_is_empty_body() {
+        let q = parse_query("Q(x) :- true.").unwrap();
+        assert_eq!(q.disjuncts[0].body.len(), 0);
+    }
+
+    #[test]
+    fn negation_spellings() {
+        for text in ["Q(x) :- R(x), not S(x).", "Q(x) :- R(x), ! S(x).", "Q(x) :- R(x), ¬S(x)."] {
+            let q = parse_cq(text).unwrap();
+            assert!(!q.body[1].positive, "in {text}");
+        }
+    }
+
+    #[test]
+    fn constants_parse() {
+        let q = parse_cq(r#"Q(x) :- R(x, 42, "alice", -7)."#).unwrap();
+        assert_eq!(q.body[0].atom.args[1], Term::int(42));
+        assert_eq!(q.body[0].atom.args[2], Term::str("alice"));
+        assert_eq!(q.body[0].atom.args[3], Term::int(-7));
+    }
+
+    #[test]
+    fn arity_is_enforced_across_atoms() {
+        let e = parse_program("Q(x) :- R(x, y), R(x).").unwrap_err();
+        assert!(matches!(e, IrError::AtomArity { .. }), "{e}");
+    }
+
+    #[test]
+    fn arity_is_enforced_between_pattern_and_atom() {
+        let e = parse_program("R^oo.\nQ(x) :- R(x, y, z).").unwrap_err();
+        assert!(matches!(e, IrError::ArityConflict { .. } | IrError::AtomArity { .. }), "{e}");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = parse_program(
+            "% patterns\nB^oo. # trailing\nQ(x) :- B(x, y). % done",
+        )
+        .unwrap();
+        assert_eq!(p.queries.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = parse_program("Q(x) :- R(x)\nQ(y) :- S(y).").unwrap_err();
+        match e {
+            IrError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_queries_in_one_program() {
+        let p = parse_program(
+            "Q(x) :- R(x).\n\
+             P(y) :- S(y).\n\
+             Q(x) :- T(x).",
+        )
+        .unwrap();
+        assert_eq!(p.queries.len(), 2);
+        assert_eq!(p.query("Q").unwrap().disjuncts.len(), 2);
+        assert_eq!(p.query("P").unwrap().disjuncts.len(), 1);
+        assert!(p.single_query().is_err());
+    }
+
+    #[test]
+    fn arrow_spellings() {
+        assert!(parse_cq("Q(x) <- R(x).").is_ok());
+        assert!(parse_cq("Q(x) :- R(x).").is_ok());
+    }
+
+    #[test]
+    fn program_display_round_trips() {
+        let text = "B^ioo. B^oio. C^oo. L^o.\n\
+                    Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).\n\
+                    P(x) :- C(x, y).";
+        let p1 = parse_program(text).unwrap();
+        let p2 = parse_program(&p1.to_string()).unwrap();
+        assert_eq!(p1.schema, p2.schema);
+        assert_eq!(p1.queries.len(), p2.queries.len());
+        for (a, b) in p1.queries.iter().zip(p2.queries.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn literal_parser() {
+        let l = parse_literal("not L(i)").unwrap();
+        assert!(!l.positive);
+        assert_eq!(l.atom.predicate.name.as_str(), "L");
+    }
+}

@@ -1,0 +1,446 @@
+//! Access patterns (Definition 1) and schemas with pattern sets.
+
+use crate::atom::Predicate;
+use crate::error::IrError;
+use crate::symbol::Symbol;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An access pattern `R^α` for a k-ary relation: a word `α ∈ {i, o}^k`
+/// (Definition 1). Position `j` is an *input slot* if `α(j) = i` — a value
+/// must be supplied there at call time — and an *output slot* otherwise.
+///
+/// Represented as a bitmask (`i` = bit set) plus the arity, so patterns are
+/// `Copy` and subsumption is a mask test. Arity is limited to 32, far above
+/// anything in practice.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AccessPattern {
+    arity: u8,
+    inputs: u32,
+}
+
+impl AccessPattern {
+    /// Maximum supported arity.
+    pub const MAX_ARITY: usize = 32;
+
+    /// Parses a pattern word such as `"oio"`.
+    pub fn parse(word: &str) -> Result<AccessPattern, IrError> {
+        if word.is_empty() || word.len() > Self::MAX_ARITY {
+            return Err(IrError::BadPattern(word.to_owned()));
+        }
+        let mut inputs = 0u32;
+        for (j, ch) in word.chars().enumerate() {
+            match ch {
+                'i' => inputs |= 1 << j,
+                'o' => {}
+                _ => return Err(IrError::BadPattern(word.to_owned())),
+            }
+        }
+        Ok(AccessPattern {
+            arity: word.len() as u8,
+            inputs,
+        })
+    }
+
+    /// The all-output pattern `R^{oo…o}` of the given arity: a relation that
+    /// can be scanned freely.
+    pub fn all_output(arity: usize) -> AccessPattern {
+        assert!(arity <= Self::MAX_ARITY, "arity {arity} too large");
+        AccessPattern {
+            arity: arity as u8,
+            inputs: 0,
+        }
+    }
+
+    /// The all-input pattern `R^{ii…i}`: a pure membership test.
+    pub fn all_input(arity: usize) -> AccessPattern {
+        assert!(arity <= Self::MAX_ARITY && arity > 0, "bad arity {arity}");
+        AccessPattern {
+            arity: arity as u8,
+            inputs: if arity == 32 {
+                u32::MAX
+            } else {
+                (1u32 << arity) - 1
+            },
+        }
+    }
+
+    /// Builds a pattern from the set of input positions (0-based).
+    pub fn from_input_positions(arity: usize, inputs: &[usize]) -> AccessPattern {
+        assert!(arity <= Self::MAX_ARITY);
+        let mut mask = 0u32;
+        for &j in inputs {
+            assert!(j < arity, "input position {j} out of range for arity {arity}");
+            mask |= 1 << j;
+        }
+        AccessPattern {
+            arity: arity as u8,
+            inputs: mask,
+        }
+    }
+
+    /// The pattern's arity.
+    pub fn arity(self) -> usize {
+        self.arity as usize
+    }
+
+    /// True iff position `j` (0-based) is an input slot.
+    pub fn is_input(self, j: usize) -> bool {
+        debug_assert!(j < self.arity());
+        self.inputs & (1 << j) != 0
+    }
+
+    /// Iterator over the 0-based input positions.
+    pub fn input_positions(self) -> impl Iterator<Item = usize> {
+        let mask = self.inputs;
+        (0..self.arity()).filter(move |&j| mask & (1 << j) != 0)
+    }
+
+    /// Iterator over the 0-based output positions.
+    pub fn output_positions(self) -> impl Iterator<Item = usize> {
+        let mask = self.inputs;
+        (0..self.arity()).filter(move |&j| mask & (1 << j) == 0)
+    }
+
+    /// Number of input slots.
+    pub fn num_inputs(self) -> usize {
+        self.inputs.count_ones() as usize
+    }
+
+    /// True iff every slot is an output slot (free scan).
+    pub fn is_all_output(self) -> bool {
+        self.inputs == 0
+    }
+
+    /// "Bound is easier" (Ullman): `self` *subsumes* `other` if whenever
+    /// `other` is usable, so is `self` — i.e. `self`'s input slots are a
+    /// subset of `other`'s. A source exposing `self` can emulate any call
+    /// made through `other` by ignoring the extra bindings and filtering.
+    pub fn subsumes(self, other: AccessPattern) -> bool {
+        self.arity == other.arity && (self.inputs & !other.inputs) == 0
+    }
+}
+
+impl fmt::Display for AccessPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for j in 0..self.arity() {
+            f.write_str(if self.is_input(j) { "i" } else { "o" })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for AccessPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// The declaration of one relation: its arity and the set of access patterns
+/// under which it may be called.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationDecl {
+    /// The relation (name + arity).
+    pub predicate: Predicate,
+    /// Available access patterns, deduplicated, in insertion order.
+    pub patterns: Vec<AccessPattern>,
+}
+
+impl RelationDecl {
+    /// True iff some pattern allows a call with exactly the positions in
+    /// `bound` already bound — i.e. some pattern's input slots ⊆ `bound`.
+    pub fn callable_with(&self, bound: impl Fn(usize) -> bool) -> bool {
+        self.usable_pattern(bound).is_some()
+    }
+
+    /// The *best* usable pattern given the bound positions: among patterns
+    /// whose input slots are all bound, the one with the most input slots
+    /// (pushing the most selections to the source). `None` if no pattern is
+    /// usable.
+    pub fn usable_pattern(&self, bound: impl Fn(usize) -> bool) -> Option<AccessPattern> {
+        self.patterns
+            .iter()
+            .copied()
+            .filter(|p| p.input_positions().all(&bound))
+            .max_by_key(|p| p.num_inputs())
+    }
+}
+
+/// A schema: the set of relations with their access patterns — the paper's
+/// "`P`, a set of access patterns" together with the relation arities.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schema {
+    relations: BTreeMap<Symbol, RelationDecl>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Adds (or extends) a relation with an access pattern given as a word
+    /// like `"oio"`. The relation's arity is the word length; re-declaring
+    /// with a different arity is an error.
+    pub fn add_pattern_str(&mut self, name: &str, word: &str) -> Result<(), IrError> {
+        let pattern = AccessPattern::parse(word)?;
+        self.add_pattern(name, pattern)
+    }
+
+    /// Adds (or extends) a relation with the given access pattern.
+    pub fn add_pattern(&mut self, name: &str, pattern: AccessPattern) -> Result<(), IrError> {
+        let sym = Symbol::intern(name);
+        match self.relations.get_mut(&sym) {
+            Some(decl) => {
+                if decl.predicate.arity != pattern.arity() {
+                    return Err(IrError::ArityConflict {
+                        relation: name.to_owned(),
+                        old: decl.predicate.arity,
+                        new: pattern.arity(),
+                    });
+                }
+                if !decl.patterns.contains(&pattern) {
+                    decl.patterns.push(pattern);
+                }
+            }
+            None => {
+                self.relations.insert(
+                    sym,
+                    RelationDecl {
+                        predicate: Predicate {
+                            name: sym,
+                            arity: pattern.arity(),
+                        },
+                        patterns: vec![pattern],
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Declares a relation with *no* access patterns (it exists but cannot
+    /// be called — useful for intensional predicates like `dom`).
+    pub fn declare(&mut self, predicate: Predicate) {
+        self.relations.entry(predicate.name).or_insert(RelationDecl {
+            predicate,
+            patterns: Vec::new(),
+        });
+    }
+
+    /// Looks up a relation's declaration.
+    pub fn relation(&self, name: Symbol) -> Option<&RelationDecl> {
+        self.relations.get(&name)
+    }
+
+    /// The access patterns of a relation (empty slice if undeclared).
+    pub fn patterns(&self, name: Symbol) -> &[AccessPattern] {
+        self.relations
+            .get(&name)
+            .map(|d| d.patterns.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over all relation declarations in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &RelationDecl> {
+        self.relations.values()
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True iff no relations are declared.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Removes access patterns subsumed by a strictly more capable one
+    /// ("bound is easier", Ullman): a pattern whose input slots are a
+    /// superset of another's can always be replaced by that other pattern,
+    /// so dropping it changes no answerability or executability verdict —
+    /// it only shrinks the sets the planning algorithms iterate over.
+    pub fn minimize_patterns(&mut self) {
+        for decl in self.relations.values_mut() {
+            let patterns = decl.patterns.clone();
+            decl.patterns.retain(|&p| {
+                !patterns
+                    .iter()
+                    .any(|&other| other != p && other.subsumes(p))
+            });
+        }
+    }
+
+    /// Convenience constructor from `(name, pattern-word)` pairs.
+    ///
+    /// ```
+    /// use lap_ir::Schema;
+    /// let s = Schema::from_patterns(&[("B", "ioo"), ("B", "oio"), ("L", "o")]).unwrap();
+    /// assert_eq!(s.len(), 2);
+    /// ```
+    pub fn from_patterns(pairs: &[(&str, &str)]) -> Result<Schema, IrError> {
+        let mut schema = Schema::new();
+        for (name, word) in pairs {
+            schema.add_pattern_str(name, word)?;
+        }
+        Ok(schema)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for decl in self.relations.values() {
+            for p in &decl.patterns {
+                writeln!(f, "{}^{}.", decl.predicate.name, p)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for w in ["o", "i", "oio", "iiii", "oooo"] {
+            assert_eq!(AccessPattern::parse(w).unwrap().to_string(), w);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(AccessPattern::parse("").is_err());
+        assert!(AccessPattern::parse("iox").is_err());
+        assert!(AccessPattern::parse(&"i".repeat(33)).is_err());
+    }
+
+    #[test]
+    fn input_output_positions() {
+        let p = AccessPattern::parse("oio").unwrap();
+        assert_eq!(p.input_positions().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(p.output_positions().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(!p.is_input(0));
+        assert!(p.is_input(1));
+        assert_eq!(p.num_inputs(), 1);
+    }
+
+    #[test]
+    fn subsumption_is_bound_is_easier() {
+        let ooo = AccessPattern::parse("ooo").unwrap();
+        let oio = AccessPattern::parse("oio").unwrap();
+        let iio = AccessPattern::parse("iio").unwrap();
+        assert!(ooo.subsumes(oio));
+        assert!(oio.subsumes(iio));
+        assert!(!iio.subsumes(oio));
+        assert!(!ooo.subsumes(AccessPattern::parse("oo").unwrap())); // arity differs
+    }
+
+    #[test]
+    fn all_input_all_output() {
+        let ai = AccessPattern::all_input(3);
+        assert_eq!(ai.to_string(), "iii");
+        let ao = AccessPattern::all_output(3);
+        assert_eq!(ao.to_string(), "ooo");
+        assert!(ao.is_all_output());
+        assert!(!ai.is_all_output());
+    }
+
+    #[test]
+    fn schema_accumulates_patterns() {
+        let s = Schema::from_patterns(&[("B", "ioo"), ("B", "oio"), ("B", "ioo")]).unwrap();
+        let decl = s.relation(Symbol::intern("B")).unwrap();
+        assert_eq!(decl.patterns.len(), 2); // deduplicated
+        assert_eq!(decl.predicate.arity, 3);
+    }
+
+    #[test]
+    fn schema_rejects_arity_conflict() {
+        let mut s = Schema::new();
+        s.add_pattern_str("R", "oo").unwrap();
+        assert!(matches!(
+            s.add_pattern_str("R", "ooo"),
+            Err(IrError::ArityConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn usable_pattern_picks_most_selective() {
+        let s = Schema::from_patterns(&[("B", "ooo"), ("B", "iio")]).unwrap();
+        let decl = s.relation(Symbol::intern("B")).unwrap();
+        // Everything bound: prefer the pattern pushing 2 inputs.
+        let best = decl.usable_pattern(|_| true).unwrap();
+        assert_eq!(best.to_string(), "iio");
+        // Nothing bound: only the free scan works.
+        let best = decl.usable_pattern(|_| false).unwrap();
+        assert_eq!(best.to_string(), "ooo");
+    }
+
+    #[test]
+    fn relation_with_no_patterns_is_never_callable() {
+        let mut s = Schema::new();
+        s.declare(Predicate::new("dom", 1));
+        let decl = s.relation(Symbol::intern("dom")).unwrap();
+        assert!(!decl.callable_with(|_| true));
+    }
+}
+
+impl std::str::FromStr for AccessPattern {
+    type Err = IrError;
+
+    fn from_str(s: &str) -> Result<AccessPattern, IrError> {
+        AccessPattern::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn from_str_round_trips() {
+        let p: AccessPattern = "oio".parse().unwrap();
+        assert_eq!(p.to_string(), "oio");
+        assert!("oxo".parse::<AccessPattern>().is_err());
+    }
+
+    #[test]
+    fn minimize_patterns_drops_subsumed() {
+        let mut s = Schema::from_patterns(&[("B", "iio"), ("B", "ioo"), ("B", "oio"), ("B", "ooo")])
+            .unwrap();
+        s.minimize_patterns();
+        let decl = s.relation(Symbol::intern("B")).unwrap();
+        // ooo subsumes everything.
+        assert_eq!(decl.patterns.len(), 1);
+        assert_eq!(decl.patterns[0].to_string(), "ooo");
+    }
+
+    #[test]
+    fn minimize_patterns_keeps_incomparable() {
+        let mut s = Schema::from_patterns(&[("B", "ioo"), ("B", "oio")]).unwrap();
+        s.minimize_patterns();
+        assert_eq!(s.relation(Symbol::intern("B")).unwrap().patterns.len(), 2);
+    }
+
+    #[test]
+    fn minimize_patterns_preserves_callability() {
+        let mut s =
+            Schema::from_patterns(&[("R", "iio"), ("R", "ioo"), ("R", "oii"), ("R", "ioi")])
+                .unwrap();
+        let before = s.clone();
+        s.minimize_patterns();
+        // Every bound-set that was callable before is callable after.
+        let r = Symbol::intern("R");
+        for mask in 0u32..8 {
+            let callable = |schema: &Schema| {
+                schema
+                    .relation(r)
+                    .unwrap()
+                    .callable_with(|j| mask & (1 << j) != 0)
+            };
+            assert_eq!(callable(&before), callable(&s), "mask {mask:03b}");
+        }
+    }
+}

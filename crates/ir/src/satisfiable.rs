@@ -1,0 +1,62 @@
+//! Satisfiability of CQ¬ queries (paper, Proposition 8).
+
+use crate::query::ConjunctiveQuery;
+use std::collections::HashSet;
+
+/// Proposition 8: a CQ¬ query `Q` is unsatisfiable iff there exist a
+/// relation `R` and terms `x̄` such that both `R(x̄)` and `¬R(x̄)` appear in
+/// `Q` (syntactically identical argument tuples). Otherwise the frozen
+/// positive part `[Q⁺]` is a model.
+///
+/// Runs in `O(|Q|)` expected time via hashing (the paper states quadratic,
+/// which a nested scan would give; hashing is strictly better).
+pub fn is_satisfiable(q: &ConjunctiveQuery) -> bool {
+    let positives: HashSet<_> = q
+        .body
+        .iter()
+        .filter(|l| l.positive)
+        .map(|l| &l.atom)
+        .collect();
+    !q.body
+        .iter()
+        .filter(|l| !l.positive)
+        .any(|l| positives.contains(&l.atom))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+
+    #[test]
+    fn complementary_pair_is_unsatisfiable() {
+        let q = parse_cq("Q(x) :- R(x, y), not R(x, y).").unwrap();
+        assert!(!is_satisfiable(&q));
+    }
+
+    #[test]
+    fn different_arguments_are_satisfiable() {
+        let q = parse_cq("Q(x) :- R(x, y), not R(y, x).").unwrap();
+        assert!(is_satisfiable(&q));
+    }
+
+    #[test]
+    fn different_predicates_are_satisfiable() {
+        let q = parse_cq("Q(x) :- R(x), not S(x).").unwrap();
+        assert!(is_satisfiable(&q));
+    }
+
+    #[test]
+    fn positive_only_queries_are_satisfiable() {
+        let q = parse_cq("Q(x) :- R(x, y), S(y, x), R(y, y).").unwrap();
+        assert!(is_satisfiable(&q));
+    }
+
+    #[test]
+    fn constants_must_match_syntactically() {
+        let q = parse_cq("Q(x) :- R(x, 1), not R(x, 2).").unwrap();
+        assert!(is_satisfiable(&q));
+        let q = parse_cq("Q(x) :- R(x, 1), not R(x, 1).").unwrap();
+        assert!(!is_satisfiable(&q));
+    }
+}

@@ -1,0 +1,118 @@
+//! Global string interner.
+//!
+//! All identifiers in the IR (predicate names, variable names, string
+//! constants) are interned into a process-wide table and represented by a
+//! 4-byte [`Symbol`]. Queries are manipulated heavily by the planning and
+//! containment algorithms (substitution, renaming apart, homomorphism
+//! search), and interning turns the hot comparisons into integer equality.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string.
+///
+/// Two `Symbol`s are equal iff the strings they intern are equal. Interned
+/// strings live for the remainder of the process (the interner leaks them to
+/// hand out `&'static str`), which is the standard trade-off for compiler- or
+/// query-engine-style workloads with a bounded identifier vocabulary.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `s`, returning its symbol. Idempotent.
+    pub fn intern(s: &str) -> Symbol {
+        let mut int = interner().lock();
+        if let Some(&id) = int.map.get(s) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(int.strings.len()).expect("interner overflow");
+        int.strings.push(leaked);
+        int.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().lock().strings[self.0 as usize]
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::intern(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("foo");
+        let b = Symbol::intern("foo");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "foo");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        assert_ne!(Symbol::intern("alpha1"), Symbol::intern("alpha2"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = Symbol::intern("Book");
+        assert_eq!(s.to_string(), "Book");
+    }
+
+    #[test]
+    fn symbols_are_ordered_consistently() {
+        let a = Symbol::intern("ord_a");
+        let b = Symbol::intern("ord_b");
+        // Order is by interning index, not lexicographic — but must be a
+        // total order consistent with equality.
+        #[allow(clippy::eq_op, clippy::nonminimal_bool)]
+        {
+            assert!(a == a && !(a < a));
+        }
+        assert!(a != b);
+        assert!((a < b) ^ (b < a));
+    }
+}

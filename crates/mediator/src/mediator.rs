@@ -1,0 +1,255 @@
+//! The mediator facade: views + source schema + constraints, with the full
+//! compile-time and runtime pipeline behind one API.
+
+use crate::unfold::{unfold_deep, UnfoldError};
+use crate::views::{GavView, ViewError};
+use lap_constraints::{prune_unsatisfiable, ConstraintSet};
+use lap_core::{answer_star, feasible_detailed, AnswerReport, FeasibilityReport};
+use lap_engine::{Database, EngineError};
+use lap_ir::{parse_program, IrError, Schema, UnionQuery};
+use std::fmt;
+
+/// Errors surfaced by the mediator pipeline.
+#[derive(Debug)]
+pub enum MediatorError {
+    /// An invalid view definition.
+    View(ViewError),
+    /// Unfolding failed (negated complex view, disjunct cap).
+    Unfold(UnfoldError),
+    /// The view program did not parse.
+    Parse(IrError),
+    /// Runtime evaluation failed.
+    Engine(EngineError),
+}
+
+impl fmt::Display for MediatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MediatorError::View(e) => write!(f, "view error: {e}"),
+            MediatorError::Unfold(e) => write!(f, "unfold error: {e}"),
+            MediatorError::Parse(e) => write!(f, "parse error: {e}"),
+            MediatorError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MediatorError {}
+
+impl From<ViewError> for MediatorError {
+    fn from(e: ViewError) -> Self {
+        MediatorError::View(e)
+    }
+}
+impl From<UnfoldError> for MediatorError {
+    fn from(e: UnfoldError) -> Self {
+        MediatorError::Unfold(e)
+    }
+}
+impl From<IrError> for MediatorError {
+    fn from(e: IrError) -> Self {
+        MediatorError::Parse(e)
+    }
+}
+impl From<EngineError> for MediatorError {
+    fn from(e: EngineError) -> Self {
+        MediatorError::Engine(e)
+    }
+}
+
+/// The compile-time artifact for one global query.
+#[derive(Clone, Debug)]
+pub struct MediatorPlan {
+    /// The raw unfolding over the source schema.
+    pub unfolded: UnionQuery,
+    /// After the semantic optimizer (Σ-unsatisfiable disjuncts removed).
+    pub pruned: UnionQuery,
+    /// Feasibility analysis of the pruned plan (includes PLAN\* output).
+    pub feasibility: FeasibilityReport,
+}
+
+/// A global-as-view mediator over limited-access sources — the shape of
+/// the paper's BIRN prototype (Section 6): queries arrive against global
+/// relations, get unfolded into UCQ¬ over the sources, semantically
+/// optimized with the integrity constraints, analyzed with FEASIBLE, and
+/// answered with ANSWER\*.
+#[derive(Clone, Debug, Default)]
+pub struct Mediator {
+    views: Vec<GavView>,
+    source_schema: Schema,
+    constraints: ConstraintSet,
+    max_disjuncts: usize,
+}
+
+impl Mediator {
+    /// A mediator over the given source schema.
+    pub fn new(source_schema: Schema) -> Mediator {
+        Mediator {
+            views: Vec::new(),
+            source_schema,
+            constraints: ConstraintSet::new(),
+            max_disjuncts: 10_000,
+        }
+    }
+
+    /// Parses a mediator definition: access-pattern declarations give the
+    /// source schema; every rule defines a view of a global relation.
+    ///
+    /// ```
+    /// use lap_mediator::Mediator;
+    /// let m = Mediator::from_program(
+    ///     "Amazon^oooo. Bn^ooo.\n\
+    ///      Book(i, a, t) :- Amazon(i, a, t, p).\n\
+    ///      Book(i, a, t) :- Bn(i, a, t).",
+    /// )
+    /// .unwrap();
+    /// assert_eq!(m.views().len(), 2);
+    /// ```
+    pub fn from_program(text: &str) -> Result<Mediator, MediatorError> {
+        let program = parse_program(text)?;
+        let mut mediator = Mediator::new(program.schema.clone());
+        for q in &program.queries {
+            for rule in &q.disjuncts {
+                mediator.add_view(GavView::from_rule(rule)?);
+            }
+        }
+        Ok(mediator)
+    }
+
+    /// Adds one view.
+    pub fn add_view(&mut self, view: GavView) {
+        self.views.push(view);
+    }
+
+    /// Installs the integrity constraints used by the semantic optimizer.
+    pub fn with_constraints(mut self, cs: ConstraintSet) -> Mediator {
+        self.constraints = cs;
+        self
+    }
+
+    /// Caps the number of unfolded disjuncts (default 10 000).
+    pub fn with_max_disjuncts(mut self, cap: usize) -> Mediator {
+        self.max_disjuncts = cap;
+        self
+    }
+
+    /// The installed views.
+    pub fn views(&self) -> &[GavView] {
+        &self.views
+    }
+
+    /// The source schema.
+    pub fn source_schema(&self) -> &Schema {
+        &self.source_schema
+    }
+
+    /// Compile-time pipeline: unfold (multi-level, rejecting recursive
+    /// view sets) → prune under Σ → FEASIBLE/PLAN\*.
+    pub fn plan(&self, q: &UnionQuery) -> Result<MediatorPlan, MediatorError> {
+        let unfolded = unfold_deep(q, &self.views, self.max_disjuncts)?;
+        let pruned = prune_unsatisfiable(&unfolded, &self.constraints);
+        let feasibility = feasible_detailed(&pruned, &self.source_schema);
+        Ok(MediatorPlan {
+            unfolded,
+            pruned,
+            feasibility,
+        })
+    }
+
+    /// Full pipeline including runtime answering over a source instance.
+    pub fn answer(
+        &self,
+        q: &UnionQuery,
+        db: &Database,
+    ) -> Result<(MediatorPlan, AnswerReport), MediatorError> {
+        let plan = self.plan(q)?;
+        let report = answer_star(&plan.pruned, &self.source_schema, db)?;
+        Ok((plan, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lap_constraints::InclusionDep;
+    use lap_core::DecisionPath;
+    use lap_ir::{parse_query, Predicate};
+
+    const BOOK_MEDIATOR: &str = "Amazon^oooo. Amazon^iooo. Bn^ooo. Shelf^o. Cat^oo.\n\
+         Book(i, a, t) :- Amazon(i, a, t, p).\n\
+         Book(i, a, t) :- Bn(i, a, t).\n\
+         Lib(i) :- Shelf(i).";
+
+    #[test]
+    fn end_to_end_feasible_query() {
+        let m = Mediator::from_program(BOOK_MEDIATOR).unwrap();
+        let q = parse_query("Q(i, a, t) :- Book(i, a, t), Cat(i, a), not Lib(i).").unwrap();
+        let plan = m.plan(&q).unwrap();
+        assert_eq!(plan.unfolded.disjuncts.len(), 2);
+        assert!(plan.feasibility.feasible);
+        let db = Database::from_facts(
+            r#"
+            Amazon(1, "adams", "hhgttg", 12). Bn(2, "adams", "dirk gently").
+            Cat(1, "adams"). Cat(2, "adams").
+            Shelf(1).
+            "#,
+        )
+        .unwrap();
+        let (_, report) = m.answer(&q, &db).unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.under.len(), 1); // book 2 (book 1 is on the shelf)
+    }
+
+    #[test]
+    fn constraints_prune_unfoldings() {
+        // Global query with ¬Lib over the atomic Lib view + a constraint
+        // that every Bn book is on the shelf: the Bn unfolding dies.
+        let m = Mediator::from_program(BOOK_MEDIATOR)
+            .unwrap()
+            .with_constraints(ConstraintSet::new().with_inclusion(InclusionDep::new(
+                Predicate::new("Bn", 3),
+                vec![0],
+                Predicate::new("Shelf", 1),
+                vec![0],
+            )));
+        let q = parse_query("Q(i) :- Book(i, a, t), not Lib(i).").unwrap();
+        let plan = m.plan(&q).unwrap();
+        assert_eq!(plan.unfolded.disjuncts.len(), 2);
+        assert_eq!(plan.pruned.disjuncts.len(), 1);
+        assert!(plan.pruned.disjuncts[0].to_string().contains("Amazon"));
+    }
+
+    #[test]
+    fn infeasible_unfolding_detected() {
+        // A price lookup source requiring an isbn input, exposed globally.
+        let m = Mediator::from_program(
+            "Price^io.\n\
+             GPrice(i, p) :- Price(i, p).",
+        )
+        .unwrap();
+        let q = parse_query("Q(p) :- GPrice(i, p).").unwrap();
+        let plan = m.plan(&q).unwrap();
+        assert!(!plan.feasibility.feasible);
+        assert_eq!(
+            plan.feasibility.decided_by,
+            DecisionPath::OverestimateHasNull
+        );
+    }
+
+    #[test]
+    fn pass_through_source_literals() {
+        let m = Mediator::from_program(BOOK_MEDIATOR).unwrap();
+        // Cat is a source relation with no view: it passes through.
+        let q = parse_query("Q(i) :- Cat(i, a).").unwrap();
+        let plan = m.plan(&q).unwrap();
+        assert_eq!(plan.unfolded.disjuncts.len(), 1);
+        assert_eq!(plan.unfolded.disjuncts[0].to_string(), "Q(i) :- Cat(i, a).");
+    }
+
+    #[test]
+    fn bad_view_program_is_rejected() {
+        assert!(matches!(
+            Mediator::from_program("S^o.\nG(x, y) :- S(x)."),
+            Err(MediatorError::View(_))
+        ));
+    }
+}

@@ -1,0 +1,138 @@
+//! Global-as-view definitions.
+
+use lap_ir::{Atom, ConjunctiveQuery, Literal, Predicate, Var};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One GAV view: a global relation defined by a CQ¬ over source relations,
+/// e.g. `Book(i, a, t) :- Amazon(i, a, t, price).` A global relation may
+/// have several views (their union defines it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GavView {
+    /// The global-relation head; its arguments must be distinct variables.
+    pub head: Atom,
+    /// The source-level body.
+    pub body: Vec<Literal>,
+}
+
+/// Errors constructing a view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewError {
+    /// A head argument is a constant or a repeated variable.
+    HeadNotDistinctVars(String),
+    /// A head variable does not occur in a positive body literal.
+    Unsafe(String),
+}
+
+impl fmt::Display for ViewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewError::HeadNotDistinctVars(h) => {
+                write!(f, "view head {h} must consist of distinct variables")
+            }
+            ViewError::Unsafe(h) => write!(f, "view {h} is unsafe"),
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+impl GavView {
+    /// Builds a view, validating the standard GAV conditions: the head is
+    /// a tuple of distinct variables, each occurring in a positive body
+    /// literal (safety).
+    pub fn new(head: Atom, body: Vec<Literal>) -> Result<GavView, ViewError> {
+        let mut seen = HashSet::new();
+        for arg in &head.args {
+            match arg.as_var() {
+                Some(v) if seen.insert(v) => {}
+                _ => return Err(ViewError::HeadNotDistinctVars(head.to_string())),
+            }
+        }
+        let view = GavView { head, body };
+        if !view.as_query().is_safe() {
+            return Err(ViewError::Unsafe(view.head.to_string()));
+        }
+        Ok(view)
+    }
+
+    /// Builds a view from a parsed rule.
+    pub fn from_rule(rule: &ConjunctiveQuery) -> Result<GavView, ViewError> {
+        GavView::new(rule.head.clone(), rule.body.clone())
+    }
+
+    /// The global predicate this view defines.
+    pub fn defines(&self) -> Predicate {
+        self.head.predicate
+    }
+
+    /// The head variables, in order.
+    pub fn head_vars(&self) -> Vec<Var> {
+        self.head.args.iter().filter_map(|t| t.as_var()).collect()
+    }
+
+    /// The view as a rule (for display / containment checks).
+    pub fn as_query(&self) -> ConjunctiveQuery {
+        ConjunctiveQuery::new(self.head.clone(), self.body.clone())
+    }
+
+    /// True iff the view body is a single positive atom with no
+    /// existential variables — the shape under which a *negated* global
+    /// literal can still be unfolded into a literal.
+    pub fn is_atomic(&self) -> bool {
+        if self.body.len() != 1 || !self.body[0].positive {
+            return false;
+        }
+        let head_vars: HashSet<Var> = self.head_vars().into_iter().collect();
+        self.body[0].vars().all(|v| head_vars.contains(&v))
+    }
+}
+
+impl fmt::Display for GavView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_query())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lap_ir::parse_cq;
+
+    #[test]
+    fn valid_view() {
+        let rule = parse_cq("Book(i, a, t) :- Amazon(i, a, t, p).").unwrap();
+        let view = GavView::from_rule(&rule).unwrap();
+        assert_eq!(view.defines().name.as_str(), "Book");
+        assert!(!view.is_atomic()); // p is existential
+    }
+
+    #[test]
+    fn atomic_view_detection() {
+        let rule = parse_cq("Lib(i) :- Shelf(i).").unwrap();
+        assert!(GavView::from_rule(&rule).unwrap().is_atomic());
+        let neg = parse_cq("Lib(i) :- Shelf(i), not Lost(i).").unwrap();
+        assert!(!GavView::from_rule(&neg).unwrap().is_atomic());
+    }
+
+    #[test]
+    fn repeated_head_vars_rejected() {
+        let rule = parse_cq("G(x, x) :- S(x).").unwrap();
+        assert!(matches!(
+            GavView::from_rule(&rule),
+            Err(ViewError::HeadNotDistinctVars(_))
+        ));
+    }
+
+    #[test]
+    fn constant_head_rejected() {
+        let rule = parse_cq("G(x, 1) :- S(x).").unwrap();
+        assert!(GavView::from_rule(&rule).is_err());
+    }
+
+    #[test]
+    fn unsafe_view_rejected() {
+        let rule = parse_cq("G(x, y) :- S(x).").unwrap();
+        assert!(matches!(GavView::from_rule(&rule), Err(ViewError::Unsafe(_))));
+    }
+}

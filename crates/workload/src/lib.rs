@@ -1,0 +1,28 @@
+//! Seeded workload generators for the experiment suite.
+//!
+//! The paper has no public benchmark; every experiment in this
+//! reproduction runs on synthetic workloads generated here, always from an
+//! explicit seed so runs are exactly reproducible:
+//!
+//! * [`gen_schema`] — random relations with random access patterns;
+//! * [`gen_query`] — random *safe* CQ/CQ¬/UCQ¬ over a schema;
+//! * [`gen_instance`] / [`gen_instance_with_inclusion`] — random database
+//!   instances, optionally satisfying the foreign-key inclusion of the
+//!   paper's Example 6;
+//! * [`families`] — hand-shaped families with known properties:
+//!   executable/reversed chains and stars (scaling), the Example-3
+//!   "feasible but not orderable" family, the excluded-middle Π₂ᴾ stress
+//!   pair, and BIRN-style GAV unfoldings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod families;
+pub mod scenario;
+mod instance_gen;
+mod query_gen;
+mod schema_gen;
+
+pub use instance_gen::{gen_instance, gen_instance_with_inclusion, InstanceConfig};
+pub use query_gen::{gen_query, QueryConfig};
+pub use schema_gen::{gen_schema, SchemaConfig};

@@ -1,0 +1,189 @@
+//! A realistic federated-bookstore scenario at configurable scale — the
+//! end-to-end workload for experiment E17.
+//!
+//! The scenario mirrors the paper's motivating setting: `v` book vendors
+//! (web services searchable by ISBN or by author), `c` freely scannable
+//! catalogs, one library membership service, and a price service callable
+//! only by ISBN. Instances are generated with a configurable number of
+//! books, authors, and per-source coverage, so the same logical query can
+//! be run at laptop scale or stress scale.
+
+use lap_engine::{Database, Value};
+use lap_ir::{AccessPattern, Schema};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Scale knobs for the federated bookstore.
+#[derive(Clone, Debug)]
+pub struct BookstoreConfig {
+    /// Number of vendor sources `Vendor0 … Vendor{v-1}`.
+    pub vendors: usize,
+    /// Number of catalog sources `Catalog0 … Catalog{c-1}`.
+    pub catalogs: usize,
+    /// Total distinct books in the universe.
+    pub books: usize,
+    /// Distinct authors (books are assigned round-robin-with-noise).
+    pub authors: usize,
+    /// Fraction of the universe each vendor stocks.
+    pub vendor_coverage: f64,
+    /// Fraction of the universe each catalog lists.
+    pub catalog_coverage: f64,
+    /// Fraction of the universe in the library.
+    pub library_coverage: f64,
+}
+
+impl Default for BookstoreConfig {
+    fn default() -> BookstoreConfig {
+        BookstoreConfig {
+            vendors: 2,
+            catalogs: 2,
+            books: 200,
+            authors: 40,
+            vendor_coverage: 0.5,
+            catalog_coverage: 0.6,
+            library_coverage: 0.2,
+        }
+    }
+}
+
+/// A generated scenario: schema, instance, and the text of the standing
+/// queries (parse with `lap_ir::parse_program` after prepending the
+/// schema, or use [`Bookstore::program_text`]).
+#[derive(Clone, Debug)]
+pub struct Bookstore {
+    /// The source schema with access patterns.
+    pub schema: Schema,
+    /// The generated instance.
+    pub db: Database,
+    cfg: BookstoreConfig,
+}
+
+impl Bookstore {
+    /// The standing query: catalogued books purchasable from some vendor
+    /// that the library does not hold, with their price — one disjunct per
+    /// (vendor, catalog) pair, negation over the library.
+    pub fn standing_query_text(&self) -> String {
+        let mut rules = String::new();
+        for v in 0..self.cfg.vendors {
+            for c in 0..self.cfg.catalogs {
+                rules.push_str(&format!(
+                    "Q(i, a, t, p) :- Catalog{c}(i, a), Vendor{v}(i, a, t), Price(i, p), not Library(i).\n"
+                ));
+            }
+        }
+        rules
+    }
+
+    /// The full program text (schema declarations + standing query).
+    pub fn program_text(&self) -> String {
+        format!("{}{}", self.schema, self.standing_query_text())
+    }
+}
+
+/// Generates a bookstore scenario at the given scale.
+pub fn bookstore(cfg: &BookstoreConfig, rng: &mut StdRng) -> Bookstore {
+    let mut schema = Schema::new();
+    for v in 0..cfg.vendors {
+        let name = format!("Vendor{v}");
+        schema
+            .add_pattern(&name, AccessPattern::parse("ioo").expect("static"))
+            .expect("fresh");
+        schema
+            .add_pattern(&name, AccessPattern::parse("oio").expect("static"))
+            .expect("fresh");
+    }
+    for c in 0..cfg.catalogs {
+        schema
+            .add_pattern(&format!("Catalog{c}"), AccessPattern::all_output(2))
+            .expect("fresh");
+    }
+    schema
+        .add_pattern("Library", AccessPattern::all_output(1))
+        .expect("fresh");
+    schema
+        .add_pattern("Price", AccessPattern::parse("io").expect("static"))
+        .expect("fresh");
+
+    let mut db = Database::new();
+    let author = |rng: &mut StdRng, book: usize, authors: usize| {
+        // Mostly deterministic assignment with some multi-author noise.
+        let base = book % authors.max(1);
+        if rng.gen_bool(0.1) {
+            Value::str(&format!("author{}", (base + 1) % authors.max(1)))
+        } else {
+            Value::str(&format!("author{base}"))
+        }
+    };
+    for book in 0..cfg.books {
+        let isbn = Value::int(book as i64);
+        let title = Value::str(&format!("title{book}"));
+        for v in 0..cfg.vendors {
+            if rng.gen_bool(cfg.vendor_coverage) {
+                let a = author(rng, book, cfg.authors);
+                db.insert(&format!("Vendor{v}"), vec![isbn, a, title])
+                    .expect("arity ok");
+            }
+        }
+        for c in 0..cfg.catalogs {
+            if rng.gen_bool(cfg.catalog_coverage) {
+                let a = author(rng, book, cfg.authors);
+                db.insert(&format!("Catalog{c}"), vec![isbn, a]).expect("arity ok");
+            }
+        }
+        if rng.gen_bool(cfg.library_coverage) {
+            db.insert("Library", vec![isbn]).expect("arity ok");
+        }
+        db.insert("Price", vec![isbn, Value::int(rng.gen_range(5..60))])
+            .expect("arity ok");
+    }
+    Bookstore {
+        schema,
+        db,
+        cfg: cfg.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scenario_program_parses_and_is_feasible_shaped() {
+        let cfg = BookstoreConfig::default();
+        let b = bookstore(&cfg, &mut StdRng::seed_from_u64(1));
+        let program = lap_ir::parse_program(&b.program_text()).expect("program parses");
+        let q = program.single_query().expect("one query");
+        assert_eq!(q.disjuncts.len(), cfg.vendors * cfg.catalogs);
+        assert!(q.is_safe());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = BookstoreConfig::default();
+        let a = bookstore(&cfg, &mut StdRng::seed_from_u64(3));
+        let b = bookstore(&cfg, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.db, b.db);
+    }
+
+    #[test]
+    fn coverage_scales_instance_size() {
+        let small = bookstore(
+            &BookstoreConfig {
+                books: 50,
+                vendor_coverage: 0.1,
+                ..BookstoreConfig::default()
+            },
+            &mut StdRng::seed_from_u64(4),
+        );
+        let large = bookstore(
+            &BookstoreConfig {
+                books: 50,
+                vendor_coverage: 0.9,
+                ..BookstoreConfig::default()
+            },
+            &mut StdRng::seed_from_u64(4),
+        );
+        assert!(large.db.total_tuples() > small.db.total_tuples());
+    }
+}

@@ -1,0 +1,95 @@
+//! A small mediator over book-related web services, exercising the whole
+//! compile-time pipeline on several queries: executable, orderable-only,
+//! feasible-only (Example 3), and infeasible.
+//!
+//! ```sh
+//! cargo run --example book_mediator
+//! ```
+
+use lap::core::{answer_star, feasible_detailed, is_executable, is_orderable, DecisionPath};
+use lap::engine::{display_tuple, Database};
+use lap::ir::parse_program;
+
+const PATTERNS: &str = "B^ioo. B^oio. C^oo. L^o. P^io.";
+
+const FACTS: &str = r#"
+    B(1, "tolkien",   "the lord of the rings").
+    B(2, "tolkien",   "the hobbit").
+    B(3, "adams",     "the hitchhiker's guide").
+    B(4, "pratchett", "small gods").
+    B(5, "adams",     "dirk gently").
+    C(1, "tolkien"). C(2, "tolkien"). C(3, "adams"). C(4, "pratchett").
+    L(1). L(3).
+    P(1, 30). P(2, 15). P(3, 12). P(4, 9). P(5, 11).
+"#;
+
+fn main() {
+    let queries = [
+        (
+            "executable as written",
+            "Q(i, a, t) :- C(i, a), B(i, a, t), not L(i).",
+        ),
+        (
+            "orderable (needs reordering)",
+            "Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).",
+        ),
+        (
+            "feasible but not orderable (Example 3)",
+            "Q(a) :- B(i, a, t), L(i), B(i2, a2, t).\n\
+             Q(a) :- B(i, a, t), L(i), not B(i2, a2, t).",
+        ),
+        (
+            "priced catalog books (join through P^io)",
+            "Q(t, p) :- C(i, a), B(i, a, t), P(i, p).",
+        ),
+        (
+            "infeasible: price lookup without an ISBN",
+            "Q(p) :- P(i, p).",
+        ),
+    ];
+
+    let db = Database::from_facts(FACTS).expect("facts parse");
+
+    for (label, text) in queries {
+        let program =
+            parse_program(&format!("{PATTERNS}\n{text}")).expect("well-formed program");
+        let query = program.single_query().expect("one query");
+        println!("== {label}");
+        for d in &query.disjuncts {
+            println!("   {d}");
+        }
+        println!(
+            "   executable: {} | orderable: {}",
+            is_executable(query, &program.schema),
+            is_orderable(query, &program.schema)
+        );
+        let report = feasible_detailed(query, &program.schema);
+        println!(
+            "   feasible: {} (decided by {:?})",
+            report.feasible, report.decided_by
+        );
+        if report.decided_by != DecisionPath::OverestimateHasNull {
+            for part in &report.plans.over.parts {
+                println!("   plan: {}", part.display_with(&program.schema));
+            }
+        }
+        match answer_star(query, &program.schema, &db) {
+            Ok(answer) => {
+                let rows: Vec<String> = answer.under.iter().map(|t| display_tuple(t)).collect();
+                println!(
+                    "   answers: {{{}}} complete: {} ({})",
+                    rows.join(", "),
+                    answer.is_complete(),
+                    answer.stats
+                );
+                if !answer.delta.is_empty() {
+                    let extra: Vec<String> =
+                        answer.delta.iter().map(|t| display_tuple(t)).collect();
+                    println!("   possible additional answers Δ: {{{}}}", extra.join(", "));
+                }
+            }
+            Err(e) => println!("   runtime error: {e}"),
+        }
+        println!();
+    }
+}

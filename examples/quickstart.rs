@@ -1,0 +1,63 @@
+//! Quickstart: the paper's Example 1, end to end.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use lap::core::{answer_star, feasible_detailed, DecisionPath};
+use lap::engine::{display_tuple, Database};
+use lap::ir::parse_program;
+
+fn main() {
+    // A bookstore B(isbn, author, title) reachable by ISBN or by author,
+    // a catalog C(isbn, author) we can scan freely, and a local library
+    // L(isbn) we can scan. Which catalogued books can we buy that the
+    // library doesn't have?
+    let program = parse_program(
+        "B^ioo. B^oio. C^oo. L^o.\n\
+         Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).",
+    )
+    .expect("well-formed program");
+    let query = program.single_query().expect("one query");
+
+    println!("query:\n  {query}\n");
+    println!("access patterns:\n{}", indent(&program.schema.to_string()));
+
+    // Compile time: is the query feasible?
+    let report = feasible_detailed(query, &program.schema);
+    println!("feasible: {} (decided by {:?})", report.feasible, report.decided_by);
+    assert_eq!(report.decided_by, DecisionPath::PlansCoincide);
+    println!("execution plan:");
+    for part in &report.plans.under.parts {
+        println!("  {}", part.display_with(&program.schema));
+    }
+
+    // Runtime: answer it over an instance, through pattern-enforcing
+    // sources only.
+    let db = Database::from_facts(
+        r#"
+        B(1, "tolkien",  "the lord of the rings").
+        B(2, "tolkien",  "the hobbit").
+        B(3, "adams",    "the hitchhiker's guide").
+        B(4, "pratchett","small gods").
+        C(1, "tolkien").  C(3, "adams").  C(4, "pratchett").
+        L(1). L(4).
+        "#,
+    )
+    .expect("facts parse");
+
+    let answer = answer_star(query, &program.schema, &db).expect("plan executes");
+    println!("\nanswers ({}):", answer.under.len());
+    for t in &answer.under {
+        println!("  {}", display_tuple(t));
+    }
+    println!(
+        "complete: {} | source usage: {}",
+        answer.is_complete(),
+        answer.stats
+    );
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("  {l}\n")).collect()
+}

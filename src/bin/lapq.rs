@@ -1,0 +1,391 @@
+//! `lapq` — command-line front end for the `lap` library.
+//!
+//! ```text
+//! lapq check <program.lap> [--constraints <sigma.lap>]
+//!                                           feasibility report per query
+//! lapq plan  <program.lap>                 print PLAN*'s Qu and Qo
+//! lapq run   <program.lap> <facts.lap>     ANSWER* over an instance
+//!            [--domain <budget>]           …with dom(x) refinement
+//! lapq contain <program.lap> <P> <Q>       containment between two queries
+//! lapq mediate <views.lap> <query.lap> <facts.lap>
+//!                                           GAV mediator pipeline
+//! lapq optimize <program.lap> [facts.lap]   cost-based plan ordering and
+//!                                           plan minimization
+//! lapq profile <program.lap> <facts.lap>    EXPLAIN ANALYZE: per-literal
+//!                                           call/row/binding profile
+//! ```
+//!
+//! A program file holds access-pattern declarations and rules (see
+//! README); a facts file holds ground atoms (`B(1, "tolkien", "lotr").`).
+
+use lap::containment::contained;
+use lap::core::{
+    answer_star, answer_star_with_domain, feasible_detailed, is_executable, is_orderable,
+    Completeness, DecisionPath,
+};
+use lap::engine::{display_tuple, Database};
+use lap::ir::{parse_program, Program, UnionQuery};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("lapq: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  lapq check <program.lap>");
+            eprintln!("  lapq explain <program.lap>");
+            eprintln!("  lapq plan  <program.lap>");
+            eprintln!("  lapq run   <program.lap> <facts.lap> [--domain <budget>]");
+            eprintln!("  lapq contain <program.lap> <P> <Q>");
+            eprintln!("  lapq mediate <views.lap> <query.lap> <facts.lap>");
+            eprintln!("  lapq optimize <program.lap> [facts.lap]");
+            eprintln!("  lapq profile <program.lap> <facts.lap>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn constraints_arg(args: &[String]) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == "--constraints") {
+        Some(i) => Ok(Some(
+            args.get(i + 1)
+                .ok_or("--constraints needs a file")?
+                .clone(),
+        )),
+        None => Ok(None),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "check" => check(
+            args.get(1).ok_or("check needs a program file")?,
+            constraints_arg(args)?.as_deref(),
+        ),
+        "explain" => explain_cmd(args.get(1).ok_or("explain needs a program file")?),
+        "plan" => plan(args.get(1).ok_or("plan needs a program file")?),
+        "run" => {
+            let program = args.get(1).ok_or("run needs a program file")?;
+            let facts = args.get(2).ok_or("run needs a facts file")?;
+            let domain = match args.iter().position(|a| a == "--domain") {
+                Some(i) => Some(
+                    args.get(i + 1)
+                        .ok_or("--domain needs a budget")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad --domain value: {e}"))?,
+                ),
+                None => None,
+            };
+            run_query(program, facts, domain)
+        }
+        "profile" => {
+            let program = args.get(1).ok_or("profile needs a program file")?;
+            let facts = args.get(2).ok_or("profile needs a facts file")?;
+            profile(program, facts)
+        }
+        "optimize" => {
+            let program = args.get(1).ok_or("optimize needs a program file")?;
+            optimize(program, args.get(2).map(String::as_str))
+        }
+        "mediate" => {
+            let views = args.get(1).ok_or("mediate needs a views file")?;
+            let query = args.get(2).ok_or("mediate needs a query file")?;
+            let facts = args.get(3).ok_or("mediate needs a facts file")?;
+            mediate(views, query, facts)
+        }
+        "contain" => {
+            let file = args.get(1).ok_or("contain needs a program file")?;
+            let p = args.get(2).ok_or("contain needs the name of P")?;
+            let q = args.get(3).ok_or("contain needs the name of Q")?;
+            containment(file, p, q)
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load(path: &str) -> Result<Program, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_program(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn check(path: &str, constraints_path: Option<&str>) -> Result<(), String> {
+    let program = load(path)?;
+    if program.queries.is_empty() {
+        return Err(format!("{path}: no queries defined"));
+    }
+    let constraints = match constraints_path {
+        Some(cp) => {
+            let text = std::fs::read_to_string(cp)
+                .map_err(|e| format!("cannot read {cp}: {e}"))?;
+            Some(
+                lap::constraints::parse_constraints(&text, &program.schema)
+                    .map_err(|e| format!("{cp}: {e}"))?,
+            )
+        }
+        None => None,
+    };
+    for query in &program.queries {
+        report_query(query, &program)?;
+        if let Some(cs) = &constraints {
+            let under = lap::constraints::feasible_under(query, cs, &program.schema);
+            println!("  under Σ:    feasible = {} ({:?})", under.feasible, under.decided_by);
+            let pruned = lap::constraints::prune_unsatisfiable(query, cs);
+            if pruned.disjuncts.len() != query.disjuncts.len() {
+                println!(
+                    "  Σ pruned {} of {} disjunct(s)",
+                    query.disjuncts.len() - pruned.disjuncts.len(),
+                    query.disjuncts.len()
+                );
+            }
+            println!();
+        }
+    }
+    Ok(())
+}
+
+fn report_query(query: &UnionQuery, program: &Program) -> Result<(), String> {
+    println!("query {}:", query.signature.0);
+    for d in &query.disjuncts {
+        println!("  {d}");
+    }
+    if !query.is_safe() {
+        println!("  UNSAFE query (a variable does not occur positively); skipping analysis");
+        return Ok(());
+    }
+    println!("  executable: {}", is_executable(query, &program.schema));
+    println!("  orderable:  {}", is_orderable(query, &program.schema));
+    let report = feasible_detailed(query, &program.schema);
+    let how = match report.decided_by {
+        DecisionPath::PlansCoincide => "plans coincide — no containment check needed",
+        DecisionPath::OverestimateHasNull => "overestimate has null — ans(Q) unsafe",
+        DecisionPath::ContainmentCheck => "containment check ans(Q) ⊑ Q",
+    };
+    println!("  feasible:   {} ({how})", report.feasible);
+    if report.feasible {
+        println!("  plan:");
+        for part in &report.plans.over.parts {
+            println!("    {}", part.display_with(&program.schema));
+        }
+    }
+    println!();
+    Ok(())
+}
+
+fn explain_cmd(path: &str) -> Result<(), String> {
+    let program = load(path)?;
+    if program.queries.is_empty() {
+        return Err(format!("{path}: no queries defined"));
+    }
+    for query in &program.queries {
+        println!("query {}:", query.signature.0);
+        print!("{}", lap::core::explain(query, &program.schema));
+        println!();
+    }
+    Ok(())
+}
+
+fn plan(path: &str) -> Result<(), String> {
+    let program = load(path)?;
+    for query in &program.queries {
+        let pair = lap::core::plan_star(query, &program.schema);
+        println!("query {}:", query.signature.0);
+        println!("  underestimate Qu:");
+        for p in &pair.under.parts {
+            println!("    {}", p.display_with(&program.schema));
+        }
+        if pair.under.is_false() {
+            println!("    {} :- false.", pair.under.head);
+        }
+        println!("  overestimate Qo:");
+        for p in &pair.over.parts {
+            println!("    {}", p.display_with(&program.schema));
+        }
+        if pair.over.is_false() {
+            println!("    {} :- false.", pair.over.head);
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn run_query(program_path: &str, facts_path: &str, domain: Option<u64>) -> Result<(), String> {
+    let program = load(program_path)?;
+    let facts = std::fs::read_to_string(facts_path)
+        .map_err(|e| format!("cannot read {facts_path}: {e}"))?;
+    let db = Database::from_facts(&facts).map_err(|e| format!("{facts_path}: {e}"))?;
+    for query in &program.queries {
+        println!("query {}:", query.signature.0);
+        let rep = answer_star(query, &program.schema, &db)
+            .map_err(|e| format!("evaluating {}: {e}", query.signature.0))?;
+        for t in &rep.under {
+            println!("  {}", display_tuple(t));
+        }
+        match rep.completeness {
+            Completeness::Complete => println!("  -- answer is complete"),
+            Completeness::AtLeast(r) => {
+                println!("  -- answer is not known to be complete (>= {:.0}%)", r * 100.0);
+            }
+            Completeness::Unknown => println!("  -- answer is not known to be complete"),
+        }
+        if !rep.delta.is_empty() {
+            println!("  -- these tuples may be part of the answer:");
+            for t in &rep.delta {
+                println!("     {}", display_tuple(t));
+            }
+        }
+        println!("  -- {}", rep.stats);
+        if let Some(budget) = domain {
+            let imp = answer_star_with_domain(query, &program.schema, &db, budget)
+                .map_err(|e| format!("domain refinement: {e}"))?;
+            let extra: Vec<String> = imp
+                .improved_under
+                .difference(&imp.base.under)
+                .map(|t| display_tuple(t))
+                .collect();
+            println!(
+                "  -- dom(x) refinement recovered {} extra certain answer(s){}{} ({} calls, fixpoint: {})",
+                extra.len(),
+                if extra.is_empty() { "" } else { ": " },
+                extra.join(", "),
+                imp.domain_calls,
+                imp.domain_complete,
+            );
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn profile(program_path: &str, facts_path: &str) -> Result<(), String> {
+    use lap::engine::{eval_ordered_cq_traced, SourceRegistry};
+    let program = load(program_path)?;
+    let facts = std::fs::read_to_string(facts_path)
+        .map_err(|e| format!("cannot read {facts_path}: {e}"))?;
+    let db = Database::from_facts(&facts).map_err(|e| format!("{facts_path}: {e}"))?;
+    for query in &program.queries {
+        println!("query {}:", query.signature.0);
+        let pair = lap::core::plan_star(query, &program.schema);
+        let mut reg = SourceRegistry::new(&db, &program.schema);
+        for part in &pair.over.parts {
+            println!("disjunct: {part}");
+            let (_, trace) = eval_ordered_cq_traced(&part.cq, &part.null_vars, &mut reg)
+                .map_err(|e| format!("evaluating: {e}"))?;
+            println!("{trace}");
+            println!();
+        }
+        println!("total source usage: {}", reg.stats());
+        println!();
+    }
+    Ok(())
+}
+
+fn optimize(program_path: &str, facts_path: Option<&str>) -> Result<(), String> {
+    use lap::planner::{best_order, estimate_cost, minimal_executable_plan, CostModel};
+    let program = load(program_path)?;
+    let model = match facts_path {
+        Some(path) => {
+            let facts = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let db = Database::from_facts(&facts).map_err(|e| format!("{path}: {e}"))?;
+            CostModel::from_database(&db)
+        }
+        None => CostModel::new(),
+    };
+    for query in &program.queries {
+        println!("query {}:", query.signature.0);
+        let report = lap::core::feasible_detailed(query, &program.schema);
+        if !report.feasible {
+            println!("  not feasible — nothing to optimize (try `lapq explain`)");
+            continue;
+        }
+        for part in &report.plans.over.parts {
+            let base = estimate_cost(&part.cq, &program.schema, &model);
+            println!("  plan:      {}", part.cq);
+            if let Some(c) = base {
+                println!("             est. {:.1} calls, {:.1} tuples", c.calls, c.tuples);
+            }
+            if let Some((better, cost)) = best_order(&part.cq, &program.schema, &model) {
+                println!("  optimized: {}", better);
+                println!("             est. {:.1} calls, {:.1} tuples", cost.calls, cost.tuples);
+            }
+        }
+        if let Some(min_plan) = minimal_executable_plan(query, &program.schema) {
+            println!("  minimal equivalent plan:");
+            for d in &min_plan.disjuncts {
+                println!("    {d}");
+            }
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn mediate(views_path: &str, query_path: &str, facts_path: &str) -> Result<(), String> {
+    let views_text = std::fs::read_to_string(views_path)
+        .map_err(|e| format!("cannot read {views_path}: {e}"))?;
+    let mediator =
+        lap::mediator::Mediator::from_program(&views_text).map_err(|e| e.to_string())?;
+    let query_program = load(query_path)?;
+    let facts = std::fs::read_to_string(facts_path)
+        .map_err(|e| format!("cannot read {facts_path}: {e}"))?;
+    let db = Database::from_facts(&facts).map_err(|e| format!("{facts_path}: {e}"))?;
+    for query in &query_program.queries {
+        println!("global query {}:", query.signature.0);
+        let (plan, report) = mediator.answer(query, &db).map_err(|e| e.to_string())?;
+        println!("  unfolded into {} disjunct(s); feasible: {} ({:?})",
+            plan.unfolded.disjuncts.len(),
+            plan.feasibility.feasible,
+            plan.feasibility.decided_by);
+        for t in &report.under {
+            println!("  {}", display_tuple(t));
+        }
+        if report.is_complete() {
+            println!("  -- answer is complete");
+        } else {
+            println!("  -- answer is not known to be complete");
+            for t in &report.delta {
+                println!("     possible: {}", display_tuple(t));
+            }
+        }
+        println!("  -- {}", report.stats);
+        println!();
+    }
+    Ok(())
+}
+
+fn containment(path: &str, p_name: &str, q_name: &str) -> Result<(), String> {
+    let program = load(path)?;
+    let p = program
+        .query(p_name)
+        .ok_or_else(|| format!("no query named {p_name} in {path}"))?;
+    let q = program
+        .query(q_name)
+        .ok_or_else(|| format!("no query named {q_name} in {path}"))?;
+    if p.signature.0.arity != q.signature.0.arity {
+        return Err(format!(
+            "{p_name} and {q_name} have different arities; containment is undefined"
+        ));
+    }
+    // Containment compares head tuples; align the head predicates.
+    let p_aligned = rename_head(p, q);
+    println!("{} ⊑ {}: {}", p_name, q_name, contained(&p_aligned, q));
+    println!("{} ⊑ {}: {}", q_name, p_name, contained(q, &p_aligned));
+    Ok(())
+}
+
+/// Renames `p`'s head predicate to `q`'s so the containment machinery (which
+/// compares same-signature queries) applies.
+fn rename_head(p: &UnionQuery, q: &UnionQuery) -> UnionQuery {
+    let mut out = p.clone();
+    out.head.predicate = q.head.predicate;
+    out.signature = q.signature;
+    for d in &mut out.disjuncts {
+        d.head.predicate = q.head.predicate;
+    }
+    out
+}

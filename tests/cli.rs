@@ -1,0 +1,177 @@
+//! Integration tests for the `lapq` command-line front end.
+
+use std::process::{Command, Output};
+
+fn lapq(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_lapq"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("lapq runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn check_reports_feasibility_and_plan() {
+    let out = lapq(&["check", "examples/data/bookstore.lap"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("executable: false"), "{text}");
+    assert!(text.contains("orderable:  true"), "{text}");
+    assert!(text.contains("feasible:   true"), "{text}");
+    assert!(text.contains("C^oo(i, a)"), "{text}");
+}
+
+#[test]
+fn plan_prints_both_estimates() {
+    let out = lapq(&["plan", "examples/data/example4.lap"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("underestimate Qu:"));
+    assert!(text.contains("overestimate Qo:"));
+    assert!(text.contains("y = null"), "{text}");
+}
+
+#[test]
+fn run_reports_answers_and_delta() {
+    let out = lapq(&[
+        "run",
+        "examples/data/example4.lap",
+        "examples/data/example4_facts.lap",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("(5, 6)"), "{text}");
+    assert!(text.contains("may be part of the answer"), "{text}");
+    assert!(text.contains("(1, null)"), "{text}");
+}
+
+#[test]
+fn run_with_domain_recovers_answers() {
+    let out = lapq(&[
+        "run",
+        "examples/data/example4.lap",
+        "examples/data/example4_facts.lap",
+        "--domain",
+        "1000",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("recovered 1 extra certain answer"), "{text}");
+    assert!(text.contains("(1, 2)"), "{text}");
+}
+
+#[test]
+fn contain_decides_both_directions() {
+    let out = lapq(&["contain", "examples/data/containment.lap", "P", "Q"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("P ⊑ Q: true"), "{text}");
+    assert!(text.contains("Q ⊑ P: true"), "{text}");
+}
+
+#[test]
+fn complete_run_says_so() {
+    let out = lapq(&[
+        "run",
+        "examples/data/bookstore.lap",
+        "examples/data/bookstore_facts.lap",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("answer is complete"), "{text}");
+    assert!(text.contains("hitchhiker"), "{text}");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = lapq(&["check", "examples/data/nope.lap"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn unknown_command_shows_usage() {
+    let out = lapq(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn contain_rejects_unknown_query_names() {
+    let out = lapq(&["contain", "examples/data/containment.lap", "P", "Zed"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no query named Zed"));
+}
+
+#[test]
+fn explain_names_the_culprit() {
+    let out = lapq(&["explain", "examples/data/example4.lap"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("CULPRIT"), "{text}");
+    assert!(text.contains("every pattern needs a value for y"), "{text}");
+    assert!(text.contains("fully answerable"), "{text}");
+}
+
+#[test]
+fn mediate_runs_the_full_pipeline() {
+    let out = lapq(&[
+        "mediate",
+        "examples/data/mediator_views.lap",
+        "examples/data/mediator_query.lap",
+        "examples/data/mediator_facts.lap",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("unfolded into 4 disjunct(s)"), "{text}");
+    assert!(text.contains("(1, adams, hhgttg)"), "{text}");
+    assert!(text.contains("(3, lem, solaris)"), "{text}");
+    assert!(!text.contains("(2, clarke"), "shelved book must be excluded: {text}");
+    assert!(text.contains("answer is complete"), "{text}");
+}
+
+#[test]
+fn optimize_improves_the_plan_order() {
+    let out = lapq(&[
+        "optimize",
+        "examples/data/optimize_demo.lap",
+        "examples/data/optimize_facts.lap",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("optimized: Q(t, p) :- L(i)"), "{text}");
+    assert!(text.contains("minimal equivalent plan"), "{text}");
+}
+
+#[test]
+fn profile_shows_per_literal_counters() {
+    let out = lapq(&[
+        "profile",
+        "examples/data/bookstore.lap",
+        "examples/data/bookstore_facts.lap",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("invoked"), "{text}");
+    assert!(text.contains("not L(i)"), "{text}");
+    assert!(text.contains("total source usage"), "{text}");
+}
+
+#[test]
+fn check_with_constraints_flips_feasibility() {
+    let out = lapq(&[
+        "check",
+        "examples/data/example4.lap",
+        "--constraints",
+        "examples/data/example4_constraints.lap",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("feasible:   false"), "{text}");
+    assert!(text.contains("under Σ:    feasible = true"), "{text}");
+    assert!(text.contains("Σ pruned 1 of 2"), "{text}");
+}

@@ -1,0 +1,223 @@
+//! Property-based tests of the paper's theorems and the implementation's
+//! cross-cutting invariants, on seeded random workloads.
+
+use lap::baselines::{cq_stable, cq_stable_star, ucq_stable, ucq_stable_star};
+use lap::containment::{
+    contained, cq_contained, cq_contained_acyclic, cq_contained_canonical, minimize_cq,
+    ucqn_contained,
+};
+use lap::core::{ans, answer_star, feasible, feasible_detailed, is_executable, is_orderable};
+use lap::engine::eval_oracle;
+use lap::ir::{parse_query, Schema, UnionQuery};
+use lap::workload::{
+    gen_instance, gen_query, gen_schema, InstanceConfig, QueryConfig, SchemaConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_schema(seed: u64) -> Schema {
+    gen_schema(
+        &SchemaConfig {
+            num_relations: 4,
+            min_arity: 1,
+            max_arity: 3,
+            patterns_per_relation: 2,
+            input_fraction: 0.4,
+            free_scan_fraction: 0.5,
+        },
+        &mut StdRng::seed_from_u64(seed),
+    )
+}
+
+fn small_query(schema: &Schema, seed: u64, disjuncts: usize, negatives: usize) -> UnionQuery {
+    gen_query(
+        schema,
+        &QueryConfig {
+            num_disjuncts: disjuncts,
+            positive_per_disjunct: 3,
+            negative_per_disjunct: negatives,
+            extra_vars: 2,
+            head_arity: 2,
+            constant_fraction: 0.1,
+            constant_pool: 3,
+        },
+        &mut StdRng::seed_from_u64(seed),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Proposition 4: Q ⊑ ans(Q) for every safe UCQ¬.
+    #[test]
+    fn q_contained_in_ans_q(schema_seed in 0u64..64, query_seed in 0u64..1024, negs in 0usize..3) {
+        let schema = small_schema(schema_seed);
+        let q = small_query(&schema, query_seed, 2, negs);
+        let a = ans(&q, &schema);
+        prop_assert!(ucqn_contained(&q, &a), "Q ⋢ ans(Q) for {q}\nans = {a}");
+    }
+
+    /// ans is idempotent: ans(ans(Q)) = ans(Q) (every literal of ans(Q) is
+    /// answerable within ans(Q), by Proposition 10's closure argument).
+    #[test]
+    fn ans_is_idempotent(schema_seed in 0u64..64, query_seed in 0u64..1024) {
+        let schema = small_schema(schema_seed);
+        let q = small_query(&schema, query_seed, 2, 1);
+        let a = ans(&q, &schema);
+        let aa = ans(&a, &schema);
+        prop_assert_eq!(&a.disjuncts.len(), &aa.disjuncts.len());
+        for (d1, d2) in a.disjuncts.iter().zip(aa.disjuncts.iter()) {
+            let mut b1 = d1.body.clone();
+            let mut b2 = d2.body.clone();
+            b1.sort();
+            b2.sort();
+            prop_assert_eq!(b1, b2, "ans not idempotent on {}", &q);
+        }
+    }
+
+    /// The mapping-based and canonical-database CQ containment checkers
+    /// agree on random positive CQ pairs.
+    #[test]
+    fn cq_containment_implementations_agree(
+        schema_seed in 0u64..16, s1 in 0u64..512, s2 in 0u64..512
+    ) {
+        let schema = small_schema(schema_seed);
+        let p = small_query(&schema, s1, 1, 0).disjuncts[0].clone();
+        let q = small_query(&schema, s2, 1, 0).disjuncts[0].clone();
+        prop_assert_eq!(
+            cq_contained(&p, &q),
+            cq_contained_canonical(&p, &q),
+            "mapping vs canonical disagree on\nP = {}\nQ = {}", &p, &q
+        );
+    }
+
+    /// The acyclic fast path agrees with the generic checker whenever it
+    /// applies.
+    #[test]
+    fn acyclic_fast_path_agrees(
+        schema_seed in 0u64..16, s1 in 0u64..512, s2 in 0u64..512
+    ) {
+        let schema = small_schema(schema_seed);
+        let p = small_query(&schema, s1, 1, 0).disjuncts[0].clone();
+        let q = small_query(&schema, s2, 1, 0).disjuncts[0].clone();
+        if let Some(fast) = cq_contained_acyclic(&p, &q) {
+            prop_assert_eq!(fast, cq_contained(&p, &q), "acyclic path wrong on\nP = {}\nQ = {}", &p, &q);
+        }
+    }
+
+    /// Containment is reflexive, and minimization preserves equivalence.
+    #[test]
+    fn minimization_preserves_equivalence(schema_seed in 0u64..16, s in 0u64..512) {
+        let schema = small_schema(schema_seed);
+        let q = small_query(&schema, s, 1, 0).disjuncts[0].clone();
+        prop_assert!(cq_contained(&q, &q));
+        let m = minimize_cq(&q);
+        prop_assert!(cq_contained(&m, &q) && cq_contained(&q, &m),
+            "core not equivalent:\nQ = {}\nM = {}", &q, &m);
+        prop_assert!(m.body.len() <= q.body.len());
+    }
+
+    /// Definition chain: executable ⇒ orderable ⇒ feasible.
+    #[test]
+    fn executable_orderable_feasible_chain(
+        schema_seed in 0u64..64, query_seed in 0u64..1024, negs in 0usize..3
+    ) {
+        let schema = small_schema(schema_seed);
+        let q = small_query(&schema, query_seed, 2, negs);
+        if is_executable(&q, &schema) {
+            prop_assert!(is_orderable(&q, &schema), "executable but not orderable: {}", &q);
+        }
+        if is_orderable(&q, &schema) {
+            prop_assert!(feasible(&q, &schema), "orderable but not feasible: {}", &q);
+        }
+    }
+
+    /// FEASIBLE agrees with all four Li & Chang baselines on plain queries.
+    #[test]
+    fn feasible_agrees_with_baselines(
+        schema_seed in 0u64..32, query_seed in 0u64..512
+    ) {
+        let schema = small_schema(schema_seed);
+        let q = small_query(&schema, query_seed, 2, 0);
+        let expected = feasible(&q, &schema);
+        prop_assert_eq!(ucq_stable(&q, &schema), expected, "UCQstable on {}", &q);
+        prop_assert_eq!(ucq_stable_star(&q, &schema), expected, "UCQstable* on {}", &q);
+        let single = UnionQuery::single(q.disjuncts[0].clone());
+        let expected1 = feasible(&single, &schema);
+        prop_assert_eq!(cq_stable(&q.disjuncts[0], &schema), expected1);
+        prop_assert_eq!(cq_stable_star(&q.disjuncts[0], &schema), expected1);
+    }
+
+    /// Feasibility is invariant under disjunct order and body order
+    /// (it is a semantic property).
+    #[test]
+    fn feasibility_is_order_invariant(
+        schema_seed in 0u64..32, query_seed in 0u64..512, negs in 0usize..2
+    ) {
+        let schema = small_schema(schema_seed);
+        let q = small_query(&schema, query_seed, 2, negs);
+        let mut reversed = q.clone();
+        reversed.disjuncts.reverse();
+        for d in &mut reversed.disjuncts {
+            d.body.reverse();
+        }
+        prop_assert_eq!(feasible(&q, &schema), feasible(&reversed, &schema),
+            "order-dependent feasibility on {}", &q);
+    }
+
+    /// Runtime sandwich: ansᵤ ⊆ ANSWER(Q, D), and when the overestimate is
+    /// null-free, ANSWER(Q, D) ⊆ ansₒ — with equality when Q is feasible.
+    #[test]
+    fn runtime_sandwich(
+        schema_seed in 0u64..32, query_seed in 0u64..256, inst_seed in 0u64..64, negs in 0usize..2
+    ) {
+        let schema = small_schema(schema_seed);
+        let q = small_query(&schema, query_seed, 2, negs);
+        let db = gen_instance(
+            &schema,
+            &InstanceConfig { domain_size: 5, tuples_per_relation: 8 },
+            &mut StdRng::seed_from_u64(inst_seed),
+        );
+        let oracle = eval_oracle(&q, &db).unwrap();
+        let rep = answer_star(&q, &schema, &db).unwrap();
+        prop_assert!(rep.under.is_subset(&oracle),
+            "unsound underestimate on {}\nunder={:?}\noracle={:?}", &q, &rep.under, &oracle);
+        let report = feasible_detailed(&q, &schema);
+        if !report.plans.over.has_null() {
+            prop_assert!(oracle.is_subset(&rep.over),
+                "incomplete overestimate on {}\nover={:?}\noracle={:?}", &q, &rep.over, &oracle);
+            if report.feasible {
+                prop_assert_eq!(&oracle, &rep.over,
+                    "feasible query: overestimate must be exact on {}", &q);
+            }
+        }
+        if rep.is_complete() {
+            prop_assert_eq!(&rep.under, &oracle, "claimed-complete answer differs from oracle on {}", &q);
+        }
+    }
+
+    /// Wei–Lausen containment is transitive on sampled triples.
+    #[test]
+    fn containment_transitive_sampled(
+        schema_seed in 0u64..8, s1 in 0u64..128, s2 in 0u64..128, s3 in 0u64..128, negs in 0usize..2
+    ) {
+        let schema = small_schema(schema_seed);
+        let a = small_query(&schema, s1, 1, negs);
+        let b = small_query(&schema, s2, 1, negs);
+        let c = small_query(&schema, s3, 1, negs);
+        if contained(&a, &b) && contained(&b, &c) {
+            prop_assert!(contained(&a, &c), "transitivity broken:\nA={}\nB={}\nC={}", &a, &b, &c);
+        }
+    }
+
+    /// Parser round-trip: display then re-parse is the identity.
+    #[test]
+    fn display_parse_round_trip(schema_seed in 0u64..32, query_seed in 0u64..512, negs in 0usize..3) {
+        let schema = small_schema(schema_seed);
+        let q = small_query(&schema, query_seed, 2, negs);
+        let text = q.to_string();
+        let reparsed = parse_query(&text).unwrap();
+        prop_assert_eq!(q, reparsed, "round trip failed for: {}", text);
+    }
+}
