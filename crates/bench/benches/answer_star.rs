@@ -2,13 +2,13 @@
 //! E9/E10): runtime evaluation through pattern-enforcing sources, the
 //! call-cache ablation, and the domain-enumeration refinement.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lap_bench::microbench::{BenchmarkId, Criterion};
+use lap_bench::{criterion_group, criterion_main};
 use lap_core::{answer_star, answer_star_with_domain, plan_star};
 use lap_engine::{eval_ordered_union, SourceRegistry};
 use lap_workload::families::gav_unfolding;
 use lap_workload::{gen_instance, InstanceConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lap_prng::StdRng;
 
 fn bench_answer_star(c: &mut Criterion) {
     let mut group = c.benchmark_group("answer_star");

@@ -3,7 +3,8 @@
 //! reversed chains are the worst case (one discovery per pass), forward
 //! chains the best case (single pass).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lap_bench::microbench::{BenchmarkId, Criterion};
+use lap_bench::{criterion_group, criterion_main};
 use lap_core::answerable_split;
 use lap_workload::families::{forward_chain, reversed_chain, star};
 

@@ -2,13 +2,13 @@
 //! Chang baselines on their home classes (paper §5.3–5.4; experiments
 //! E5/E6).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lap_bench::microbench::{BenchmarkId, Criterion};
+use lap_bench::{criterion_group, criterion_main};
 use lap_baselines::{cq_stable, cq_stable_star, ucq_stable, ucq_stable_star};
 use lap_core::feasible;
 use lap_ir::{Schema, UnionQuery};
 use lap_workload::{gen_query, gen_schema, QueryConfig, SchemaConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lap_prng::StdRng;
 
 fn workload(disjuncts: usize, positives: usize, n: usize) -> Vec<(UnionQuery, Schema)> {
     (0..n as u64)

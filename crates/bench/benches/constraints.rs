@@ -1,7 +1,8 @@
 //! Criterion bench for the constraints subsystem (experiment E12): the
 //! chase, satisfiability-modulo-Σ, and the semantic optimizer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lap_bench::microbench::{BenchmarkId, Criterion};
+use lap_bench::{criterion_group, criterion_main};
 use lap_bench::runner::example6_family;
 use lap_constraints::{
     chase, feasible_under, prune_unsatisfiable, satisfiable_under, DEFAULT_CHASE_ROUNDS,

@@ -3,15 +3,15 @@
 //! vs the acyclic (GYO + Yannakakis) fast path, and the Wei–Lausen
 //! recursion on the excluded-middle family.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lap_bench::microbench::{BenchmarkId, Criterion};
+use lap_bench::{criterion_group, criterion_main};
 use lap_containment::{
     cq_contained, cq_contained_acyclic, cq_contained_canonical, ucqn_contained,
 };
 use lap_ir::ConjunctiveQuery;
 use lap_workload::families::excluded_middle_pair;
 use lap_workload::{gen_query, gen_schema, QueryConfig, SchemaConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lap_prng::StdRng;
 
 fn random_cq_pairs(n: usize, positives: usize) -> Vec<(ConjunctiveQuery, ConjunctiveQuery)> {
     let schema = gen_schema(

@@ -2,7 +2,8 @@
 //! E4/E7/E11): the quadratic fast paths vs the containment-backed slow
 //! path, and the Theorem-18 worst-case family.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lap_bench::microbench::{BenchmarkId, Criterion};
+use lap_bench::{criterion_group, criterion_main};
 use lap_core::{containment_to_feasibility, feasible};
 use lap_workload::families::{excluded_middle_pair, feasible_not_orderable, reversed_chain};
 

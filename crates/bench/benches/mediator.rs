@@ -1,7 +1,8 @@
 //! Criterion bench for the GAV mediator pipeline (experiment E15):
 //! unfolding growth and the full compile-time pipeline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lap_bench::microbench::{BenchmarkId, Criterion};
+use lap_bench::{criterion_group, criterion_main};
 use lap_mediator::{unfold, GavView, Mediator};
 
 fn views(k: usize) -> (Vec<GavView>, String) {

@@ -1,6 +1,7 @@
 //! Criterion bench for algorithm PLAN\* (paper, Figure 2; experiment E3).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lap_bench::microbench::{BenchmarkId, Criterion};
+use lap_bench::{criterion_group, criterion_main};
 use lap_core::plan_star;
 use lap_workload::families::{feasible_not_orderable, gav_unfolding, reversed_chain};
 

@@ -1,13 +1,13 @@
 //! Criterion bench for the plan optimizer (experiment E14): ordering
 //! search cost and the runtime payoff in source calls.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lap_bench::microbench::{BenchmarkId, Criterion};
+use lap_bench::{criterion_group, criterion_main};
 use lap_core::{feasible_detailed, plan_star};
 use lap_engine::{eval_ordered_union, SourceRegistry};
 use lap_planner::{best_order, greedy_order, minimal_executable_plan, optimize_plan_pair, CostModel, Strategy};
 use lap_workload::{gen_instance, gen_query, gen_schema, InstanceConfig, QueryConfig, SchemaConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lap_prng::StdRng;
 
 fn bench_planner(c: &mut Criterion) {
     let mut group = c.benchmark_group("planner");

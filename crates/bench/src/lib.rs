@@ -9,11 +9,12 @@
 //! * `cargo run --release -p lap-bench --bin experiments` prints every
 //!   table (E1–E11); `--markdown` emits the EXPERIMENTS.md body; a list of
 //!   ids (e.g. `e2 e11`) restricts the run.
-//! * `cargo bench -p lap-bench` runs the Criterion micro-benchmarks, one
+//! * `cargo bench -p lap-bench` runs the micro-benchmarks (self-contained harness, see `microbench`), one
 //!   group per algorithm figure plus containment and the baselines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod microbench;
 pub mod runner;
 pub mod tables;

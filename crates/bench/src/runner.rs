@@ -29,8 +29,7 @@ use lap_workload::{
     gen_instance, gen_instance_with_inclusion, gen_query, gen_schema, InstanceConfig, QueryConfig,
     SchemaConfig,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lap_prng::StdRng;
 use std::time::Duration;
 
 /// Number of timing iterations per measured point.
@@ -859,7 +858,6 @@ pub fn e16_index_ablation() -> Table {
         let mut db = lap_engine::Database::new();
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..n {
-            use rand::Rng;
             let a = rng.gen_range(0..(n as i64 / 4).max(4));
             let b = rng.gen_range(0..(n as i64 / 4).max(4));
             db.insert("R", vec![lap_engine::Value::int(a), lap_engine::Value::int(b)])

@@ -51,6 +51,7 @@ pub fn feasible_under(
             feasible: true,
             decided_by: DecisionPath::PlansCoincide,
             plans,
+            containment: None,
         };
     }
     if plans.over.has_null() {
@@ -58,6 +59,7 @@ pub fn feasible_under(
             feasible: false,
             decided_by: DecisionPath::OverestimateHasNull,
             plans,
+            containment: None,
         };
     }
     let ans_q = plans
@@ -69,6 +71,7 @@ pub fn feasible_under(
         feasible,
         decided_by: DecisionPath::ContainmentCheck,
         plans,
+        containment: None,
     }
 }
 

@@ -8,8 +8,39 @@
 //! differential-testing oracle in the property-test suite and as the
 //! substrate for the acyclic fast path.
 
-use lap_ir::{Atom, Constant, ConjunctiveQuery, Substitution, Term, Var};
+use lap_ir::{Atom, Constant, ConjunctiveQuery, Substitution, Term, UnionQuery, Var};
 use std::collections::HashMap;
+
+/// An α-invariant textual key for a UCQ¬, used by the
+/// [`crate::ContainmentEngine`] verdict cache.
+///
+/// Each disjunct's variables are renamed to `_c0, _c1, …` in
+/// first-occurrence order (head first, then body in order); the renamed
+/// body literals are rendered, sorted, and deduplicated; the rendered
+/// disjuncts are sorted. Equal keys therefore imply the two queries are
+/// identical up to variable names, body-literal order/duplication, and
+/// disjunct order — all semantics-preserving — so caching verdicts under
+/// this key is *sound*. It is not *complete* (e.g. two α-equivalent
+/// queries whose bodies are permuted in a way that changes variable
+/// first-occurrence order can key differently); a missed hit only costs a
+/// recomputation.
+pub fn canonical_key(q: &UnionQuery) -> String {
+    let mut rendered: Vec<String> = q.disjuncts.iter().map(canonical_disjunct).collect();
+    rendered.sort();
+    rendered.join(" | ")
+}
+
+fn canonical_disjunct(p: &ConjunctiveQuery) -> String {
+    let mut s = Substitution::new();
+    for (i, v) in p.vars().into_iter().enumerate() {
+        s.insert(v, Term::Var(Var::new(&format!("_c{i}"))));
+    }
+    let renamed = p.apply(&s);
+    let mut lits: Vec<String> = renamed.body.iter().map(|l| l.to_string()).collect();
+    lits.sort();
+    lits.dedup();
+    format!("{} :- {}", renamed.head, lits.join(", "))
+}
 
 /// Freezes the variables of `p` into fresh constants `_frz_<name>`.
 /// Returns the substitution used.
@@ -163,5 +194,50 @@ mod tests {
         // Q's head Q(1) vs frozen head Q(1): fine; body R(x) matches R(1).
         assert!(a);
         assert!(b);
+    }
+}
+
+#[cfg(test)]
+mod key_tests {
+    use super::*;
+    use lap_ir::parse_query;
+
+    fn key(q: &str) -> String {
+        canonical_key(&parse_query(q).unwrap())
+    }
+
+    #[test]
+    fn alpha_renaming_is_invisible() {
+        assert_eq!(
+            key("Q(x) :- R(x, y), not S(y)."),
+            key("Q(a) :- R(a, b), not S(b).")
+        );
+    }
+
+    #[test]
+    fn disjunct_order_is_invisible() {
+        assert_eq!(
+            key("Q(x) :- R(x).\nQ(x) :- S(x)."),
+            key("Q(x) :- S(x).\nQ(x) :- R(x).")
+        );
+    }
+
+    #[test]
+    fn duplicate_literals_collapse() {
+        assert_eq!(key("Q(x) :- R(x), R(x)."), key("Q(x) :- R(x)."));
+    }
+
+    #[test]
+    fn distinct_queries_key_differently() {
+        assert_ne!(key("Q(x) :- R(x)."), key("Q(x) :- S(x)."));
+        assert_ne!(key("Q(x) :- R(x, y)."), key("Q(x) :- R(y, x)."));
+        assert_ne!(key("Q(x) :- R(x), S(x)."), key("Q(x) :- R(x), not S(x)."));
+        assert_ne!(key("Q(x) :- R(x, x)."), key("Q(x) :- R(x, y)."));
+    }
+
+    #[test]
+    fn constants_are_preserved() {
+        assert_ne!(key("Q(x) :- R(x, 1)."), key("Q(x) :- R(x, 2)."));
+        assert_eq!(key("Q(x) :- R(x, 1)."), key("Q(y) :- R(y, 1)."));
     }
 }

@@ -1,0 +1,352 @@
+//! A configurable containment engine: the crate's decision procedures
+//! behind a handle that adds **parallel** per-disjunct evaluation and a
+//! **memoized** verdict cache shared across calls.
+//!
+//! The paper's `FEASIBLE` algorithm (Fig. 3) and the mediator's rewriting
+//! loop both call containment repeatedly — often on the *same* pair of
+//! queries (e.g. `ans(Q) ⊑ Q` re-checked per plan candidate, or absorption
+//! checks that revisit disjunct pairs). Each decision is Π₂ᴾ-hard in the
+//! worst case, so caching verdicts and fanning independent disjuncts onto
+//! threads are the two levers that matter. The cache is keyed on
+//! [`canonical_key`](crate::canonical_key) pairs, which is α-invariant and
+//! *sound*: equal keys imply equivalent queries, so a cached verdict is
+//! always the verdict the full procedure would return.
+//!
+//! [`ContainmentEngine::default()`] is sequential and uncached — exactly
+//! the behavior of the free function [`contained`](crate::contained) — so
+//! threading an engine through existing code is behavior-preserving until
+//! a caller opts in via [`EngineConfig`].
+
+use crate::canonical::canonical_key;
+use crate::ucq::ucq_contained;
+use crate::ucqn::{ucqn_contained_parallel, ucqn_contained_stats, ContainmentStats};
+use lap_ir::UnionQuery;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Tuning knobs for a [`ContainmentEngine`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Fan the per-disjunct containment checks onto scoped worker threads
+    /// with early-exit cancellation.
+    pub parallel: bool,
+    /// Memoize verdicts in a canonical-form cache shared across calls.
+    pub cache: bool,
+}
+
+impl EngineConfig {
+    /// Sequential, uncached — the behavior of the free functions.
+    pub fn sequential() -> EngineConfig {
+        EngineConfig::default()
+    }
+
+    /// Parallel *and* cached.
+    pub fn full() -> EngineConfig {
+        EngineConfig {
+            parallel: true,
+            cache: true,
+        }
+    }
+}
+
+/// Aggregate observability counters for one engine over its lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Containment decisions requested.
+    pub decisions: u64,
+    /// Decisions answered from the verdict cache.
+    pub cache_hits: u64,
+    /// Decisions that ran a full procedure (cache miss or caching off).
+    pub cache_misses: u64,
+    /// Entries currently held by the verdict cache.
+    pub cache_entries: usize,
+    /// Merged per-decision procedure counters (recursion depth, mappings,
+    /// worker threads, cancellations, …).
+    pub procedure: ContainmentStats,
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "decisions={} cache_hits={} cache_misses={} cache_entries={} \
+             recursive_calls={} memo_hits={} mappings_checked={} workers={} cancelled={}",
+            self.decisions,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_entries,
+            self.procedure.recursive_calls,
+            self.procedure.cache_hits,
+            self.procedure.mappings_checked,
+            self.procedure.parallel_workers,
+            self.procedure.cancelled_tasks,
+        )
+    }
+}
+
+/// A containment decision service with an optional verdict cache and an
+/// optional parallel evaluation strategy. Cheap to share behind an `Arc`;
+/// all methods take `&self` and are thread-safe.
+pub struct ContainmentEngine {
+    cfg: EngineConfig,
+    verdicts: Mutex<HashMap<(String, String), bool>>,
+    decisions: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    procedure: Mutex<ContainmentStats>,
+}
+
+impl Default for ContainmentEngine {
+    fn default() -> ContainmentEngine {
+        ContainmentEngine::new(EngineConfig::sequential())
+    }
+}
+
+impl fmt::Debug for ContainmentEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ContainmentEngine")
+            .field("cfg", &self.cfg)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ContainmentEngine {
+    /// An engine with the given configuration.
+    pub fn new(cfg: EngineConfig) -> ContainmentEngine {
+        ContainmentEngine {
+            cfg,
+            verdicts: Mutex::new(HashMap::new()),
+            decisions: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            procedure: Mutex::new(ContainmentStats::default()),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.cfg
+    }
+
+    /// `P ⊑ Q` under this engine's strategy. Same decision as
+    /// [`crate::contained`] in every configuration.
+    pub fn contained(&self, p: &UnionQuery, q: &UnionQuery) -> bool {
+        self.contained_stats(p, q).0
+    }
+
+    /// [`ContainmentEngine::contained`] plus this decision's procedure
+    /// counters (all-zero except the engine-cache fields on a cache hit).
+    pub fn contained_stats(&self, p: &UnionQuery, q: &UnionQuery) -> (bool, ContainmentStats) {
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+        let key = if self.cfg.cache {
+            let key = (canonical_key(p), canonical_key(q));
+            let cached = {
+                let verdicts = self.verdicts.lock().expect("verdict cache not poisoned");
+                verdicts.get(&key).copied()
+            };
+            if let Some(verdict) = cached {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let stats = ContainmentStats {
+                    engine_cache_hits: 1,
+                    ..ContainmentStats::default()
+                };
+                self.procedure
+                    .lock()
+                    .expect("stats mutex not poisoned")
+                    .absorb(&stats);
+                return (verdict, stats);
+            }
+            Some(key)
+        } else {
+            None
+        };
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (verdict, mut stats) = self.decide(p, q);
+        stats.engine_cache_misses = 1;
+        if let Some(key) = key {
+            self.verdicts
+                .lock()
+                .expect("verdict cache not poisoned")
+                .insert(key, verdict);
+        }
+        self.procedure
+            .lock()
+            .expect("stats mutex not poisoned")
+            .absorb(&stats);
+        (verdict, stats)
+    }
+
+    /// Runs the underlying decision procedure, preserving the free
+    /// function's dispatch: positive pairs take the plain UCQ path.
+    fn decide(&self, p: &UnionQuery, q: &UnionQuery) -> (bool, ContainmentStats) {
+        if p.is_positive() && q.is_positive() {
+            // Sagiv–Yannakakis per-disjunct-pair mapping search; cheap
+            // enough that the parallel fan-out is reserved for negation.
+            (ucq_contained(p, q), ContainmentStats::default())
+        } else if self.cfg.parallel {
+            ucqn_contained_parallel(p, q)
+        } else {
+            ucqn_contained_stats(p, q)
+        }
+    }
+
+    /// `P ≡ Q` under this engine's strategy.
+    pub fn equivalent(&self, p: &UnionQuery, q: &UnionQuery) -> bool {
+        self.contained(p, q) && self.contained(q, p)
+    }
+
+    /// A snapshot of the engine's lifetime counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            decisions: self.decisions.load(Ordering::Relaxed),
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            cache_entries: self
+                .verdicts
+                .lock()
+                .expect("verdict cache not poisoned")
+                .len(),
+            procedure: *self.procedure.lock().expect("stats mutex not poisoned"),
+        }
+    }
+
+    /// Drops all cached verdicts and zeroes the counters.
+    pub fn clear(&self) {
+        self.verdicts
+            .lock()
+            .expect("verdict cache not poisoned")
+            .clear();
+        self.decisions.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        *self.procedure.lock().expect("stats mutex not poisoned") = ContainmentStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contained;
+    use lap_ir::parse_query;
+
+    fn q(text: &str) -> UnionQuery {
+        parse_query(text).unwrap()
+    }
+
+    const PAIRS: &[(&str, &str)] = &[
+        ("Q(x) :- R(x).", "Q(x) :- R(x), S(x).\nQ(x) :- R(x), not S(x)."),
+        ("Q(x) :- R(x), S(x).", "Q(x) :- R(x)."),
+        ("Q(x) :- R(x).", "Q(x) :- R(x), S(x)."),
+        ("Q(x) :- R(x), not S(x).", "Q(x) :- R(x)."),
+        ("Q(x) :- R(x).", "Q(x) :- R(x), not S(x)."),
+        (
+            "Q(x) :- E(x, y), E(y, z), not E(x, z).",
+            "Q(x) :- E(x, y), not E(y, y).",
+        ),
+        (
+            "Q(x) :- R(x), not S(x).\nQ(x) :- R(x), S(x).",
+            "Q(x) :- R(x).",
+        ),
+    ];
+
+    #[test]
+    fn every_config_agrees_with_the_free_function() {
+        let configs = [
+            EngineConfig::sequential(),
+            EngineConfig::full(),
+            EngineConfig {
+                parallel: true,
+                cache: false,
+            },
+            EngineConfig {
+                parallel: false,
+                cache: true,
+            },
+        ];
+        for cfg in configs {
+            let engine = ContainmentEngine::new(cfg);
+            for (p, qq) in PAIRS {
+                let (p, qq) = (q(p), q(qq));
+                assert_eq!(
+                    engine.contained(&p, &qq),
+                    contained(&p, &qq),
+                    "cfg {cfg:?} disagrees on P={p} Q={qq}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_and_alpha_variants() {
+        let engine = ContainmentEngine::new(EngineConfig {
+            parallel: false,
+            cache: true,
+        });
+        let p = q("Q(x) :- R(x), not S(x).");
+        let qq = q("Q(x) :- R(x).");
+        assert!(engine.contained(&p, &qq));
+        let (_, stats) = engine.contained_stats(&p, &qq);
+        assert_eq!(stats.engine_cache_hits, 1, "{stats:?}");
+        // An α-renamed variant hits the same entry.
+        let p2 = q("Q(a) :- R(a), not S(a).");
+        let (v, stats) = engine.contained_stats(&p2, &qq);
+        assert!(v);
+        assert_eq!(stats.engine_cache_hits, 1, "{stats:?}");
+        let s = engine.stats();
+        assert_eq!(s.decisions, 3);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_entries, 1);
+    }
+
+    #[test]
+    fn uncached_engine_never_reports_hits() {
+        let engine = ContainmentEngine::default();
+        let p = q("Q(x) :- R(x).");
+        for _ in 0..3 {
+            engine.contained(&p, &p);
+        }
+        let s = engine.stats();
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.cache_misses, 3);
+        assert_eq!(s.cache_entries, 0);
+    }
+
+    #[test]
+    fn parallel_engine_reports_workers() {
+        let engine = ContainmentEngine::new(EngineConfig {
+            parallel: true,
+            cache: false,
+        });
+        let p = q("Q(x) :- R(x), not S(x).\nQ(x) :- R(x), S(x).\nQ(x) :- R(x), T(x).");
+        let qq = q("Q(x) :- R(x).");
+        let (v, stats) = engine.contained_stats(&p, &qq);
+        assert!(v);
+        assert!(stats.parallel_workers >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let engine = ContainmentEngine::new(EngineConfig::full());
+        let p = q("Q(x) :- R(x), not S(x).");
+        engine.contained(&p, &p);
+        engine.contained(&p, &p);
+        engine.clear();
+        let s = engine.stats();
+        assert_eq!(s, EngineStats::default());
+    }
+
+    #[test]
+    fn stats_display_is_complete() {
+        let engine = ContainmentEngine::new(EngineConfig::full());
+        let p = q("Q(x) :- R(x), not S(x).");
+        engine.contained(&p, &p);
+        let line = engine.stats().to_string();
+        for field in ["decisions=", "cache_hits=", "cache_misses=", "recursive_calls="] {
+            assert!(line.contains(field), "{line}");
+        }
+    }
+}

@@ -43,18 +43,23 @@
 mod acyclic;
 mod canonical;
 mod cq;
+mod engine;
 mod mapping;
 mod minimize;
 mod ucq;
 mod ucqn;
 
 pub use acyclic::{cq_contained_acyclic, is_acyclic, join_tree, JoinTree};
-pub use canonical::{canonical_facts, cq_contained_canonical, freezing_substitution};
+pub use canonical::{canonical_facts, canonical_key, cq_contained_canonical, freezing_substitution};
 pub use cq::{cq_contained, cq_equivalent};
+pub use engine::{ContainmentEngine, EngineConfig, EngineStats};
 pub use mapping::{for_each_homomorphism, has_homomorphism, unify_heads};
 pub use minimize::{minimize_cq, minimize_ucq, minimize_union_ucqn};
 pub use ucq::{ucq_contained, ucq_equivalent};
-pub use ucqn::{cqn_in_ucqn, ucqn_contained, ucqn_contained_stats, ucqn_equivalent, ContainmentStats};
+pub use ucqn::{
+    cqn_in_ucqn, ucqn_contained, ucqn_contained_parallel, ucqn_contained_stats, ucqn_equivalent,
+    ContainmentStats,
+};
 
 use lap_ir::UnionQuery;
 

@@ -6,6 +6,7 @@ use crate::mapping::{for_each_homomorphism, unify_heads};
 use lap_ir::{is_satisfiable, Atom, ConjunctiveQuery, Literal, Substitution, UnionQuery};
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Instrumentation counters for one top-level containment decision —
 /// exposes where the Π₂ᴾ effort goes (experiment E11).
@@ -21,6 +22,32 @@ pub struct ContainmentStats {
     /// Peak number of positive atoms on the `P` side (how far the chase of
     /// added `R(σȳ)` atoms grew).
     pub max_p_atoms: usize,
+    /// Worker threads spawned by the parallel top level (0 when run
+    /// sequentially).
+    pub parallel_workers: usize,
+    /// Per-disjunct tasks abandoned early because another disjunct already
+    /// failed containment (parallel early-exit cancellation).
+    pub cancelled_tasks: u64,
+    /// Decisions answered from a [`crate::ContainmentEngine`] verdict
+    /// cache instead of running the recursion at all.
+    pub engine_cache_hits: u64,
+    /// Decisions that missed the engine's verdict cache (or ran without
+    /// one) and paid for the full procedure.
+    pub engine_cache_misses: u64,
+}
+
+impl ContainmentStats {
+    /// Merges another record into this one (counters add, peaks max).
+    pub fn absorb(&mut self, other: &ContainmentStats) {
+        self.recursive_calls += other.recursive_calls;
+        self.cache_hits += other.cache_hits;
+        self.mappings_checked += other.mappings_checked;
+        self.max_p_atoms = self.max_p_atoms.max(other.max_p_atoms);
+        self.parallel_workers = self.parallel_workers.max(other.parallel_workers);
+        self.cancelled_tasks += other.cancelled_tasks;
+        self.engine_cache_hits += other.engine_cache_hits;
+        self.engine_cache_misses += other.engine_cache_misses;
+    }
 }
 
 /// `P ⊑ Q` for UCQ¬ queries: every disjunct of `P` must be contained in `Q`
@@ -35,6 +62,66 @@ pub fn ucqn_contained_stats(p: &UnionQuery, q: &UnionQuery) -> (bool, Containmen
     let mut ctx = Ctx::default();
     let result = p.disjuncts.iter().all(|pi| cqn_rec(pi, q, &mut ctx));
     (result, ctx.stats)
+}
+
+/// [`ucqn_contained_stats`], fanning the per-disjunct checks of `P` onto
+/// scoped worker threads.
+///
+/// `P ⊑ Q` distributes over `P`'s union: each disjunct `P_i ⊑ Q` is an
+/// independent (and itself potentially exponential) decision, so disjuncts
+/// are handed to workers through a shared index. The first disjunct found
+/// *not* contained flips a cancellation flag: in-flight recursions bail at
+/// their next entry and remaining disjuncts are skipped, mirroring the
+/// short-circuit of the sequential `all(..)` loop. The decision returned is
+/// always identical to the sequential one; only the counters differ (workers
+/// keep private memo caches, so cross-disjunct cache hits are not shared).
+pub fn ucqn_contained_parallel(p: &UnionQuery, q: &UnionQuery) -> (bool, ContainmentStats) {
+    let n = p.disjuncts.len();
+    if n <= 1 {
+        return ucqn_contained_stats(p, q);
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(1)
+        .min(n);
+    let cancel = AtomicBool::new(false);
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let mut agg = ContainmentStats {
+        parallel_workers: workers,
+        ..ContainmentStats::default()
+    };
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut ctx = Ctx {
+                        cancel: Some(&cancel),
+                        ..Ctx::default()
+                    };
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        if cancel.load(Ordering::Relaxed) {
+                            ctx.stats.cancelled_tasks += 1;
+                            continue;
+                        }
+                        if !cqn_rec(&p.disjuncts[i], q, &mut ctx) && !ctx.cancelled() {
+                            failed.store(true, Ordering::Relaxed);
+                            cancel.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    ctx.stats
+                })
+            })
+            .collect();
+        for h in handles {
+            agg.absorb(&h.join().expect("containment worker must not panic"));
+        }
+    });
+    (!failed.load(Ordering::Relaxed), agg)
 }
 
 /// `P ⊑ Q` for a single CQ¬ `P` against a UCQ¬ `Q` (Theorem 13):
@@ -62,9 +149,20 @@ pub fn ucqn_equivalent(p: &UnionQuery, q: &UnionQuery) -> bool {
 type Cache = HashMap<(Atom, Vec<Literal>), bool>;
 
 #[derive(Default)]
-struct Ctx {
+struct Ctx<'a> {
     cache: Cache,
     stats: ContainmentStats,
+    /// Set by a sibling worker once the overall decision is known; the
+    /// recursion bails at its next entry. A cancelled recursion's return
+    /// value is meaningless and must not be recorded anywhere durable.
+    cancel: Option<&'a AtomicBool>,
+}
+
+impl Ctx<'_> {
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
 }
 
 fn normalize(p: &ConjunctiveQuery) -> (Atom, Vec<Literal>) {
@@ -75,6 +173,11 @@ fn normalize(p: &ConjunctiveQuery) -> (Atom, Vec<Literal>) {
 }
 
 fn cqn_rec(p: &ConjunctiveQuery, q: &UnionQuery, ctx: &mut Ctx) -> bool {
+    if ctx.cancelled() {
+        // The overall decision is already known; unwind without caring
+        // about the answer (the caller discards it).
+        return true;
+    }
     ctx.stats.recursive_calls += 1;
     if !is_satisfiable(p) {
         return true;
@@ -118,6 +221,10 @@ fn cqn_rec(p: &ConjunctiveQuery, q: &UnionQuery, ctx: &mut Ctx) -> bool {
             result = true;
             break;
         }
+    }
+    if ctx.cancelled() {
+        // `result` may reflect a truncated search — don't poison the memo.
+        return result;
     }
     ctx.cache.insert(key, result);
     result
@@ -342,5 +449,92 @@ mod stats_tests {
         let (result, stats) = ucqn_contained_stats(&p, &q);
         assert!(result);
         assert!(stats.cache_hits >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn stats_absorb_adds_counters_and_maxes_peaks() {
+        let mut a = ContainmentStats {
+            recursive_calls: 3,
+            cache_hits: 1,
+            mappings_checked: 5,
+            max_p_atoms: 4,
+            parallel_workers: 2,
+            cancelled_tasks: 0,
+            engine_cache_hits: 1,
+            engine_cache_misses: 2,
+        };
+        let b = ContainmentStats {
+            recursive_calls: 7,
+            cache_hits: 2,
+            mappings_checked: 1,
+            max_p_atoms: 9,
+            parallel_workers: 1,
+            cancelled_tasks: 3,
+            engine_cache_hits: 0,
+            engine_cache_misses: 1,
+        };
+        a.absorb(&b);
+        assert_eq!(a.recursive_calls, 10);
+        assert_eq!(a.cache_hits, 3);
+        assert_eq!(a.mappings_checked, 6);
+        assert_eq!(a.max_p_atoms, 9);
+        assert_eq!(a.parallel_workers, 2);
+        assert_eq!(a.cancelled_tasks, 3);
+        assert_eq!(a.engine_cache_hits, 1);
+        assert_eq!(a.engine_cache_misses, 3);
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use lap_ir::parse_query;
+
+    fn agree(p: &str, q: &str) {
+        let p = parse_query(p).unwrap();
+        let q = parse_query(q).unwrap();
+        let (seq, _) = ucqn_contained_stats(&p, &q);
+        let (par, stats) = ucqn_contained_parallel(&p, &q);
+        assert_eq!(seq, par, "P={p} Q={q} ({stats:?})");
+    }
+
+    #[test]
+    fn parallel_agrees_on_multi_disjunct_left_sides() {
+        agree(
+            "Q(x) :- R(x), not S(x).\nQ(x) :- R(x), S(x).\nQ(x) :- R(x), T(x).",
+            "Q(x) :- R(x).",
+        );
+        agree(
+            "Q(x) :- R(x), not S(x).\nQ(x) :- T(x).",
+            "Q(x) :- R(x).",
+        );
+        agree(
+            "Q(x) :- R(x).\nQ(x) :- S(x).\nQ(x) :- T(x).\nQ(x) :- U(x).",
+            "Q(x) :- R(x).\nQ(x) :- S(x).\nQ(x) :- T(x).\nQ(x) :- U(x).",
+        );
+    }
+
+    #[test]
+    fn parallel_single_disjunct_falls_back_to_sequential() {
+        let p = parse_query("Q(x) :- R(x), not S(x).").unwrap();
+        let q = parse_query("Q(x) :- R(x).").unwrap();
+        let (r, stats) = ucqn_contained_parallel(&p, &q);
+        assert!(r);
+        assert_eq!(stats.parallel_workers, 0);
+    }
+
+    #[test]
+    fn parallel_reports_workers_and_cancellation() {
+        // First disjunct fails containment; the rest are candidates for
+        // cancellation (timing-dependent, so only the worker count is a
+        // hard assertion).
+        let p = parse_query(
+            "Q(x) :- A(x).\nQ(x) :- R(x), not S(x).\nQ(x) :- R(x), S(x).\nQ(x) :- T(x).",
+        )
+        .unwrap();
+        let q = parse_query("Q(x) :- R(x).").unwrap();
+        let (r, stats) = ucqn_contained_parallel(&p, &q);
+        assert!(!r);
+        assert!(stats.parallel_workers >= 1, "{stats:?}");
     }
 }

@@ -7,8 +7,8 @@
 //! absorbed (the disjunct's answerable part is contained in the rest).
 
 use crate::answerable::answerable_split;
-use crate::feasible::{feasible_detailed, DecisionPath};
-use lap_containment::contained;
+use crate::feasible::{feasible_detailed_with, DecisionPath};
+use lap_containment::ContainmentEngine;
 use lap_ir::{ConjunctiveQuery, Literal, Schema, UnionQuery, Var};
 use std::collections::HashSet;
 use std::fmt;
@@ -130,7 +130,15 @@ impl fmt::Display for Explanation {
 
 /// Explains the feasibility verdict for `q` (see module docs).
 pub fn explain(q: &UnionQuery, schema: &Schema) -> Explanation {
-    let report = feasible_detailed(q, schema);
+    explain_with(q, schema, &ContainmentEngine::default())
+}
+
+/// [`explain`] with every containment decision (the FEASIBLE check *and*
+/// the per-disjunct absorption checks) delegated to `engine`. The
+/// absorption checks revisit `ans(d) ⊑ Q` for each blocked disjunct, so a
+/// caching engine pays for itself here.
+pub fn explain_with(q: &UnionQuery, schema: &Schema, engine: &ContainmentEngine) -> Explanation {
+    let report = feasible_detailed_with(q, schema, engine);
     let mut disjuncts = Vec::with_capacity(q.disjuncts.len());
     for (index, cq) in q.disjuncts.iter().enumerate() {
         let split = answerable_split(cq, schema);
@@ -165,7 +173,7 @@ pub fn explain(q: &UnionQuery, schema: &Schema) -> Explanation {
             true
         } else if null_head_vars.is_empty() {
             let ans_d = UnionQuery::single(split.ans_query(&cq.head).expect("satisfiable"));
-            contained(&ans_d, q)
+            engine.contained(&ans_d, q)
         } else {
             false
         };
@@ -308,5 +316,25 @@ mod tests {
         assert!(e.feasible);
         assert!(e.disjuncts[0].blocked.is_empty());
         assert!(e.to_string().contains("fully answerable"));
+    }
+
+    #[test]
+    fn engine_backed_explain_agrees_and_records_decisions() {
+        use lap_containment::{ContainmentEngine, EngineConfig};
+        let (q, schema) = setup(
+            "B^ioo. B^oio. L^o.\n\
+             Q(a) :- B(i, a, t), L(i), B(i2, a2, t).\n\
+             Q(a) :- B(i, a, t), L(i), not B(i2, a2, t).",
+        );
+        let plain = explain(&q, &schema);
+        let engine = ContainmentEngine::new(EngineConfig::full());
+        let with = explain_with(&q, &schema, &engine);
+        assert_eq!(plain, with);
+        // FEASIBLE's check plus one absorption check per blocked disjunct.
+        assert!(engine.stats().decisions >= 2, "{}", engine.stats());
+        // A second explanation reuses cached verdicts.
+        let again = explain_with(&q, &schema, &engine);
+        assert_eq!(plain, again);
+        assert!(engine.stats().cache_hits >= 1, "{}", engine.stats());
     }
 }

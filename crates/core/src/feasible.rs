@@ -3,7 +3,7 @@
 //! fast paths of PLAN\* in front of the containment check.
 
 use crate::plan::{plan_star, PlanPair};
-use lap_containment::contained;
+use lap_containment::{ContainmentEngine, ContainmentStats};
 use lap_ir::{Schema, UnionQuery};
 
 /// How a feasibility decision was reached — the basis of the paper's claim
@@ -29,6 +29,10 @@ pub struct FeasibilityReport {
     pub decided_by: DecisionPath,
     /// The PLAN\* output, reusable for execution.
     pub plans: PlanPair,
+    /// Counters from the `ans(Q) ⊑ Q` decision — `None` when no
+    /// engine-driven containment check ran (a PLAN\* fast path decided, or
+    /// the check was the Σ-strengthened chase variant).
+    pub containment: Option<ContainmentStats>,
 }
 
 /// Algorithm FEASIBLE (Figure 3).
@@ -49,13 +53,28 @@ pub fn feasible(q: &UnionQuery, schema: &Schema) -> bool {
 }
 
 /// [`feasible`] with the decision path and the computed plans exposed.
+/// Runs sequentially and uncached; use [`feasible_detailed_with`] to supply
+/// a configured [`ContainmentEngine`].
 pub fn feasible_detailed(q: &UnionQuery, schema: &Schema) -> FeasibilityReport {
+    feasible_detailed_with(q, schema, &ContainmentEngine::default())
+}
+
+/// [`feasible_detailed`] with the `ans(Q) ⊑ Q` check delegated to `engine`
+/// — parallel per-disjunct evaluation and verdict-cache reuse across calls,
+/// as configured. The verdict is the same for every engine configuration;
+/// only [`FeasibilityReport::containment`] differs.
+pub fn feasible_detailed_with(
+    q: &UnionQuery,
+    schema: &Schema,
+    engine: &ContainmentEngine,
+) -> FeasibilityReport {
     let plans = plan_star(q, schema);
     if plans.coincide() {
         return FeasibilityReport {
             feasible: true,
             decided_by: DecisionPath::PlansCoincide,
             plans,
+            containment: None,
         };
     }
     if plans.over.has_null() {
@@ -63,17 +82,19 @@ pub fn feasible_detailed(q: &UnionQuery, schema: &Schema) -> FeasibilityReport {
             feasible: false,
             decided_by: DecisionPath::OverestimateHasNull,
             plans,
+            containment: None,
         };
     }
     let ans_q = plans
         .over
         .as_query()
         .expect("null-free overestimate is a plain query");
-    let feasible = contained(&ans_q, q);
+    let (feasible, stats) = engine.contained_stats(&ans_q, q);
     FeasibilityReport {
         feasible,
         decided_by: DecisionPath::ContainmentCheck,
         plans,
+        containment: Some(stats),
     }
 }
 
@@ -188,5 +209,52 @@ mod tests {
     fn feasible_wrapper_agrees() {
         let p = parse_program("F^o. B^i.\nQ(x) :- F(x), B(y).").unwrap();
         assert!(!feasible(p.single_query().unwrap(), &p.schema));
+    }
+
+    #[test]
+    fn fast_paths_record_no_containment_stats() {
+        let r = check(
+            "B^ioo. B^oio. C^oo. L^o.\n\
+             Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).",
+        );
+        assert_eq!(r.decided_by, DecisionPath::PlansCoincide);
+        assert!(r.containment.is_none());
+        let r = check(
+            "S^o. R^ii.\n\
+             Q(x) :- R(x, z), not S(z).",
+        );
+        assert_eq!(r.decided_by, DecisionPath::OverestimateHasNull);
+        assert!(r.containment.is_none());
+    }
+
+    #[test]
+    fn containment_branch_records_stats() {
+        let r = check("F^o. B^i.\nQ(x) :- F(x), B(x), B(y), F(z).");
+        assert_eq!(r.decided_by, DecisionPath::ContainmentCheck);
+        let stats = r.containment.expect("containment ran");
+        assert_eq!(stats.engine_cache_misses, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn engine_configurations_agree_and_cache_across_calls() {
+        use lap_containment::EngineConfig;
+        let p = parse_program(
+            "B^ioo. B^oio. L^o.\n\
+             Q(a) :- B(i, a, t), L(i), B(i2, a2, t).\n\
+             Q(a) :- B(i, a, t), L(i), not B(i2, a2, t).",
+        )
+        .unwrap();
+        let q = p.single_query().unwrap();
+        let baseline = feasible_detailed(q, &p.schema);
+        let engine = ContainmentEngine::new(EngineConfig::full());
+        let first = feasible_detailed_with(q, &p.schema, &engine);
+        assert_eq!(first.feasible, baseline.feasible);
+        assert_eq!(first.decided_by, baseline.decided_by);
+        // The same query checked again hits the verdict cache.
+        let second = feasible_detailed_with(q, &p.schema, &engine);
+        assert_eq!(second.feasible, baseline.feasible);
+        let stats = second.containment.expect("containment ran");
+        assert_eq!(stats.engine_cache_hits, 1, "{stats:?}");
+        assert_eq!(engine.stats().cache_hits, 1);
     }
 }

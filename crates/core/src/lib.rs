@@ -45,12 +45,13 @@ pub use answerable::{
     ans, answerable_literals, answerable_split, is_q_answerable, literal_executable,
     AnswerableSplit,
 };
-pub use explain::{explain, BlockedLiteral, DisjunctDiagnosis, Explanation};
+pub use explain::{explain, explain_with, BlockedLiteral, DisjunctDiagnosis, Explanation};
 pub use executable::{
     choose_adornments, executable_order, is_executable, is_executable_cq, is_orderable,
     is_orderable_cq,
 };
-pub use feasible::{feasible, feasible_detailed, DecisionPath, FeasibilityReport};
+pub use feasible::{feasible, feasible_detailed, feasible_detailed_with, DecisionPath, FeasibilityReport};
+pub use lap_containment::{ContainmentEngine, ContainmentStats, EngineConfig, EngineStats};
 pub use plan::{plan_star, CqPlan, PlanPair, UnionPlan};
 pub use prepared::PreparedQuery;
 pub use reduction::{

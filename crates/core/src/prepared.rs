@@ -7,8 +7,9 @@
 //! [`PreparedQuery::execute`] then only pays the runtime price.
 
 use crate::answer::{build_report, AnswerReport};
-use crate::feasible::{feasible_detailed, DecisionPath, FeasibilityReport};
+use crate::feasible::{feasible_detailed, feasible_detailed_with, DecisionPath, FeasibilityReport};
 use crate::plan::PlanPair;
+use lap_containment::ContainmentEngine;
 use lap_engine::{eval_ordered_union, Database, EngineError, SourceRegistry};
 use lap_ir::{Schema, UnionQuery};
 use std::collections::BTreeSet;
@@ -28,6 +29,21 @@ impl PreparedQuery {
             query: q.clone(),
             schema: schema.clone(),
             report: feasible_detailed(q, schema),
+        }
+    }
+
+    /// [`PreparedQuery::compile`] with the feasibility analysis delegated
+    /// to `engine` — compiling a batch of queries against one caching
+    /// engine shares containment verdicts across them.
+    pub fn compile_with(
+        q: &UnionQuery,
+        schema: &Schema,
+        engine: &ContainmentEngine,
+    ) -> PreparedQuery {
+        PreparedQuery {
+            query: q.clone(),
+            schema: schema.clone(),
+            report: feasible_detailed_with(q, schema, engine),
         }
     }
 

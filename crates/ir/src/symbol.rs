@@ -6,10 +6,9 @@
 //! containment algorithms (substitution, renaming apart, homomorphism
 //! search), and interning turns the hot comparisons into integer equality.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// An interned string.
 ///
@@ -38,7 +37,7 @@ fn interner() -> &'static Mutex<Interner> {
 impl Symbol {
     /// Interns `s`, returning its symbol. Idempotent.
     pub fn intern(s: &str) -> Symbol {
-        let mut int = interner().lock();
+        let mut int = interner().lock().expect("interner mutex not poisoned");
         if let Some(&id) = int.map.get(s) {
             return Symbol(id);
         }
@@ -51,7 +50,7 @@ impl Symbol {
 
     /// The interned string.
     pub fn as_str(self) -> &'static str {
-        interner().lock().strings[self.0 as usize]
+        interner().lock().expect("interner mutex not poisoned").strings[self.0 as usize]
     }
 }
 

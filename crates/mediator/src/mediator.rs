@@ -4,10 +4,12 @@
 use crate::unfold::{unfold_deep, UnfoldError};
 use crate::views::{GavView, ViewError};
 use lap_constraints::{prune_unsatisfiable, ConstraintSet};
-use lap_core::{answer_star, feasible_detailed, AnswerReport, FeasibilityReport};
+use lap_core::{answer_star, feasible_detailed_with, AnswerReport, FeasibilityReport};
+use lap_core::{ContainmentEngine, EngineConfig, EngineStats};
 use lap_engine::{Database, EngineError};
 use lap_ir::{parse_program, IrError, Schema, UnionQuery};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors surfaced by the mediator pipeline.
 #[derive(Debug)]
@@ -78,6 +80,7 @@ pub struct Mediator {
     source_schema: Schema,
     constraints: ConstraintSet,
     max_disjuncts: usize,
+    engine: Arc<ContainmentEngine>,
 }
 
 impl Mediator {
@@ -88,6 +91,7 @@ impl Mediator {
             source_schema,
             constraints: ConstraintSet::new(),
             max_disjuncts: 10_000,
+            engine: Arc::new(ContainmentEngine::default()),
         }
     }
 
@@ -132,6 +136,20 @@ impl Mediator {
         self
     }
 
+    /// Installs a containment engine for the feasibility analyses. One
+    /// engine is shared by every [`Mediator::plan`] call (and by clones of
+    /// this mediator), so a caching configuration reuses verdicts across
+    /// the query workload.
+    pub fn with_engine(mut self, cfg: EngineConfig) -> Mediator {
+        self.engine = Arc::new(ContainmentEngine::new(cfg));
+        self
+    }
+
+    /// The containment engine's lifetime counters.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
     /// The installed views.
     pub fn views(&self) -> &[GavView] {
         &self.views
@@ -147,7 +165,7 @@ impl Mediator {
     pub fn plan(&self, q: &UnionQuery) -> Result<MediatorPlan, MediatorError> {
         let unfolded = unfold_deep(q, &self.views, self.max_disjuncts)?;
         let pruned = prune_unsatisfiable(&unfolded, &self.constraints);
-        let feasibility = feasible_detailed(&pruned, &self.source_schema);
+        let feasibility = feasible_detailed_with(&pruned, &self.source_schema, &self.engine);
         Ok(MediatorPlan {
             unfolded,
             pruned,
@@ -251,5 +269,40 @@ mod tests {
             Mediator::from_program("S^o.\nG(x, y) :- S(x)."),
             Err(MediatorError::View(_))
         ));
+    }
+
+    #[test]
+    fn engine_backed_mediator_caches_across_plans() {
+        let m = Mediator::from_program(
+            "B^ioo. B^oio. L^o.\n\
+             GB(i, a, t) :- B(i, a, t).\n\
+             GL(i) :- L(i).",
+        )
+        .unwrap()
+        .with_engine(EngineConfig::full());
+        // Example 3's shape: decided by the containment branch.
+        let q = parse_query(
+            "Q(a) :- GB(i, a, t), GL(i), GB(i2, a2, t).\n\
+             Q(a) :- GB(i, a, t), GL(i), not GB(i2, a2, t).",
+        )
+        .unwrap();
+        let baseline = Mediator::from_program(
+            "B^ioo. B^oio. L^o.\n\
+             GB(i, a, t) :- B(i, a, t).\n\
+             GL(i) :- L(i).",
+        )
+        .unwrap()
+        .plan(&q)
+        .unwrap();
+        let first = m.plan(&q).unwrap();
+        assert_eq!(first.feasibility.feasible, baseline.feasibility.feasible);
+        assert_eq!(first.feasibility.decided_by, baseline.feasibility.decided_by);
+        let second = m.plan(&q).unwrap();
+        assert_eq!(second.feasibility.feasible, baseline.feasibility.feasible);
+        let stats = m.engine_stats();
+        assert!(stats.cache_hits >= 1, "{stats}");
+        // Clones share the same engine (and therefore the same cache).
+        let clone_stats = m.clone().engine_stats();
+        assert_eq!(clone_stats.cache_hits, stats.cache_hits);
     }
 }

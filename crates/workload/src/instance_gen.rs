@@ -2,8 +2,7 @@
 
 use lap_engine::{Database, Value};
 use lap_ir::{Schema, Symbol};
-use rand::rngs::StdRng;
-use rand::Rng;
+use lap_prng::StdRng;
 
 /// Parameters for random instance generation.
 #[derive(Clone, Debug)]
@@ -86,7 +85,6 @@ pub fn gen_instance_with_inclusion(
 mod tests {
     use super::*;
     use crate::schema_gen::{gen_schema, SchemaConfig};
-    use rand::SeedableRng;
 
     #[test]
     fn covers_every_relation() {

@@ -25,4 +25,5 @@ mod schema_gen;
 
 pub use instance_gen::{gen_instance, gen_instance_with_inclusion, InstanceConfig};
 pub use query_gen::{gen_query, QueryConfig};
+pub use scenario::{bookstore, Bookstore, BookstoreConfig};
 pub use schema_gen::{gen_schema, SchemaConfig};

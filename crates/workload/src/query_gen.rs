@@ -1,9 +1,7 @@
 //! Seeded random query generation (safe CQ/CQ¬/UCQ¬ over a given schema).
 
 use lap_ir::{Atom, ConjunctiveQuery, Literal, Schema, Term, UnionQuery, Var};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use lap_prng::{SliceRandom, StdRng};
 use std::collections::HashSet;
 
 /// Parameters for random query generation.
@@ -162,7 +160,6 @@ fn gen_disjunct(
 mod tests {
     use super::*;
     use crate::schema_gen::{gen_schema, SchemaConfig};
-    use rand::SeedableRng;
 
     fn schema(seed: u64) -> Schema {
         gen_schema(&SchemaConfig::default(), &mut StdRng::seed_from_u64(seed))

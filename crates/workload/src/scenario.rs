@@ -10,8 +10,7 @@
 
 use lap_engine::{Database, Value};
 use lap_ir::{AccessPattern, Schema};
-use rand::rngs::StdRng;
-use rand::Rng;
+use lap_prng::StdRng;
 
 /// Scale knobs for the federated bookstore.
 #[derive(Clone, Debug)]
@@ -146,7 +145,6 @@ pub fn bookstore(cfg: &BookstoreConfig, rng: &mut StdRng) -> Bookstore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn scenario_program_parses_and_is_feasible_shaped() {

@@ -1,8 +1,7 @@
 //! Seeded random schema generation.
 
 use lap_ir::{AccessPattern, Schema};
-use rand::rngs::StdRng;
-use rand::Rng;
+use lap_prng::StdRng;
 
 /// Parameters for random schema generation.
 #[derive(Clone, Debug)]
@@ -62,7 +61,6 @@ pub fn gen_schema(cfg: &SchemaConfig, rng: &mut StdRng) -> Schema {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn generation_is_deterministic_per_seed() {

@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Offline CI gate. No network, no registry: the workspace has zero
+# third-party dependencies, so every step below runs from a cold cache.
+#
+#   scripts/ci.sh          # full gate
+#   SKIP_SLOW=1 scripts/ci.sh   # skip the widened slow-tests sweep
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (tier-1)"
+cargo build --release
+
+echo "==> cargo test (tier-1: root package, default sweeps)"
+cargo test -q
+
+echo "==> cargo test --workspace (every crate)"
+cargo test -q --workspace
+
+if [ "${SKIP_SLOW:-0}" != "1" ]; then
+    echo "==> cargo test --features slow-tests (widened seeded sweeps)"
+    cargo test -q --features slow-tests
+fi
+
+echo "==> cargo clippy -D warnings (crates touched by the engine work)"
+cargo clippy -q --all-targets -p lap-prng -p lap-containment -p lap-core \
+    -p lap-mediator -p lap-workload -p lap -- -D warnings
+
+echo "==> ci.sh: all green"

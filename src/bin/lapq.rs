@@ -18,10 +18,9 @@
 //! A program file holds access-pattern declarations and rules (see
 //! README); a facts file holds ground atoms (`B(1, "tolkien", "lotr").`).
 
-use lap::containment::contained;
 use lap::core::{
-    answer_star, answer_star_with_domain, feasible_detailed, is_executable, is_orderable,
-    Completeness, DecisionPath,
+    answer_star, answer_star_with_domain, feasible_detailed_with, is_executable, is_orderable,
+    Completeness, ContainmentEngine, DecisionPath, EngineConfig,
 };
 use lap::engine::{display_tuple, Database};
 use lap::ir::{parse_program, Program, UnionQuery};
@@ -35,17 +34,27 @@ fn main() -> ExitCode {
             eprintln!("lapq: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  lapq check <program.lap>");
-            eprintln!("  lapq explain <program.lap>");
+            eprintln!("  lapq check <program.lap> [--parallel] [--cache]");
+            eprintln!("  lapq explain <program.lap> [--parallel] [--cache]");
             eprintln!("  lapq plan  <program.lap>");
             eprintln!("  lapq run   <program.lap> <facts.lap> [--domain <budget>]");
-            eprintln!("  lapq contain <program.lap> <P> <Q>");
+            eprintln!("  lapq contain <program.lap> <P> <Q> [--parallel] [--cache]");
             eprintln!("  lapq mediate <views.lap> <query.lap> <facts.lap>");
             eprintln!("  lapq optimize <program.lap> [facts.lap]");
             eprintln!("  lapq profile <program.lap> <facts.lap>");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Builds the containment engine selected by the global `--parallel` and
+/// `--cache` flags (default: sequential, uncached — the library's
+/// free-function behavior).
+fn engine_from_args(args: &[String]) -> ContainmentEngine {
+    ContainmentEngine::new(EngineConfig {
+        parallel: args.iter().any(|a| a == "--parallel"),
+        cache: args.iter().any(|a| a == "--cache"),
+    })
 }
 
 fn constraints_arg(args: &[String]) -> Result<Option<String>, String> {
@@ -65,8 +74,12 @@ fn run(args: &[String]) -> Result<(), String> {
         "check" => check(
             args.get(1).ok_or("check needs a program file")?,
             constraints_arg(args)?.as_deref(),
+            &engine_from_args(args),
         ),
-        "explain" => explain_cmd(args.get(1).ok_or("explain needs a program file")?),
+        "explain" => explain_cmd(
+            args.get(1).ok_or("explain needs a program file")?,
+            &engine_from_args(args),
+        ),
         "plan" => plan(args.get(1).ok_or("plan needs a program file")?),
         "run" => {
             let program = args.get(1).ok_or("run needs a program file")?;
@@ -101,7 +114,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let file = args.get(1).ok_or("contain needs a program file")?;
             let p = args.get(2).ok_or("contain needs the name of P")?;
             let q = args.get(3).ok_or("contain needs the name of Q")?;
-            containment(file, p, q)
+            containment(file, p, q, &engine_from_args(args))
         }
         other => Err(format!("unknown command {other:?}")),
     }
@@ -113,7 +126,11 @@ fn load(path: &str) -> Result<Program, String> {
     parse_program(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-fn check(path: &str, constraints_path: Option<&str>) -> Result<(), String> {
+fn check(
+    path: &str,
+    constraints_path: Option<&str>,
+    engine: &ContainmentEngine,
+) -> Result<(), String> {
     let program = load(path)?;
     if program.queries.is_empty() {
         return Err(format!("{path}: no queries defined"));
@@ -130,7 +147,7 @@ fn check(path: &str, constraints_path: Option<&str>) -> Result<(), String> {
         None => None,
     };
     for query in &program.queries {
-        report_query(query, &program)?;
+        report_query(query, &program, engine)?;
         if let Some(cs) = &constraints {
             let under = lap::constraints::feasible_under(query, cs, &program.schema);
             println!("  under Σ:    feasible = {} ({:?})", under.feasible, under.decided_by);
@@ -148,7 +165,11 @@ fn check(path: &str, constraints_path: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
-fn report_query(query: &UnionQuery, program: &Program) -> Result<(), String> {
+fn report_query(
+    query: &UnionQuery,
+    program: &Program,
+    engine: &ContainmentEngine,
+) -> Result<(), String> {
     println!("query {}:", query.signature.0);
     for d in &query.disjuncts {
         println!("  {d}");
@@ -159,13 +180,23 @@ fn report_query(query: &UnionQuery, program: &Program) -> Result<(), String> {
     }
     println!("  executable: {}", is_executable(query, &program.schema));
     println!("  orderable:  {}", is_orderable(query, &program.schema));
-    let report = feasible_detailed(query, &program.schema);
+    let report = feasible_detailed_with(query, &program.schema, engine);
     let how = match report.decided_by {
         DecisionPath::PlansCoincide => "plans coincide — no containment check needed",
         DecisionPath::OverestimateHasNull => "overestimate has null — ans(Q) unsafe",
         DecisionPath::ContainmentCheck => "containment check ans(Q) ⊑ Q",
     };
     println!("  feasible:   {} ({how})", report.feasible);
+    if let Some(stats) = &report.containment {
+        println!(
+            "  containment: {} recursive call(s), {} memo hit(s), {} mapping(s), {} worker(s), engine cache {}",
+            stats.recursive_calls,
+            stats.cache_hits,
+            stats.mappings_checked,
+            stats.parallel_workers,
+            if stats.engine_cache_hits > 0 { "hit" } else { "miss" },
+        );
+    }
     if report.feasible {
         println!("  plan:");
         for part in &report.plans.over.parts {
@@ -176,16 +207,17 @@ fn report_query(query: &UnionQuery, program: &Program) -> Result<(), String> {
     Ok(())
 }
 
-fn explain_cmd(path: &str) -> Result<(), String> {
+fn explain_cmd(path: &str, engine: &ContainmentEngine) -> Result<(), String> {
     let program = load(path)?;
     if program.queries.is_empty() {
         return Err(format!("{path}: no queries defined"));
     }
     for query in &program.queries {
         println!("query {}:", query.signature.0);
-        print!("{}", lap::core::explain(query, &program.schema));
+        print!("{}", lap::core::explain_with(query, &program.schema, engine));
         println!();
     }
+    println!("containment engine: {}", engine.stats());
     Ok(())
 }
 
@@ -358,7 +390,12 @@ fn mediate(views_path: &str, query_path: &str, facts_path: &str) -> Result<(), S
     Ok(())
 }
 
-fn containment(path: &str, p_name: &str, q_name: &str) -> Result<(), String> {
+fn containment(
+    path: &str,
+    p_name: &str,
+    q_name: &str,
+    engine: &ContainmentEngine,
+) -> Result<(), String> {
     let program = load(path)?;
     let p = program
         .query(p_name)
@@ -373,8 +410,8 @@ fn containment(path: &str, p_name: &str, q_name: &str) -> Result<(), String> {
     }
     // Containment compares head tuples; align the head predicates.
     let p_aligned = rename_head(p, q);
-    println!("{} ⊑ {}: {}", p_name, q_name, contained(&p_aligned, q));
-    println!("{} ⊑ {}: {}", q_name, p_name, contained(q, &p_aligned));
+    println!("{} ⊑ {}: {}", p_name, q_name, engine.contained(&p_aligned, q));
+    println!("{} ⊑ {}: {}", q_name, p_name, engine.contained(q, &p_aligned));
     Ok(())
 }
 

@@ -6,8 +6,7 @@ use lap::engine::{eval_oracle, eval_oracle_single, Database};
 use lap::ir::{parse_cq, parse_query, UnionQuery};
 use lap::mediator::{unfold, GavView};
 use lap::workload::{gen_instance, InstanceConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lap_prng::StdRng;
 use std::collections::BTreeSet;
 
 /// Materializes the views over a source instance: the global database

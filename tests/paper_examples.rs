@@ -136,9 +136,8 @@ fn example_6_foreign_key_dependency() {
          Q(x, y) :- T(x, y).",
     );
     let q = p.single_query().unwrap();
-    use rand::SeedableRng;
     for seed in 0..10u64 {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = lap_prng::StdRng::seed_from_u64(seed);
         let db = lap::workload::gen_instance_with_inclusion(
             &p.schema,
             &lap::workload::InstanceConfig {

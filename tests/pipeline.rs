@@ -14,8 +14,7 @@ use lap::workload::{
     gen_instance, gen_instance_with_inclusion, gen_query, gen_schema, InstanceConfig, QueryConfig,
     SchemaConfig,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lap_prng::StdRng;
 
 #[test]
 fn full_pipeline_sweep() {

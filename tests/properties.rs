@@ -1,5 +1,13 @@
 //! Property-based tests of the paper's theorems and the implementation's
 //! cross-cutting invariants, on seeded random workloads.
+//!
+//! Deterministic by construction: every case is derived from an explicit
+//! case index through [`lap_prng::StdRng`], and every assertion message
+//! carries the case index, so any failure reproduces with the printed
+//! case number.
+//!
+//! The default tier-1 run uses a modest case count; build with
+//! `--features slow-tests` to multiply the sweep.
 
 use lap::baselines::{cq_stable, cq_stable_star, ucq_stable, ucq_stable_star};
 use lap::containment::{
@@ -12,9 +20,10 @@ use lap::ir::{parse_query, Schema, UnionQuery};
 use lap::workload::{
     gen_instance, gen_query, gen_schema, InstanceConfig, QueryConfig, SchemaConfig,
 };
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lap_prng::StdRng;
+
+/// Cases per property (multiplied under `--features slow-tests`).
+const CASES: u64 = if cfg!(feature = "slow-tests") { 512 } else { 64 };
 
 fn small_schema(seed: u64) -> Schema {
     gen_schema(
@@ -46,178 +55,266 @@ fn small_query(schema: &Schema, seed: u64, disjuncts: usize, negatives: usize) -
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+/// Per-case parameter sampler: derives the sub-seeds a property draws,
+/// deterministically from the property id and the case index.
+struct Params {
+    rng: StdRng,
+}
 
-    /// Proposition 4: Q ⊑ ans(Q) for every safe UCQ¬.
-    #[test]
-    fn q_contained_in_ans_q(schema_seed in 0u64..64, query_seed in 0u64..1024, negs in 0usize..3) {
-        let schema = small_schema(schema_seed);
-        let q = small_query(&schema, query_seed, 2, negs);
-        let a = ans(&q, &schema);
-        prop_assert!(ucqn_contained(&q, &a), "Q ⋢ ans(Q) for {q}\nans = {a}");
+impl Params {
+    fn for_case(property: u64, case: u64) -> Params {
+        Params {
+            rng: StdRng::seed_from_u64(property.wrapping_mul(0x9E37_79B9) ^ case),
+        }
     }
+    fn seed(&mut self, bound: u64) -> u64 {
+        self.rng.gen_range(0..bound)
+    }
+    fn negs(&mut self, bound: usize) -> usize {
+        self.rng.gen_range(0..bound)
+    }
+}
 
-    /// ans is idempotent: ans(ans(Q)) = ans(Q) (every literal of ans(Q) is
-    /// answerable within ans(Q), by Proposition 10's closure argument).
-    #[test]
-    fn ans_is_idempotent(schema_seed in 0u64..64, query_seed in 0u64..1024) {
-        let schema = small_schema(schema_seed);
-        let q = small_query(&schema, query_seed, 2, 1);
+/// Proposition 4: Q ⊑ ans(Q) for every safe UCQ¬.
+#[test]
+fn prop_q_contained_in_ans_q() {
+    for case in 0..CASES {
+        let mut p = Params::for_case(1, case);
+        let schema = small_schema(p.seed(64));
+        let q = small_query(&schema, p.seed(1024), 2, p.negs(3));
+        let a = ans(&q, &schema);
+        assert!(
+            ucqn_contained(&q, &a),
+            "case {case}: Q ⋢ ans(Q) for {q}\nans = {a}"
+        );
+    }
+}
+
+/// ans is idempotent: ans(ans(Q)) = ans(Q) (Proposition 10's closure).
+#[test]
+fn prop_ans_is_idempotent() {
+    for case in 0..CASES {
+        let mut p = Params::for_case(2, case);
+        let schema = small_schema(p.seed(64));
+        let q = small_query(&schema, p.seed(1024), 2, 1);
         let a = ans(&q, &schema);
         let aa = ans(&a, &schema);
-        prop_assert_eq!(&a.disjuncts.len(), &aa.disjuncts.len());
+        assert_eq!(a.disjuncts.len(), aa.disjuncts.len(), "case {case}: {q}");
         for (d1, d2) in a.disjuncts.iter().zip(aa.disjuncts.iter()) {
             let mut b1 = d1.body.clone();
             let mut b2 = d2.body.clone();
             b1.sort();
             b2.sort();
-            prop_assert_eq!(b1, b2, "ans not idempotent on {}", &q);
+            assert_eq!(b1, b2, "case {case}: ans not idempotent on {q}");
         }
     }
+}
 
-    /// The mapping-based and canonical-database CQ containment checkers
-    /// agree on random positive CQ pairs.
-    #[test]
-    fn cq_containment_implementations_agree(
-        schema_seed in 0u64..16, s1 in 0u64..512, s2 in 0u64..512
-    ) {
-        let schema = small_schema(schema_seed);
-        let p = small_query(&schema, s1, 1, 0).disjuncts[0].clone();
-        let q = small_query(&schema, s2, 1, 0).disjuncts[0].clone();
-        prop_assert_eq!(
+/// The mapping-based and canonical-database CQ containment checkers agree
+/// on random positive CQ pairs.
+#[test]
+fn prop_cq_containment_implementations_agree() {
+    for case in 0..CASES {
+        let mut pr = Params::for_case(3, case);
+        let schema = small_schema(pr.seed(16));
+        let p = small_query(&schema, pr.seed(512), 1, 0).disjuncts[0].clone();
+        let q = small_query(&schema, pr.seed(512), 1, 0).disjuncts[0].clone();
+        assert_eq!(
             cq_contained(&p, &q),
             cq_contained_canonical(&p, &q),
-            "mapping vs canonical disagree on\nP = {}\nQ = {}", &p, &q
+            "case {case}: mapping vs canonical disagree on\nP = {p}\nQ = {q}"
         );
     }
+}
 
-    /// The acyclic fast path agrees with the generic checker whenever it
-    /// applies.
-    #[test]
-    fn acyclic_fast_path_agrees(
-        schema_seed in 0u64..16, s1 in 0u64..512, s2 in 0u64..512
-    ) {
-        let schema = small_schema(schema_seed);
-        let p = small_query(&schema, s1, 1, 0).disjuncts[0].clone();
-        let q = small_query(&schema, s2, 1, 0).disjuncts[0].clone();
+/// The acyclic fast path agrees with the generic checker whenever it
+/// applies.
+#[test]
+fn prop_acyclic_fast_path_agrees() {
+    for case in 0..CASES {
+        let mut pr = Params::for_case(4, case);
+        let schema = small_schema(pr.seed(16));
+        let p = small_query(&schema, pr.seed(512), 1, 0).disjuncts[0].clone();
+        let q = small_query(&schema, pr.seed(512), 1, 0).disjuncts[0].clone();
         if let Some(fast) = cq_contained_acyclic(&p, &q) {
-            prop_assert_eq!(fast, cq_contained(&p, &q), "acyclic path wrong on\nP = {}\nQ = {}", &p, &q);
+            assert_eq!(
+                fast,
+                cq_contained(&p, &q),
+                "case {case}: acyclic path wrong on\nP = {p}\nQ = {q}"
+            );
         }
     }
+}
 
-    /// Containment is reflexive, and minimization preserves equivalence.
-    #[test]
-    fn minimization_preserves_equivalence(schema_seed in 0u64..16, s in 0u64..512) {
-        let schema = small_schema(schema_seed);
-        let q = small_query(&schema, s, 1, 0).disjuncts[0].clone();
-        prop_assert!(cq_contained(&q, &q));
+/// Containment is reflexive, and minimization preserves equivalence.
+#[test]
+fn prop_minimization_preserves_equivalence() {
+    for case in 0..CASES {
+        let mut pr = Params::for_case(5, case);
+        let schema = small_schema(pr.seed(16));
+        let q = small_query(&schema, pr.seed(512), 1, 0).disjuncts[0].clone();
+        assert!(cq_contained(&q, &q), "case {case}: reflexivity on {q}");
         let m = minimize_cq(&q);
-        prop_assert!(cq_contained(&m, &q) && cq_contained(&q, &m),
-            "core not equivalent:\nQ = {}\nM = {}", &q, &m);
-        prop_assert!(m.body.len() <= q.body.len());
+        assert!(
+            cq_contained(&m, &q) && cq_contained(&q, &m),
+            "case {case}: core not equivalent:\nQ = {q}\nM = {m}"
+        );
+        assert!(m.body.len() <= q.body.len(), "case {case}: {q}");
     }
+}
 
-    /// Definition chain: executable ⇒ orderable ⇒ feasible.
-    #[test]
-    fn executable_orderable_feasible_chain(
-        schema_seed in 0u64..64, query_seed in 0u64..1024, negs in 0usize..3
-    ) {
-        let schema = small_schema(schema_seed);
-        let q = small_query(&schema, query_seed, 2, negs);
+/// Definition chain: executable ⇒ orderable ⇒ feasible.
+#[test]
+fn prop_executable_orderable_feasible_chain() {
+    for case in 0..CASES {
+        let mut p = Params::for_case(6, case);
+        let schema = small_schema(p.seed(64));
+        let q = small_query(&schema, p.seed(1024), 2, p.negs(3));
         if is_executable(&q, &schema) {
-            prop_assert!(is_orderable(&q, &schema), "executable but not orderable: {}", &q);
+            assert!(
+                is_orderable(&q, &schema),
+                "case {case}: executable but not orderable: {q}"
+            );
         }
         if is_orderable(&q, &schema) {
-            prop_assert!(feasible(&q, &schema), "orderable but not feasible: {}", &q);
+            assert!(
+                feasible(&q, &schema),
+                "case {case}: orderable but not feasible: {q}"
+            );
         }
     }
+}
 
-    /// FEASIBLE agrees with all four Li & Chang baselines on plain queries.
-    #[test]
-    fn feasible_agrees_with_baselines(
-        schema_seed in 0u64..32, query_seed in 0u64..512
-    ) {
-        let schema = small_schema(schema_seed);
-        let q = small_query(&schema, query_seed, 2, 0);
+/// FEASIBLE agrees with all four Li & Chang baselines on plain queries.
+#[test]
+fn prop_feasible_agrees_with_baselines() {
+    for case in 0..CASES {
+        let mut p = Params::for_case(7, case);
+        let schema = small_schema(p.seed(32));
+        let q = small_query(&schema, p.seed(512), 2, 0);
         let expected = feasible(&q, &schema);
-        prop_assert_eq!(ucq_stable(&q, &schema), expected, "UCQstable on {}", &q);
-        prop_assert_eq!(ucq_stable_star(&q, &schema), expected, "UCQstable* on {}", &q);
+        assert_eq!(
+            ucq_stable(&q, &schema),
+            expected,
+            "case {case}: UCQstable on {q}"
+        );
+        assert_eq!(
+            ucq_stable_star(&q, &schema),
+            expected,
+            "case {case}: UCQstable* on {q}"
+        );
         let single = UnionQuery::single(q.disjuncts[0].clone());
         let expected1 = feasible(&single, &schema);
-        prop_assert_eq!(cq_stable(&q.disjuncts[0], &schema), expected1);
-        prop_assert_eq!(cq_stable_star(&q.disjuncts[0], &schema), expected1);
+        assert_eq!(
+            cq_stable(&q.disjuncts[0], &schema),
+            expected1,
+            "case {case}: CQstable on {single}"
+        );
+        assert_eq!(
+            cq_stable_star(&q.disjuncts[0], &schema),
+            expected1,
+            "case {case}: CQstable* on {single}"
+        );
     }
+}
 
-    /// Feasibility is invariant under disjunct order and body order
-    /// (it is a semantic property).
-    #[test]
-    fn feasibility_is_order_invariant(
-        schema_seed in 0u64..32, query_seed in 0u64..512, negs in 0usize..2
-    ) {
-        let schema = small_schema(schema_seed);
-        let q = small_query(&schema, query_seed, 2, negs);
+/// Feasibility is invariant under disjunct order and body order (it is a
+/// semantic property).
+#[test]
+fn prop_feasibility_is_order_invariant() {
+    for case in 0..CASES {
+        let mut p = Params::for_case(8, case);
+        let schema = small_schema(p.seed(32));
+        let q = small_query(&schema, p.seed(512), 2, p.negs(2));
         let mut reversed = q.clone();
         reversed.disjuncts.reverse();
         for d in &mut reversed.disjuncts {
             d.body.reverse();
         }
-        prop_assert_eq!(feasible(&q, &schema), feasible(&reversed, &schema),
-            "order-dependent feasibility on {}", &q);
+        assert_eq!(
+            feasible(&q, &schema),
+            feasible(&reversed, &schema),
+            "case {case}: order-dependent feasibility on {q}"
+        );
     }
+}
 
-    /// Runtime sandwich: ansᵤ ⊆ ANSWER(Q, D), and when the overestimate is
-    /// null-free, ANSWER(Q, D) ⊆ ansₒ — with equality when Q is feasible.
-    #[test]
-    fn runtime_sandwich(
-        schema_seed in 0u64..32, query_seed in 0u64..256, inst_seed in 0u64..64, negs in 0usize..2
-    ) {
-        let schema = small_schema(schema_seed);
-        let q = small_query(&schema, query_seed, 2, negs);
+/// Runtime sandwich: ansᵤ ⊆ ANSWER(Q, D), and when the overestimate is
+/// null-free, ANSWER(Q, D) ⊆ ansₒ — with equality when Q is feasible.
+#[test]
+fn prop_runtime_sandwich() {
+    for case in 0..CASES {
+        let mut p = Params::for_case(9, case);
+        let schema = small_schema(p.seed(32));
+        let q = small_query(&schema, p.seed(256), 2, p.negs(2));
         let db = gen_instance(
             &schema,
-            &InstanceConfig { domain_size: 5, tuples_per_relation: 8 },
-            &mut StdRng::seed_from_u64(inst_seed),
+            &InstanceConfig {
+                domain_size: 5,
+                tuples_per_relation: 8,
+            },
+            &mut StdRng::seed_from_u64(p.seed(64)),
         );
         let oracle = eval_oracle(&q, &db).unwrap();
         let rep = answer_star(&q, &schema, &db).unwrap();
-        prop_assert!(rep.under.is_subset(&oracle),
-            "unsound underestimate on {}\nunder={:?}\noracle={:?}", &q, &rep.under, &oracle);
+        assert!(
+            rep.under.is_subset(&oracle),
+            "case {case}: unsound underestimate on {q}\nunder={:?}\noracle={:?}",
+            rep.under,
+            oracle
+        );
         let report = feasible_detailed(&q, &schema);
         if !report.plans.over.has_null() {
-            prop_assert!(oracle.is_subset(&rep.over),
-                "incomplete overestimate on {}\nover={:?}\noracle={:?}", &q, &rep.over, &oracle);
+            assert!(
+                oracle.is_subset(&rep.over),
+                "case {case}: incomplete overestimate on {q}\nover={:?}\noracle={:?}",
+                rep.over,
+                oracle
+            );
             if report.feasible {
-                prop_assert_eq!(&oracle, &rep.over,
-                    "feasible query: overestimate must be exact on {}", &q);
+                assert_eq!(
+                    oracle, rep.over,
+                    "case {case}: feasible query: overestimate must be exact on {q}"
+                );
             }
         }
         if rep.is_complete() {
-            prop_assert_eq!(&rep.under, &oracle, "claimed-complete answer differs from oracle on {}", &q);
+            assert_eq!(
+                rep.under, oracle,
+                "case {case}: claimed-complete answer differs from oracle on {q}"
+            );
         }
     }
+}
 
-    /// Wei–Lausen containment is transitive on sampled triples.
-    #[test]
-    fn containment_transitive_sampled(
-        schema_seed in 0u64..8, s1 in 0u64..128, s2 in 0u64..128, s3 in 0u64..128, negs in 0usize..2
-    ) {
-        let schema = small_schema(schema_seed);
-        let a = small_query(&schema, s1, 1, negs);
-        let b = small_query(&schema, s2, 1, negs);
-        let c = small_query(&schema, s3, 1, negs);
+/// Wei–Lausen containment is transitive on sampled triples.
+#[test]
+fn prop_containment_transitive_sampled() {
+    for case in 0..CASES {
+        let mut p = Params::for_case(10, case);
+        let schema = small_schema(p.seed(8));
+        let negs = p.negs(2);
+        let a = small_query(&schema, p.seed(128), 1, negs);
+        let b = small_query(&schema, p.seed(128), 1, negs);
+        let c = small_query(&schema, p.seed(128), 1, negs);
         if contained(&a, &b) && contained(&b, &c) {
-            prop_assert!(contained(&a, &c), "transitivity broken:\nA={}\nB={}\nC={}", &a, &b, &c);
+            assert!(
+                contained(&a, &c),
+                "case {case}: transitivity broken:\nA={a}\nB={b}\nC={c}"
+            );
         }
     }
+}
 
-    /// Parser round-trip: display then re-parse is the identity.
-    #[test]
-    fn display_parse_round_trip(schema_seed in 0u64..32, query_seed in 0u64..512, negs in 0usize..3) {
-        let schema = small_schema(schema_seed);
-        let q = small_query(&schema, query_seed, 2, negs);
+/// Parser round-trip: display then re-parse is the identity.
+#[test]
+fn prop_display_parse_round_trip() {
+    for case in 0..CASES {
+        let mut p = Params::for_case(11, case);
+        let schema = small_schema(p.seed(32));
+        let q = small_query(&schema, p.seed(512), 2, p.negs(3));
         let text = q.to_string();
         let reparsed = parse_query(&text).unwrap();
-        prop_assert_eq!(q, reparsed, "round trip failed for: {}", text);
+        assert_eq!(q, reparsed, "case {case}: round trip failed for: {text}");
     }
 }

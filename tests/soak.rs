@@ -12,8 +12,7 @@ use lap::engine::eval_oracle;
 use lap::workload::{
     gen_instance, gen_query, gen_schema, InstanceConfig, QueryConfig, SchemaConfig,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lap_prng::StdRng;
 
 fn schema(seed: u64) -> lap::ir::Schema {
     gen_schema(
