@@ -1,0 +1,58 @@
+//! Observability overhead bench: `eval_ordered_cq` through a
+//! [`SourceRegistry`] whose recorder is disabled (the default), metrics-only,
+//! and fully tracing. The acceptance bar for the `lap-obs` layer is that the
+//! disabled (no-op sink) configuration adds no measurable overhead over the
+//! pre-observability engine — the registry's counters are the same relaxed
+//! atomic adds either way — while the metrics and tracing tiers pay only for
+//! what they record.
+
+use lap_bench::microbench::{BenchmarkId, Criterion};
+use lap_bench::{criterion_group, criterion_main};
+use lap_engine::{eval_ordered_cq, SourceRegistry};
+use lap_obs::Recorder;
+use lap_prng::StdRng;
+use lap_workload::families::forward_chain;
+use lap_workload::{gen_instance, InstanceConfig};
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    for tuples in [40usize, 160] {
+        let inst = forward_chain(4);
+        let cfg = InstanceConfig {
+            domain_size: 12,
+            tuples_per_relation: tuples,
+        };
+        let db = gen_instance(&inst.schema, &cfg, &mut StdRng::seed_from_u64(7));
+        let plan = inst.query.disjuncts[0].clone();
+        let recorders = [
+            ("disabled", Recorder::disabled()),
+            ("metrics", Recorder::new()),
+            ("tracing", Recorder::with_tracing()),
+        ];
+        for (tier, recorder) in &recorders {
+            let label = format!("eval_{tier}");
+            group.bench_with_input(
+                BenchmarkId::new(&label, tuples),
+                &tuples,
+                |b, _| {
+                    b.iter(|| {
+                        let mut reg =
+                            SourceRegistry::new(&db, &inst.schema).recording(recorder);
+                        eval_ordered_cq(&plan, &[], &mut reg).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(600))
+        .sample_size(10);
+    targets = bench_obs_overhead
+}
+criterion_main!(benches);

@@ -4,14 +4,26 @@
 //! cargo run --release -p lap-bench --bin experiments             # all, text
 //! cargo run --release -p lap-bench --bin experiments -- e2 e11  # subset
 //! cargo run --release -p lap-bench --bin experiments -- --markdown
+//! cargo run --release -p lap-bench --bin experiments -- --json            # BENCH_PR2.json
+//! cargo run --release -p lap-bench --bin experiments -- --json=tables.json
 //! ```
 
 use lap_bench::runner;
-use lap_bench::tables::Table;
+use lap_bench::tables::{tables_to_json, Table};
+
+/// Default path for `--json` without an explicit `=<path>`.
+const DEFAULT_JSON_PATH: &str = "BENCH_PR2.json";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let markdown = args.iter().any(|a| a == "--markdown");
+    let json_path: Option<String> = args.iter().find_map(|a| {
+        if a == "--json" {
+            Some(DEFAULT_JSON_PATH.to_owned())
+        } else {
+            a.strip_prefix("--json=").map(str::to_owned)
+        }
+    });
     let selected: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -40,6 +52,7 @@ fn main() {
         ("e17", Box::new(runner::e17_end_to_end_scenario)),
     ];
 
+    let mut rendered: Vec<Table> = Vec::new();
     for (id, run) in &all {
         if !selected.is_empty() && !selected.iter().any(|s| s == id) {
             continue;
@@ -49,6 +62,18 @@ fn main() {
             println!("{}", table.to_markdown());
         } else {
             println!("{table}");
+        }
+        rendered.push(table);
+    }
+
+    if let Some(path) = json_path {
+        let doc = format!("{}\n", tables_to_json(&rendered).to_pretty());
+        match std::fs::write(&path, doc) {
+            Ok(()) => eprintln!("wrote {} table(s) to {path}", rendered.len()),
+            Err(e) => {
+                eprintln!("experiments: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -1,5 +1,6 @@
-//! Plain-text / markdown table rendering for the experiment harness.
+//! Plain-text / markdown / JSON table rendering for the experiment harness.
 
+use lap_obs::Json;
 use std::fmt;
 use std::time::Duration;
 
@@ -51,6 +52,33 @@ impl Table {
         }
         out
     }
+
+    /// Renders as a machine-readable [`Json`] value (the `lap-obs` writer;
+    /// the workspace has no serde): `{title, caption, columns, rows}`, with
+    /// every cell kept as the already-formatted string.
+    pub fn to_json(&self) -> Json {
+        let strings = |items: &[String]| {
+            Json::Arr(items.iter().map(Json::str).collect())
+        };
+        Json::obj([
+            ("title", Json::str(&self.title)),
+            ("caption", Json::str(&self.caption)),
+            ("columns", strings(&self.columns)),
+            (
+                "rows",
+                Json::Arr(self.rows.iter().map(|r| strings(r)).collect()),
+            ),
+        ])
+    }
+}
+
+/// Bundles rendered tables into one exportable document:
+/// `{"tables": [{title, caption, columns, rows}, …]}`.
+pub fn tables_to_json(tables: &[Table]) -> Json {
+    Json::obj([(
+        "tables",
+        Json::Arr(tables.iter().map(Table::to_json).collect()),
+    )])
 }
 
 impl fmt::Display for Table {
@@ -124,6 +152,22 @@ mod tests {
         let md = t.to_markdown();
         assert!(md.starts_with("### E0 — demo"));
         assert!(md.contains("| 8 | 1.2µs |"));
+    }
+
+    #[test]
+    fn json_export_round_trips() {
+        let mut t = Table::new("E0 — demo", "a caption", &["n", "time"]);
+        t.row(vec!["8".into(), "1.2µs".into()]);
+        let doc = tables_to_json(&[t]);
+        let parsed = lap_obs::json::parse(&doc.to_pretty()).unwrap();
+        let tables = parsed.get("tables").and_then(Json::as_arr).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(
+            tables[0].get("title").and_then(Json::as_str),
+            Some("E0 — demo")
+        );
+        let rows = tables[0].get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows[0].as_arr().unwrap()[1].as_str(), Some("1.2µs"));
     }
 
     #[test]

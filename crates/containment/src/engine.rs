@@ -21,6 +21,7 @@ use crate::canonical::canonical_key;
 use crate::ucq::ucq_contained;
 use crate::ucqn::{ucqn_contained_parallel, ucqn_contained_stats, ContainmentStats};
 use lap_ir::UnionQuery;
+use lap_obs::{Counter, Recorder};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -89,12 +90,28 @@ impl fmt::Display for EngineStats {
 /// A containment decision service with an optional verdict cache and an
 /// optional parallel evaluation strategy. Cheap to share behind an `Arc`;
 /// all methods take `&self` and are thread-safe.
+///
+/// Lifetime counters live in `lap-obs` [`Counter`]s (named
+/// `containment.*` when attached to a [`Recorder`], detached otherwise);
+/// [`ContainmentEngine::stats`] is a view over them relative to the
+/// baselines captured at the last [`ContainmentEngine::clear`].
 pub struct ContainmentEngine {
     cfg: EngineConfig,
+    recorder: Recorder,
     verdicts: Mutex<HashMap<(String, String), bool>>,
-    decisions: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    decisions: Counter,
+    hits: Counter,
+    misses: Counter,
+    recursive_calls: Counter,
+    memo_hits: Counter,
+    mappings_checked: Counter,
+    verdict_contained: Counter,
+    verdict_not_contained: Counter,
+    /// Counter values at the last `clear()` — shared recorder counters are
+    /// monotone, so the per-engine view subtracts these.
+    base_decisions: AtomicU64,
+    base_hits: AtomicU64,
+    base_misses: AtomicU64,
     procedure: Mutex<ContainmentStats>,
 }
 
@@ -114,21 +131,49 @@ impl fmt::Debug for ContainmentEngine {
 }
 
 impl ContainmentEngine {
-    /// An engine with the given configuration.
+    /// An engine with the given configuration (not attached to any
+    /// recorder; counters are detached but fully functional).
     pub fn new(cfg: EngineConfig) -> ContainmentEngine {
-        ContainmentEngine {
+        ContainmentEngine::with_recorder(cfg, &Recorder::disabled())
+    }
+
+    /// An engine whose counters register with `recorder` under the
+    /// `containment.*` names (decisions, cache hits/misses, recursive
+    /// calls, memo hits, mappings checked, verdict tallies).
+    pub fn with_recorder(cfg: EngineConfig, recorder: &Recorder) -> ContainmentEngine {
+        let engine = ContainmentEngine {
             cfg,
+            recorder: recorder.clone(),
             verdicts: Mutex::new(HashMap::new()),
-            decisions: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            decisions: recorder.counter("containment.decisions"),
+            hits: recorder.counter("containment.cache_hits"),
+            misses: recorder.counter("containment.cache_misses"),
+            recursive_calls: recorder.counter("containment.recursive_calls"),
+            memo_hits: recorder.counter("containment.memo_hits"),
+            mappings_checked: recorder.counter("containment.mappings_checked"),
+            verdict_contained: recorder.counter("containment.verdicts.contained"),
+            verdict_not_contained: recorder.counter("containment.verdicts.not_contained"),
+            base_decisions: AtomicU64::new(0),
+            base_hits: AtomicU64::new(0),
+            base_misses: AtomicU64::new(0),
             procedure: Mutex::new(ContainmentStats::default()),
-        }
+        };
+        // The shared counters may already carry traffic from elsewhere —
+        // start this engine's view at zero.
+        engine.base_decisions.store(engine.decisions.get(), Ordering::Relaxed);
+        engine.base_hits.store(engine.hits.get(), Ordering::Relaxed);
+        engine.base_misses.store(engine.misses.get(), Ordering::Relaxed);
+        engine
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> EngineConfig {
         self.cfg
+    }
+
+    /// The recorder this engine reports to (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// `P ⊑ Q` under this engine's strategy. Same decision as
@@ -140,7 +185,7 @@ impl ContainmentEngine {
     /// [`ContainmentEngine::contained`] plus this decision's procedure
     /// counters (all-zero except the engine-cache fields on a cache hit).
     pub fn contained_stats(&self, p: &UnionQuery, q: &UnionQuery) -> (bool, ContainmentStats) {
-        self.decisions.fetch_add(1, Ordering::Relaxed);
+        self.decisions.incr();
         let key = if self.cfg.cache {
             let key = (canonical_key(p), canonical_key(q));
             let cached = {
@@ -148,7 +193,8 @@ impl ContainmentEngine {
                 verdicts.get(&key).copied()
             };
             if let Some(verdict) = cached {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.incr();
+                self.record_verdict(verdict);
                 let stats = ContainmentStats {
                     engine_cache_hits: 1,
                     ..ContainmentStats::default()
@@ -163,9 +209,13 @@ impl ContainmentEngine {
         } else {
             None
         };
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.incr();
         let (verdict, mut stats) = self.decide(p, q);
         stats.engine_cache_misses = 1;
+        self.record_verdict(verdict);
+        self.recursive_calls.add(stats.recursive_calls);
+        self.memo_hits.add(stats.cache_hits);
+        self.mappings_checked.add(stats.mappings_checked);
         if let Some(key) = key {
             self.verdicts
                 .lock()
@@ -177,6 +227,14 @@ impl ContainmentEngine {
             .expect("stats mutex not poisoned")
             .absorb(&stats);
         (verdict, stats)
+    }
+
+    fn record_verdict(&self, verdict: bool) {
+        if verdict {
+            self.verdict_contained.incr();
+        } else {
+            self.verdict_not_contained.incr();
+        }
     }
 
     /// Runs the underlying decision procedure, preserving the free
@@ -198,12 +256,14 @@ impl ContainmentEngine {
         self.contained(p, q) && self.contained(q, p)
     }
 
-    /// A snapshot of the engine's lifetime counters.
+    /// A snapshot of the engine's lifetime counters (since construction /
+    /// the last [`ContainmentEngine::clear`]) — a view over the shared
+    /// recorder counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
-            decisions: self.decisions.load(Ordering::Relaxed),
-            cache_hits: self.hits.load(Ordering::Relaxed),
-            cache_misses: self.misses.load(Ordering::Relaxed),
+            decisions: self.decisions.get() - self.base_decisions.load(Ordering::Relaxed),
+            cache_hits: self.hits.get() - self.base_hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.get() - self.base_misses.load(Ordering::Relaxed),
             cache_entries: self
                 .verdicts
                 .lock()
@@ -213,15 +273,16 @@ impl ContainmentEngine {
         }
     }
 
-    /// Drops all cached verdicts and zeroes the counters.
+    /// Drops all cached verdicts and zeroes this engine's stats view (the
+    /// recorder's lifetime counters are monotone and keep their values).
     pub fn clear(&self) {
         self.verdicts
             .lock()
             .expect("verdict cache not poisoned")
             .clear();
-        self.decisions.store(0, Ordering::Relaxed);
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        self.base_decisions.store(self.decisions.get(), Ordering::Relaxed);
+        self.base_hits.store(self.hits.get(), Ordering::Relaxed);
+        self.base_misses.store(self.misses.get(), Ordering::Relaxed);
         *self.procedure.lock().expect("stats mutex not poisoned") = ContainmentStats::default();
     }
 }
@@ -337,6 +398,38 @@ mod tests {
         engine.clear();
         let s = engine.stats();
         assert_eq!(s, EngineStats::default());
+    }
+
+    #[test]
+    fn recorder_mirrors_engine_counters() {
+        let rec = Recorder::new();
+        let engine = ContainmentEngine::with_recorder(EngineConfig::full(), &rec);
+        let p = q("Q(x) :- R(x), not S(x).");
+        let qq = q("Q(x) :- R(x).");
+        engine.contained(&p, &qq); // miss
+        engine.contained(&p, &qq); // hit
+        engine.contained(&qq, &p); // miss, not contained
+        let s = engine.stats();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("containment.decisions"), s.decisions);
+        assert_eq!(snap.counter("containment.cache_hits"), s.cache_hits);
+        assert_eq!(snap.counter("containment.cache_misses"), s.cache_misses);
+        assert_eq!(
+            snap.counter("containment.recursive_calls"),
+            s.procedure.recursive_calls
+        );
+        assert_eq!(
+            snap.counter("containment.verdicts.contained")
+                + snap.counter("containment.verdicts.not_contained"),
+            s.decisions
+        );
+        // clear() re-baselines the view without touching the recorder.
+        engine.clear();
+        assert_eq!(engine.stats(), EngineStats::default());
+        assert_eq!(rec.snapshot().counter("containment.decisions"), 3);
+        engine.contained(&p, &qq);
+        assert_eq!(engine.stats().decisions, 1);
+        assert_eq!(rec.snapshot().counter("containment.decisions"), 4);
     }
 
     #[test]

@@ -2,12 +2,13 @@
 //! completeness information, plus the domain-enumeration refinement of the
 //! underestimate (Section 4.2, Example 8).
 
-use crate::plan::{plan_star, PlanPair};
+use crate::plan::{plan_star_obs, PlanPair};
 use lap_engine::{
     enumerate_domain, eval_ordered_union, CallStats, Database, EngineError, SourceRegistry, Tuple,
     Value,
 };
 use lap_ir::{Atom, ConjunctiveQuery, Literal, Predicate, Schema, Term, UnionQuery, Var};
+use lap_obs::Recorder;
 use std::collections::{BTreeSet, HashSet};
 
 /// Completeness information attached to a runtime answer (Figure 4's
@@ -56,10 +57,30 @@ pub fn answer_star(
     schema: &Schema,
     db: &Database,
 ) -> Result<AnswerReport, EngineError> {
-    let plans = plan_star(q, schema);
-    let mut reg = SourceRegistry::new(db, schema);
-    let under = eval_ordered_union(&plans.under.eval_parts(), &mut reg)?;
-    let over = eval_ordered_union(&plans.over.eval_parts(), &mut reg)?;
+    answer_star_obs(q, schema, db, &Recorder::disabled())
+}
+
+/// [`answer_star`] under `recorder`: the whole run executes in an
+/// `answer*` span with `plan*`, `answer*.under`, and `answer*.over`
+/// sub-spans (each evaluation phase with per-disjunct sub-spans), and the
+/// source registry reports its call counters as `source.*` metrics.
+pub fn answer_star_obs(
+    q: &UnionQuery,
+    schema: &Schema,
+    db: &Database,
+    recorder: &Recorder,
+) -> Result<AnswerReport, EngineError> {
+    let _span = recorder.span("answer*");
+    let plans = plan_star_obs(q, schema, recorder);
+    let mut reg = SourceRegistry::new(db, schema).recording(recorder);
+    let under = {
+        let _under = recorder.span("answer*.under");
+        eval_ordered_union(&plans.under.eval_parts(), &mut reg)?
+    };
+    let over = {
+        let _over = recorder.span("answer*.over");
+        eval_ordered_union(&plans.over.eval_parts(), &mut reg)?
+    };
     let stats = reg.stats();
     Ok(build_report(under, over, stats, plans))
 }

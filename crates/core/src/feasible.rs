@@ -2,9 +2,10 @@
 //! queries. Π₂ᴾ-complete in general (Corollary 19), but with the quadratic
 //! fast paths of PLAN\* in front of the containment check.
 
-use crate::plan::{plan_star, PlanPair};
+use crate::plan::{plan_star_obs, PlanPair};
 use lap_containment::{ContainmentEngine, ContainmentStats};
 use lap_ir::{Schema, UnionQuery};
+use lap_obs::Recorder;
 
 /// How a feasibility decision was reached — the basis of the paper's claim
 /// that the worst case is often avoidable (Section 4.1).
@@ -68,7 +69,20 @@ pub fn feasible_detailed_with(
     schema: &Schema,
     engine: &ContainmentEngine,
 ) -> FeasibilityReport {
-    let plans = plan_star(q, schema);
+    feasible_detailed_obs(q, schema, engine, engine.recorder())
+}
+
+/// [`feasible_detailed_with`] under `recorder`: the decision runs in a
+/// `feasible` span, with `plan*`/`answerable` sub-spans from PLAN\* and a
+/// `containment` sub-span when the `ans(Q) ⊑ Q` check actually runs.
+pub fn feasible_detailed_obs(
+    q: &UnionQuery,
+    schema: &Schema,
+    engine: &ContainmentEngine,
+    recorder: &Recorder,
+) -> FeasibilityReport {
+    let _span = recorder.span("feasible");
+    let plans = plan_star_obs(q, schema, recorder);
     if plans.coincide() {
         return FeasibilityReport {
             feasible: true,
@@ -89,7 +103,10 @@ pub fn feasible_detailed_with(
         .over
         .as_query()
         .expect("null-free overestimate is a plain query");
-    let (feasible, stats) = engine.contained_stats(&ans_q, q);
+    let (feasible, stats) = {
+        let _containment = recorder.span("containment");
+        engine.contained_stats(&ans_q, q)
+    };
     FeasibilityReport {
         feasible,
         decided_by: DecisionPath::ContainmentCheck,

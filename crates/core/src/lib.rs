@@ -39,7 +39,8 @@ mod prepared;
 mod reduction;
 
 pub use answer::{
-    answer_star, answer_star_with_domain, AnswerReport, Completeness, ImprovedAnswerReport,
+    answer_star, answer_star_obs, answer_star_with_domain, AnswerReport, Completeness,
+    ImprovedAnswerReport,
 };
 pub use answerable::{
     ans, answerable_literals, answerable_split, is_q_answerable, literal_executable,
@@ -50,9 +51,12 @@ pub use executable::{
     choose_adornments, executable_order, is_executable, is_executable_cq, is_orderable,
     is_orderable_cq,
 };
-pub use feasible::{feasible, feasible_detailed, feasible_detailed_with, DecisionPath, FeasibilityReport};
+pub use feasible::{
+    feasible, feasible_detailed, feasible_detailed_obs, feasible_detailed_with, DecisionPath,
+    FeasibilityReport,
+};
 pub use lap_containment::{ContainmentEngine, ContainmentStats, EngineConfig, EngineStats};
-pub use plan::{plan_star, CqPlan, PlanPair, UnionPlan};
+pub use plan::{plan_star, plan_star_obs, CqPlan, PlanPair, UnionPlan};
 pub use prepared::PreparedQuery;
 pub use reduction::{
     containment_to_feasibility, containment_to_feasibility_cqn, FeasibilityInstance,

@@ -147,10 +147,28 @@ impl PlanPair {
 /// * `Uᵢ ≠ ∅` ⇒ `Qᵢ` is dropped from `Qᵘ`; `Qᵢᵒ = Aᵢ` with every head
 ///   variable not occurring in `Aᵢ` set to `null` joins `Qᵒ`.
 pub fn plan_star(q: &UnionQuery, schema: &Schema) -> PlanPair {
+    plan_star_obs(q, schema, &lap_obs::Recorder::disabled())
+}
+
+/// [`plan_star`] under `recorder`: the whole computation runs in a `plan*`
+/// span with a nested `answerable` span covering the per-disjunct
+/// ANSWERABLE splits (Figure 1).
+pub fn plan_star_obs(
+    q: &UnionQuery,
+    schema: &Schema,
+    recorder: &lap_obs::Recorder,
+) -> PlanPair {
+    let _span = recorder.span("plan*");
+    let splits: Vec<_> = {
+        let _answerable = recorder.span("answerable");
+        q.disjuncts
+            .iter()
+            .map(|cq| answerable_split(cq, schema))
+            .collect()
+    };
     let mut under = Vec::new();
     let mut over = Vec::new();
-    for cq in &q.disjuncts {
-        let split = answerable_split(cq, schema);
+    for (cq, split) in q.disjuncts.iter().zip(&splits) {
         if split.unsatisfiable {
             continue;
         }

@@ -40,13 +40,16 @@ pub fn eval_ordered_cq(
 }
 
 /// Evaluates a union of ordered CQ¬ plans (each with its own null list) and
-/// returns the set union of the answers.
+/// returns the set union of the answers. Each disjunct runs under its own
+/// span when the registry's recorder has tracing enabled.
 pub fn eval_ordered_union(
     parts: &[(ConjunctiveQuery, Vec<Var>)],
     reg: &mut SourceRegistry<'_>,
 ) -> Result<BTreeSet<Tuple>, EngineError> {
+    let recorder = reg.recorder().clone();
     let mut out = BTreeSet::new();
-    for (cq, null_vars) in parts {
+    for (i, (cq, null_vars)) in parts.iter().enumerate() {
+        let _span = recorder.span_lazy(|| format!("disjunct {i}: {}", cq.head));
         out.extend(eval_ordered_cq(cq, null_vars, reg)?);
     }
     Ok(out)

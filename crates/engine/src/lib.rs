@@ -47,9 +47,12 @@ pub use error::EngineError;
 pub use eval::{eval_ordered_cq, eval_ordered_union};
 pub use instance::Database;
 pub use oracle::{eval_oracle, eval_oracle_single};
-pub use parallel::eval_ordered_union_parallel;
+pub use parallel::{eval_ordered_union_parallel, eval_ordered_union_parallel_obs};
 pub use relation::Relation;
 pub use source::SourceRegistry;
 pub use stats::CallStats;
-pub use trace::{eval_ordered_cq_traced, CqTrace, LiteralTrace};
+pub use trace::{
+    eval_ordered_cq_traced, eval_ordered_union_traced, CqTrace, LiteralTrace, TraceTotals,
+    UnionTrace,
+};
 pub use value::{display_tuple, Tuple, Value};

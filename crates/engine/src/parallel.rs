@@ -28,16 +28,30 @@ pub fn eval_ordered_union_parallel(
     db: &Database,
     schema: &Schema,
 ) -> Result<(BTreeSet<Tuple>, CallStats), EngineError> {
+    eval_ordered_union_parallel_obs(parts, db, schema, &lap_obs::Recorder::disabled())
+}
+
+/// [`eval_ordered_union_parallel`] under `recorder`: the fan-out runs in an
+/// `eval.parallel` span and every worker's registry reports its counters to
+/// the shared recorder (counters are thread-safe; workers do not open their
+/// own spans — span nesting is a per-thread notion).
+pub fn eval_ordered_union_parallel_obs(
+    parts: &[(ConjunctiveQuery, Vec<Var>)],
+    db: &Database,
+    schema: &Schema,
+    recorder: &lap_obs::Recorder,
+) -> Result<(BTreeSet<Tuple>, CallStats), EngineError> {
     if parts.is_empty() {
         return Ok((BTreeSet::new(), CallStats::default()));
     }
+    let _span = recorder.span("eval.parallel");
     let results: Vec<Result<(BTreeSet<Tuple>, CallStats), EngineError>> =
         std::thread::scope(|scope| {
             let handles: Vec<_> = parts
                 .iter()
                 .map(|(cq, null_vars)| {
                     scope.spawn(move || {
-                        let mut reg = SourceRegistry::new(db, schema);
+                        let mut reg = SourceRegistry::new(db, schema).recording(recorder);
                         let rows = eval_ordered_cq(cq, null_vars, &mut reg)?;
                         Ok((rows, reg.stats()))
                     })

@@ -13,6 +13,7 @@ use crate::instance::Database;
 use crate::stats::CallStats;
 use crate::value::{Tuple, Value};
 use lap_ir::{AccessPattern, Schema, Symbol};
+use lap_obs::{Counter, Histogram, Recorder};
 use std::collections::HashMap;
 
 /// Cache key for one source call: relation, pattern, supplied inputs.
@@ -22,10 +23,21 @@ type ColumnIndex = HashMap<Vec<Value>, Vec<Tuple>>;
 
 /// The mediator's view of the sources: a database instance hidden behind
 /// access patterns, with call statistics and an optional call cache.
+///
+/// Statistics live in `lap-obs` counters so a pipeline-wide
+/// [`Recorder`] can aggregate them; [`SourceRegistry::stats`] stays a
+/// per-registry *view* over those counters (value minus the baseline
+/// captured at construction / [`SourceRegistry::reset_stats`] time).
 pub struct SourceRegistry<'a> {
     db: &'a Database,
     schema: &'a Schema,
-    stats: CallStats,
+    recorder: Recorder,
+    calls: Counter,
+    tuples_returned: Counter,
+    cache_hits: Counter,
+    rows_per_call: Histogram,
+    /// Counter values at the last attach/reset; `stats()` subtracts this.
+    baseline: CallStats,
     cache: Option<HashMap<CallKey, Vec<Tuple>>>,
     /// Lazily-built hash indexes keyed by (relation, indexed positions).
     /// `None` disables indexing (every selection scans).
@@ -40,7 +52,12 @@ impl<'a> SourceRegistry<'a> {
         SourceRegistry {
             db,
             schema,
-            stats: CallStats::default(),
+            recorder: Recorder::disabled(),
+            calls: Counter::detached(),
+            tuples_returned: Counter::detached(),
+            cache_hits: Counter::detached(),
+            rows_per_call: Histogram::detached(),
+            baseline: CallStats::default(),
             cache: None,
             indexes: Some(HashMap::new()),
         }
@@ -64,19 +81,54 @@ impl<'a> SourceRegistry<'a> {
         }
     }
 
+    /// Attaches this registry to `recorder`: call statistics register as
+    /// the `source.*` counters and the `source.rows_per_call` histogram.
+    /// The shared counters may already carry values from other components;
+    /// the baseline is re-captured so `stats()` still reads zero here.
+    pub fn recording(mut self, recorder: &Recorder) -> SourceRegistry<'a> {
+        self.recorder = recorder.clone();
+        self.calls = recorder.counter("source.calls");
+        self.tuples_returned = recorder.counter("source.tuples_returned");
+        self.cache_hits = recorder.counter("source.cache_hits");
+        self.rows_per_call = recorder.histogram("source.rows_per_call");
+        self.baseline = self.raw_totals();
+        self
+    }
+
+    /// The recorder this registry reports to (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     /// The schema this registry enforces.
     pub fn schema(&self) -> &Schema {
         self.schema
     }
 
-    /// Accumulated call statistics.
-    pub fn stats(&self) -> CallStats {
-        self.stats
+    fn raw_totals(&self) -> CallStats {
+        CallStats {
+            calls: self.calls.get(),
+            tuples_returned: self.tuples_returned.get(),
+            cache_hits: self.cache_hits.get(),
+        }
     }
 
-    /// Resets the call statistics (the cache, if any, is kept).
+    /// Call statistics accumulated through *this* registry since
+    /// construction / attach / the last [`SourceRegistry::reset_stats`] —
+    /// a view over the shared recorder counters.
+    pub fn stats(&self) -> CallStats {
+        let raw = self.raw_totals();
+        CallStats {
+            calls: raw.calls - self.baseline.calls,
+            tuples_returned: raw.tuples_returned - self.baseline.tuples_returned,
+            cache_hits: raw.cache_hits - self.baseline.cache_hits,
+        }
+    }
+
+    /// Resets the call statistics view (the cache, if any, is kept; the
+    /// recorder's lifetime counters are monotone and keep their values).
     pub fn reset_stats(&mut self) {
-        self.stats = CallStats::default();
+        self.baseline = self.raw_totals();
     }
 
     /// Calls relation `name` through `pattern`, supplying `inputs[j] =
@@ -132,7 +184,7 @@ impl<'a> SourceRegistry<'a> {
         let key = (name, pattern, inputs.to_vec());
         if let Some(cache) = &self.cache {
             if let Some(hit) = cache.get(&key) {
-                self.stats.cache_hits += 1;
+                self.cache_hits.incr();
                 return Ok(hit.clone());
             }
         }
@@ -141,8 +193,9 @@ impl<'a> SourceRegistry<'a> {
             Some(rel) => self.select_rows(name, rel, inputs),
             None => Vec::new(),
         };
-        self.stats.calls += 1;
-        self.stats.tuples_returned += rows.len() as u64;
+        self.calls.incr();
+        self.tuples_returned.add(rows.len() as u64);
+        self.rows_per_call.record(rows.len() as u64);
         if let Some(cache) = &mut self.cache {
             cache.insert(key, rows.clone());
         }
@@ -295,6 +348,30 @@ mod tests {
         let s = reg.stats();
         assert_eq!(s.calls, 1);
         assert_eq!(s.cache_hits, 1);
+    }
+
+    #[test]
+    fn recording_registry_mirrors_stats_into_recorder() {
+        let (db, schema) = setup();
+        let rec = Recorder::new();
+        rec.counter("source.calls").add(10); // pre-existing traffic
+        let mut reg = SourceRegistry::with_cache(&db, &schema).recording(&rec);
+        let p = AccessPattern::parse("oio").unwrap();
+        let args = [None, Some(Value::str("tolkien")), None];
+        reg.call(Symbol::intern("B"), p, &args).unwrap();
+        reg.call(Symbol::intern("B"), p, &args).unwrap();
+        // The per-registry view starts at zero despite the shared counter.
+        let s = reg.stats();
+        assert_eq!((s.calls, s.tuples_returned, s.cache_hits), (1, 2, 1));
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("source.calls"), 11);
+        assert_eq!(snap.counter("source.tuples_returned"), 2);
+        assert_eq!(snap.counter("source.cache_hits"), 1);
+        assert_eq!(snap.metrics.histograms["source.rows_per_call"].count, 1);
+        // reset_stats zeroes the view, not the lifetime counters.
+        reg.reset_stats();
+        assert_eq!(reg.stats().calls, 0);
+        assert_eq!(rec.snapshot().counter("source.calls"), 11);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::error::EngineError;
 use crate::source::SourceRegistry;
 use crate::value::{Tuple, Value};
 use lap_ir::{ConjunctiveQuery, Term, Var};
+use lap_obs::Histogram;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -32,6 +33,28 @@ pub struct LiteralTrace {
     pub bindings_out: u64,
 }
 
+/// Merged runtime totals across a set of literal traces.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceTotals {
+    /// Total literal invocations.
+    pub invocations: u64,
+    /// Total source requests (including cache-answered ones).
+    pub calls: u64,
+    /// Total tuples transferred.
+    pub rows_returned: u64,
+    /// Total bindings that survived their literal.
+    pub bindings_out: u64,
+}
+
+impl TraceTotals {
+    fn absorb(&mut self, l: &LiteralTrace) {
+        self.invocations += l.invocations;
+        self.calls += l.calls;
+        self.rows_returned += l.rows_returned;
+        self.bindings_out += l.bindings_out;
+    }
+}
+
 /// The profile of one executed CQ¬ plan.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CqTrace {
@@ -41,6 +64,17 @@ pub struct CqTrace {
     pub answers: u64,
     /// Wall time spent evaluating this disjunct.
     pub elapsed: Duration,
+}
+
+impl CqTrace {
+    /// The merged totals across this plan's literals.
+    pub fn totals(&self) -> TraceTotals {
+        let mut t = TraceTotals::default();
+        for l in &self.literals {
+            t.absorb(l);
+        }
+        t
+    }
 }
 
 impl fmt::Display for CqTrace {
@@ -65,8 +99,50 @@ impl fmt::Display for CqTrace {
     }
 }
 
+/// The profile of one executed UCQ¬ plan: per-disjunct sub-traces plus the
+/// merged view — the `EXPLAIN ANALYZE` extended from single CQs to unions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UnionTrace {
+    /// `(rendered plan, profile)` per disjunct, in union order.
+    pub disjuncts: Vec<(String, CqTrace)>,
+    /// Distinct answers across the whole union.
+    pub answers: u64,
+    /// Wall time for the whole union.
+    pub elapsed: Duration,
+}
+
+impl UnionTrace {
+    /// The merged totals across every literal of every disjunct.
+    pub fn totals(&self) -> TraceTotals {
+        let mut t = TraceTotals::default();
+        for (_, trace) in &self.disjuncts {
+            for l in &trace.literals {
+                t.absorb(l);
+            }
+        }
+        t
+    }
+}
+
+impl fmt::Display for UnionTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (plan, trace)) in self.disjuncts.iter().enumerate() {
+            writeln!(f, "disjunct {i}: {plan}")?;
+            writeln!(f, "{trace}")?;
+        }
+        let t = self.totals();
+        write!(
+            f,
+            "union totals: {} invocations, {} calls, {} rows, {} bindings; {} answer(s) in {:.2?}",
+            t.invocations, t.calls, t.rows_returned, t.bindings_out, self.answers, self.elapsed
+        )
+    }
+}
+
 /// Evaluates an ordered CQ¬ plan exactly like [`crate::eval_ordered_cq`],
-/// additionally returning the per-literal profile.
+/// additionally returning the per-literal profile. Fan-out per positive
+/// literal call is also recorded into the registry recorder's
+/// `eval.literal_fanout` histogram.
 pub fn eval_ordered_cq_traced(
     cq: &ConjunctiveQuery,
     null_vars: &[Var],
@@ -83,9 +159,36 @@ pub fn eval_ordered_cq_traced(
             ..LiteralTrace::default()
         })
         .collect();
-    rec(cq, null_vars, reg, 0, &mut env, &mut out, &mut literals)?;
+    let fanout = reg.recorder().histogram("eval.literal_fanout");
+    rec(cq, null_vars, reg, 0, &mut env, &mut out, &mut literals, &fanout)?;
     let trace = CqTrace {
         literals,
+        answers: out.len() as u64,
+        elapsed: start.elapsed(),
+    };
+    Ok((out, trace))
+}
+
+/// Evaluates a union of ordered CQ¬ plans exactly like
+/// [`crate::eval_ordered_union`], additionally returning the per-disjunct
+/// profiles with merged totals. Each disjunct runs under its own span when
+/// the registry's recorder has tracing enabled.
+pub fn eval_ordered_union_traced(
+    parts: &[(ConjunctiveQuery, Vec<Var>)],
+    reg: &mut SourceRegistry<'_>,
+) -> Result<(BTreeSet<Tuple>, UnionTrace), EngineError> {
+    let recorder = reg.recorder().clone();
+    let start = Instant::now();
+    let mut out = BTreeSet::new();
+    let mut disjuncts = Vec::with_capacity(parts.len());
+    for (i, (cq, null_vars)) in parts.iter().enumerate() {
+        let _span = recorder.span_lazy(|| format!("disjunct {i}: {}", cq.head));
+        let (rows, trace) = eval_ordered_cq_traced(cq, null_vars, reg)?;
+        out.extend(rows);
+        disjuncts.push((cq.to_string(), trace));
+    }
+    let trace = UnionTrace {
+        disjuncts,
         answers: out.len() as u64,
         elapsed: start.elapsed(),
     };
@@ -101,6 +204,7 @@ fn rec(
     env: &mut HashMap<Var, Value>,
     out: &mut BTreeSet<Tuple>,
     literals: &mut [LiteralTrace],
+    fanout: &Histogram,
 ) -> Result<(), EngineError> {
     let Some(lit) = cq.body.get(depth) else {
         let mut tuple = Vec::with_capacity(cq.head.args.len());
@@ -150,6 +254,7 @@ fn rec(
         let rows = reg.call(name, pattern, &inputs)?;
         literals[depth].calls += 1;
         literals[depth].rows_returned += rows.len() as u64;
+        fanout.record(rows.len() as u64);
         'rows: for row in rows {
             let mut bound_here: Vec<Var> = Vec::new();
             for (&arg, &val) in atom.args.iter().zip(row.iter()) {
@@ -178,7 +283,7 @@ fn rec(
                 }
             }
             literals[depth].bindings_out += 1;
-            rec(cq, null_vars, reg, depth + 1, env, out, literals)?;
+            rec(cq, null_vars, reg, depth + 1, env, out, literals, fanout)?;
             for v in bound_here {
                 env.remove(&v);
             }
@@ -203,7 +308,7 @@ fn rec(
         let present = reg.membership_test(name, &values)?;
         if !present {
             literals[depth].bindings_out += 1;
-            rec(cq, null_vars, reg, depth + 1, env, out, literals)?;
+            rec(cq, null_vars, reg, depth + 1, env, out, literals, fanout)?;
         }
         Ok(())
     }
@@ -273,6 +378,38 @@ mod tests {
         let shown = trace.to_string();
         assert!(shown.contains("not L(i)"), "{shown}");
         assert!(shown.contains("answer(s) in"), "{shown}");
+    }
+
+    #[test]
+    fn union_trace_merges_totals_and_spans_disjuncts() {
+        let (db, schema) = setup();
+        let rec = lap_obs::Recorder::with_tracing();
+        let mut reg = SourceRegistry::new(&db, &schema).recording(&rec);
+        let p1 = parse_cq("Q(i) :- C(i, a), not L(i).").unwrap();
+        let p2 = parse_cq("Q(i) :- C(i, a).").unwrap();
+        let (rows, trace) =
+            eval_ordered_union_traced(&[(p1, vec![]), (p2, vec![])], &mut reg).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(trace.answers, 3);
+        assert_eq!(trace.disjuncts.len(), 2);
+        let totals = trace.totals();
+        let per_disjunct: u64 = trace
+            .disjuncts
+            .iter()
+            .map(|(_, t)| t.totals().calls)
+            .sum();
+        assert_eq!(totals.calls, per_disjunct);
+        // Every request the plan made is visible in the registry stats.
+        let s = reg.stats();
+        assert_eq!(totals.calls, s.calls + s.cache_hits);
+        // Fan-out histogram saw every positive-literal call.
+        let snap = rec.snapshot();
+        assert!(snap.metrics.histograms["eval.literal_fanout"].count > 0);
+        // Per-disjunct spans were recorded.
+        assert!(snap.find_span("disjunct 0: Q(i)").is_some());
+        assert!(snap.find_span("disjunct 1: Q(i)").is_some());
+        let shown = trace.to_string();
+        assert!(shown.contains("union totals:"), "{shown}");
     }
 
     #[test]

@@ -4,10 +4,11 @@
 use crate::unfold::{unfold_deep, UnfoldError};
 use crate::views::{GavView, ViewError};
 use lap_constraints::{prune_unsatisfiable, ConstraintSet};
-use lap_core::{answer_star, feasible_detailed_with, AnswerReport, FeasibilityReport};
+use lap_core::{answer_star_obs, feasible_detailed_obs, AnswerReport, FeasibilityReport};
 use lap_core::{ContainmentEngine, EngineConfig, EngineStats};
 use lap_engine::{Database, EngineError};
 use lap_ir::{parse_program, IrError, Schema, UnionQuery};
+use lap_obs::Recorder;
 use std::fmt;
 use std::sync::Arc;
 
@@ -81,6 +82,7 @@ pub struct Mediator {
     constraints: ConstraintSet,
     max_disjuncts: usize,
     engine: Arc<ContainmentEngine>,
+    recorder: Recorder,
 }
 
 impl Mediator {
@@ -92,6 +94,7 @@ impl Mediator {
             constraints: ConstraintSet::new(),
             max_disjuncts: 10_000,
             engine: Arc::new(ContainmentEngine::default()),
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -141,8 +144,27 @@ impl Mediator {
     /// this mediator), so a caching configuration reuses verdicts across
     /// the query workload.
     pub fn with_engine(mut self, cfg: EngineConfig) -> Mediator {
-        self.engine = Arc::new(ContainmentEngine::new(cfg));
+        self.engine = Arc::new(ContainmentEngine::with_recorder(cfg, &self.recorder));
         self
+    }
+
+    /// Attaches a [`Recorder`]: every pipeline phase (`unfold`, `prune`,
+    /// `feasible`, `answer*`, …) runs under a span and the containment
+    /// engine and source registries report their counters to it. The
+    /// current engine is re-created against the recorder, so call this
+    /// *before* [`Mediator::with_engine`] or let it re-wire the default.
+    pub fn with_recorder(mut self, recorder: &Recorder) -> Mediator {
+        self.recorder = recorder.clone();
+        self.engine = Arc::new(ContainmentEngine::with_recorder(
+            self.engine.config(),
+            recorder,
+        ));
+        self
+    }
+
+    /// The recorder this mediator reports to (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The containment engine's lifetime counters.
@@ -163,9 +185,16 @@ impl Mediator {
     /// Compile-time pipeline: unfold (multi-level, rejecting recursive
     /// view sets) → prune under Σ → FEASIBLE/PLAN\*.
     pub fn plan(&self, q: &UnionQuery) -> Result<MediatorPlan, MediatorError> {
-        let unfolded = unfold_deep(q, &self.views, self.max_disjuncts)?;
-        let pruned = prune_unsatisfiable(&unfolded, &self.constraints);
-        let feasibility = feasible_detailed_with(&pruned, &self.source_schema, &self.engine);
+        let unfolded = {
+            let _span = self.recorder.span("unfold");
+            unfold_deep(q, &self.views, self.max_disjuncts)?
+        };
+        let pruned = {
+            let _span = self.recorder.span("prune");
+            prune_unsatisfiable(&unfolded, &self.constraints)
+        };
+        let feasibility =
+            feasible_detailed_obs(&pruned, &self.source_schema, &self.engine, &self.recorder);
         Ok(MediatorPlan {
             unfolded,
             pruned,
@@ -180,7 +209,7 @@ impl Mediator {
         db: &Database,
     ) -> Result<(MediatorPlan, AnswerReport), MediatorError> {
         let plan = self.plan(q)?;
-        let report = answer_star(&plan.pruned, &self.source_schema, db)?;
+        let report = answer_star_obs(&plan.pruned, &self.source_schema, db, &self.recorder)?;
         Ok((plan, report))
     }
 }
@@ -269,6 +298,31 @@ mod tests {
             Mediator::from_program("S^o.\nG(x, y) :- S(x)."),
             Err(MediatorError::View(_))
         ));
+    }
+
+    #[test]
+    fn recorder_backed_mediator_traces_the_full_pipeline() {
+        let rec = Recorder::with_tracing();
+        let m = Mediator::from_program(BOOK_MEDIATOR)
+            .unwrap()
+            .with_recorder(&rec)
+            .with_engine(EngineConfig::full());
+        let q = parse_query("Q(i, a, t) :- Book(i, a, t), Cat(i, a), not Lib(i).").unwrap();
+        let db = Database::from_facts(
+            r#"Amazon(1, "adams", "hhgttg", 12). Cat(1, "adams")."#,
+        )
+        .unwrap();
+        let (_, report) = m.answer(&q, &db).unwrap();
+        let snap = rec.snapshot();
+        for phase in ["unfold", "prune", "feasible", "plan*", "answerable", "answer*"] {
+            assert!(snap.find_span(phase).is_some(), "missing span {phase}");
+        }
+        // Source counters flowed into the shared recorder.
+        assert_eq!(snap.counter("source.calls"), report.stats.calls);
+        assert_eq!(
+            snap.counter("containment.decisions"),
+            m.engine_stats().decisions
+        );
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Phase spans with parent/child nesting.
+//!
+//! A span marks one phase of the pipeline (`parse`, `plan*`, `feasible`,
+//! `answer*.under`, …). Spans nest: a span opened while another is active
+//! becomes its child, so the finished recording is a forest rendered as an
+//! `EXPLAIN ANALYZE`-style tree. Guards end their span on drop, so early
+//! returns and `?` are handled for free.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Debug)]
+pub(crate) struct SpanData {
+    pub(crate) name: String,
+    pub(crate) parent: Option<usize>,
+    pub(crate) started_at: Duration,
+    pub(crate) elapsed: Option<Duration>,
+}
+
+#[derive(Debug)]
+pub(crate) struct SpanStore {
+    epoch: Instant,
+    spans: Vec<SpanData>,
+    stack: Vec<usize>,
+}
+
+impl Default for SpanStore {
+    fn default() -> SpanStore {
+        SpanStore {
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+}
+
+impl SpanStore {
+    pub(crate) fn open(&mut self, name: &str) -> usize {
+        let id = self.spans.len();
+        self.spans.push(SpanData {
+            name: name.to_owned(),
+            parent: self.stack.last().copied(),
+            started_at: self.epoch.elapsed(),
+            elapsed: None,
+        });
+        self.stack.push(id);
+        id
+    }
+
+    pub(crate) fn close(&mut self, id: usize) {
+        let now = self.epoch.elapsed();
+        if let Some(span) = self.spans.get_mut(id) {
+            if span.elapsed.is_none() {
+                span.elapsed = Some(now.saturating_sub(span.started_at));
+            }
+        }
+        // Usually `id` is the top of the stack; out-of-order closes (e.g.
+        // guards dropped in a surprising order) just remove the entry.
+        if let Some(pos) = self.stack.iter().rposition(|&x| x == id) {
+            self.stack.remove(pos);
+        }
+    }
+
+    /// Freezes the recording into a tree (open spans report the time they
+    /// have accumulated so far).
+    pub(crate) fn tree(&self) -> Vec<SpanNode> {
+        let now = self.epoch.elapsed();
+        let mut nodes: Vec<SpanNode> = self
+            .spans
+            .iter()
+            .map(|s| SpanNode {
+                name: s.name.clone(),
+                elapsed: s.elapsed.unwrap_or_else(|| now.saturating_sub(s.started_at)),
+                children: Vec::new(),
+            })
+            .collect();
+        // Children attach to parents back-to-front so each parent's
+        // children arrive in start order.
+        for id in (0..self.spans.len()).rev() {
+            if let Some(parent) = self.spans[id].parent {
+                let node = std::mem::take(&mut nodes[id]);
+                nodes[parent].children.insert(0, node);
+            }
+        }
+        let mut roots = Vec::new();
+        for (id, node) in nodes.into_iter().enumerate() {
+            if self.spans[id].parent.is_none() {
+                roots.push(node);
+            }
+        }
+        roots
+    }
+}
+
+/// One node of the finished span tree.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Phase name, e.g. `"plan*"`.
+    pub name: String,
+    /// Wall time spent in the span (including children).
+    pub elapsed: Duration,
+    /// Nested phases, in start order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Depth-first search for the first node named `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Every name in this subtree, depth-first.
+    pub fn names(&self) -> Vec<&str> {
+        let mut out = vec![self.name.as_str()];
+        for c in &self.children {
+            out.extend(c.names());
+        }
+        out
+    }
+}
+
+/// A guard that ends its span when dropped. Obtained from
+/// [`Recorder::span`](crate::Recorder::span); inert when tracing is off.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    pub(crate) store: Option<&'a Mutex<SpanStore>>,
+    pub(crate) id: usize,
+}
+
+impl SpanGuard<'_> {
+    /// Ends the span now instead of at scope exit.
+    pub fn end(self) {}
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(store) = self.store {
+            store.lock().expect("span store not poisoned").close(self.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_a_tree() {
+        let mut store = SpanStore::default();
+        let root = store.open("pipeline");
+        let a = store.open("parse");
+        store.close(a);
+        let b = store.open("plan*");
+        let c = store.open("answerable");
+        store.close(c);
+        store.close(b);
+        store.close(root);
+        let tree = store.tree();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].name, "pipeline");
+        let names: Vec<&str> = tree[0].names();
+        assert_eq!(names, vec!["pipeline", "parse", "plan*", "answerable"]);
+        assert!(tree[0].find("answerable").is_some());
+        assert!(tree[0].find("nope").is_none());
+    }
+
+    #[test]
+    fn out_of_order_close_is_tolerated() {
+        let mut store = SpanStore::default();
+        let a = store.open("a");
+        let b = store.open("b");
+        store.close(a); // parent closed before child
+        store.close(b);
+        let tree = store.tree();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].children.len(), 1);
+    }
+
+    #[test]
+    fn open_spans_report_partial_time() {
+        let mut store = SpanStore::default();
+        store.open("still-running");
+        let tree = store.tree();
+        assert_eq!(tree[0].name, "still-running");
+    }
+}

@@ -24,6 +24,14 @@ fi
 
 echo "==> cargo clippy -D warnings (crates touched by the engine work)"
 cargo clippy -q --all-targets -p lap-prng -p lap-containment -p lap-core \
-    -p lap-mediator -p lap-workload -p lap -- -D warnings
+    -p lap-mediator -p lap-workload -p lap-obs -p lap -- -D warnings
+
+echo "==> observability smoke: lapq run --trace --metrics-json + obs-validate"
+OBS_SNAPSHOT="${TMPDIR:-/tmp}/lapq_ci_metrics.json"
+target/release/lapq run examples/data/bookstore.lap \
+    examples/data/bookstore_facts.lap \
+    --trace --metrics-json "$OBS_SNAPSHOT" > /dev/null
+target/release/lapq obs-validate "$OBS_SNAPSHOT"
+rm -f "$OBS_SNAPSHOT"
 
 echo "==> ci.sh: all green"

@@ -13,17 +13,25 @@
 //!                                           plan minimization
 //! lapq profile <program.lap> <facts.lap>    EXPLAIN ANALYZE: per-literal
 //!                                           call/row/binding profile
+//! lapq obs-validate <metrics.json>          check an exported snapshot
 //! ```
 //!
-//! A program file holds access-pattern declarations and rules (see
-//! README); a facts file holds ground atoms (`B(1, "tolkien", "lotr").`).
+//! Every command additionally accepts `--trace` (print the span tree and
+//! metric counters to stderr when done) and `--metrics-json <file>` (write
+//! the same snapshot as JSON). A program file holds access-pattern
+//! declarations and rules (see README); a facts file holds ground atoms
+//! (`B(1, "tolkien", "lotr").`).
 
+mod cli;
+
+use cli::CliArgs;
 use lap::core::{
-    answer_star, answer_star_with_domain, feasible_detailed_with, is_executable, is_orderable,
-    Completeness, ContainmentEngine, DecisionPath, EngineConfig,
+    answer_star_obs, answer_star_with_domain, feasible_detailed_with, is_executable,
+    is_orderable, Completeness, ContainmentEngine, DecisionPath, EngineConfig,
 };
 use lap::engine::{display_tuple, Database};
 use lap::ir::{parse_program, Program, UnionQuery};
+use lap::obs::{render_text, JsonSink, Recorder, Sink};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -34,93 +42,117 @@ fn main() -> ExitCode {
             eprintln!("lapq: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  lapq check <program.lap> [--parallel] [--cache]");
-            eprintln!("  lapq explain <program.lap> [--parallel] [--cache]");
-            eprintln!("  lapq plan  <program.lap>");
-            eprintln!("  lapq run   <program.lap> <facts.lap> [--domain <budget>]");
-            eprintln!("  lapq contain <program.lap> <P> <Q> [--parallel] [--cache]");
-            eprintln!("  lapq mediate <views.lap> <query.lap> <facts.lap>");
-            eprintln!("  lapq optimize <program.lap> [facts.lap]");
-            eprintln!("  lapq profile <program.lap> <facts.lap>");
+            eprintln!("  lapq check <program.lap> [--constraints <sigma.lap>] [--parallel] [--cache] [--trace] [--metrics-json <file>]");
+            eprintln!("  lapq explain <program.lap> [--parallel] [--cache] [--trace] [--metrics-json <file>]");
+            eprintln!("  lapq plan  <program.lap> [--trace] [--metrics-json <file>]");
+            eprintln!("  lapq run   <program.lap> <facts.lap> [--domain <budget>] [--trace] [--metrics-json <file>]");
+            eprintln!("  lapq contain <program.lap> <P> <Q> [--parallel] [--cache] [--trace] [--metrics-json <file>]");
+            eprintln!("  lapq mediate <views.lap> <query.lap> <facts.lap> [--parallel] [--cache] [--trace] [--metrics-json <file>]");
+            eprintln!("  lapq optimize <program.lap> [facts.lap] [--trace] [--metrics-json <file>]");
+            eprintln!("  lapq profile <program.lap> <facts.lap> [--trace] [--metrics-json <file>]");
+            eprintln!("  lapq obs-validate <metrics.json>");
             ExitCode::FAILURE
         }
     }
 }
 
-/// Builds the containment engine selected by the global `--parallel` and
-/// `--cache` flags (default: sequential, uncached — the library's
-/// free-function behavior).
-fn engine_from_args(args: &[String]) -> ContainmentEngine {
-    ContainmentEngine::new(EngineConfig {
-        parallel: args.iter().any(|a| a == "--parallel"),
-        cache: args.iter().any(|a| a == "--cache"),
-    })
+fn run(raw: &[String]) -> Result<(), String> {
+    let args = CliArgs::parse(raw)?;
+    let cmd = args.require(0, "missing command")?.to_owned();
+    let recorder = if args.flag("--trace") {
+        Recorder::with_tracing()
+    } else if args.value("--metrics-json").is_some() {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    };
+    dispatch(&cmd, &args, &recorder)?;
+    export(&recorder, &args)
 }
 
-fn constraints_arg(args: &[String]) -> Result<Option<String>, String> {
-    match args.iter().position(|a| a == "--constraints") {
-        Some(i) => Ok(Some(
-            args.get(i + 1)
-                .ok_or("--constraints needs a file")?
-                .clone(),
-        )),
-        None => Ok(None),
-    }
-}
-
-fn run(args: &[String]) -> Result<(), String> {
-    let cmd = args.first().ok_or("missing command")?;
-    match cmd.as_str() {
+fn dispatch(cmd: &str, args: &CliArgs, recorder: &Recorder) -> Result<(), String> {
+    match cmd {
         "check" => check(
-            args.get(1).ok_or("check needs a program file")?,
-            constraints_arg(args)?.as_deref(),
-            &engine_from_args(args),
+            args.require(1, "check needs a program file")?,
+            args.value("--constraints"),
+            &engine_from_args(args, recorder),
+            recorder,
         ),
         "explain" => explain_cmd(
-            args.get(1).ok_or("explain needs a program file")?,
-            &engine_from_args(args),
+            args.require(1, "explain needs a program file")?,
+            &engine_from_args(args, recorder),
+            recorder,
         ),
-        "plan" => plan(args.get(1).ok_or("plan needs a program file")?),
-        "run" => {
-            let program = args.get(1).ok_or("run needs a program file")?;
-            let facts = args.get(2).ok_or("run needs a facts file")?;
-            let domain = match args.iter().position(|a| a == "--domain") {
-                Some(i) => Some(
-                    args.get(i + 1)
-                        .ok_or("--domain needs a budget")?
-                        .parse::<u64>()
-                        .map_err(|e| format!("bad --domain value: {e}"))?,
-                ),
-                None => None,
-            };
-            run_query(program, facts, domain)
-        }
-        "profile" => {
-            let program = args.get(1).ok_or("profile needs a program file")?;
-            let facts = args.get(2).ok_or("profile needs a facts file")?;
-            profile(program, facts)
-        }
-        "optimize" => {
-            let program = args.get(1).ok_or("optimize needs a program file")?;
-            optimize(program, args.get(2).map(String::as_str))
-        }
-        "mediate" => {
-            let views = args.get(1).ok_or("mediate needs a views file")?;
-            let query = args.get(2).ok_or("mediate needs a query file")?;
-            let facts = args.get(3).ok_or("mediate needs a facts file")?;
-            mediate(views, query, facts)
-        }
-        "contain" => {
-            let file = args.get(1).ok_or("contain needs a program file")?;
-            let p = args.get(2).ok_or("contain needs the name of P")?;
-            let q = args.get(3).ok_or("contain needs the name of Q")?;
-            containment(file, p, q, &engine_from_args(args))
-        }
+        "plan" => plan(args.require(1, "plan needs a program file")?, recorder),
+        "run" => run_query(
+            args.require(1, "run needs a program file")?,
+            args.require(2, "run needs a facts file")?,
+            args.value_u64("--domain")?,
+            recorder,
+        ),
+        "profile" => profile(
+            args.require(1, "profile needs a program file")?,
+            args.require(2, "profile needs a facts file")?,
+            recorder,
+        ),
+        "optimize" => optimize(
+            args.require(1, "optimize needs a program file")?,
+            args.positional(2),
+            recorder,
+        ),
+        "mediate" => mediate(
+            args.require(1, "mediate needs a views file")?,
+            args.require(2, "mediate needs a query file")?,
+            args.require(3, "mediate needs a facts file")?,
+            args,
+            recorder,
+        ),
+        "contain" => containment(
+            args.require(1, "contain needs a program file")?,
+            args.require(2, "contain needs the name of P")?,
+            args.require(3, "contain needs the name of Q")?,
+            &engine_from_args(args, recorder),
+            recorder,
+        ),
+        "obs-validate" => obs_validate(args.require(1, "obs-validate needs a json file")?),
         other => Err(format!("unknown command {other:?}")),
     }
 }
 
-fn load(path: &str) -> Result<Program, String> {
+/// Builds the containment engine selected by the global `--parallel` and
+/// `--cache` flags (default: sequential, uncached — the library's
+/// free-function behavior), reporting to `recorder`.
+fn engine_from_args(args: &CliArgs, recorder: &Recorder) -> ContainmentEngine {
+    ContainmentEngine::with_recorder(
+        EngineConfig {
+            parallel: args.flag("--parallel"),
+            cache: args.flag("--cache"),
+        },
+        recorder,
+    )
+}
+
+/// Prints the recorder snapshot per the `--trace` / `--metrics-json` flags.
+fn export(recorder: &Recorder, args: &CliArgs) -> Result<(), String> {
+    if !recorder.metrics_enabled() {
+        return Ok(());
+    }
+    let snapshot = recorder.snapshot();
+    if args.flag("--trace") {
+        eprint!("{}", render_text(&snapshot));
+    }
+    if let Some(path) = args.value("--metrics-json") {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        JsonSink::new(file)
+            .export(&snapshot)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn load(path: &str, recorder: &Recorder) -> Result<Program, String> {
+    let _span = recorder.span("parse");
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_program(&text).map_err(|e| format!("{path}: {e}"))
@@ -130,8 +162,9 @@ fn check(
     path: &str,
     constraints_path: Option<&str>,
     engine: &ContainmentEngine,
+    recorder: &Recorder,
 ) -> Result<(), String> {
-    let program = load(path)?;
+    let program = load(path, recorder)?;
     if program.queries.is_empty() {
         return Err(format!("{path}: no queries defined"));
     }
@@ -207,8 +240,12 @@ fn report_query(
     Ok(())
 }
 
-fn explain_cmd(path: &str, engine: &ContainmentEngine) -> Result<(), String> {
-    let program = load(path)?;
+fn explain_cmd(
+    path: &str,
+    engine: &ContainmentEngine,
+    recorder: &Recorder,
+) -> Result<(), String> {
+    let program = load(path, recorder)?;
     if program.queries.is_empty() {
         return Err(format!("{path}: no queries defined"));
     }
@@ -221,10 +258,10 @@ fn explain_cmd(path: &str, engine: &ContainmentEngine) -> Result<(), String> {
     Ok(())
 }
 
-fn plan(path: &str) -> Result<(), String> {
-    let program = load(path)?;
+fn plan(path: &str, recorder: &Recorder) -> Result<(), String> {
+    let program = load(path, recorder)?;
     for query in &program.queries {
-        let pair = lap::core::plan_star(query, &program.schema);
+        let pair = lap::core::plan_star_obs(query, &program.schema, recorder);
         println!("query {}:", query.signature.0);
         println!("  underestimate Qu:");
         for p in &pair.under.parts {
@@ -245,14 +282,19 @@ fn plan(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn run_query(program_path: &str, facts_path: &str, domain: Option<u64>) -> Result<(), String> {
-    let program = load(program_path)?;
+fn run_query(
+    program_path: &str,
+    facts_path: &str,
+    domain: Option<u64>,
+    recorder: &Recorder,
+) -> Result<(), String> {
+    let program = load(program_path, recorder)?;
     let facts = std::fs::read_to_string(facts_path)
         .map_err(|e| format!("cannot read {facts_path}: {e}"))?;
     let db = Database::from_facts(&facts).map_err(|e| format!("{facts_path}: {e}"))?;
     for query in &program.queries {
         println!("query {}:", query.signature.0);
-        let rep = answer_star(query, &program.schema, &db)
+        let rep = answer_star_obs(query, &program.schema, &db, recorder)
             .map_err(|e| format!("evaluating {}: {e}", query.signature.0))?;
         for t in &rep.under {
             println!("  {}", display_tuple(t));
@@ -271,6 +313,13 @@ fn run_query(program_path: &str, facts_path: &str, domain: Option<u64>) -> Resul
             }
         }
         println!("  -- {}", rep.stats);
+        if recorder.metrics_enabled() {
+            // Observability run: also record the FEASIBLE decision so the
+            // exported span tree covers the whole pipeline (parse →
+            // answerable → plan* → feasible → answer*), not just ANSWER*.
+            let engine = ContainmentEngine::with_recorder(EngineConfig::default(), recorder);
+            let _ = feasible_detailed_with(query, &program.schema, &engine);
+        }
         if let Some(budget) = domain {
             let imp = answer_star_with_domain(query, &program.schema, &db, budget)
                 .map_err(|e| format!("domain refinement: {e}"))?;
@@ -293,32 +342,33 @@ fn run_query(program_path: &str, facts_path: &str, domain: Option<u64>) -> Resul
     Ok(())
 }
 
-fn profile(program_path: &str, facts_path: &str) -> Result<(), String> {
-    use lap::engine::{eval_ordered_cq_traced, SourceRegistry};
-    let program = load(program_path)?;
+fn profile(program_path: &str, facts_path: &str, recorder: &Recorder) -> Result<(), String> {
+    use lap::engine::{eval_ordered_union_traced, SourceRegistry};
+    let program = load(program_path, recorder)?;
     let facts = std::fs::read_to_string(facts_path)
         .map_err(|e| format!("cannot read {facts_path}: {e}"))?;
     let db = Database::from_facts(&facts).map_err(|e| format!("{facts_path}: {e}"))?;
     for query in &program.queries {
         println!("query {}:", query.signature.0);
-        let pair = lap::core::plan_star(query, &program.schema);
-        let mut reg = SourceRegistry::new(&db, &program.schema);
-        for part in &pair.over.parts {
-            println!("disjunct: {part}");
-            let (_, trace) = eval_ordered_cq_traced(&part.cq, &part.null_vars, &mut reg)
-                .map_err(|e| format!("evaluating: {e}"))?;
-            println!("{trace}");
-            println!();
-        }
+        let pair = lap::core::plan_star_obs(query, &program.schema, recorder);
+        let mut reg = SourceRegistry::new(&db, &program.schema).recording(recorder);
+        let (_, trace) = eval_ordered_union_traced(&pair.over.eval_parts(), &mut reg)
+            .map_err(|e| format!("evaluating: {e}"))?;
+        println!("{trace}");
+        println!();
         println!("total source usage: {}", reg.stats());
         println!();
     }
     Ok(())
 }
 
-fn optimize(program_path: &str, facts_path: Option<&str>) -> Result<(), String> {
+fn optimize(
+    program_path: &str,
+    facts_path: Option<&str>,
+    recorder: &Recorder,
+) -> Result<(), String> {
     use lap::planner::{best_order, estimate_cost, minimal_executable_plan, CostModel};
-    let program = load(program_path)?;
+    let program = load(program_path, recorder)?;
     let model = match facts_path {
         Some(path) => {
             let facts = std::fs::read_to_string(path)
@@ -328,9 +378,10 @@ fn optimize(program_path: &str, facts_path: Option<&str>) -> Result<(), String> 
         }
         None => CostModel::new(),
     };
+    let engine = ContainmentEngine::with_recorder(EngineConfig::default(), recorder);
     for query in &program.queries {
         println!("query {}:", query.signature.0);
-        let report = lap::core::feasible_detailed(query, &program.schema);
+        let report = feasible_detailed_with(query, &program.schema, &engine);
         if !report.feasible {
             println!("  not feasible — nothing to optimize (try `lapq explain`)");
             continue;
@@ -357,12 +408,23 @@ fn optimize(program_path: &str, facts_path: Option<&str>) -> Result<(), String> 
     Ok(())
 }
 
-fn mediate(views_path: &str, query_path: &str, facts_path: &str) -> Result<(), String> {
+fn mediate(
+    views_path: &str,
+    query_path: &str,
+    facts_path: &str,
+    args: &CliArgs,
+    recorder: &Recorder,
+) -> Result<(), String> {
     let views_text = std::fs::read_to_string(views_path)
         .map_err(|e| format!("cannot read {views_path}: {e}"))?;
-    let mediator =
-        lap::mediator::Mediator::from_program(&views_text).map_err(|e| e.to_string())?;
-    let query_program = load(query_path)?;
+    let mediator = lap::mediator::Mediator::from_program(&views_text)
+        .map_err(|e| e.to_string())?
+        .with_recorder(recorder)
+        .with_engine(EngineConfig {
+            parallel: args.flag("--parallel"),
+            cache: args.flag("--cache"),
+        });
+    let query_program = load(query_path, recorder)?;
     let facts = std::fs::read_to_string(facts_path)
         .map_err(|e| format!("cannot read {facts_path}: {e}"))?;
     let db = Database::from_facts(&facts).map_err(|e| format!("{facts_path}: {e}"))?;
@@ -395,8 +457,9 @@ fn containment(
     p_name: &str,
     q_name: &str,
     engine: &ContainmentEngine,
+    recorder: &Recorder,
 ) -> Result<(), String> {
-    let program = load(path)?;
+    let program = load(path, recorder)?;
     let p = program
         .query(p_name)
         .ok_or_else(|| format!("no query named {p_name} in {path}"))?;
@@ -410,6 +473,7 @@ fn containment(
     }
     // Containment compares head tuples; align the head predicates.
     let p_aligned = rename_head(p, q);
+    let _span = recorder.span("containment");
     println!("{} ⊑ {}: {}", p_name, q_name, engine.contained(&p_aligned, q));
     println!("{} ⊑ {}: {}", q_name, p_name, engine.contained(q, &p_aligned));
     Ok(())
@@ -425,4 +489,69 @@ fn rename_head(p: &UnionQuery, q: &UnionQuery) -> UnionQuery {
         d.head.predicate = q.head.predicate;
     }
     out
+}
+
+/// Validates an exported metrics snapshot: the file must parse as JSON and
+/// carry the `counters` / `histograms` / `spans` keys with the shapes the
+/// exporter writes. Lets CI check a snapshot without python or jq.
+fn obs_validate(path: &str) -> Result<(), String> {
+    use lap::obs::Json;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = lap::obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let counters = doc
+        .get("counters")
+        .ok_or_else(|| format!("{path}: missing \"counters\" key"))?;
+    let n_counters = match counters {
+        Json::Obj(pairs) => pairs.len(),
+        _ => return Err(format!("{path}: \"counters\" is not an object")),
+    };
+    let histograms = doc
+        .get("histograms")
+        .ok_or_else(|| format!("{path}: missing \"histograms\" key"))?;
+    let n_histograms = match histograms {
+        Json::Obj(pairs) => {
+            for (name, h) in pairs {
+                for key in ["count", "sum", "max", "buckets"] {
+                    if h.get(key).is_none() {
+                        return Err(format!(
+                            "{path}: histogram {name:?} is missing {key:?}"
+                        ));
+                    }
+                }
+            }
+            pairs.len()
+        }
+        _ => return Err(format!("{path}: \"histograms\" is not an object")),
+    };
+    let spans = doc
+        .get("spans")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing \"spans\" array"))?;
+    fn check_span(span: &Json, path: &str) -> Result<u64, String> {
+        let name = span
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: span without a \"name\""))?;
+        if span.get("elapsed_us").and_then(Json::as_f64).is_none() {
+            return Err(format!("{path}: span {name:?} has no \"elapsed_us\""));
+        }
+        let children = span
+            .get("children")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{path}: span {name:?} has no \"children\" array"))?;
+        let mut n = 1;
+        for child in children {
+            n += check_span(child, path)?;
+        }
+        Ok(n)
+    }
+    let mut n_spans = 0;
+    for span in spans {
+        n_spans += check_span(span, path)?;
+    }
+    println!(
+        "{path}: ok ({n_counters} counter(s), {n_histograms} histogram(s), {n_spans} span(s))"
+    );
+    Ok(())
 }

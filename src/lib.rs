@@ -62,5 +62,6 @@ pub use lap_core as core;
 pub use lap_engine as engine;
 pub use lap_ir as ir;
 pub use lap_mediator as mediator;
+pub use lap_obs as obs;
 pub use lap_planner as planner;
 pub use lap_workload as workload;
