@@ -1,0 +1,70 @@
+//! Criterion bench for the batched physical executor: batch-width sweep
+//! (1 / 64 / 1024) against the retired tuple-at-a-time reference on
+//! dup-key-rich workloads, where wider batches widen the per-batch
+//! source-call dedup window.
+
+use lap_bench::microbench::{BenchmarkId, Criterion};
+use lap_bench::{criterion_group, criterion_main};
+use lap_core::plan_star;
+use lap_engine::{
+    eval_ordered_union_tuple, execute_physical_union, lower_union, ExecConfig, SourceRegistry,
+};
+use lap_workload::families::{forward_chain, gav_unfolding};
+use lap_workload::{gen_instance, InstanceConfig};
+use lap_prng::StdRng;
+
+fn bench_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor");
+    let fams = [
+        ("forward_chain", forward_chain(6)),
+        ("gav_unfolding", gav_unfolding(3, 2, 1)),
+    ];
+    for (name, inst) in fams {
+        // A small value domain makes outer bindings repeat join keys.
+        let cfg = InstanceConfig {
+            domain_size: 8,
+            tuples_per_relation: 200,
+        };
+        let db = gen_instance(&inst.schema, &cfg, &mut StdRng::seed_from_u64(3));
+        let pair = plan_star(&inst.query, &inst.schema);
+        let parts = pair.over.eval_parts();
+        let union = lower_union(&parts, &inst.schema);
+        group.bench_with_input(BenchmarkId::new("tuple_reference", name), &name, |b, _| {
+            b.iter(|| {
+                let mut reg = SourceRegistry::new(&db, &inst.schema);
+                eval_ordered_union_tuple(&parts, &mut reg).unwrap()
+            })
+        });
+        for width in [1usize, 64, 1024] {
+            let label = format!("batched_w{width}");
+            group.bench_with_input(
+                BenchmarkId::new(&label, name),
+                &name,
+                |b, _| {
+                    b.iter(|| {
+                        let mut reg = SourceRegistry::new(&db, &inst.schema);
+                        execute_physical_union(
+                            &union,
+                            &mut reg,
+                            ExecConfig::with_batch_size(width),
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short sampling so `cargo bench --workspace` finishes in minutes;
+    // raise for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(600))
+        .sample_size(10);
+    targets = bench_executor
+}
+criterion_main!(benches);

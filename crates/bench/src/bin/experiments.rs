@@ -4,7 +4,7 @@
 //! cargo run --release -p lap-bench --bin experiments             # all, text
 //! cargo run --release -p lap-bench --bin experiments -- e2 e11  # subset
 //! cargo run --release -p lap-bench --bin experiments -- --markdown
-//! cargo run --release -p lap-bench --bin experiments -- --json            # BENCH_PR2.json
+//! cargo run --release -p lap-bench --bin experiments -- --json            # BENCH_PR3.json
 //! cargo run --release -p lap-bench --bin experiments -- --json=tables.json
 //! ```
 
@@ -12,7 +12,7 @@ use lap_bench::runner;
 use lap_bench::tables::{tables_to_json, Table};
 
 /// Default path for `--json` without an explicit `=<path>`.
-const DEFAULT_JSON_PATH: &str = "BENCH_PR2.json";
+const DEFAULT_JSON_PATH: &str = "BENCH_PR3.json";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +50,7 @@ fn main() {
         ("e15", Box::new(runner::e15_mediator_pipeline)),
         ("e16", Box::new(runner::e16_index_ablation)),
         ("e17", Box::new(runner::e17_end_to_end_scenario)),
+        ("e18", Box::new(runner::e18_batched_executor)),
     ];
 
     let mut rendered: Vec<Table> = Vec::new();

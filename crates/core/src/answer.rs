@@ -2,10 +2,10 @@
 //! completeness information, plus the domain-enumeration refinement of the
 //! underestimate (Section 4.2, Example 8).
 
-use crate::plan::{plan_star_obs, PlanPair};
+use crate::plan::{lower_pair, plan_star_obs, PlanPair};
 use lap_engine::{
-    enumerate_domain, eval_ordered_union, CallStats, Database, EngineError, SourceRegistry, Tuple,
-    Value,
+    enumerate_domain, execute_physical_union, lower_union, CallStats, Database, EngineError,
+    ExecConfig, SourceRegistry, Tuple, Value,
 };
 use lap_ir::{Atom, ConjunctiveQuery, Literal, Predicate, Schema, Term, UnionQuery, Var};
 use lap_obs::Recorder;
@@ -72,14 +72,16 @@ pub fn answer_star_obs(
 ) -> Result<AnswerReport, EngineError> {
     let _span = recorder.span("answer*");
     let plans = plan_star_obs(q, schema, recorder);
+    let physical = lower_pair(&plans, schema);
+    let cfg = ExecConfig::default();
     let mut reg = SourceRegistry::new(db, schema).recording(recorder);
     let under = {
         let _under = recorder.span("answer*.under");
-        eval_ordered_union(&plans.under.eval_parts(), &mut reg)?
+        execute_physical_union(&physical.under, &mut reg, cfg)?
     };
     let over = {
         let _over = recorder.span("answer*.over");
-        eval_ordered_union(&plans.over.eval_parts(), &mut reg)?
+        execute_physical_union(&physical.over, &mut reg, cfg)?
     };
     let stats = reg.stats();
     Ok(build_report(under, over, stats, plans))
@@ -197,8 +199,9 @@ pub fn answer_star_with_domain(
         parts.push((ConjunctiveQuery::new(cq.head.clone(), body), Vec::new()));
     }
 
+    let improved = lower_union(&parts, &schema2);
     let mut reg2 = SourceRegistry::new(&db2, &schema2);
-    let improved_under = eval_ordered_union(&parts, &mut reg2)?;
+    let improved_under = execute_physical_union(&improved, &mut reg2, ExecConfig::default())?;
     debug_assert!(
         base.under.is_subset(&improved_under),
         "domain refinement must not lose certain answers"

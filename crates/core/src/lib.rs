@@ -56,7 +56,7 @@ pub use feasible::{
     FeasibilityReport,
 };
 pub use lap_containment::{ContainmentEngine, ContainmentStats, EngineConfig, EngineStats};
-pub use plan::{plan_star, plan_star_obs, CqPlan, PlanPair, UnionPlan};
+pub use plan::{lower_pair, plan_star, plan_star_obs, CqPlan, PhysicalPair, PlanPair, UnionPlan};
 pub use prepared::PreparedQuery;
 pub use reduction::{
     containment_to_feasibility, containment_to_feasibility_cqn, FeasibilityInstance,

@@ -102,6 +102,14 @@ impl UnionPlan {
             .map(|p| (p.cq.clone(), p.null_vars.clone()))
             .collect()
     }
+
+    /// Lowers this plan to the physical operator IR, one pipeline per
+    /// disjunct (with the union head kept even when the plan is `false`).
+    pub fn lower(&self, schema: &Schema) -> lap_engine::PhysicalUnion {
+        let mut union = lap_engine::lower_union(&self.eval_parts(), schema);
+        union.head = Some(self.head.clone());
+        union
+    }
 }
 
 impl fmt::Display for UnionPlan {
@@ -116,6 +124,26 @@ impl fmt::Display for UnionPlan {
             write!(f, "{p}")?;
         }
         Ok(())
+    }
+}
+
+/// The lowered counterpart of a [`PlanPair`]: both estimate plans as
+/// physical operator pipelines, ready for the batched executor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhysicalPair {
+    /// `Qᵘ`, lowered.
+    pub under: lap_engine::PhysicalUnion,
+    /// `Qᵒ`, lowered.
+    pub over: lap_engine::PhysicalUnion,
+}
+
+/// Lowers both plans of a [`PlanPair`] against `schema`. Total, like the
+/// underlying [`UnionPlan::lower`]: any problem is carried inside the
+/// operators and surfaces only if execution reaches it.
+pub fn lower_pair(pair: &PlanPair, schema: &Schema) -> PhysicalPair {
+    PhysicalPair {
+        under: pair.under.lower(schema),
+        over: pair.over.lower(schema),
     }
 }
 

@@ -8,9 +8,9 @@
 
 use crate::answer::{build_report, AnswerReport};
 use crate::feasible::{feasible_detailed, feasible_detailed_with, DecisionPath, FeasibilityReport};
-use crate::plan::PlanPair;
+use crate::plan::{lower_pair, PhysicalPair, PlanPair};
 use lap_containment::ContainmentEngine;
-use lap_engine::{eval_ordered_union, Database, EngineError, SourceRegistry};
+use lap_engine::{execute_physical_union, Database, EngineError, ExecConfig, SourceRegistry};
 use lap_ir::{Schema, UnionQuery};
 use std::collections::BTreeSet;
 
@@ -20,15 +20,21 @@ pub struct PreparedQuery {
     query: UnionQuery,
     schema: Schema,
     report: FeasibilityReport,
+    physical: PhysicalPair,
 }
 
 impl PreparedQuery {
-    /// Compiles `q` against `schema`: runs PLAN\* and FEASIBLE once.
+    /// Compiles `q` against `schema`: runs PLAN\* and FEASIBLE once, then
+    /// lowers both plans so [`PreparedQuery::execute`] starts from the
+    /// physical operator trees directly.
     pub fn compile(q: &UnionQuery, schema: &Schema) -> PreparedQuery {
+        let report = feasible_detailed(q, schema);
+        let physical = lower_pair(&report.plans, schema);
         PreparedQuery {
             query: q.clone(),
             schema: schema.clone(),
-            report: feasible_detailed(q, schema),
+            report,
+            physical,
         }
     }
 
@@ -40,10 +46,13 @@ impl PreparedQuery {
         schema: &Schema,
         engine: &ContainmentEngine,
     ) -> PreparedQuery {
+        let report = feasible_detailed_with(q, schema, engine);
+        let physical = lower_pair(&report.plans, schema);
         PreparedQuery {
             query: q.clone(),
             schema: schema.clone(),
-            report: feasible_detailed_with(q, schema, engine),
+            report,
+            physical,
         }
     }
 
@@ -68,13 +77,19 @@ impl PreparedQuery {
         &self.report.plans
     }
 
+    /// The compiled physical operator trees (lowered once at compile time).
+    pub fn physical(&self) -> &PhysicalPair {
+        &self.physical
+    }
+
     /// Executes against an instance (algorithm ANSWER\*, reusing the
-    /// compiled plans). For feasible queries the overestimate in the
-    /// report *is* the exact answer.
+    /// compiled physical plans). For feasible queries the overestimate in
+    /// the report *is* the exact answer.
     pub fn execute(&self, db: &Database) -> Result<AnswerReport, EngineError> {
+        let cfg = ExecConfig::default();
         let mut reg = SourceRegistry::new(db, &self.schema);
-        let under = eval_ordered_union(&self.report.plans.under.eval_parts(), &mut reg)?;
-        let over = eval_ordered_union(&self.report.plans.over.eval_parts(), &mut reg)?;
+        let under = execute_physical_union(&self.physical.under, &mut reg, cfg)?;
+        let over = execute_physical_union(&self.physical.over, &mut reg, cfg)?;
         Ok(build_report(under, over, reg.stats(), self.report.plans.clone()))
     }
 

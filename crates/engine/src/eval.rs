@@ -18,6 +18,7 @@
 //!   overestimate plans of PLAN\* use this for `x = null` equations.
 
 use crate::error::EngineError;
+use crate::physical::{execute_physical_cq, execute_physical_union, lower_cq, lower_union, ExecConfig};
 use crate::source::SourceRegistry;
 use crate::value::{Tuple, Value};
 use lap_ir::{ConjunctiveQuery, Literal, Term, Var};
@@ -28,7 +29,39 @@ use std::collections::{BTreeSet, HashMap};
 /// `null` (unbound in the body — only overestimate plans use this).
 ///
 /// Errors if the order is not executable under the registry's schema.
+///
+/// This is a thin compatibility wrapper: the body is lowered to a
+/// [`crate::physical`] operator pipeline and run through the batched
+/// executor. The tuple-at-a-time reference implementation survives as
+/// [`eval_ordered_cq_tuple`].
 pub fn eval_ordered_cq(
+    cq: &ConjunctiveQuery,
+    null_vars: &[Var],
+    reg: &mut SourceRegistry<'_>,
+) -> Result<BTreeSet<Tuple>, EngineError> {
+    let plan = lower_cq(cq, null_vars, reg.schema());
+    execute_physical_cq(&plan, reg, ExecConfig::default())
+}
+
+/// Evaluates a union of ordered CQ¬ plans (each with its own null list) and
+/// returns the set union of the answers. Each disjunct runs under its own
+/// span when the registry's recorder has tracing enabled.
+///
+/// Like [`eval_ordered_cq`], a compatibility wrapper over the physical
+/// plan IR; [`eval_ordered_union_tuple`] is the legacy reference path.
+pub fn eval_ordered_union(
+    parts: &[(ConjunctiveQuery, Vec<Var>)],
+    reg: &mut SourceRegistry<'_>,
+) -> Result<BTreeSet<Tuple>, EngineError> {
+    let union = lower_union(parts, reg.schema());
+    execute_physical_union(&union, reg, ExecConfig::default())
+}
+
+/// The retired tuple-at-a-time evaluator, kept as the executable
+/// specification the batched executor is differentially tested against
+/// (`tests/executor_differential.rs`). Production call paths go through
+/// [`eval_ordered_cq`] instead.
+pub fn eval_ordered_cq_tuple(
     cq: &ConjunctiveQuery,
     null_vars: &[Var],
     reg: &mut SourceRegistry<'_>,
@@ -39,10 +72,9 @@ pub fn eval_ordered_cq(
     Ok(out)
 }
 
-/// Evaluates a union of ordered CQ¬ plans (each with its own null list) and
-/// returns the set union of the answers. Each disjunct runs under its own
-/// span when the registry's recorder has tracing enabled.
-pub fn eval_ordered_union(
+/// Union evaluation through [`eval_ordered_cq_tuple`] — the legacy
+/// reference path (same spans as the physical executor).
+pub fn eval_ordered_union_tuple(
     parts: &[(ConjunctiveQuery, Vec<Var>)],
     reg: &mut SourceRegistry<'_>,
 ) -> Result<BTreeSet<Tuple>, EngineError> {
@@ -50,7 +82,7 @@ pub fn eval_ordered_union(
     let mut out = BTreeSet::new();
     for (i, (cq, null_vars)) in parts.iter().enumerate() {
         let _span = recorder.span_lazy(|| format!("disjunct {i}: {}", cq.head));
-        out.extend(eval_ordered_cq(cq, null_vars, reg)?);
+        out.extend(eval_ordered_cq_tuple(cq, null_vars, reg)?);
     }
     Ok(out)
 }
@@ -304,6 +336,18 @@ mod tests {
         let p2 = parse_cq("Q(i) :- L(i).").unwrap();
         let rows = eval_ordered_union(&[(p1, vec![]), (p2, vec![])], &mut reg).unwrap();
         assert_eq!(rows.len(), 2); // {1, 3}
+    }
+
+    #[test]
+    fn wrapper_agrees_with_tuple_reference_path() {
+        let (db, schema) = bookstore();
+        let plan = parse_cq("Q(i, a, t) :- C(i, a), B(i, a, t), not L(i).").unwrap();
+        let mut batched = SourceRegistry::new(&db, &schema);
+        let mut tuple = SourceRegistry::new(&db, &schema);
+        assert_eq!(
+            eval_ordered_cq(&plan, &[], &mut batched).unwrap(),
+            eval_ordered_cq_tuple(&plan, &[], &mut tuple).unwrap()
+        );
     }
 
     #[test]

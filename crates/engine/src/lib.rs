@@ -9,9 +9,13 @@
 //! * [`SourceRegistry`] — the only read path: calls must name a declared
 //!   access pattern and supply every input slot (Definition 1), and the
 //!   registry counts calls and transferred tuples.
+//! * [`physical`] — the physical plan IR ([`PhysicalPlan`], [`PhysOp`]),
+//!   the lowering pass that picks access patterns at plan time, and the
+//!   batched pull-based executor with in-batch source-call dedup.
 //! * [`eval_ordered_cq`] / [`eval_ordered_union`] — left-to-right execution
 //!   of executable plans, with negation-as-filter and `null` head values
-//!   for overestimate plans.
+//!   for overestimate plans; thin wrappers over the physical executor
+//!   (the tuple-at-a-time reference survives as [`eval_ordered_cq_tuple`]).
 //! * [`eval_oracle`] — the unrestricted `ANSWER(Q, D)` ground truth.
 //! * [`enumerate_domain`] — `dom(x)` views (Example 8) under a call budget.
 //!
@@ -36,6 +40,7 @@ mod eval;
 mod instance;
 mod oracle;
 mod parallel;
+pub mod physical;
 mod relation;
 mod source;
 mod stats;
@@ -44,7 +49,14 @@ mod value;
 
 pub use domain::{enumerate_domain, DomainResult};
 pub use error::EngineError;
-pub use eval::{eval_ordered_cq, eval_ordered_union};
+pub use eval::{eval_ordered_cq, eval_ordered_cq_tuple, eval_ordered_union, eval_ordered_union_tuple};
+pub use physical::{
+    execute_physical_cq, execute_physical_cq_profiled, execute_physical_union,
+    execute_physical_union_parallel, execute_physical_union_parallel_obs,
+    execute_physical_union_profiled, lower_cq, lower_union, AccessOp, AccessProblem, ArgSource,
+    ExecConfig, NegOp, OpCost, OpProfile, PhysOp, PhysicalPlan, PhysicalUnion, PlanProfile,
+    ProjCol, ProjectOp, UnionProfile,
+};
 pub use instance::Database;
 pub use oracle::{eval_oracle, eval_oracle_single};
 pub use parallel::{eval_ordered_union_parallel, eval_ordered_union_parallel_obs};

@@ -9,9 +9,8 @@
 //! are merged at the end.
 
 use crate::error::EngineError;
-use crate::eval::eval_ordered_cq;
 use crate::instance::Database;
-use crate::source::SourceRegistry;
+use crate::physical::{execute_physical_union_parallel_obs, lower_union, ExecConfig};
 use crate::stats::CallStats;
 use crate::value::Tuple;
 use lap_ir::{ConjunctiveQuery, Schema, Var};
@@ -22,7 +21,8 @@ use std::collections::BTreeSet;
 ///
 /// Semantically identical to [`crate::eval_ordered_union`]; the statistics
 /// count the same calls (each thread talks to the sources independently,
-/// as parallel mediator workers would).
+/// as parallel mediator workers would, and dedups batches exactly as the
+/// sequential executor does).
 pub fn eval_ordered_union_parallel(
     parts: &[(ConjunctiveQuery, Vec<Var>)],
     db: &Database,
@@ -35,47 +35,24 @@ pub fn eval_ordered_union_parallel(
 /// `eval.parallel` span and every worker's registry reports its counters to
 /// the shared recorder (counters are thread-safe; workers do not open their
 /// own spans — span nesting is a per-thread notion).
+///
+/// A thin compatibility wrapper: the parts are lowered once and executed
+/// through [`execute_physical_union_parallel_obs`].
 pub fn eval_ordered_union_parallel_obs(
     parts: &[(ConjunctiveQuery, Vec<Var>)],
     db: &Database,
     schema: &Schema,
     recorder: &lap_obs::Recorder,
 ) -> Result<(BTreeSet<Tuple>, CallStats), EngineError> {
-    if parts.is_empty() {
-        return Ok((BTreeSet::new(), CallStats::default()));
-    }
-    let _span = recorder.span("eval.parallel");
-    let results: Vec<Result<(BTreeSet<Tuple>, CallStats), EngineError>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = parts
-                .iter()
-                .map(|(cq, null_vars)| {
-                    scope.spawn(move || {
-                        let mut reg = SourceRegistry::new(db, schema).recording(recorder);
-                        let rows = eval_ordered_cq(cq, null_vars, &mut reg)?;
-                        Ok((rows, reg.stats()))
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread does not panic"))
-                .collect()
-        });
-    let mut out = BTreeSet::new();
-    let mut stats = CallStats::default();
-    for r in results {
-        let (rows, s) = r?;
-        out.extend(rows);
-        stats.absorb(s);
-    }
-    Ok((out, stats))
+    let union = lower_union(parts, schema);
+    execute_physical_union_parallel_obs(&union, db, schema, recorder, ExecConfig::default())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::eval::eval_ordered_union;
+    use crate::source::SourceRegistry;
     use lap_ir::parse_cq;
 
     fn setup() -> (Database, Schema) {

@@ -1,0 +1,570 @@
+//! The batched pull-based executor for physical plans.
+//!
+//! Each pipeline operator is a stage with an output buffer; pulling on the
+//! last stage drives the whole pipeline. Batches of bindings (rows over
+//! the plan's slot table) flow upward, at most `batch_size` rows per pull.
+//! Within one batch a source-calling operator groups rows by their input
+//! key and issues **one** call per distinct key, and a negation filter
+//! memoizes membership probes — the set-at-a-time win over the retired
+//! tuple-at-a-time recursion. Answers are identical; only the number of
+//! duplicate wire calls changes (and deterministically so: the sequential
+//! and parallel evaluators dedup the same way and report equal
+//! [`CallStats`]).
+//!
+//! Error semantics are the legacy evaluator's: an operator lowered with a
+//! problem (no usable pattern, unknown relation, unbound negation, unbound
+//! head variable) raises its error only when a non-empty batch reaches it.
+
+use super::plan::{AccessOp, AccessProblem, ArgSource, NegOp, PhysOp, PhysicalPlan, PhysicalUnion, ProjCol};
+use crate::error::EngineError;
+use crate::instance::Database;
+use crate::source::SourceRegistry;
+use crate::stats::CallStats;
+use crate::value::{Tuple, Value};
+use lap_ir::Schema;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+/// Executor configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Maximum rows per batch flowing between operators (≥ 1). Width 1
+    /// degenerates to tuple-at-a-time; larger widths widen the per-batch
+    /// call-dedup window.
+    pub batch_size: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig { batch_size: 1024 }
+    }
+}
+
+impl ExecConfig {
+    /// A config with the given batch width (clamped to ≥ 1).
+    pub fn with_batch_size(batch_size: usize) -> ExecConfig {
+        ExecConfig { batch_size: batch_size.max(1) }
+    }
+}
+
+/// A binding: one value per plan slot, `None` while unbound.
+type Row = Vec<Option<Value>>;
+
+/// Runtime counters for one operator.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpProfile {
+    /// The operator label (`BindJoin B^ioo(i, a, t)`).
+    pub op: String,
+    /// Batches processed.
+    pub batches: u64,
+    /// Bindings that reached the operator ("invoked", in legacy terms).
+    pub rows_in: u64,
+    /// Bindings it emitted (distinct answers, for the projection).
+    pub rows_out: u64,
+    /// Source calls issued after in-batch deduplication (membership probes
+    /// for a negation filter).
+    pub calls: u64,
+    /// Tuples transferred from the sources by those calls.
+    pub source_rows: u64,
+}
+
+/// Runtime counters for one disjunct pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanProfile {
+    /// The disjunct head (`Q(i, a, t)`).
+    pub head: String,
+    /// Per-operator counters, in pipeline order.
+    pub ops: Vec<OpProfile>,
+    /// Answers the pipeline contributed.
+    pub answers: u64,
+}
+
+/// Runtime counters for a union of pipelines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnionProfile {
+    /// One profile per disjunct.
+    pub parts: Vec<PlanProfile>,
+}
+
+impl fmt::Display for UnionProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, part) in self.parts.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            writeln!(f, "disjunct {i}: {} — {} answer(s)", part.head, part.answers)?;
+            let headers = ["operator", "invoked", "batches", "calls", "rows", "out"];
+            let mut rows: Vec<[String; 6]> = Vec::with_capacity(part.ops.len());
+            for op in &part.ops {
+                rows.push([
+                    op.op.clone(),
+                    op.rows_in.to_string(),
+                    op.batches.to_string(),
+                    op.calls.to_string(),
+                    op.source_rows.to_string(),
+                    op.rows_out.to_string(),
+                ]);
+            }
+            let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+            for row in &rows {
+                for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                    *w = (*w).max(cell.len());
+                }
+            }
+            let emit = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+                write!(f, " ")?;
+                for (w, cell) in widths.iter().zip(cells.iter()) {
+                    write!(f, " {cell:<w$}", w = w)?;
+                }
+                writeln!(f)
+            };
+            let header_cells: Vec<String> = headers.iter().map(|s| (*s).to_owned()).collect();
+            emit(f, &header_cells)?;
+            for row in &rows {
+                emit(f, row)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Pull-based execution state for one pipeline.
+struct PlanExec<'p> {
+    plan: &'p PhysicalPlan,
+    cfg: ExecConfig,
+    /// One buffered stage per non-projection operator.
+    buffers: Vec<VecDeque<Row>>,
+    done: Vec<bool>,
+    unit_sent: bool,
+    profiles: Vec<OpProfile>,
+}
+
+impl<'p> PlanExec<'p> {
+    fn new(plan: &'p PhysicalPlan, cfg: ExecConfig) -> PlanExec<'p> {
+        let pipeline_len = plan.ops.len().saturating_sub(1);
+        PlanExec {
+            plan,
+            cfg,
+            buffers: (0..pipeline_len).map(|_| VecDeque::new()).collect(),
+            done: vec![false; pipeline_len],
+            unit_sent: false,
+            profiles: plan
+                .ops
+                .iter()
+                .map(|op| OpProfile { op: op.label(), ..OpProfile::default() })
+                .collect(),
+        }
+    }
+
+    /// The single unit binding feeding the pipeline leaf — the analogue of
+    /// the legacy recursion always entering depth 0 (so depth-0 errors and
+    /// empty-body projections fire exactly once).
+    fn pull_unit(&mut self) -> Option<Vec<Row>> {
+        if self.unit_sent {
+            return None;
+        }
+        self.unit_sent = true;
+        Some(vec![vec![None; self.plan.slots.len()]])
+    }
+
+    /// Pulls the next batch (≤ `batch_size` rows) out of stage `i`,
+    /// driving upstream stages as needed. `None` once the stage is
+    /// exhausted.
+    fn pull(
+        &mut self,
+        i: usize,
+        reg: &mut SourceRegistry<'_>,
+    ) -> Result<Option<Vec<Row>>, EngineError> {
+        loop {
+            if self.buffers[i].len() >= self.cfg.batch_size || self.done[i] {
+                if self.buffers[i].is_empty() {
+                    return Ok(None);
+                }
+                let take = self.cfg.batch_size.min(self.buffers[i].len());
+                return Ok(Some(self.buffers[i].drain(..take).collect()));
+            }
+            let input = if i == 0 { self.pull_unit() } else { self.pull(i - 1, reg)? };
+            match input {
+                None => self.done[i] = true,
+                Some(batch) => self.process(i, &batch, reg)?,
+            }
+        }
+    }
+
+    /// Runs one input batch through stage `i`, buffering its output.
+    fn process(
+        &mut self,
+        i: usize,
+        batch: &[Row],
+        reg: &mut SourceRegistry<'_>,
+    ) -> Result<(), EngineError> {
+        let plan = self.plan;
+        self.profiles[i].batches += 1;
+        self.profiles[i].rows_in += batch.len() as u64;
+        let mut produced: Vec<Row> = Vec::new();
+        match &plan.ops[i] {
+            PhysOp::Access(op) | PhysOp::BindJoin(op) => {
+                self.run_access(op, batch, reg, i, &mut produced)?;
+            }
+            PhysOp::NegFilter(op) => {
+                self.run_neg_filter(op, batch, reg, i, &mut produced)?;
+            }
+            PhysOp::Project(_) => unreachable!("projection is driven by the executor root"),
+        }
+        self.profiles[i].rows_out += produced.len() as u64;
+        self.buffers[i].extend(produced);
+        Ok(())
+    }
+
+    fn run_access(
+        &mut self,
+        op: &AccessOp,
+        batch: &[Row],
+        reg: &mut SourceRegistry<'_>,
+        i: usize,
+        produced: &mut Vec<Row>,
+    ) -> Result<(), EngineError> {
+        if let Some(problem) = &op.problem {
+            return Err(access_error(op, problem));
+        }
+        let pattern = op.pattern.expect("problem-free access op has a pattern");
+        // In-batch call dedup: one wire call per distinct input key.
+        let mut fetched: HashMap<Vec<Option<Value>>, Vec<Tuple>> = HashMap::new();
+        for row in batch {
+            let inputs: Vec<Option<Value>> = (0..pattern.arity())
+                .map(|j| pattern.is_input(j).then(|| resolve(&op.args[j], row)))
+                .collect();
+            if !fetched.contains_key(&inputs) {
+                let rows = reg.call(op.relation, pattern, &inputs)?;
+                self.profiles[i].calls += 1;
+                self.profiles[i].source_rows += rows.len() as u64;
+                fetched.insert(inputs.clone(), rows);
+            }
+            for tuple in &fetched[&inputs] {
+                if let Some(out) = unify(&op.args, row, tuple) {
+                    produced.push(out);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run_neg_filter(
+        &mut self,
+        op: &NegOp,
+        batch: &[Row],
+        reg: &mut SourceRegistry<'_>,
+        i: usize,
+        produced: &mut Vec<Row>,
+    ) -> Result<(), EngineError> {
+        if !op.unbound.is_empty() {
+            return Err(EngineError::UnboundNegation { literal: op.literal.clone() });
+        }
+        // In-batch probe memo: one membership test per distinct key.
+        let mut memo: HashMap<Vec<Value>, bool> = HashMap::new();
+        for row in batch {
+            let values: Vec<Value> = op.args.iter().map(|a| resolve(a, row)).collect();
+            let present = match memo.get(&values) {
+                Some(&p) => p,
+                None => {
+                    let p = reg.membership_test(op.relation, &values)?;
+                    self.profiles[i].calls += 1;
+                    memo.insert(values, p);
+                    p
+                }
+            };
+            if !present {
+                produced.push(row.clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+fn access_error(op: &AccessOp, problem: &AccessProblem) -> EngineError {
+    match problem {
+        AccessProblem::UnknownRelation => EngineError::UnknownRelation(op.relation.to_string()),
+        AccessProblem::NoUsablePattern { bound_positions } => EngineError::NotExecutable {
+            literal: op.literal.clone(),
+            reason: format!(
+                "no access pattern of {} has all input slots bound (bound positions: {:?})",
+                op.relation, bound_positions
+            ),
+        },
+    }
+}
+
+/// Reads one argument's value from a row. Only called for positions the
+/// lowering proved bound (input slots, negation arguments).
+fn resolve(arg: &ArgSource, row: &Row) -> Value {
+    match *arg {
+        ArgSource::Const(c) => c,
+        ArgSource::Slot(s) => row[s].expect("lowering proved this slot bound"),
+    }
+}
+
+/// Client-side unification of one source tuple against one binding:
+/// constants and already-bound slots must agree (this also joins repeated
+/// variables), unbound slots get bound. `None` if the tuple is filtered.
+fn unify(args: &[ArgSource], row: &Row, tuple: &[Value]) -> Option<Row> {
+    let mut out = row.clone();
+    for (arg, &val) in args.iter().zip(tuple.iter()) {
+        match *arg {
+            ArgSource::Const(c) => {
+                if c != val {
+                    return None;
+                }
+            }
+            ArgSource::Slot(s) => match out[s] {
+                Some(prev) if prev != val => return None,
+                Some(_) => {}
+                None => out[s] = Some(val),
+            },
+        }
+    }
+    Some(out)
+}
+
+/// Executes one physical pipeline, returning its answer set.
+pub fn execute_physical_cq(
+    plan: &PhysicalPlan,
+    reg: &mut SourceRegistry<'_>,
+    cfg: ExecConfig,
+) -> Result<BTreeSet<Tuple>, EngineError> {
+    execute_physical_cq_profiled(plan, reg, cfg).map(|(rows, _)| rows)
+}
+
+/// [`execute_physical_cq`] plus per-operator runtime counters.
+pub fn execute_physical_cq_profiled(
+    plan: &PhysicalPlan,
+    reg: &mut SourceRegistry<'_>,
+    cfg: ExecConfig,
+) -> Result<(BTreeSet<Tuple>, PlanProfile), EngineError> {
+    let last = plan.ops.len() - 1;
+    let PhysOp::Project(project) = &plan.ops[last] else {
+        unreachable!("lowering always ends the pipeline with a projection")
+    };
+    let mut exec = PlanExec::new(plan, cfg);
+    let mut out: BTreeSet<Tuple> = BTreeSet::new();
+    loop {
+        let batch = if last == 0 { exec.pull_unit() } else { exec.pull(last - 1, reg)? };
+        let Some(batch) = batch else { break };
+        exec.profiles[last].batches += 1;
+        exec.profiles[last].rows_in += batch.len() as u64;
+        for row in &batch {
+            let mut tuple = Vec::with_capacity(project.cols.len());
+            for col in &project.cols {
+                match *col {
+                    ProjCol::Const(c) => tuple.push(c),
+                    ProjCol::Slot(s) => tuple.push(row[s].expect("head slot bound by the body")),
+                    ProjCol::Null => tuple.push(Value::Null),
+                    ProjCol::Unbound(v) => {
+                        return Err(EngineError::NotExecutable {
+                            literal: project.head.clone(),
+                            reason: format!("head variable {v} is neither bound nor declared null"),
+                        })
+                    }
+                }
+            }
+            if out.insert(tuple) {
+                exec.profiles[last].rows_out += 1;
+            }
+        }
+    }
+    let answers = out.len() as u64;
+    Ok((out, PlanProfile { head: plan.head.to_string(), ops: exec.profiles, answers }))
+}
+
+/// Executes a physical union sequentially, one span per disjunct when the
+/// registry's recorder has tracing enabled.
+pub fn execute_physical_union(
+    union: &PhysicalUnion,
+    reg: &mut SourceRegistry<'_>,
+    cfg: ExecConfig,
+) -> Result<BTreeSet<Tuple>, EngineError> {
+    let recorder = reg.recorder().clone();
+    let mut out = BTreeSet::new();
+    for (i, plan) in union.parts.iter().enumerate() {
+        let _span = recorder.span_lazy(|| format!("disjunct {i}: {}", plan.head));
+        out.extend(execute_physical_cq(plan, reg, cfg)?);
+    }
+    Ok(out)
+}
+
+/// [`execute_physical_union`] plus per-operator runtime counters for every
+/// disjunct.
+pub fn execute_physical_union_profiled(
+    union: &PhysicalUnion,
+    reg: &mut SourceRegistry<'_>,
+    cfg: ExecConfig,
+) -> Result<(BTreeSet<Tuple>, UnionProfile), EngineError> {
+    let recorder = reg.recorder().clone();
+    let mut out = BTreeSet::new();
+    let mut parts = Vec::with_capacity(union.parts.len());
+    for (i, plan) in union.parts.iter().enumerate() {
+        let _span = recorder.span_lazy(|| format!("disjunct {i}: {}", plan.head));
+        let (rows, profile) = execute_physical_cq_profiled(plan, reg, cfg)?;
+        out.extend(rows);
+        parts.push(profile);
+    }
+    Ok((out, UnionProfile { parts }))
+}
+
+/// Executes a physical union with one worker thread (and one source
+/// registry) per disjunct, merging answers and call statistics.
+pub fn execute_physical_union_parallel(
+    union: &PhysicalUnion,
+    db: &Database,
+    schema: &Schema,
+    cfg: ExecConfig,
+) -> Result<(BTreeSet<Tuple>, CallStats), EngineError> {
+    execute_physical_union_parallel_obs(union, db, schema, &lap_obs::Recorder::disabled(), cfg)
+}
+
+/// [`execute_physical_union_parallel`] under `recorder`: the fan-out runs
+/// in an `eval.parallel` span and every worker's registry reports to the
+/// shared recorder.
+pub fn execute_physical_union_parallel_obs(
+    union: &PhysicalUnion,
+    db: &Database,
+    schema: &Schema,
+    recorder: &lap_obs::Recorder,
+    cfg: ExecConfig,
+) -> Result<(BTreeSet<Tuple>, CallStats), EngineError> {
+    if union.parts.is_empty() {
+        return Ok((BTreeSet::new(), CallStats::default()));
+    }
+    let _span = recorder.span("eval.parallel");
+    let results: Vec<Result<(BTreeSet<Tuple>, CallStats), EngineError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = union
+                .parts
+                .iter()
+                .map(|plan| {
+                    scope.spawn(move || {
+                        let mut reg = SourceRegistry::new(db, schema).recording(recorder);
+                        let rows = execute_physical_cq(plan, &mut reg, cfg)?;
+                        Ok((rows, reg.stats()))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread does not panic"))
+                .collect()
+        });
+    let mut out = BTreeSet::new();
+    let mut stats = CallStats::default();
+    for r in results {
+        let (rows, s) = r?;
+        out.extend(rows);
+        stats.absorb(s);
+    }
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lower::{lower_cq, lower_union};
+    use super::*;
+    use lap_ir::parse_cq;
+
+    fn bookstore() -> (Database, Schema) {
+        let db = Database::from_facts(
+            r#"
+            B(1, "tolkien", "lotr"). B(2, "tolkien", "hobbit"). B(3, "adams", "hhgttg").
+            C(1, "tolkien"). C(3, "adams"). C(4, "tolkien").
+            L(1).
+            "#,
+        )
+        .unwrap();
+        let schema =
+            Schema::from_patterns(&[("B", "ioo"), ("B", "oio"), ("C", "oo"), ("L", "o")]).unwrap();
+        (db, schema)
+    }
+
+    fn run(text: &str, nulls: &[&str], batch: usize) -> Result<BTreeSet<Tuple>, EngineError> {
+        let (db, schema) = bookstore();
+        let null_vars: Vec<lap_ir::Var> = nulls.iter().map(|n| lap_ir::Var::new(n)).collect();
+        let plan = lower_cq(&parse_cq(text).unwrap(), &null_vars, &schema);
+        let mut reg = SourceRegistry::new(&db, &schema);
+        execute_physical_cq(&plan, &mut reg, ExecConfig::with_batch_size(batch))
+    }
+
+    #[test]
+    fn answers_are_identical_across_batch_widths() {
+        let text = "Q(i, a, t) :- C(i, a), B(i, a, t), not L(i).";
+        let wide = run(text, &[], 1024).unwrap();
+        assert_eq!(run(text, &[], 1).unwrap(), wide);
+        assert_eq!(run(text, &[], 2).unwrap(), wide);
+        assert_eq!(wide.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_input_keys_are_deduplicated_within_a_batch() {
+        // Two C rows share the author "tolkien"; B^oio is keyed on it, so a
+        // wide batch issues one call where the tuple-at-a-time path made
+        // two.
+        let (db, schema) = bookstore();
+        let cq = parse_cq("Q(t) :- C(i, a), B(i2, a, t).").unwrap();
+        let plan = lower_cq(&cq, &[], &schema);
+        let mut wide = SourceRegistry::new(&db, &schema);
+        let rows =
+            execute_physical_cq(&plan, &mut wide, ExecConfig::with_batch_size(1024)).unwrap();
+        let mut narrow = SourceRegistry::new(&db, &schema);
+        let rows1 =
+            execute_physical_cq(&plan, &mut narrow, ExecConfig::with_batch_size(1)).unwrap();
+        assert_eq!(rows, rows1);
+        assert!(wide.stats().calls < narrow.stats().calls, "{:?} vs {:?}", wide.stats(), narrow.stats());
+    }
+
+    #[test]
+    fn errors_fire_only_when_reached() {
+        // The broken literal sits behind an empty prefix: no binding ever
+        // reaches it, so the plan evaluates to the empty set (the legacy
+        // laziness ANSWER* depends on).
+        let rows = run("Q(a) :- C(9, a), Zzz(a, b).", &[], 64);
+        assert!(rows.unwrap().is_empty());
+        // At depth 0 the unit binding always arrives: hard error.
+        let err = run("Q(i, a, t) :- B(i, a, t), C(i, a).", &[], 64).unwrap_err();
+        assert!(matches!(err, EngineError::NotExecutable { .. }), "{err}");
+    }
+
+    #[test]
+    fn profiled_union_counts_operator_traffic() {
+        let (db, schema) = bookstore();
+        let parts = vec![
+            (parse_cq("Q(i, a, t) :- C(i, a), B(i, a, t), not L(i).").unwrap(), vec![]),
+        ];
+        let union = lower_union(&parts, &schema);
+        let mut reg = SourceRegistry::new(&db, &schema);
+        let (rows, profile) =
+            execute_physical_union_profiled(&union, &mut reg, ExecConfig::default()).unwrap();
+        assert_eq!(rows.len(), 1);
+        let ops = &profile.parts[0].ops;
+        assert_eq!(ops[0].rows_in, 1); // the unit binding
+        assert_eq!(ops[0].calls, 1); // one free scan of C
+        assert_eq!(ops[1].rows_in, 3); // three C rows reach the join
+        assert_eq!(ops[3].rows_out, 1); // one distinct answer
+        let text = profile.to_string();
+        assert!(text.contains("invoked"), "{text}");
+        assert!(text.contains("NegFilter not L(i)"), "{text}");
+    }
+
+    #[test]
+    fn parallel_union_matches_sequential() {
+        let (db, schema) = bookstore();
+        let parts = vec![
+            (parse_cq("Q(i) :- C(i, a).").unwrap(), vec![]),
+            (parse_cq("Q(i) :- L(i).").unwrap(), vec![]),
+        ];
+        let union = lower_union(&parts, &schema);
+        let cfg = ExecConfig::default();
+        let mut reg = SourceRegistry::new(&db, &schema);
+        let seq = execute_physical_union(&union, &mut reg, cfg).unwrap();
+        let (par, stats) = execute_physical_union_parallel(&union, &db, &schema, cfg).unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(stats.calls, reg.stats().calls);
+        assert_eq!(stats.tuples_returned, reg.stats().tuples_returned);
+    }
+}

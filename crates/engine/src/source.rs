@@ -35,9 +35,17 @@ pub struct SourceRegistry<'a> {
     calls: Counter,
     tuples_returned: Counter,
     cache_hits: Counter,
+    /// Membership probes issued by negated literals — a separate counter
+    /// (`source.membership`) so they stay distinguishable from positive
+    /// `source.calls` in metrics snapshots. Each probe *also* counts as a
+    /// call, since it goes through [`SourceRegistry::call`].
+    membership: Counter,
     rows_per_call: Histogram,
     /// Counter values at the last attach/reset; `stats()` subtracts this.
     baseline: CallStats,
+    /// The membership counter's value at the last attach/reset (kept out
+    /// of [`CallStats`], whose layout is public API).
+    membership_baseline: u64,
     cache: Option<HashMap<CallKey, Vec<Tuple>>>,
     /// Lazily-built hash indexes keyed by (relation, indexed positions).
     /// `None` disables indexing (every selection scans).
@@ -56,8 +64,10 @@ impl<'a> SourceRegistry<'a> {
             calls: Counter::detached(),
             tuples_returned: Counter::detached(),
             cache_hits: Counter::detached(),
+            membership: Counter::detached(),
             rows_per_call: Histogram::detached(),
             baseline: CallStats::default(),
+            membership_baseline: 0,
             cache: None,
             indexes: Some(HashMap::new()),
         }
@@ -90,8 +100,10 @@ impl<'a> SourceRegistry<'a> {
         self.calls = recorder.counter("source.calls");
         self.tuples_returned = recorder.counter("source.tuples_returned");
         self.cache_hits = recorder.counter("source.cache_hits");
+        self.membership = recorder.counter("source.membership");
         self.rows_per_call = recorder.histogram("source.rows_per_call");
         self.baseline = self.raw_totals();
+        self.membership_baseline = self.membership.get();
         self
     }
 
@@ -125,10 +137,19 @@ impl<'a> SourceRegistry<'a> {
         }
     }
 
+    /// Membership probes ([`SourceRegistry::membership_test`]) issued
+    /// through this registry since construction / attach / the last
+    /// [`SourceRegistry::reset_stats`]. A view over the shared
+    /// `source.membership` counter, like [`SourceRegistry::stats`].
+    pub fn membership_probes(&self) -> u64 {
+        self.membership.get() - self.membership_baseline
+    }
+
     /// Resets the call statistics view (the cache, if any, is kept; the
     /// recorder's lifetime counters are monotone and keep their values).
     pub fn reset_stats(&mut self) {
         self.baseline = self.raw_totals();
+        self.membership_baseline = self.membership.get();
     }
 
     /// Calls relation `name` through `pattern`, supplying `inputs[j] =
@@ -237,6 +258,7 @@ impl<'a> SourceRegistry<'a> {
     /// using the most selective available pattern (all variables bound, so
     /// every pattern is usable). This is how negated literals are checked.
     pub fn membership_test(&mut self, name: Symbol, values: &[Value]) -> Result<bool, EngineError> {
+        self.membership.incr();
         let decl = self
             .schema
             .relation(name)
@@ -372,6 +394,25 @@ mod tests {
         reg.reset_stats();
         assert_eq!(reg.stats().calls, 0);
         assert_eq!(rec.snapshot().counter("source.calls"), 11);
+    }
+
+    #[test]
+    fn membership_probes_are_counted_separately() {
+        let (db, schema) = setup();
+        let rec = Recorder::new();
+        let mut reg = SourceRegistry::new(&db, &schema).recording(&rec);
+        let p = AccessPattern::parse("o").unwrap();
+        reg.call(Symbol::intern("L"), p, &[None]).unwrap();
+        assert_eq!(reg.membership_probes(), 0);
+        reg.membership_test(Symbol::intern("L"), &[Value::int(1)]).unwrap();
+        reg.membership_test(Symbol::intern("L"), &[Value::int(2)]).unwrap();
+        assert_eq!(reg.membership_probes(), 2);
+        // Probes also count as wire calls (they go through `call`)…
+        assert_eq!(reg.stats().calls, 3);
+        // …but the dedicated counter keeps them distinguishable.
+        assert_eq!(rec.snapshot().counter("source.membership"), 2);
+        reg.reset_stats();
+        assert_eq!(reg.membership_probes(), 0);
     }
 
     #[test]

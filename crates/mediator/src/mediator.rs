@@ -4,7 +4,10 @@
 use crate::unfold::{unfold_deep, UnfoldError};
 use crate::views::{GavView, ViewError};
 use lap_constraints::{prune_unsatisfiable, ConstraintSet};
-use lap_core::{answer_star_obs, feasible_detailed_obs, AnswerReport, FeasibilityReport};
+use lap_core::{
+    answer_star_obs, feasible_detailed_obs, lower_pair, AnswerReport, FeasibilityReport,
+    PhysicalPair,
+};
 use lap_core::{ContainmentEngine, EngineConfig, EngineStats};
 use lap_engine::{Database, EngineError};
 use lap_ir::{parse_program, IrError, Schema, UnionQuery};
@@ -68,6 +71,9 @@ pub struct MediatorPlan {
     pub pruned: UnionQuery,
     /// Feasibility analysis of the pruned plan (includes PLAN\* output).
     pub feasibility: FeasibilityReport,
+    /// The PLAN\* output lowered to physical operator trees over the
+    /// source schema — what the runtime actually executes.
+    pub physical: PhysicalPair,
 }
 
 /// A global-as-view mediator over limited-access sources — the shape of
@@ -195,10 +201,12 @@ impl Mediator {
         };
         let feasibility =
             feasible_detailed_obs(&pruned, &self.source_schema, &self.engine, &self.recorder);
+        let physical = lower_pair(&feasibility.plans, &self.source_schema);
         Ok(MediatorPlan {
             unfolded,
             pruned,
             feasibility,
+            physical,
         })
     }
 
@@ -233,6 +241,12 @@ mod tests {
         let plan = m.plan(&q).unwrap();
         assert_eq!(plan.unfolded.disjuncts.len(), 2);
         assert!(plan.feasibility.feasible);
+        // The compiled artifact carries the lowered operator trees, one
+        // pipeline per surviving disjunct.
+        assert_eq!(
+            plan.physical.over.parts.len(),
+            plan.feasibility.plans.over.parts.len()
+        );
         let db = Database::from_facts(
             r#"
             Amazon(1, "adams", "hhgttg", 12). Bn(2, "adams", "dirk gently").

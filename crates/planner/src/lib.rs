@@ -11,6 +11,8 @@
 //! * [`greedy_order`] / [`best_order`] — heuristic and exact search over
 //!   *executable* orders;
 //! * [`optimize_plan_pair`] — re-orders PLAN\* output per [`Strategy`];
+//! * [`lower`] — lowers a plan pair to physical operator trees with
+//!   per-operator cost annotations;
 //! * [`minimal_executable_plan`] — shrinks a feasible query's `ans(Q)`
 //!   plan to an equivalent executable plan with no removable disjunct or
 //!   literal (fewer source calls than the Theorem-16 witness).
@@ -38,9 +40,11 @@
 #![warn(missing_docs)]
 
 mod cost;
+mod lower;
 mod minimize;
 mod order;
 
 pub use cost::{estimate_cost, CostModel, PlanCost};
+pub use lower::{annotate_union, lower};
 pub use minimize::minimal_executable_plan;
 pub use order::{best_order, greedy_order, optimize_plan_pair, Strategy};

@@ -1,0 +1,170 @@
+//! Cost-annotated lowering: PLAN\* output → physical operator trees with
+//! per-operator [`OpCost`] estimates.
+//!
+//! [`lower`] is the planner's counterpart of [`lap_core::lower_pair`]: the
+//! same total lowering pass, followed by an annotation walk that mirrors
+//! [`estimate_cost`](crate::estimate_cost) operator by operator — each
+//! access/join operator is charged one call per expected incoming binding
+//! and `extent × selectivity^inputs` transferred tuples per call, each
+//! negation one membership probe per binding. The final projection carries
+//! the pipeline totals, so the root of the printed tree reads as the
+//! whole-plan estimate.
+//!
+//! Annotation stops at the first non-executable operator (no usable
+//! pattern, unknown relation, or unbound negation): downstream estimates
+//! would be meaningless, and such plans only exist to raise their error
+//! lazily.
+
+use crate::cost::CostModel;
+use lap_core::{PhysicalPair, PlanPair};
+use lap_engine::{ArgSource, OpCost, PhysOp, PhysicalPlan, PhysicalUnion};
+use lap_ir::{Schema, Var};
+use std::collections::HashSet;
+
+/// Lowers both PLAN\* estimate plans to physical trees and annotates every
+/// operator with its [`OpCost`] under `model`.
+pub fn lower(pair: &PlanPair, schema: &Schema, model: &CostModel) -> PhysicalPair {
+    let mut physical = lap_core::lower_pair(pair, schema);
+    annotate_union(&mut physical.under, model);
+    annotate_union(&mut physical.over, model);
+    physical
+}
+
+/// Annotates one lowered union in place (exposed for callers that lowered
+/// through [`lap_core::UnionPlan::lower`] directly).
+pub fn annotate_union(union: &mut PhysicalUnion, model: &CostModel) {
+    for plan in &mut union.parts {
+        annotate_plan(plan, model);
+    }
+}
+
+fn annotate_plan(plan: &mut PhysicalPlan, model: &CostModel) {
+    let mut bound: HashSet<Var> = HashSet::new();
+    let mut bindings = 1.0f64;
+    let mut total = OpCost {
+        calls: 0.0,
+        tuples: 0.0,
+    };
+    // Split borrows: the walk needs each op mutably plus the slot table.
+    let slots = plan.slots.clone();
+    let arg_bound = |arg: &ArgSource, bound: &HashSet<Var>| match arg {
+        ArgSource::Const(_) => true,
+        ArgSource::Slot(s) => bound.contains(&slots[*s]),
+    };
+    for op in &mut plan.ops {
+        match op {
+            PhysOp::Access(a) | PhysOp::BindJoin(a) => {
+                let Some(pattern) = a.pattern else { return };
+                let bound_positions =
+                    a.args.iter().filter(|arg| arg_bound(arg, &bound)).count();
+                let per_call_transfer = (model.extent(a.relation)
+                    * model.selectivity.powi(pattern.num_inputs() as i32))
+                .max(0.0);
+                let extra_filters = bound_positions.saturating_sub(pattern.num_inputs());
+                let surviving =
+                    per_call_transfer * model.selectivity.powi(extra_filters as i32);
+                a.cost = Some(OpCost {
+                    calls: bindings,
+                    tuples: bindings * per_call_transfer,
+                });
+                total.calls += bindings;
+                total.tuples += bindings * per_call_transfer;
+                bindings *= surviving.max(0.0);
+                bound.extend(a.bound_after.iter().copied());
+            }
+            PhysOp::NegFilter(n) => {
+                if !n.unbound.is_empty() {
+                    return;
+                }
+                n.cost = Some(OpCost {
+                    calls: bindings,
+                    tuples: bindings,
+                });
+                total.calls += bindings;
+                total.tuples += bindings;
+                bindings *= 0.5;
+                bound.extend(n.bound_after.iter().copied());
+            }
+            PhysOp::Project(p) => {
+                p.cost = Some(total);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate_cost;
+    use lap_core::plan_star;
+    use lap_ir::parse_program;
+
+    fn setup(text: &str) -> (PlanPair, Schema) {
+        let p = parse_program(text).unwrap();
+        (plan_star(p.single_query().unwrap(), &p.schema), p.schema)
+    }
+
+    #[test]
+    fn project_cost_matches_estimate_cost_totals() {
+        let (pair, schema) = setup(
+            "L^o. B^ioo. C^oo.\n\
+             Q(t) :- L(i), B(i, a, t), C(i, a).",
+        );
+        let model = CostModel::new()
+            .with_extent("L", 5.0)
+            .with_extent("B", 10_000.0)
+            .with_extent("C", 2_000.0);
+        let physical = lower(&pair, &schema, &model);
+        let plan = &physical.under.parts[0];
+        let expected = estimate_cost(&pair.under.parts[0].cq, &schema, &model).unwrap();
+        let PhysOp::Project(p) = plan.ops.last().unwrap() else { panic!() };
+        let got = p.cost.unwrap();
+        assert!((got.calls - expected.calls).abs() < 1e-9, "{got} vs {expected:?}");
+        assert!((got.tuples - expected.tuples).abs() < 1e-9, "{got} vs {expected:?}");
+        // Every operator carries an estimate, and the first scan costs one call.
+        assert!(plan.ops.iter().all(|op| op.cost().is_some()));
+        assert!((plan.ops[0].cost().unwrap().calls - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negation_halves_the_bindings() {
+        let (pair, schema) = setup(
+            "C^oo. L^o.\n\
+             Q(i) :- C(i, a), not L(i), C(i, b).",
+        );
+        let model = CostModel::new().with_extent("C", 10.0).with_extent("L", 10.0);
+        let physical = lower(&pair, &schema, &model);
+        let ops = &physical.under.parts[0].ops;
+        let neg = ops[1].cost().unwrap();
+        let after = ops[2].cost().unwrap();
+        assert!((neg.calls - 10.0).abs() < 1e-9); // one probe per C row
+        assert!((after.calls - 5.0).abs() < 1e-9); // half survive
+    }
+
+    #[test]
+    fn annotation_stops_at_non_executable_operators() {
+        // Overestimate of a B^ii query: the answerable part is empty, so
+        // the only ops are the projection — but force a broken pipeline via
+        // an unorderable disjunct that PLAN* keeps (answerable prefix, then
+        // nothing): use a query whose over plan keeps an executable prefix.
+        let (pair, schema) = setup(
+            "R^oo. B^ii.\n\
+             Q(x) :- R(x, y), B(x, y).",
+        );
+        let model = CostModel::new();
+        let physical = lower(&pair, &schema, &model);
+        // The over plan is R(x, y) only (B is unanswerable and dropped), so
+        // it annotates fully…
+        assert!(physical.over.parts[0].ops.iter().all(|op| op.cost().is_some()));
+        // …while a hand-lowered unexecutable order (B first, nothing bound)
+        // stops at the error node.
+        let p = parse_program("R^oo. B^ii.\nQ(x) :- B(x, y), R(x, y).").unwrap();
+        let q = p.single_query().unwrap();
+        let mut broken =
+            lap_engine::lower_union(&[(q.disjuncts[0].clone(), vec![])], &schema);
+        annotate_union(&mut broken, &model);
+        let ops = &broken.parts[0].ops;
+        assert!(ops[0].cost().is_none(), "error node gets no estimate");
+        assert!(ops.last().unwrap().cost().is_none());
+    }
+}

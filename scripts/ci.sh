@@ -17,6 +17,9 @@ cargo test -q
 echo "==> cargo test --workspace (every crate)"
 cargo test -q --workspace
 
+echo "==> executor differential suite (batched vs tuple-at-a-time reference)"
+cargo test -q --test executor_differential
+
 if [ "${SKIP_SLOW:-0}" != "1" ]; then
     echo "==> cargo test --features slow-tests (widened seeded sweeps)"
     cargo test -q --features slow-tests
@@ -24,6 +27,7 @@ fi
 
 echo "==> cargo clippy -D warnings (crates touched by the engine work)"
 cargo clippy -q --all-targets -p lap-prng -p lap-containment -p lap-core \
+    -p lap-engine -p lap-planner \
     -p lap-mediator -p lap-workload -p lap-obs -p lap -- -D warnings
 
 echo "==> observability smoke: lapq run --trace --metrics-json + obs-validate"

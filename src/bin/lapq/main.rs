@@ -249,9 +249,22 @@ fn explain_cmd(
     if program.queries.is_empty() {
         return Err(format!("{path}: no queries defined"));
     }
+    let model = lap::planner::CostModel::new();
     for query in &program.queries {
         println!("query {}:", query.signature.0);
         print!("{}", lap::core::explain_with(query, &program.schema, engine));
+        // The lowered operator trees: what ANSWER* will actually run, with
+        // the chosen access patterns and default-model cost estimates.
+        let pair = lap::core::plan_star(query, &program.schema);
+        let physical = lap::planner::lower(&pair, &program.schema, &model);
+        println!("  physical plan (underestimate):");
+        for line in physical.under.to_string().lines() {
+            println!("    {line}");
+        }
+        println!("  physical plan (overestimate):");
+        for line in physical.over.to_string().lines() {
+            println!("    {line}");
+        }
         println!();
     }
     println!("containment engine: {}", engine.stats());
@@ -343,7 +356,7 @@ fn run_query(
 }
 
 fn profile(program_path: &str, facts_path: &str, recorder: &Recorder) -> Result<(), String> {
-    use lap::engine::{eval_ordered_union_traced, SourceRegistry};
+    use lap::engine::{execute_physical_union_profiled, ExecConfig, SourceRegistry};
     let program = load(program_path, recorder)?;
     let facts = std::fs::read_to_string(facts_path)
         .map_err(|e| format!("cannot read {facts_path}: {e}"))?;
@@ -351,12 +364,14 @@ fn profile(program_path: &str, facts_path: &str, recorder: &Recorder) -> Result<
     for query in &program.queries {
         println!("query {}:", query.signature.0);
         let pair = lap::core::plan_star_obs(query, &program.schema, recorder);
+        let physical = pair.over.lower(&program.schema);
         let mut reg = SourceRegistry::new(&db, &program.schema).recording(recorder);
-        let (_, trace) = eval_ordered_union_traced(&pair.over.eval_parts(), &mut reg)
-            .map_err(|e| format!("evaluating: {e}"))?;
-        println!("{trace}");
-        println!();
+        let (_, prof) =
+            execute_physical_union_profiled(&physical, &mut reg, ExecConfig::default())
+                .map_err(|e| format!("evaluating: {e}"))?;
+        println!("{prof}");
         println!("total source usage: {}", reg.stats());
+        println!("membership probes (negative literals): {}", reg.membership_probes());
         println!();
     }
     Ok(())

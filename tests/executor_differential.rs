@@ -1,0 +1,270 @@
+//! Differential testing of the batched physical executor.
+//!
+//! The physical pipeline (`lower_union` + `execute_physical_union`) retired
+//! the tuple-at-a-time evaluator from every production path, but the old
+//! recursion survives as `eval_ordered_union_tuple` — the executable
+//! specification. This harness replays seeded workloads through both and
+//! fails with the exact case seed on any divergence: answer sets must match
+//! bit-for-bit at every batch width (1 degenerates to tuple-at-a-time,
+//! larger widths widen the dedup window), across both PLAN\* estimate
+//! plans, the parallel union evaluator, and domain-enumeration runs — and
+//! when the reference rejects a plan, the batched executor must reject it
+//! with the same error.
+
+use lap::core::{answer_star_with_domain, plan_star};
+use lap::engine::{
+    eval_oracle, eval_ordered_union_tuple, execute_physical_union,
+    execute_physical_union_parallel, lower_union, Database, EngineError, ExecConfig,
+    SourceRegistry, Tuple,
+};
+use lap::ir::{ConjunctiveQuery, Schema, Var};
+use lap::workload::{
+    families, gen_instance, gen_query, gen_schema, InstanceConfig, QueryConfig, SchemaConfig,
+};
+use lap_prng::StdRng;
+use std::collections::BTreeSet;
+
+/// Batch widths under test: degenerate, mid, and the production default.
+const WIDTHS: [usize; 3] = [1, 64, 1024];
+
+const CASES: u64 = if cfg!(feature = "slow-tests") { 160 } else { 64 };
+
+fn case_rng(salt: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case)
+}
+
+type Parts = [(ConjunctiveQuery, Vec<Var>)];
+
+fn tuple_reference(
+    parts: &Parts,
+    db: &Database,
+    schema: &Schema,
+) -> Result<BTreeSet<Tuple>, EngineError> {
+    let mut reg = SourceRegistry::new(db, schema);
+    eval_ordered_union_tuple(parts, &mut reg)
+}
+
+fn batched(
+    parts: &Parts,
+    db: &Database,
+    schema: &Schema,
+    width: usize,
+) -> Result<BTreeSet<Tuple>, EngineError> {
+    let union = lower_union(parts, schema);
+    let mut reg = SourceRegistry::new(db, schema);
+    execute_physical_union(&union, &mut reg, ExecConfig::with_batch_size(width))
+}
+
+/// Asserts the batched result equals the reference: same answers when both
+/// succeed, same error message when both fail, never a split verdict.
+fn assert_agrees(
+    reference: &Result<BTreeSet<Tuple>, EngineError>,
+    got: Result<BTreeSet<Tuple>, EngineError>,
+    context: &str,
+) {
+    match (reference, got) {
+        (Ok(want), Ok(rows)) => assert_eq!(want, &rows, "answers differ: {context}"),
+        (Err(want), Err(err)) => assert_eq!(
+            want.to_string(),
+            err.to_string(),
+            "errors differ: {context}"
+        ),
+        (r, g) => panic!(
+            "executability verdicts differ ({} vs {}): {context}",
+            if r.is_ok() { "ok" } else { "err" },
+            if g.is_ok() { "ok" } else { "err" },
+        ),
+    }
+}
+
+#[test]
+fn batched_executor_matches_tuple_reference_on_generated_estimate_plans() {
+    let mut evaluated = 0u64;
+    for case in 0..CASES {
+        let mut rng = case_rng(0xBA7C, case);
+        let schema = gen_schema(
+            &SchemaConfig {
+                free_scan_fraction: 0.8,
+                input_fraction: 0.3,
+                ..SchemaConfig::default()
+            },
+            &mut rng,
+        );
+        let q = gen_query(
+            &schema,
+            &QueryConfig {
+                num_disjuncts: 1 + (case % 4) as usize,
+                negative_per_disjunct: (case % 2) as usize,
+                ..QueryConfig::default()
+            },
+            &mut rng,
+        );
+        let db = gen_instance(&schema, &InstanceConfig::default(), &mut rng);
+        let pair = plan_star(&q, &schema);
+        for (which, plan) in [("under", &pair.under), ("over", &pair.over)] {
+            let parts = plan.eval_parts();
+            let reference = tuple_reference(&parts, &db, &schema);
+            if reference.is_ok() {
+                evaluated += 1;
+            }
+            for width in WIDTHS {
+                assert_agrees(
+                    &reference,
+                    batched(&parts, &db, &schema, width),
+                    &format!("case {case} {which} plan width {width}: {q}"),
+                );
+            }
+        }
+    }
+    assert!(
+        evaluated >= CASES / 2,
+        "only {evaluated} evaluable plans out of {CASES} cases — generator drifted"
+    );
+}
+
+#[test]
+fn batched_executor_matches_tuple_reference_on_hand_shaped_families() {
+    let instances = [
+        ("forward_chain", families::forward_chain(6)),
+        ("reversed_chain", families::reversed_chain(6)),
+        ("star", families::star(5)),
+        ("feasible_not_orderable", families::feasible_not_orderable(3)),
+        ("gav_unfolding", families::gav_unfolding(3, 2, 1)),
+    ];
+    for (name, inst) in instances {
+        let mut rng = case_rng(0xFA41, 7);
+        let db = gen_instance(&inst.schema, &InstanceConfig::default(), &mut rng);
+        let pair = plan_star(&inst.query, &inst.schema);
+        for (which, plan) in [("under", &pair.under), ("over", &pair.over)] {
+            let parts = plan.eval_parts();
+            let reference = tuple_reference(&parts, &db, &inst.schema);
+            for width in WIDTHS {
+                assert_agrees(
+                    &reference,
+                    batched(&parts, &db, &inst.schema, width),
+                    &format!("family {name} {which} plan width {width}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_physical_execution_matches_tuple_reference() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x9A21, case);
+        let schema = gen_schema(
+            &SchemaConfig {
+                free_scan_fraction: 0.8,
+                ..SchemaConfig::default()
+            },
+            &mut rng,
+        );
+        let q = gen_query(
+            &schema,
+            &QueryConfig {
+                num_disjuncts: 2 + (case % 3) as usize,
+                negative_per_disjunct: (case % 2) as usize,
+                ..QueryConfig::default()
+            },
+            &mut rng,
+        );
+        let db = gen_instance(&schema, &InstanceConfig::default(), &mut rng);
+        let pair = plan_star(&q, &schema);
+        let parts = pair.over.eval_parts();
+        if parts.is_empty() {
+            continue;
+        }
+        let reference = tuple_reference(&parts, &db, &schema);
+        let union = lower_union(&parts, &schema);
+        let par = execute_physical_union_parallel(&union, &db, &schema, ExecConfig::default())
+            .map(|(rows, _)| rows);
+        match (&reference, par) {
+            (Ok(want), Ok(rows)) => {
+                assert_eq!(want, &rows, "parallel answers differ on case {case}: {q}")
+            }
+            (Err(_), Err(_)) => {}
+            (r, p) => panic!(
+                "parallel/sequential verdicts differ on case {case}: ref ok={} par ok={}\n  {q}",
+                r.is_ok(),
+                p.is_ok()
+            ),
+        }
+    }
+}
+
+/// Domain-enumeration runs now execute their improved plans through the
+/// physical pipeline; the refinement invariants (monotone over the base
+/// underestimate, sound w.r.t. the unrestricted oracle) must survive.
+#[test]
+fn domain_refinement_through_physical_executor_stays_sound() {
+    let mut refined = 0u64;
+    for case in 0..CASES / 2 {
+        let mut rng = case_rng(0xD03A, case);
+        let schema = gen_schema(
+            &SchemaConfig {
+                free_scan_fraction: 0.6,
+                input_fraction: 0.4,
+                ..SchemaConfig::default()
+            },
+            &mut rng,
+        );
+        let q = gen_query(
+            &schema,
+            &QueryConfig {
+                num_disjuncts: 1 + (case % 2) as usize,
+                ..QueryConfig::default()
+            },
+            &mut rng,
+        );
+        let db = gen_instance(&schema, &InstanceConfig::default(), &mut rng);
+        let Ok(rep) = answer_star_with_domain(&q, &schema, &db, 10_000) else {
+            continue;
+        };
+        let oracle = eval_oracle(&q, &db).unwrap();
+        assert!(
+            rep.base.under.is_subset(&rep.improved_under),
+            "case {case}: refinement lost certain answers: {q}"
+        );
+        assert!(
+            rep.improved_under.is_subset(&oracle),
+            "case {case}: refinement produced non-answers: {q}"
+        );
+        if rep.improved_under.len() > rep.base.under.len() {
+            refined += 1;
+        }
+        let _ = refined;
+    }
+}
+
+/// Lazy error semantics, pinned: a broken operator behind an empty prefix
+/// is never reached (both paths answer), and behind a non-empty prefix both
+/// paths raise the *same* error.
+#[test]
+fn lazy_errors_match_the_tuple_reference_exactly() {
+    let schema = Schema::from_patterns(&[("C", "oo"), ("B", "ii"), ("L", "o")]).unwrap();
+    let db = Database::from_facts(r#"C(1, "a"). C(2, "b"). L(1)."#).unwrap();
+    let broken: &[&str] = &[
+        // Unknown relation behind a prefix that may or may not be empty.
+        "Q(a) :- C(9, a), Zzz(a, b).",
+        "Q(a) :- C(1, a), Zzz(a, b).",
+        // No usable pattern (B^ii with nothing bound).
+        "Q(x) :- B(x, y).",
+        // Unbound negation.
+        "Q(i) :- C(i, a), not B(i, z).",
+        // Unbound head variable.
+        "Q(i, z) :- C(i, a).",
+    ];
+    for text in broken {
+        let cq = lap::ir::parse_cq(text).unwrap();
+        let parts = vec![(cq, Vec::<Var>::new())];
+        let reference = tuple_reference(&parts, &db, &schema);
+        for width in WIDTHS {
+            assert_agrees(
+                &reference,
+                batched(&parts, &db, &schema, width),
+                &format!("broken plan {text:?} width {width}"),
+            );
+        }
+    }
+}

@@ -143,6 +143,34 @@ fn answer_star_obs_matches_legacy_and_spans_the_pipeline() {
     );
 }
 
+/// Negative-literal membership probes are counted apart from positive
+/// source calls: the `source.membership` counter, the registry's
+/// `membership_probes()` view, and the full ANSWER\* pipeline must agree.
+#[test]
+fn membership_probes_are_split_from_positive_calls() {
+    use lap::engine::{execute_physical_union, ExecConfig};
+    let (program, db) = bookstore();
+    let query = program.single_query().unwrap();
+    let pair = lap::core::plan_star(query, &program.schema);
+    let recorder = Recorder::new();
+    let mut reg = SourceRegistry::new(&db, &program.schema).recording(&recorder);
+    let physical = pair.over.lower(&program.schema);
+    execute_physical_union(&physical, &mut reg, ExecConfig::default()).unwrap();
+    let probes = reg.membership_probes();
+    assert!(probes > 0, "the bookstore plan ends in `not L(i)`");
+    let snap = recorder.snapshot();
+    assert_eq!(snap.counter("source.membership"), probes);
+    // Membership probes are a subset of the wire calls the legacy stats
+    // count; the split never invents or loses calls.
+    assert!(probes <= reg.stats().calls + reg.stats().cache_hits);
+    assert_eq!(snap.counter("source.calls"), reg.stats().calls);
+
+    // The end-to-end pipeline reports the same counter.
+    let rec2 = Recorder::new();
+    let _ = answer_star_obs(query, &program.schema, &db, &rec2).unwrap();
+    assert!(rec2.snapshot().counter("source.membership") > 0);
+}
+
 /// The FEASIBLE decision traced through a recorder-backed engine opens the
 /// `feasible` span (plus `containment` when the check actually runs).
 #[test]
