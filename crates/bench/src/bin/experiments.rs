@@ -1,10 +1,10 @@
-//! Experiment driver: prints the E1–E11 tables.
+//! Experiment driver: prints the E1–E19 tables.
 //!
 //! ```sh
 //! cargo run --release -p lap-bench --bin experiments             # all, text
 //! cargo run --release -p lap-bench --bin experiments -- e2 e11  # subset
 //! cargo run --release -p lap-bench --bin experiments -- --markdown
-//! cargo run --release -p lap-bench --bin experiments -- --json            # BENCH_PR3.json
+//! cargo run --release -p lap-bench --bin experiments -- --json            # BENCH_PR4.json
 //! cargo run --release -p lap-bench --bin experiments -- --json=tables.json
 //! ```
 
@@ -12,7 +12,7 @@ use lap_bench::runner;
 use lap_bench::tables::{tables_to_json, Table};
 
 /// Default path for `--json` without an explicit `=<path>`.
-const DEFAULT_JSON_PATH: &str = "BENCH_PR3.json";
+const DEFAULT_JSON_PATH: &str = "BENCH_PR4.json";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +51,7 @@ fn main() {
         ("e16", Box::new(runner::e16_index_ablation)),
         ("e17", Box::new(runner::e17_end_to_end_scenario)),
         ("e18", Box::new(runner::e18_batched_executor)),
+        ("e19", Box::new(runner::e19_fault_resilience)),
     ];
 
     let mut rendered: Vec<Table> = Vec::new();

@@ -1,4 +1,4 @@
-//! The experiment suite E1–E11 (see DESIGN.md §6 and EXPERIMENTS.md).
+//! The experiment suite E1–E19 (see DESIGN.md §6 and EXPERIMENTS.md).
 //!
 //! Each experiment returns a [`Table`]; the `experiments` binary prints
 //! them all. Everything is seeded — rerunning reproduces identical
@@ -991,6 +991,99 @@ pub fn e18_batched_executor() -> Table {
     t
 }
 
+/// E19 — completeness vs fault rate: the chaos ladder over the federated
+/// bookstore. Each rung runs ANSWER\* under a seeded fault profile with
+/// the standard retry policy; the table reports how much of the fault-free
+/// answer survives (|degraded under| / |fault-free under|), how many
+/// disjuncts were dropped, and the retry/failure counts. The rate-0 rung
+/// doubles as the overhead control: the resilient path must return the
+/// identical answer, and its relative cost vs plain ANSWER\* is recorded.
+pub fn e19_fault_resilience() -> Table {
+    use lap_core::answer_star_resilient;
+    use lap_obs::Recorder;
+    use lap_workload::chaos_ladder;
+    let mut t = Table::new(
+        "E19 — completeness vs fault rate (chaos ladder, federated bookstore)",
+        "Seeded fault injection over the E17 scenario (2 vendors × 2 catalogs, 200 books): sources fail with probability p per call, retried up to 4 times with exponential backoff. A disjunct whose source stays down is dropped whole, so the degraded answer is always a subset of the fault-free one; 'answers kept' is that subset ratio. At rate 0 the answer is asserted identical and the timing overhead of the resilient path is recorded.",
+        &[
+            "fault rate",
+            "answers",
+            "answers kept",
+            "completeness",
+            "dropped disjuncts",
+            "retries",
+            "failures",
+            "overhead at rate 0",
+        ],
+    );
+    let cfg = BookstoreConfig {
+        books: 200,
+        authors: 40,
+        ..BookstoreConfig::default()
+    };
+    let scenario = bookstore(&cfg, &mut StdRng::seed_from_u64(19));
+    let program = parse_program(&scenario.program_text()).expect("scenario parses");
+    let q = program.single_query().expect("one query").clone();
+    let plain = answer_star(&q, &program.schema, &scenario.db).expect("plain run");
+    let d_plain = time_median(TIMING_ITERS, || {
+        std::hint::black_box(answer_star(&q, &program.schema, &scenario.db).unwrap());
+    });
+    for rung in chaos_ladder(19) {
+        let recorder = Recorder::disabled();
+        let outcome =
+            answer_star_resilient(&q, &program.schema, &scenario.db, &recorder, &rung.resilience)
+                .expect("resilient run");
+        assert!(
+            outcome.report.under.is_subset(&plain.under),
+            "degraded answers must be a subset of fault-free answers"
+        );
+        let rate = rung.resilience.fault.expect("ladder always injects").error_rate;
+        let kept = if plain.under.is_empty() {
+            1.0
+        } else {
+            outcome.report.under.len() as f64 / plain.under.len() as f64
+        };
+        let overhead = if rate == 0.0 {
+            assert_eq!(outcome.report.under, plain.under, "rate 0 must be answer-identical");
+            assert!(!outcome.degradation.is_degraded());
+            let d_res = time_median(TIMING_ITERS, || {
+                std::hint::black_box(
+                    answer_star_resilient(
+                        &q,
+                        &program.schema,
+                        &scenario.db,
+                        &recorder,
+                        &rung.resilience,
+                    )
+                    .unwrap(),
+                );
+            });
+            format!(
+                "{:+.1}%",
+                (d_res.as_secs_f64() / d_plain.as_secs_f64().max(1e-12) - 1.0) * 100.0
+            )
+        } else {
+            "-".to_owned()
+        };
+        let completeness = match outcome.report.completeness {
+            Completeness::Complete => "complete".to_owned(),
+            Completeness::AtLeast(r) => format!(">= {:.0}%", r * 100.0),
+            Completeness::Unknown => "unknown".to_owned(),
+        };
+        t.row(vec![
+            format!("{rate:.2}"),
+            outcome.report.under.len().to_string(),
+            format!("{:.2}", kept),
+            completeness,
+            outcome.degradation.total().to_string(),
+            outcome.retries.to_string(),
+            outcome.failures.to_string(),
+            overhead,
+        ]);
+    }
+    t
+}
+
 /// Runs every experiment with the default sizes used in EXPERIMENTS.md.
 pub fn run_all() -> Vec<Table> {
     let sizes = [8usize, 16, 32, 64, 128, 256];
@@ -1013,6 +1106,7 @@ pub fn run_all() -> Vec<Table> {
         e16_index_ablation(),
         e17_end_to_end_scenario(),
         e18_batched_executor(),
+        e19_fault_resilience(),
     ]
 }
 

@@ -4,12 +4,14 @@
 
 use crate::plan::{lower_pair, plan_star_obs, PlanPair};
 use lap_engine::{
-    enumerate_domain, execute_physical_union, lower_union, CallStats, Database, EngineError,
-    ExecConfig, SourceRegistry, Tuple, Value,
+    enumerate_domain, execute_physical_union, execute_physical_union_degraded, lower_union,
+    CallStats, Database, DisjunctDegradation, EngineError, ExecConfig, ResilienceConfig,
+    SourceRegistry, Tuple, Value,
 };
 use lap_ir::{Atom, ConjunctiveQuery, Literal, Predicate, Schema, Term, UnionQuery, Var};
 use lap_obs::Recorder;
 use std::collections::{BTreeSet, HashSet};
+use std::fmt;
 
 /// Completeness information attached to a runtime answer (Figure 4's
 /// output messages, as data).
@@ -110,6 +112,139 @@ pub(crate) fn build_report(
         stats,
         plans,
     }
+}
+
+/// Which disjuncts a degraded ANSWER\* run had to drop, per plan.
+///
+/// Empty on a fault-free run. A dropped underestimate disjunct *shrinks*
+/// `ansᵤ` (still sound: every reported answer is certain); a dropped
+/// overestimate disjunct *breaks the cover* `ansₒ ⊇ answer`, so no
+/// completeness bound can be trusted and the verdict falls to
+/// [`Completeness::Unknown`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Disjuncts dropped while evaluating `Qᵘ`.
+    pub under: Vec<DisjunctDegradation>,
+    /// Disjuncts dropped while evaluating `Qᵒ`.
+    pub over: Vec<DisjunctDegradation>,
+}
+
+impl DegradationReport {
+    /// Did any disjunct degrade?
+    pub fn is_degraded(&self) -> bool {
+        !self.under.is_empty() || !self.over.is_empty()
+    }
+
+    /// Total dropped disjuncts across both plans.
+    pub fn total(&self) -> usize {
+        self.under.len() + self.over.len()
+    }
+}
+
+impl fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.is_degraded() {
+            return write!(f, "no degradation");
+        }
+        let mut first = true;
+        for (plan, drops) in [("under", &self.under), ("over", &self.over)] {
+            for d in drops {
+                if !first {
+                    writeln!(f)?;
+                }
+                first = false;
+                write!(f, "[{plan}] {d}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The result of a resilient ANSWER\* run: the usual report plus an
+/// account of what was lost to source failures.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnswerOutcome {
+    /// The ANSWER\* report over the *surviving* disjuncts. Its
+    /// completeness verdict already accounts for degradation (never
+    /// [`Completeness::Complete`] when any disjunct dropped).
+    pub report: AnswerReport,
+    /// Per-disjunct degradations, split by plan.
+    pub degradation: DegradationReport,
+    /// Fetch re-attempts issued during the run.
+    pub retries: u64,
+    /// Transport faults observed (including recovered ones).
+    pub failures: u64,
+    /// Virtual milliseconds of injected latency and backoff.
+    pub virtual_ms: u64,
+}
+
+/// ANSWER\* in degradation mode: evaluates both plans through a registry
+/// under `resilience` (optional fault injection plus a retry policy), and
+/// instead of aborting when a source exhausts its retries, drops only the
+/// affected disjunct and reports it.
+///
+/// The degraded underestimate stays *sound* — every disjunct either
+/// contributes exactly its fault-free rows or nothing, so
+/// `ansᵤ(degraded) ⊆ ansᵤ(fault-free) ⊆ answer` — while the completeness
+/// verdict is downgraded honestly: a degraded run never claims
+/// [`Completeness::Complete`], and any overestimate drop (which breaks the
+/// `ansₒ ⊇ answer` cover) forces [`Completeness::Unknown`].
+pub fn answer_star_resilient(
+    q: &UnionQuery,
+    schema: &Schema,
+    db: &Database,
+    recorder: &Recorder,
+    resilience: &ResilienceConfig,
+) -> Result<AnswerOutcome, EngineError> {
+    let _span = recorder.span("answer*");
+    let plans = plan_star_obs(q, schema, recorder);
+    let physical = lower_pair(&plans, schema);
+    let cfg = ExecConfig::default();
+    let mut reg = SourceRegistry::new(db, schema)
+        .recording(recorder)
+        .with_retry(resilience.retry);
+    if let Some(fault) = &resilience.fault {
+        reg = reg.with_fault_injection(*fault);
+    }
+    let (under, under_drops) = {
+        let _under = recorder.span("answer*.under");
+        execute_physical_union_degraded(&physical.under, &mut reg, cfg)?
+    };
+    reg.reset_clock();
+    let (over, over_drops) = {
+        let _over = recorder.span("answer*.over");
+        execute_physical_union_degraded(&physical.over, &mut reg, cfg)?
+    };
+    let degradation = DegradationReport { under: under_drops, over: over_drops };
+    let retries = reg.retries_observed();
+    let failures = reg.failures_observed();
+    let virtual_ms = reg.virtual_elapsed_ms();
+    let mut report = build_report(under, over, reg.stats(), plans);
+    let base = report.completeness.clone();
+    report.completeness = degrade_completeness(base, &report, &degradation);
+    Ok(AnswerOutcome { report, degradation, retries, failures, virtual_ms })
+}
+
+/// Downgrades a completeness verdict for what degradation destroyed.
+pub(crate) fn degrade_completeness(
+    base: Completeness,
+    report: &AnswerReport,
+    degradation: &DegradationReport,
+) -> Completeness {
+    if !degradation.is_degraded() {
+        return base;
+    }
+    // A dropped overestimate disjunct breaks `ansₒ ⊇ answer`: neither
+    // `Δ = ∅` nor a |ansᵤ|/|ansₒ| ratio means anything any more.
+    if !degradation.over.is_empty() || report.over.is_empty() {
+        return Completeness::Unknown;
+    }
+    // Only the underestimate degraded: the cover still holds, so the ratio
+    // bound is still sound — but "complete" is no longer claimable.
+    if report.delta.iter().any(|t| t.iter().any(|v| v.is_null())) {
+        return Completeness::Unknown;
+    }
+    Completeness::AtLeast(report.under.len() as f64 / report.over.len() as f64)
 }
 
 /// The result of [`answer_star_with_domain`]: the plain report plus the
@@ -309,6 +444,90 @@ mod tests {
         assert!(rep.improved_under.contains(&vec![Value::int(1), Value::int(10)]));
         assert_eq!(rep.improved_under.len(), 2);
         assert!(rep.domain_complete);
+    }
+
+    #[test]
+    fn resilient_run_without_faults_matches_answer_star() {
+        let text = "B^ioo. B^oio. C^oo. L^o.\n\
+                    Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).";
+        let facts = r#"B(1, "a", "t1"). B(2, "b", "t2"). C(1, "a"). C(2, "b"). L(1)."#;
+        let p = parse_program(text).unwrap();
+        let db = Database::from_facts(facts).unwrap();
+        let q = p.single_query().unwrap();
+        let plain = answer_star(q, &p.schema, &db).unwrap();
+        let outcome = answer_star_resilient(
+            q,
+            &p.schema,
+            &db,
+            &Recorder::disabled(),
+            &lap_engine::ResilienceConfig::chaos(0.0, 42),
+        )
+        .unwrap();
+        assert_eq!(outcome.report, plain);
+        assert!(!outcome.degradation.is_degraded());
+        assert_eq!(outcome.retries, 0);
+        assert_eq!(outcome.failures, 0);
+    }
+
+    #[test]
+    fn total_outage_degrades_every_disjunct_and_reports_unknown() {
+        let text = "F^o. G^o.\n\
+                    Q(x) :- F(x).\n\
+                    Q(x) :- G(x).";
+        let p = parse_program(text).unwrap();
+        let db = Database::from_facts("F(1). G(2).").unwrap();
+        let outcome = answer_star_resilient(
+            p.single_query().unwrap(),
+            &p.schema,
+            &db,
+            &Recorder::disabled(),
+            &lap_engine::ResilienceConfig::chaos(1.0, 7),
+        )
+        .unwrap();
+        assert!(outcome.report.under.is_empty());
+        assert_eq!(outcome.degradation.under.len(), 2);
+        assert_eq!(outcome.degradation.over.len(), 2);
+        assert_eq!(outcome.report.completeness, Completeness::Unknown);
+        assert!(outcome.failures > 0);
+        let shown = outcome.degradation.to_string();
+        assert!(shown.contains("[under]"), "{shown}");
+        assert!(shown.contains("unavailable"), "{shown}");
+    }
+
+    #[test]
+    fn degraded_run_never_claims_complete() {
+        // Sweep seeds at a high fault rate; whenever any disjunct dropped,
+        // the verdict must be non-exact and the underestimate sound.
+        let text = "F^o. G^o.\n\
+                    Q(x) :- F(x).\n\
+                    Q(x) :- G(x).";
+        let p = parse_program(text).unwrap();
+        let db = Database::from_facts("F(1). G(2). G(3).").unwrap();
+        let q = p.single_query().unwrap();
+        let fault_free = answer_star(q, &p.schema, &db).unwrap();
+        let mut saw_degraded = false;
+        for seed in 0..32u64 {
+            let outcome = answer_star_resilient(
+                q,
+                &p.schema,
+                &db,
+                &Recorder::disabled(),
+                &lap_engine::ResilienceConfig::chaos(0.4, seed),
+            )
+            .unwrap();
+            assert!(
+                outcome.report.under.is_subset(&fault_free.under),
+                "seed {seed}: degraded answers must be a subset"
+            );
+            if outcome.degradation.is_degraded() {
+                saw_degraded = true;
+                assert!(
+                    !outcome.report.is_complete(),
+                    "seed {seed}: degraded run claimed completeness"
+                );
+            }
+        }
+        assert!(saw_degraded, "rate 0.4 over 32 seeds must degrade at least once");
     }
 
     #[test]

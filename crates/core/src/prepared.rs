@@ -6,11 +6,14 @@
 //! construction, and (optionally) cost-based validation happen once; each
 //! [`PreparedQuery::execute`] then only pays the runtime price.
 
-use crate::answer::{build_report, AnswerReport};
+use crate::answer::{build_report, AnswerOutcome, AnswerReport, DegradationReport};
 use crate::feasible::{feasible_detailed, feasible_detailed_with, DecisionPath, FeasibilityReport};
 use crate::plan::{lower_pair, PhysicalPair, PlanPair};
 use lap_containment::ContainmentEngine;
-use lap_engine::{execute_physical_union, Database, EngineError, ExecConfig, SourceRegistry};
+use lap_engine::{
+    execute_physical_union, execute_physical_union_degraded, Database, EngineError, ExecConfig,
+    ResilienceConfig, SourceRegistry,
+};
 use lap_ir::{Schema, UnionQuery};
 use std::collections::BTreeSet;
 
@@ -91,6 +94,34 @@ impl PreparedQuery {
         let under = execute_physical_union(&self.physical.under, &mut reg, cfg)?;
         let over = execute_physical_union(&self.physical.over, &mut reg, cfg)?;
         Ok(build_report(under, over, reg.stats(), self.report.plans.clone()))
+    }
+
+    /// [`PreparedQuery::execute`] in degradation mode: sources run under
+    /// `resilience` (fault injection + retries) and a disjunct whose
+    /// source stays unavailable is dropped and reported instead of
+    /// aborting the run. See [`crate::answer_star_resilient`] for the
+    /// soundness and completeness-downgrade contract.
+    pub fn execute_resilient(
+        &self,
+        db: &Database,
+        resilience: &ResilienceConfig,
+    ) -> Result<AnswerOutcome, EngineError> {
+        let cfg = ExecConfig::default();
+        let mut reg = SourceRegistry::new(db, &self.schema).with_retry(resilience.retry);
+        if let Some(fault) = &resilience.fault {
+            reg = reg.with_fault_injection(*fault);
+        }
+        let (under, under_drops) = execute_physical_union_degraded(&self.physical.under, &mut reg, cfg)?;
+        reg.reset_clock();
+        let (over, over_drops) = execute_physical_union_degraded(&self.physical.over, &mut reg, cfg)?;
+        let degradation = DegradationReport { under: under_drops, over: over_drops };
+        let retries = reg.retries_observed();
+        let failures = reg.failures_observed();
+        let virtual_ms = reg.virtual_elapsed_ms();
+        let mut report = build_report(under, over, reg.stats(), self.report.plans.clone());
+        let base = report.completeness.clone();
+        report.completeness = crate::answer::degrade_completeness(base, &report, &degradation);
+        Ok(AnswerOutcome { report, degradation, retries, failures, virtual_ms })
     }
 
     /// Executes and returns the *best available* answer set: the exact

@@ -53,6 +53,17 @@ pub enum EngineError {
     },
     /// A ground fact was expected (e.g. when loading a database from text).
     NotGround(String),
+    /// A source call kept faulting until its retry budget (attempts or
+    /// per-query deadline) ran out. Degraded evaluation modes catch this
+    /// variant and drop the affected disjunct instead of aborting.
+    SourceUnavailable {
+        /// Relation whose source gave up.
+        relation: String,
+        /// Attempts made, including the first.
+        attempts: u32,
+        /// The terminal fault, rendered.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -83,6 +94,10 @@ impl fmt::Display for EngineError {
                 write!(f, "domain enumeration exceeded its budget of {budget} source calls")
             }
             EngineError::NotGround(s) => write!(f, "expected a ground fact, found {s}"),
+            EngineError::SourceUnavailable { relation, attempts, reason } => write!(
+                f,
+                "source {relation} unavailable after {attempts} attempt(s): {reason}"
+            ),
         }
     }
 }

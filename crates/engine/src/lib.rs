@@ -37,6 +37,7 @@
 mod domain;
 mod error;
 mod eval;
+mod fault;
 mod instance;
 mod oracle;
 mod parallel;
@@ -50,18 +51,22 @@ mod value;
 pub use domain::{enumerate_domain, DomainResult};
 pub use error::EngineError;
 pub use eval::{eval_ordered_cq, eval_ordered_cq_tuple, eval_ordered_union, eval_ordered_union_tuple};
+pub use fault::{
+    FaultConfig, FaultInjectingSource, ResilienceConfig, RetryPolicy, SourceFault, SourceReply,
+};
 pub use physical::{
     execute_physical_cq, execute_physical_cq_profiled, execute_physical_union,
-    execute_physical_union_parallel, execute_physical_union_parallel_obs,
+    execute_physical_union_degraded, execute_physical_union_parallel,
+    execute_physical_union_parallel_degraded, execute_physical_union_parallel_obs,
     execute_physical_union_profiled, lower_cq, lower_union, AccessOp, AccessProblem, ArgSource,
-    ExecConfig, NegOp, OpCost, OpProfile, PhysOp, PhysicalPlan, PhysicalUnion, PlanProfile,
-    ProjCol, ProjectOp, UnionProfile,
+    DisjunctDegradation, ExecConfig, NegOp, OpCost, OpProfile, PhysOp, PhysicalPlan,
+    PhysicalUnion, PlanProfile, ProjCol, ProjectOp, UnionProfile,
 };
 pub use instance::Database;
 pub use oracle::{eval_oracle, eval_oracle_single};
 pub use parallel::{eval_ordered_union_parallel, eval_ordered_union_parallel_obs};
 pub use relation::Relation;
-pub use source::SourceRegistry;
+pub use source::{InMemorySource, Source, SourceRegistry};
 pub use stats::CallStats;
 pub use trace::{
     eval_ordered_cq_traced, eval_ordered_union_traced, CqTrace, LiteralTrace, TraceTotals,

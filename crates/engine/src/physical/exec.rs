@@ -410,6 +410,143 @@ pub fn execute_physical_union_profiled(
     Ok((out, UnionProfile { parts }))
 }
 
+/// One disjunct dropped from a degraded evaluation: which pipeline, and
+/// the terminal source failure that forced the drop.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DisjunctDegradation {
+    /// Position of the disjunct in the union.
+    pub index: usize,
+    /// The disjunct head (`Q(i, a, t)`).
+    pub head: String,
+    /// Relation whose source gave up.
+    pub relation: String,
+    /// Fetch attempts made before giving up.
+    pub attempts: u32,
+    /// The terminal fault, rendered.
+    pub reason: String,
+}
+
+impl fmt::Display for DisjunctDegradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "disjunct {} ({}): source {} unavailable after {} attempt(s): {}",
+            self.index, self.head, self.relation, self.attempts, self.reason
+        )
+    }
+}
+
+/// Executes a physical union in degradation mode: a disjunct whose source
+/// exhausts its retries ([`EngineError::SourceUnavailable`]) is dropped
+/// *whole* — it contributes no rows at all — and reported, while the
+/// remaining disjuncts still evaluate. Every drop bumps the
+/// `source.degraded` counter on the registry's recorder.
+///
+/// Soundness: a fault is an error, never an empty answer, so a surviving
+/// disjunct returns exactly its fault-free rows and the degraded result is
+/// a subset of the fault-free one. Any other error still aborts the run —
+/// only source unavailability degrades.
+pub fn execute_physical_union_degraded(
+    union: &PhysicalUnion,
+    reg: &mut SourceRegistry<'_>,
+    cfg: ExecConfig,
+) -> Result<(BTreeSet<Tuple>, Vec<DisjunctDegradation>), EngineError> {
+    let recorder = reg.recorder().clone();
+    let degraded = recorder.counter("source.degraded");
+    let mut out = BTreeSet::new();
+    let mut dropped = Vec::new();
+    for (i, plan) in union.parts.iter().enumerate() {
+        let _span = recorder.span_lazy(|| format!("disjunct {i}: {}", plan.head));
+        match execute_physical_cq(plan, reg, cfg) {
+            Ok(rows) => out.extend(rows),
+            Err(EngineError::SourceUnavailable { relation, attempts, reason }) => {
+                degraded.incr();
+                dropped.push(DisjunctDegradation {
+                    index: i,
+                    head: plan.head.to_string(),
+                    relation,
+                    attempts,
+                    reason,
+                });
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    Ok((out, dropped))
+}
+
+/// Parallel [`execute_physical_union_degraded`]: one worker thread, source
+/// registry, and (when `resilience.fault` is set) independently-seeded
+/// fault stream per disjunct — worker `i` uses
+/// [`crate::FaultConfig::derive`]`(i)`, so the schedule is deterministic
+/// regardless of thread interleaving.
+pub fn execute_physical_union_parallel_degraded(
+    union: &PhysicalUnion,
+    db: &Database,
+    schema: &Schema,
+    recorder: &lap_obs::Recorder,
+    cfg: ExecConfig,
+    resilience: &crate::ResilienceConfig,
+) -> Result<(BTreeSet<Tuple>, CallStats, Vec<DisjunctDegradation>), EngineError> {
+    if union.parts.is_empty() {
+        return Ok((BTreeSet::new(), CallStats::default(), Vec::new()));
+    }
+    let _span = recorder.span("eval.parallel");
+    let degraded = recorder.counter("source.degraded");
+    type WorkerResult =
+        Result<(Result<BTreeSet<Tuple>, DisjunctDegradation>, CallStats), EngineError>;
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = union
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(i, plan)| {
+                scope.spawn(move || {
+                    let mut reg = SourceRegistry::new(db, schema)
+                        .recording(recorder)
+                        .with_retry(resilience.retry);
+                    if let Some(fault) = &resilience.fault {
+                        reg = reg.with_fault_injection(fault.derive(i as u64));
+                    }
+                    match execute_physical_cq(plan, &mut reg, cfg) {
+                        Ok(rows) => Ok((Ok(rows), reg.stats())),
+                        Err(EngineError::SourceUnavailable { relation, attempts, reason }) => Ok((
+                            Err(DisjunctDegradation {
+                                index: i,
+                                head: plan.head.to_string(),
+                                relation,
+                                attempts,
+                                reason,
+                            }),
+                            reg.stats(),
+                        )),
+                        Err(other) => Err(other),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread does not panic"))
+            .collect()
+    });
+    let mut out = BTreeSet::new();
+    let mut stats = CallStats::default();
+    let mut dropped = Vec::new();
+    for r in results {
+        let (outcome, s) = r?;
+        stats.absorb(s);
+        match outcome {
+            Ok(rows) => out.extend(rows),
+            Err(d) => {
+                degraded.incr();
+                dropped.push(d);
+            }
+        }
+    }
+    Ok((out, stats, dropped))
+}
+
 /// Executes a physical union with one worker thread (and one source
 /// registry) per disjunct, merging answers and call statistics.
 pub fn execute_physical_union_parallel(

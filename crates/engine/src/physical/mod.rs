@@ -33,8 +33,10 @@ mod plan;
 
 pub use exec::{
     execute_physical_cq, execute_physical_cq_profiled, execute_physical_union,
-    execute_physical_union_parallel, execute_physical_union_parallel_obs,
-    execute_physical_union_profiled, ExecConfig, OpProfile, PlanProfile, UnionProfile,
+    execute_physical_union_degraded, execute_physical_union_parallel,
+    execute_physical_union_parallel_degraded, execute_physical_union_parallel_obs,
+    execute_physical_union_profiled, DisjunctDegradation, ExecConfig, OpProfile, PlanProfile,
+    UnionProfile,
 };
 pub use lower::{lower_cq, lower_union};
 pub use plan::{

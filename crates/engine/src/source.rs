@@ -7,13 +7,26 @@
 //! Violations are hard errors, never silently-wrong answers, so any plan
 //! that evaluates successfully through the registry is, constructively, an
 //! executable plan.
+//!
+//! The registry no longer assumes an infallible in-memory database: the
+//! transport sits behind the [`Source`] trait. [`InMemorySource`] is the
+//! default (and preserves the original `Database`-backed behaviour,
+//! including lazily-built hash indexes), while
+//! [`crate::FaultInjectingSource`] wraps any source with deterministic,
+//! seeded failures. Faulted fetches are retried under the registry's
+//! [`RetryPolicy`]; when retries are exhausted the call surfaces as
+//! [`EngineError::SourceUnavailable`], which the degraded executors in
+//! [`crate::physical`] turn into a dropped disjunct instead of an aborted
+//! run.
 
 use crate::error::EngineError;
+use crate::fault::{RetryPolicy, SourceFault, SourceReply};
 use crate::instance::Database;
 use crate::stats::CallStats;
 use crate::value::{Tuple, Value};
 use lap_ir::{AccessPattern, Schema, Symbol};
 use lap_obs::{Counter, Histogram, Recorder};
+use lap_prng::StdRng;
 use std::collections::HashMap;
 
 /// Cache key for one source call: relation, pattern, supplied inputs.
@@ -21,56 +34,181 @@ type CallKey = (Symbol, AccessPattern, Vec<Option<Value>>);
 /// One hash index: projection of the indexed columns → matching rows.
 type ColumnIndex = HashMap<Vec<Value>, Vec<Tuple>>;
 
-/// The mediator's view of the sources: a database instance hidden behind
-/// access patterns, with call statistics and an optional call cache.
+/// One remote source transport: answers a validated access-pattern call
+/// with the matching rows, or fails with a [`SourceFault`].
 ///
-/// Statistics live in `lap-obs` counters so a pipeline-wide
-/// [`Recorder`] can aggregate them; [`SourceRegistry::stats`] stays a
-/// per-registry *view* over those counters (value minus the baseline
-/// captured at construction / [`SourceRegistry::reset_stats`] time).
-pub struct SourceRegistry<'a> {
+/// The registry validates every request against the schema *before* it
+/// reaches the transport, so implementations only answer well-formed
+/// selections. Latency is virtual (milliseconds of simulated wall clock),
+/// so fault/retry schedules are deterministic and tests never sleep.
+pub trait Source {
+    /// Answers one call: the rows of `name` matching the `Some` slots of
+    /// `inputs` under `pattern`.
+    fn fetch(
+        &mut self,
+        name: Symbol,
+        pattern: AccessPattern,
+        inputs: &[Option<Value>],
+    ) -> Result<SourceReply, SourceFault>;
+}
+
+impl<'a> Source for Box<dyn Source + 'a> {
+    fn fetch(
+        &mut self,
+        name: Symbol,
+        pattern: AccessPattern,
+        inputs: &[Option<Value>],
+    ) -> Result<SourceReply, SourceFault> {
+        (**self).fetch(name, pattern, inputs)
+    }
+}
+
+/// The original in-memory transport: a [`Database`] behind access
+/// patterns, answering input-slot selections through lazily-built hash
+/// indexes (build once per (relation, slot set), then O(1) lookups).
+/// Never faults; virtual latency is zero.
+pub struct InMemorySource<'a> {
     db: &'a Database,
-    schema: &'a Schema,
-    recorder: Recorder,
-    calls: Counter,
-    tuples_returned: Counter,
-    cache_hits: Counter,
-    /// Membership probes issued by negated literals — a separate counter
-    /// (`source.membership`) so they stay distinguishable from positive
-    /// `source.calls` in metrics snapshots. Each probe *also* counts as a
-    /// call, since it goes through [`SourceRegistry::call`].
-    membership: Counter,
-    rows_per_call: Histogram,
-    /// Counter values at the last attach/reset; `stats()` subtracts this.
-    baseline: CallStats,
-    /// The membership counter's value at the last attach/reset (kept out
-    /// of [`CallStats`], whose layout is public API).
-    membership_baseline: u64,
-    cache: Option<HashMap<CallKey, Vec<Tuple>>>,
     /// Lazily-built hash indexes keyed by (relation, indexed positions).
     /// `None` disables indexing (every selection scans).
     indexes: Option<HashMap<(Symbol, Vec<usize>), ColumnIndex>>,
 }
 
-impl<'a> SourceRegistry<'a> {
-    /// A registry without call caching: every call hits the source.
-    /// Sources answer input-slot selections through lazily-built hash
-    /// indexes (build once per (relation, slot set), then O(1) lookups).
-    pub fn new(db: &'a Database, schema: &'a Schema) -> SourceRegistry<'a> {
-        SourceRegistry {
-            db,
-            schema,
-            recorder: Recorder::disabled(),
-            calls: Counter::detached(),
-            tuples_returned: Counter::detached(),
-            cache_hits: Counter::detached(),
-            membership: Counter::detached(),
-            rows_per_call: Histogram::detached(),
-            baseline: CallStats::default(),
-            membership_baseline: 0,
-            cache: None,
-            indexes: Some(HashMap::new()),
+impl<'a> InMemorySource<'a> {
+    /// An indexed in-memory source over `db`.
+    pub fn new(db: &'a Database) -> InMemorySource<'a> {
+        InMemorySource { db, indexes: Some(HashMap::new()) }
+    }
+
+    /// A scanning source: every selection scans the relation — the
+    /// ablation baseline for the index experiment (E16).
+    pub fn without_indexes(db: &'a Database) -> InMemorySource<'a> {
+        InMemorySource { db, indexes: None }
+    }
+
+    /// Number of hash indexes built so far (0 when indexing is disabled).
+    pub fn index_count(&self) -> usize {
+        self.indexes.as_ref().map_or(0, HashMap::len)
+    }
+
+    /// Answers an input-slot selection, via the hash index when enabled.
+    fn select_rows(&mut self, name: Symbol, inputs: &[Option<Value>]) -> Vec<Tuple> {
+        // The relation may be declared but empty/absent in this instance.
+        let Some(rel) = self.db.relation(name) else {
+            return Vec::new();
+        };
+        let positions: Vec<usize> = (0..inputs.len()).filter(|&j| inputs[j].is_some()).collect();
+        let Some(indexes) = &mut self.indexes else {
+            return rel.select(inputs).cloned().collect();
+        };
+        if positions.is_empty() {
+            return rel.iter().cloned().collect();
         }
+        let index = indexes
+            .entry((name, positions.clone()))
+            .or_insert_with(|| {
+                let mut map: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+                for row in rel.iter() {
+                    let key: Vec<Value> = positions.iter().map(|&j| row[j]).collect();
+                    map.entry(key).or_default().push(row.clone());
+                }
+                map
+            });
+        let key: Vec<Value> = positions
+            .iter()
+            .map(|&j| inputs[j].expect("position is Some"))
+            .collect();
+        index.get(&key).cloned().unwrap_or_default()
+    }
+}
+
+impl Source for InMemorySource<'_> {
+    fn fetch(
+        &mut self,
+        name: Symbol,
+        _pattern: AccessPattern,
+        inputs: &[Option<Value>],
+    ) -> Result<SourceReply, SourceFault> {
+        Ok(SourceReply { rows: self.select_rows(name, inputs), latency_ms: 0 })
+    }
+}
+
+/// Placeholder transport used only while swapping boxes during
+/// [`SourceRegistry::with_fault_injection`]; never observable.
+struct EmptySource;
+
+impl Source for EmptySource {
+    fn fetch(
+        &mut self,
+        _name: Symbol,
+        _pattern: AccessPattern,
+        _inputs: &[Option<Value>],
+    ) -> Result<SourceReply, SourceFault> {
+        Ok(SourceReply { rows: Vec::new(), latency_ms: 0 })
+    }
+}
+
+/// Per-registry traffic attribution. Unlike the shared recorder counters,
+/// these belong to exactly one registry, so two registries attached to the
+/// same [`Recorder`] never see each other's calls in their `stats()` view.
+#[derive(Clone, Copy, Debug, Default)]
+struct LocalStats {
+    calls: u64,
+    tuples_returned: u64,
+    cache_hits: u64,
+    membership: u64,
+    retries: u64,
+    failures: u64,
+}
+
+/// The mediator's view of the sources: a transport ([`Source`]) hidden
+/// behind access patterns, with call statistics, an optional call cache,
+/// and a retry loop for faulted fetches.
+///
+/// Statistics are mirrored into `lap-obs` counters so a pipeline-wide
+/// [`Recorder`] can aggregate them, but [`SourceRegistry::stats`] reads a
+/// *per-registry* tally: only traffic issued through this registry since
+/// construction / attach / [`SourceRegistry::reset_stats`] is reported,
+/// even when several registries share one recorder.
+pub struct SourceRegistry<'a> {
+    source: Box<dyn Source + 'a>,
+    schema: &'a Schema,
+    recorder: Recorder,
+    /// Positive source calls that hit the wire (cache misses only).
+    calls: Counter,
+    tuples_returned: Counter,
+    cache_hits: Counter,
+    /// Membership probes issued by negated literals that hit the wire — a
+    /// counter *disjoint* from `source.calls`, so positive-call and
+    /// membership traffic never double-count in metrics snapshots.
+    membership: Counter,
+    /// Re-attempts after a faulted fetch (attempt 2 and later).
+    retries: Counter,
+    /// Faults observed from the transport (before any retry succeeds).
+    failures: Counter,
+    rows_per_call: Histogram,
+    /// This registry's own traffic; `stats()` subtracts `baseline`.
+    local: LocalStats,
+    /// Local values at the last attach/reset.
+    baseline: LocalStats,
+    retry: RetryPolicy,
+    /// Jitter source for retry backoff; fixed seed keeps runs replayable.
+    retry_rng: StdRng,
+    /// Virtual milliseconds spent in transport latency + backoff since the
+    /// last [`SourceRegistry::reset_clock`]; checked against the retry
+    /// policy's per-query deadline budget.
+    clock_ms: u64,
+    /// Virtual milliseconds folded in by past [`SourceRegistry::reset_clock`]
+    /// calls, so lifetime reporting survives per-phase deadline resets.
+    retired_clock_ms: u64,
+    cache: Option<HashMap<CallKey, Vec<Tuple>>>,
+}
+
+impl<'a> SourceRegistry<'a> {
+    /// A registry without call caching over an indexed in-memory source:
+    /// every call hits the source.
+    pub fn new(db: &'a Database, schema: &'a Schema) -> SourceRegistry<'a> {
+        SourceRegistry::with_source(Box::new(InMemorySource::new(db)), schema)
     }
 
     /// A registry with call caching: repeated identical calls are answered
@@ -85,25 +223,62 @@ impl<'a> SourceRegistry<'a> {
     /// A registry whose sources answer every selection by scanning — the
     /// ablation baseline for the index experiment (E16).
     pub fn without_indexes(db: &'a Database, schema: &'a Schema) -> SourceRegistry<'a> {
+        SourceRegistry::with_source(Box::new(InMemorySource::without_indexes(db)), schema)
+    }
+
+    /// A registry over an arbitrary transport. This is how fault-injecting
+    /// or remote sources plug in; [`SourceRegistry::new`] is the in-memory
+    /// special case.
+    pub fn with_source(source: Box<dyn Source + 'a>, schema: &'a Schema) -> SourceRegistry<'a> {
         SourceRegistry {
-            indexes: None,
-            ..SourceRegistry::new(db, schema)
+            source,
+            schema,
+            recorder: Recorder::disabled(),
+            calls: Counter::detached(),
+            tuples_returned: Counter::detached(),
+            cache_hits: Counter::detached(),
+            membership: Counter::detached(),
+            retries: Counter::detached(),
+            failures: Counter::detached(),
+            rows_per_call: Histogram::detached(),
+            local: LocalStats::default(),
+            baseline: LocalStats::default(),
+            retry: RetryPolicy::default(),
+            retry_rng: StdRng::seed_from_u64(0x5EED_BACC_0FF5),
+            clock_ms: 0,
+            retired_clock_ms: 0,
+            cache: None,
         }
+    }
+
+    /// Wraps the current transport in a deterministic
+    /// [`crate::FaultInjectingSource`] with configuration `cfg`.
+    pub fn with_fault_injection(mut self, cfg: crate::FaultConfig) -> SourceRegistry<'a> {
+        let inner = std::mem::replace(&mut self.source, Box::new(EmptySource));
+        self.source = Box::new(crate::FaultInjectingSource::new(inner, cfg));
+        self
+    }
+
+    /// Sets the retry policy for faulted fetches (default: fail on the
+    /// first fault, no backoff — the legacy behaviour).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> SourceRegistry<'a> {
+        self.retry = policy;
+        self
     }
 
     /// Attaches this registry to `recorder`: call statistics register as
     /// the `source.*` counters and the `source.rows_per_call` histogram.
     /// The shared counters may already carry values from other components;
-    /// the baseline is re-captured so `stats()` still reads zero here.
+    /// `stats()` keeps reporting only this registry's own traffic.
     pub fn recording(mut self, recorder: &Recorder) -> SourceRegistry<'a> {
         self.recorder = recorder.clone();
         self.calls = recorder.counter("source.calls");
         self.tuples_returned = recorder.counter("source.tuples_returned");
         self.cache_hits = recorder.counter("source.cache_hits");
         self.membership = recorder.counter("source.membership");
+        self.retries = recorder.counter("source.retries");
+        self.failures = recorder.counter("source.failures");
         self.rows_per_call = recorder.histogram("source.rows_per_call");
-        self.baseline = self.raw_totals();
-        self.membership_baseline = self.membership.get();
         self
     }
 
@@ -117,39 +292,119 @@ impl<'a> SourceRegistry<'a> {
         self.schema
     }
 
-    fn raw_totals(&self) -> CallStats {
-        CallStats {
-            calls: self.calls.get(),
-            tuples_returned: self.tuples_returned.get(),
-            cache_hits: self.cache_hits.get(),
-        }
+    /// The retry policy in effect.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Call statistics accumulated through *this* registry since
-    /// construction / attach / the last [`SourceRegistry::reset_stats`] —
-    /// a view over the shared recorder counters.
+    /// construction / the last [`SourceRegistry::reset_stats`]. Counts
+    /// positive calls only — membership probes are reported disjointly by
+    /// [`SourceRegistry::membership_probes`].
     pub fn stats(&self) -> CallStats {
-        let raw = self.raw_totals();
         CallStats {
-            calls: raw.calls - self.baseline.calls,
-            tuples_returned: raw.tuples_returned - self.baseline.tuples_returned,
-            cache_hits: raw.cache_hits - self.baseline.cache_hits,
+            calls: self.local.calls.saturating_sub(self.baseline.calls),
+            tuples_returned: self
+                .local
+                .tuples_returned
+                .saturating_sub(self.baseline.tuples_returned),
+            cache_hits: self.local.cache_hits.saturating_sub(self.baseline.cache_hits),
         }
     }
 
-    /// Membership probes ([`SourceRegistry::membership_test`]) issued
-    /// through this registry since construction / attach / the last
-    /// [`SourceRegistry::reset_stats`]. A view over the shared
-    /// `source.membership` counter, like [`SourceRegistry::stats`].
+    /// Membership probes ([`SourceRegistry::membership_test`]) that hit
+    /// the wire through this registry since construction / the last
+    /// [`SourceRegistry::reset_stats`]. Disjoint from `stats().calls`.
     pub fn membership_probes(&self) -> u64 {
-        self.membership.get() - self.membership_baseline
+        self.local.membership.saturating_sub(self.baseline.membership)
+    }
+
+    /// Retried fetch attempts issued through this registry since
+    /// construction / the last [`SourceRegistry::reset_stats`].
+    pub fn retries_observed(&self) -> u64 {
+        self.local.retries.saturating_sub(self.baseline.retries)
+    }
+
+    /// Transport faults observed through this registry since construction
+    /// / the last [`SourceRegistry::reset_stats`] (including ones a retry
+    /// later recovered from).
+    pub fn failures_observed(&self) -> u64 {
+        self.local.failures.saturating_sub(self.baseline.failures)
     }
 
     /// Resets the call statistics view (the cache, if any, is kept; the
     /// recorder's lifetime counters are monotone and keep their values).
     pub fn reset_stats(&mut self) {
-        self.baseline = self.raw_totals();
-        self.membership_baseline = self.membership.get();
+        self.baseline = self.local;
+    }
+
+    /// Lifetime virtual milliseconds spent on transport latency and retry
+    /// backoff, across [`SourceRegistry::reset_clock`] resets (which only
+    /// restart the *deadline* window, not this total).
+    pub fn virtual_elapsed_ms(&self) -> u64 {
+        self.retired_clock_ms + self.clock_ms
+    }
+
+    /// Restarts the deadline window of the virtual clock (the retry
+    /// policy's per-query budget) — call between independent queries. The
+    /// elapsed time is folded into [`SourceRegistry::virtual_elapsed_ms`].
+    pub fn reset_clock(&mut self) {
+        self.retired_clock_ms += self.clock_ms;
+        self.clock_ms = 0;
+    }
+
+    /// One transport fetch under the retry policy: faults are retried with
+    /// exponential backoff (virtual time) until an attempt succeeds, the
+    /// attempt budget is spent, or the per-query deadline is exceeded.
+    fn wire_fetch(
+        &mut self,
+        name: Symbol,
+        pattern: AccessPattern,
+        inputs: &[Option<Value>],
+    ) -> Result<SourceReply, EngineError> {
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            if attempt > 1 {
+                let _span = self
+                    .recorder
+                    .span_lazy(|| format!("source.retry {name} attempt {attempt}"));
+                self.retries.incr();
+                self.local.retries += 1;
+            }
+            match self.source.fetch(name, pattern, inputs) {
+                Ok(reply) => {
+                    self.clock_ms += reply.latency_ms;
+                    return Ok(reply);
+                }
+                Err(fault) => {
+                    self.failures.incr();
+                    self.local.failures += 1;
+                    self.clock_ms += fault.latency_ms();
+                    let deadline_hit = self
+                        .retry
+                        .deadline_ms
+                        .is_some_and(|d| self.clock_ms >= d);
+                    if attempt >= max_attempts || deadline_hit {
+                        let reason = if deadline_hit && attempt < max_attempts {
+                            format!(
+                                "{fault}; per-query deadline budget of {}ms exhausted",
+                                self.retry.deadline_ms.unwrap_or(0)
+                            )
+                        } else {
+                            fault.to_string()
+                        };
+                        return Err(EngineError::SourceUnavailable {
+                            relation: name.to_string(),
+                            attempts: attempt,
+                            reason,
+                        });
+                    }
+                    self.clock_ms += self.retry.backoff_ms(attempt, &mut self.retry_rng);
+                }
+            }
+        }
     }
 
     /// Calls relation `name` through `pattern`, supplying `inputs[j] =
@@ -168,6 +423,35 @@ impl<'a> SourceRegistry<'a> {
         pattern: AccessPattern,
         inputs: &[Option<Value>],
     ) -> Result<Vec<Tuple>, EngineError> {
+        self.validate(name, pattern, inputs)?;
+        let key = (name, pattern, inputs.to_vec());
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.get(&key) {
+                self.cache_hits.incr();
+                self.local.cache_hits += 1;
+                return Ok(hit.clone());
+            }
+        }
+        let reply = self.wire_fetch(name, pattern, inputs)?;
+        let rows = reply.rows;
+        self.calls.incr();
+        self.local.calls += 1;
+        self.tuples_returned.add(rows.len() as u64);
+        self.local.tuples_returned += rows.len() as u64;
+        self.rows_per_call.record(rows.len() as u64);
+        if let Some(cache) = &mut self.cache {
+            cache.insert(key, rows.clone());
+        }
+        Ok(rows)
+    }
+
+    /// Schema validation shared by positive calls and membership probes.
+    fn validate(
+        &self,
+        name: Symbol,
+        pattern: AccessPattern,
+        inputs: &[Option<Value>],
+    ) -> Result<(), EngineError> {
         let decl = self
             .schema
             .relation(name)
@@ -202,63 +486,19 @@ impl<'a> SourceRegistry<'a> {
                 _ => {}
             }
         }
-        let key = (name, pattern, inputs.to_vec());
-        if let Some(cache) = &self.cache {
-            if let Some(hit) = cache.get(&key) {
-                self.cache_hits.incr();
-                return Ok(hit.clone());
-            }
-        }
-        // The relation may be declared but empty/absent in this instance.
-        let rows: Vec<Tuple> = match self.db.relation(name) {
-            Some(rel) => self.select_rows(name, rel, inputs),
-            None => Vec::new(),
-        };
-        self.calls.incr();
-        self.tuples_returned.add(rows.len() as u64);
-        self.rows_per_call.record(rows.len() as u64);
-        if let Some(cache) = &mut self.cache {
-            cache.insert(key, rows.clone());
-        }
-        Ok(rows)
-    }
-
-    /// Answers an input-slot selection, via the hash index when enabled.
-    fn select_rows(
-        &mut self,
-        name: Symbol,
-        rel: &crate::relation::Relation,
-        inputs: &[Option<Value>],
-    ) -> Vec<Tuple> {
-        let positions: Vec<usize> = (0..inputs.len()).filter(|&j| inputs[j].is_some()).collect();
-        let Some(indexes) = &mut self.indexes else {
-            return rel.select(inputs).cloned().collect();
-        };
-        if positions.is_empty() {
-            return rel.iter().cloned().collect();
-        }
-        let index = indexes
-            .entry((name, positions.clone()))
-            .or_insert_with(|| {
-                let mut map: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
-                for row in rel.iter() {
-                    let key: Vec<Value> = positions.iter().map(|&j| row[j]).collect();
-                    map.entry(key).or_default().push(row.clone());
-                }
-                map
-            });
-        let key: Vec<Value> = positions
-            .iter()
-            .map(|&j| inputs[j].expect("position is Some"))
-            .collect();
-        index.get(&key).cloned().unwrap_or_default()
+        Ok(())
     }
 
     /// Tests whether the fully-ground tuple `values` is in relation `name`,
     /// using the most selective available pattern (all variables bound, so
-    /// every pattern is usable). This is how negated literals are checked.
+    /// every pattern is usable — the one with the most input slots
+    /// transfers the fewest rows). This is how negated literals are
+    /// checked.
+    ///
+    /// Probes are accounted under `source.membership`, *disjoint* from the
+    /// positive `source.calls` counter; cached probes count as cache hits
+    /// like any other call.
     pub fn membership_test(&mut self, name: Symbol, values: &[Value]) -> Result<bool, EngineError> {
-        self.membership.incr();
         let decl = self
             .schema
             .relation(name)
@@ -278,8 +518,25 @@ impl<'a> SourceRegistry<'a> {
         let inputs: Vec<Option<Value>> = (0..pattern.arity())
             .map(|j| pattern.is_input(j).then(|| values[j]))
             .collect();
-        let rows = self.call(name, pattern, &inputs)?;
-        Ok(rows.iter().any(|row| row.as_slice() == values))
+        let key = (name, pattern, inputs.clone());
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.get(&key) {
+                self.cache_hits.incr();
+                self.local.cache_hits += 1;
+                return Ok(hit.iter().any(|row| row.as_slice() == values));
+            }
+        }
+        let reply = self.wire_fetch(name, pattern, &inputs)?;
+        let rows = reply.rows;
+        self.membership.incr();
+        self.local.membership += 1;
+        self.tuples_returned.add(rows.len() as u64);
+        self.local.tuples_returned += rows.len() as u64;
+        let present = rows.iter().any(|row| row.as_slice() == values);
+        if let Some(cache) = &mut self.cache {
+            cache.insert(key, rows);
+        }
+        Ok(present)
     }
 }
 
@@ -359,6 +616,28 @@ mod tests {
             .unwrap());
     }
 
+    /// Satellite pin: with both a free scan and a selective pattern
+    /// declared, membership probes must use the pattern with the most
+    /// input slots — transferring at most the one matching row instead of
+    /// the whole relation.
+    #[test]
+    fn membership_prefers_most_selective_pattern() {
+        let mut db = Database::new();
+        for i in 0..50i64 {
+            db.insert("R", vec![Value::int(i), Value::int(i * 2), Value::int(i * 3)])
+                .unwrap();
+        }
+        let schema = Schema::from_patterns(&[("R", "ooo"), ("R", "iio")]).unwrap();
+        let mut reg = SourceRegistry::new(&db, &schema);
+        assert!(reg
+            .membership_test(Symbol::intern("R"), &[Value::int(7), Value::int(14), Value::int(21)])
+            .unwrap());
+        // R^iio pins columns 0 and 1: exactly one row matches (7, 14, _).
+        // A free scan via R^ooo would have transferred all 50 rows.
+        assert_eq!(reg.stats().tuples_returned, 1, "probe must not free-scan R");
+        assert_eq!(reg.membership_probes(), 1);
+    }
+
     #[test]
     fn cache_answers_repeated_calls() {
         let (db, schema) = setup();
@@ -396,6 +675,33 @@ mod tests {
         assert_eq!(rec.snapshot().counter("source.calls"), 11);
     }
 
+    /// Satellite regression: two registries attached to one recorder must
+    /// each attribute only their own traffic, while the shared counters
+    /// aggregate both.
+    #[test]
+    fn two_registries_on_one_recorder_attribute_their_own_calls() {
+        let (db, schema) = setup();
+        let rec = Recorder::new();
+        let mut a = SourceRegistry::new(&db, &schema).recording(&rec);
+        let mut b = SourceRegistry::new(&db, &schema).recording(&rec);
+        let p = AccessPattern::parse("oio").unwrap();
+        let args = [None, Some(Value::str("tolkien")), None];
+        a.call(Symbol::intern("B"), p, &args).unwrap();
+        a.call(Symbol::intern("B"), p, &args).unwrap();
+        b.call(Symbol::intern("B"), p, &args).unwrap();
+        assert_eq!(a.stats().calls, 2, "a must not see b's traffic");
+        assert_eq!(b.stats().calls, 1, "b must not see a's traffic");
+        assert_eq!(a.stats().tuples_returned, 4);
+        assert_eq!(b.stats().tuples_returned, 2);
+        // The shared lifetime counters see the union.
+        assert_eq!(rec.snapshot().counter("source.calls"), 3);
+        // Interleaved resets stay per-registry and never underflow.
+        a.reset_stats();
+        b.call(Symbol::intern("B"), p, &args).unwrap();
+        assert_eq!(a.stats().calls, 0);
+        assert_eq!(b.stats().calls, 2);
+    }
+
     #[test]
     fn membership_probes_are_counted_separately() {
         let (db, schema) = setup();
@@ -407,12 +713,24 @@ mod tests {
         reg.membership_test(Symbol::intern("L"), &[Value::int(1)]).unwrap();
         reg.membership_test(Symbol::intern("L"), &[Value::int(2)]).unwrap();
         assert_eq!(reg.membership_probes(), 2);
-        // Probes also count as wire calls (they go through `call`)…
-        assert_eq!(reg.stats().calls, 3);
-        // …but the dedicated counter keeps them distinguishable.
+        // Probes are *disjoint* from positive calls: the one scan above is
+        // the only entry in `source.calls`.
+        assert_eq!(reg.stats().calls, 1);
+        assert_eq!(rec.snapshot().counter("source.calls"), 1);
         assert_eq!(rec.snapshot().counter("source.membership"), 2);
         reg.reset_stats();
         assert_eq!(reg.membership_probes(), 0);
+    }
+
+    #[test]
+    fn cached_membership_probes_count_as_cache_hits() {
+        let (db, schema) = setup();
+        let mut reg = SourceRegistry::with_cache(&db, &schema);
+        reg.membership_test(Symbol::intern("L"), &[Value::int(1)]).unwrap();
+        reg.membership_test(Symbol::intern("L"), &[Value::int(1)]).unwrap();
+        assert_eq!(reg.membership_probes(), 1, "second probe is a cache hit");
+        assert_eq!(reg.stats().cache_hits, 1);
+        assert_eq!(reg.stats().calls, 0);
     }
 
     #[test]
@@ -480,13 +798,13 @@ mod index_tests {
 
     #[test]
     fn index_is_reused_across_calls() {
-        let (db, schema) = big_db();
+        let (db, _) = big_db();
         let p = AccessPattern::parse("io").unwrap();
-        let mut reg = SourceRegistry::new(&db, &schema);
+        let mut src = InMemorySource::new(&db);
         for k in 0..20i64 {
-            reg.call(Symbol::intern("R"), p, &[Some(Value::int(k)), None]).unwrap();
+            src.fetch(Symbol::intern("R"), p, &[Some(Value::int(k)), None]).unwrap();
         }
         // One index for (R, [0]) serves all twenty calls.
-        assert_eq!(reg.indexes.as_ref().unwrap().len(), 1);
+        assert_eq!(src.index_count(), 1);
     }
 }

@@ -399,9 +399,10 @@ mod tests {
             .map(|(_, t)| t.totals().calls)
             .sum();
         assert_eq!(totals.calls, per_disjunct);
-        // Every request the plan made is visible in the registry stats.
+        // Every request the plan made is visible in the registry stats:
+        // positive calls and membership probes are disjoint counters.
         let s = reg.stats();
-        assert_eq!(totals.calls, s.calls + s.cache_hits);
+        assert_eq!(totals.calls, s.calls + reg.membership_probes() + s.cache_hits);
         // Fan-out histogram saw every positive-literal call.
         let snap = rec.snapshot();
         assert!(snap.metrics.histograms["eval.literal_fanout"].count > 0);

@@ -5,11 +5,12 @@ use crate::unfold::{unfold_deep, UnfoldError};
 use crate::views::{GavView, ViewError};
 use lap_constraints::{prune_unsatisfiable, ConstraintSet};
 use lap_core::{
-    answer_star_obs, feasible_detailed_obs, lower_pair, AnswerReport, FeasibilityReport,
+    answer_star_obs, answer_star_resilient, feasible_detailed_obs, lower_pair, AnswerOutcome,
+    AnswerReport, FeasibilityReport,
     PhysicalPair,
 };
 use lap_core::{ContainmentEngine, EngineConfig, EngineStats};
-use lap_engine::{Database, EngineError};
+use lap_engine::{Database, EngineError, ResilienceConfig};
 use lap_ir::{parse_program, IrError, Schema, UnionQuery};
 use lap_obs::Recorder;
 use std::fmt;
@@ -220,6 +221,27 @@ impl Mediator {
         let report = answer_star_obs(&plan.pruned, &self.source_schema, db, &self.recorder)?;
         Ok((plan, report))
     }
+
+    /// [`Mediator::answer`] in degradation mode: runtime answering runs
+    /// under `resilience` (fault injection + retry policy), dropping and
+    /// reporting disjuncts whose sources stay unavailable instead of
+    /// failing the whole query. Compile-time planning is unaffected.
+    pub fn answer_resilient(
+        &self,
+        q: &UnionQuery,
+        db: &Database,
+        resilience: &ResilienceConfig,
+    ) -> Result<(MediatorPlan, AnswerOutcome), MediatorError> {
+        let plan = self.plan(q)?;
+        let outcome = answer_star_resilient(
+            &plan.pruned,
+            &self.source_schema,
+            db,
+            &self.recorder,
+            resilience,
+        )?;
+        Ok((plan, outcome))
+    }
 }
 
 #[cfg(test)]
@@ -258,6 +280,18 @@ mod tests {
         let (_, report) = m.answer(&q, &db).unwrap();
         assert!(report.is_complete());
         assert_eq!(report.under.len(), 1); // book 2 (book 1 is on the shelf)
+
+        // The resilient path agrees bit-for-bit when no faults fire, and
+        // degrades (instead of failing) under a total outage.
+        let calm = lap_engine::ResilienceConfig::chaos(0.0, 5);
+        let (_, outcome) = m.answer_resilient(&q, &db, &calm).unwrap();
+        assert_eq!(outcome.report.under, report.under);
+        assert!(!outcome.degradation.is_degraded());
+        let outage = lap_engine::ResilienceConfig::chaos(1.0, 5);
+        let (_, outcome) = m.answer_resilient(&q, &db, &outage).unwrap();
+        assert!(outcome.degradation.is_degraded());
+        assert!(outcome.report.under.is_empty());
+        assert!(!outcome.report.is_complete());
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Chaos scenario family: seeded fault profiles for resilience testing.
+//!
+//! A [`ChaosScenario`] pairs a name with a [`ResilienceConfig`] — a
+//! deterministic fault profile for the source transport plus the retry
+//! policy above it. [`chaos_ladder`] produces the standard family the
+//! chaos tests and experiment E19 sweep: a fault-rate ladder from a
+//! fault-free control up to heavy outage, all derived from one seed so
+//! the whole family replays bit-for-bit.
+
+use lap_engine::{FaultConfig, ResilienceConfig, RetryPolicy};
+
+/// One named chaos configuration.
+#[derive(Clone, Debug)]
+pub struct ChaosScenario {
+    /// Human-readable label (`fault-rate 0.10`).
+    pub name: String,
+    /// The fault + retry profile to run under.
+    pub resilience: ResilienceConfig,
+}
+
+/// Fault rates of the standard ladder, control first.
+pub const CHAOS_RATES: [f64; 5] = [0.0, 0.05, 0.1, 0.2, 0.4];
+
+/// The standard chaos family: one scenario per [`CHAOS_RATES`] entry,
+/// each under the standard retry policy with a per-rung seed derived from
+/// `seed` (so rungs are decorrelated but the family is reproducible).
+pub fn chaos_ladder(seed: u64) -> Vec<ChaosScenario> {
+    let base = FaultConfig::with_rate(0.0, seed);
+    CHAOS_RATES
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| ChaosScenario {
+            name: format!("fault-rate {rate:.2}"),
+            resilience: ResilienceConfig {
+                fault: Some(FaultConfig { error_rate: rate, ..base.derive(i as u64) }),
+                retry: RetryPolicy::standard(),
+            },
+        })
+        .collect()
+}
+
+/// A latency/timeout-flavoured scenario: calls carry jittered virtual
+/// latency and fault when they exceed the per-call timeout, in addition
+/// to erroring outright at `error_rate`.
+pub fn slow_source(error_rate: f64, seed: u64) -> ChaosScenario {
+    ChaosScenario {
+        name: format!("slow source (rate {error_rate:.2}, timeouts)"),
+        resilience: ResilienceConfig {
+            fault: Some(FaultConfig {
+                error_rate,
+                latency_ms: 5,
+                latency_jitter_ms: 30,
+                timeout_ms: Some(25),
+                seed,
+            }),
+            retry: RetryPolicy::standard(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_starts_fault_free_and_escalates() {
+        let ladder = chaos_ladder(17);
+        assert_eq!(ladder.len(), CHAOS_RATES.len());
+        assert_eq!(ladder[0].resilience.fault.unwrap().error_rate, 0.0);
+        for (s, &rate) in ladder.iter().zip(CHAOS_RATES.iter()) {
+            assert_eq!(s.resilience.fault.unwrap().error_rate, rate);
+            assert!(s.resilience.retry.max_attempts > 1, "ladder retries by default");
+        }
+    }
+
+    #[test]
+    fn ladder_is_reproducible_and_rungs_decorrelate() {
+        let a = chaos_ladder(17);
+        let b = chaos_ladder(17);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.resilience.fault.unwrap().seed, y.resilience.fault.unwrap().seed);
+        }
+        let seeds: std::collections::BTreeSet<u64> =
+            a.iter().map(|s| s.resilience.fault.unwrap().seed).collect();
+        assert_eq!(seeds.len(), a.len(), "per-rung seeds must differ");
+    }
+
+    #[test]
+    fn slow_source_configures_latency_and_timeout() {
+        let s = slow_source(0.1, 3);
+        let f = s.resilience.fault.unwrap();
+        assert!(f.timeout_ms.is_some());
+        assert!(f.latency_ms + f.latency_jitter_ms > f.timeout_ms.unwrap());
+    }
+}

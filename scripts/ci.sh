@@ -4,6 +4,7 @@
 #
 #   scripts/ci.sh          # full gate
 #   SKIP_SLOW=1 scripts/ci.sh   # skip the widened slow-tests sweep
+#   RUN_SOAK=1 scripts/ci.sh    # additionally run the heavy soak sweeps
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,15 +21,23 @@ cargo test -q --workspace
 echo "==> executor differential suite (batched vs tuple-at-a-time reference)"
 cargo test -q --test executor_differential
 
+echo "==> chaos suite (seeded fault injection: determinism + soundness)"
+cargo test -q --test chaos
+
 if [ "${SKIP_SLOW:-0}" != "1" ]; then
     echo "==> cargo test --features slow-tests (widened seeded sweeps)"
     cargo test -q --features slow-tests
 fi
 
+if [ "${RUN_SOAK:-0}" = "1" ]; then
+    echo "==> soak sweeps (heavy randomized invariants, release mode)"
+    cargo test -q --release --test soak -- --ignored
+fi
+
 echo "==> cargo clippy -D warnings (crates touched by the engine work)"
 cargo clippy -q --all-targets -p lap-prng -p lap-containment -p lap-core \
     -p lap-engine -p lap-planner \
-    -p lap-mediator -p lap-workload -p lap-obs -p lap -- -D warnings
+    -p lap-mediator -p lap-workload -p lap-obs -p lap-bench -p lap -- -D warnings
 
 echo "==> observability smoke: lapq run --trace --metrics-json + obs-validate"
 OBS_SNAPSHOT="${TMPDIR:-/tmp}/lapq_ci_metrics.json"
@@ -37,5 +46,17 @@ target/release/lapq run examples/data/bookstore.lap \
     --trace --metrics-json "$OBS_SNAPSHOT" > /dev/null
 target/release/lapq obs-validate "$OBS_SNAPSHOT"
 rm -f "$OBS_SNAPSHOT"
+
+echo "==> resilience smoke: same seed must replay the same degraded answer"
+CHAOS_A="${TMPDIR:-/tmp}/lapq_ci_chaos_a.txt"
+CHAOS_B="${TMPDIR:-/tmp}/lapq_ci_chaos_b.txt"
+target/release/lapq answer examples/data/bookstore.lap \
+    examples/data/bookstore_facts.lap \
+    --fault-rate 0.5 --fault-seed 7 --retry 3 > "$CHAOS_A"
+target/release/lapq answer examples/data/bookstore.lap \
+    examples/data/bookstore_facts.lap \
+    --fault-rate 0.5 --fault-seed 7 --retry 3 > "$CHAOS_B"
+cmp "$CHAOS_A" "$CHAOS_B"
+rm -f "$CHAOS_A" "$CHAOS_B"
 
 echo "==> ci.sh: all green"

@@ -12,7 +12,17 @@ use std::collections::{BTreeMap, BTreeSet};
 pub const BOOL_FLAGS: &[&str] = &["--parallel", "--cache", "--trace"];
 
 /// Flags that consume the next argument as their value.
-pub const VALUE_FLAGS: &[&str] = &["--constraints", "--domain", "--metrics-json"];
+pub const VALUE_FLAGS: &[&str] = &[
+    "--constraints",
+    "--domain",
+    "--metrics-json",
+    "--fault-rate",
+    "--fault-seed",
+    "--latency-ms",
+    "--timeout-ms",
+    "--retry",
+    "--retry-budget-ms",
+];
 
 /// An argument vector split into positionals and recognized flags.
 ///
@@ -74,6 +84,22 @@ impl CliArgs {
                 .map_err(|e| format!("bad {name} value: {e}")),
             None => Ok(None),
         }
+    }
+
+    /// The value of `name` parsed as an `f64`, if given.
+    pub fn value_f64(&self, name: &str) -> Result<Option<f64>, String> {
+        match self.value(name) {
+            Some(raw) => raw
+                .parse::<f64>()
+                .map(Some)
+                .map_err(|e| format!("bad {name} value: {e}")),
+            None => Ok(None),
+        }
+    }
+
+    /// Whether any of the listed valued flags was given.
+    pub fn any_value(&self, names: &[&str]) -> bool {
+        names.iter().any(|n| self.values.contains_key(*n))
     }
 }
 

@@ -6,6 +6,14 @@
 //! lapq plan  <program.lap>                 print PLAN*'s Qu and Qo
 //! lapq run   <program.lap> <facts.lap>     ANSWER* over an instance
 //!            [--domain <budget>]           …with dom(x) refinement
+//!            [--fault-rate <p>] [--fault-seed <n>] [--latency-ms <n>]
+//!            [--timeout-ms <n>] [--retry <n>] [--retry-budget-ms <n>]
+//!                                           …under seeded fault injection:
+//!                                           sources fail with probability p,
+//!                                           calls are retried with backoff,
+//!                                           and disjuncts whose source stays
+//!                                           down are dropped and reported
+//!                                           (`answer` is an alias of `run`)
 //! lapq contain <program.lap> <P> <Q>       containment between two queries
 //! lapq mediate <views.lap> <query.lap> <facts.lap>
 //!                                           GAV mediator pipeline
@@ -26,10 +34,11 @@ mod cli;
 
 use cli::CliArgs;
 use lap::core::{
-    answer_star_obs, answer_star_with_domain, feasible_detailed_with, is_executable,
-    is_orderable, Completeness, ContainmentEngine, DecisionPath, EngineConfig,
+    answer_star_obs, answer_star_resilient, answer_star_with_domain, feasible_detailed_with,
+    is_executable, is_orderable, AnswerReport, Completeness, ContainmentEngine, DecisionPath,
+    EngineConfig,
 };
-use lap::engine::{display_tuple, Database};
+use lap::engine::{display_tuple, Database, FaultConfig, ResilienceConfig, RetryPolicy};
 use lap::ir::{parse_program, Program, UnionQuery};
 use lap::obs::{render_text, JsonSink, Recorder, Sink};
 use std::process::ExitCode;
@@ -46,6 +55,8 @@ fn main() -> ExitCode {
             eprintln!("  lapq explain <program.lap> [--parallel] [--cache] [--trace] [--metrics-json <file>]");
             eprintln!("  lapq plan  <program.lap> [--trace] [--metrics-json <file>]");
             eprintln!("  lapq run   <program.lap> <facts.lap> [--domain <budget>] [--trace] [--metrics-json <file>]");
+            eprintln!("             [--fault-rate <p>] [--fault-seed <n>] [--latency-ms <n>] [--timeout-ms <n>] [--retry <n>] [--retry-budget-ms <n>]");
+            eprintln!("  lapq answer  (alias of run)");
             eprintln!("  lapq contain <program.lap> <P> <Q> [--parallel] [--cache] [--trace] [--metrics-json <file>]");
             eprintln!("  lapq mediate <views.lap> <query.lap> <facts.lap> [--parallel] [--cache] [--trace] [--metrics-json <file>]");
             eprintln!("  lapq optimize <program.lap> [facts.lap] [--trace] [--metrics-json <file>]");
@@ -84,10 +95,11 @@ fn dispatch(cmd: &str, args: &CliArgs, recorder: &Recorder) -> Result<(), String
             recorder,
         ),
         "plan" => plan(args.require(1, "plan needs a program file")?, recorder),
-        "run" => run_query(
+        "run" | "answer" => run_query(
             args.require(1, "run needs a program file")?,
             args.require(2, "run needs a facts file")?,
             args.value_u64("--domain")?,
+            resilience_from_args(args)?.as_ref(),
             recorder,
         ),
         "profile" => profile(
@@ -117,6 +129,47 @@ fn dispatch(cmd: &str, args: &CliArgs, recorder: &Recorder) -> Result<(), String
         "obs-validate" => obs_validate(args.require(1, "obs-validate needs a json file")?),
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// Valued flags that switch `run`/`answer` into resilient (fault-injected)
+/// execution when any of them is present.
+const RESILIENCE_FLAGS: &[&str] = &[
+    "--fault-rate",
+    "--fault-seed",
+    "--latency-ms",
+    "--timeout-ms",
+    "--retry",
+    "--retry-budget-ms",
+];
+
+/// Builds the fault + retry profile selected by the resilience flags, or
+/// `None` when no resilience flag was given (plain ANSWER\* execution).
+fn resilience_from_args(args: &CliArgs) -> Result<Option<ResilienceConfig>, String> {
+    if !args.any_value(RESILIENCE_FLAGS) {
+        return Ok(None);
+    }
+    let rate = args.value_f64("--fault-rate")?.unwrap_or(0.0);
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--fault-rate must be in [0, 1], got {rate}"));
+    }
+    let fault = FaultConfig {
+        error_rate: rate,
+        latency_ms: args.value_u64("--latency-ms")?.unwrap_or(0),
+        latency_jitter_ms: 0,
+        timeout_ms: args.value_u64("--timeout-ms")?,
+        seed: args.value_u64("--fault-seed")?.unwrap_or(0xC0FFEE),
+    };
+    let mut retry = RetryPolicy::standard();
+    if let Some(n) = args.value_u64("--retry")? {
+        if n == 0 || n > u32::MAX as u64 {
+            return Err(format!("--retry must be in [1, {}], got {n}", u32::MAX));
+        }
+        retry = retry.with_max_attempts(n as u32);
+    }
+    if let Some(budget) = args.value_u64("--retry-budget-ms")? {
+        retry = retry.with_deadline_ms(budget);
+    }
+    Ok(Some(ResilienceConfig { fault: Some(fault), retry }))
 }
 
 /// Builds the containment engine selected by the global `--parallel` and
@@ -295,10 +348,33 @@ fn plan(path: &str, recorder: &Recorder) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints the body of an [`AnswerReport`]: certain answers, the
+/// completeness verdict, possible extra tuples, and call statistics.
+fn print_answer_report(rep: &AnswerReport) {
+    for t in &rep.under {
+        println!("  {}", display_tuple(t));
+    }
+    match rep.completeness {
+        Completeness::Complete => println!("  -- answer is complete"),
+        Completeness::AtLeast(r) => {
+            println!("  -- answer is not known to be complete (>= {:.0}%)", r * 100.0);
+        }
+        Completeness::Unknown => println!("  -- answer is not known to be complete"),
+    }
+    if !rep.delta.is_empty() {
+        println!("  -- these tuples may be part of the answer:");
+        for t in &rep.delta {
+            println!("     {}", display_tuple(t));
+        }
+    }
+    println!("  -- {}", rep.stats);
+}
+
 fn run_query(
     program_path: &str,
     facts_path: &str,
     domain: Option<u64>,
+    resilience: Option<&ResilienceConfig>,
     recorder: &Recorder,
 ) -> Result<(), String> {
     let program = load(program_path, recorder)?;
@@ -307,25 +383,29 @@ fn run_query(
     let db = Database::from_facts(&facts).map_err(|e| format!("{facts_path}: {e}"))?;
     for query in &program.queries {
         println!("query {}:", query.signature.0);
+        if let Some(res) = resilience {
+            let outcome = answer_star_resilient(query, &program.schema, &db, recorder, res)
+                .map_err(|e| format!("evaluating {}: {e}", query.signature.0))?;
+            print_answer_report(&outcome.report);
+            if outcome.degradation.is_degraded() {
+                println!(
+                    "  -- degraded: {} disjunct(s) dropped after exhausting retries:",
+                    outcome.degradation.total()
+                );
+                for line in outcome.degradation.to_string().lines() {
+                    println!("     {line}");
+                }
+            }
+            println!(
+                "  -- resilience: {} retry(ies), {} source failure(s), {} virtual ms",
+                outcome.retries, outcome.failures, outcome.virtual_ms
+            );
+            println!();
+            continue;
+        }
         let rep = answer_star_obs(query, &program.schema, &db, recorder)
             .map_err(|e| format!("evaluating {}: {e}", query.signature.0))?;
-        for t in &rep.under {
-            println!("  {}", display_tuple(t));
-        }
-        match rep.completeness {
-            Completeness::Complete => println!("  -- answer is complete"),
-            Completeness::AtLeast(r) => {
-                println!("  -- answer is not known to be complete (>= {:.0}%)", r * 100.0);
-            }
-            Completeness::Unknown => println!("  -- answer is not known to be complete"),
-        }
-        if !rep.delta.is_empty() {
-            println!("  -- these tuples may be part of the answer:");
-            for t in &rep.delta {
-                println!("     {}", display_tuple(t));
-            }
-        }
-        println!("  -- {}", rep.stats);
+        print_answer_report(&rep);
         if recorder.metrics_enabled() {
             // Observability run: also record the FEASIBLE decision so the
             // exported span tree covers the whole pipeline (parse →
@@ -370,8 +450,8 @@ fn profile(program_path: &str, facts_path: &str, recorder: &Recorder) -> Result<
             execute_physical_union_profiled(&physical, &mut reg, ExecConfig::default())
                 .map_err(|e| format!("evaluating: {e}"))?;
         println!("{prof}");
-        println!("total source usage: {}", reg.stats());
-        println!("membership probes (negative literals): {}", reg.membership_probes());
+        println!("total source usage (positive calls): {}", reg.stats());
+        println!("membership probes (negative literals, disjoint): {}", reg.membership_probes());
         println!();
     }
     Ok(())

@@ -162,6 +162,84 @@ fn profile_shows_per_literal_counters() {
 }
 
 #[test]
+fn answer_alias_with_zero_fault_rate_matches_plain_run() {
+    let plain = lapq(&[
+        "run",
+        "examples/data/bookstore.lap",
+        "examples/data/bookstore_facts.lap",
+    ]);
+    let resilient = lapq(&[
+        "answer",
+        "examples/data/bookstore.lap",
+        "examples/data/bookstore_facts.lap",
+        "--fault-rate",
+        "0.0",
+    ]);
+    assert!(plain.status.success());
+    assert!(resilient.status.success());
+    let text = stdout(&resilient);
+    // Same answers and completeness verdict, plus the zeroed resilience line.
+    assert!(text.contains("the hitchhiker's guide"), "{text}");
+    assert!(text.contains("answer is complete"), "{text}");
+    assert!(text.contains("0 retry(ies), 0 source failure(s)"), "{text}");
+    assert!(!text.contains("degraded"), "{text}");
+    for line in stdout(&plain).lines() {
+        assert!(text.contains(line), "resilient output lost line {line:?}");
+    }
+}
+
+#[test]
+fn total_outage_reports_degradation_deterministically() {
+    let run = || {
+        lapq(&[
+            "answer",
+            "examples/data/bookstore.lap",
+            "examples/data/bookstore_facts.lap",
+            "--fault-rate",
+            "1.0",
+            "--fault-seed",
+            "7",
+            "--retry",
+            "3",
+        ])
+    };
+    let a = run();
+    let b = run();
+    assert!(a.status.success());
+    let text = stdout(&a);
+    assert!(text.contains("answer is not known to be complete"), "{text}");
+    assert!(text.contains("degraded"), "{text}");
+    assert!(text.contains("unavailable after 3 attempt(s)"), "{text}");
+    assert!(text.contains("[under]"), "{text}");
+    assert_eq!(text, stdout(&b), "same seed must replay the same output");
+}
+
+#[test]
+fn bad_resilience_flags_fail_cleanly() {
+    let out = lapq(&[
+        "answer",
+        "examples/data/bookstore.lap",
+        "examples/data/bookstore_facts.lap",
+        "--fault-rate",
+        "1.5",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("--fault-rate must be in [0, 1]"), "{err}");
+
+    let out = lapq(&[
+        "answer",
+        "examples/data/bookstore.lap",
+        "examples/data/bookstore_facts.lap",
+        "--retry",
+        "0",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("--retry must be in [1"), "{err}");
+}
+
+#[test]
 fn check_with_constraints_flips_feasibility() {
     let out = lapq(&[
         "check",

@@ -237,6 +237,61 @@ fn domain_refinement_through_physical_executor_stays_sound() {
     }
 }
 
+/// Fault-injected degraded execution, differentially: at every batch width
+/// the degraded answer set must be a subset of the fault-free reference
+/// (dropping a disjunct may lose answers, never invent them), and the same
+/// seed must degrade identically across widths of the same run.
+#[test]
+fn fault_injected_runs_stay_sound_at_every_batch_width() {
+    use lap::engine::{execute_physical_union_degraded, FaultConfig, RetryPolicy};
+    let mut degraded_seen = 0u64;
+    for case in 0..CASES / 2 {
+        let mut rng = case_rng(0xFA17, case);
+        let schema = gen_schema(
+            &SchemaConfig {
+                free_scan_fraction: 0.8,
+                ..SchemaConfig::default()
+            },
+            &mut rng,
+        );
+        let q = gen_query(
+            &schema,
+            &QueryConfig {
+                num_disjuncts: 2 + (case % 3) as usize,
+                negative_per_disjunct: (case % 2) as usize,
+                ..QueryConfig::default()
+            },
+            &mut rng,
+        );
+        let db = gen_instance(&schema, &InstanceConfig::default(), &mut rng);
+        let pair = plan_star(&q, &schema);
+        let parts = pair.under.eval_parts();
+        let Ok(reference) = tuple_reference(&parts, &db, &schema) else {
+            continue;
+        };
+        let union = lower_union(&parts, &schema);
+        for width in WIDTHS {
+            let mut reg = SourceRegistry::new(&db, &schema)
+                .with_retry(RetryPolicy::standard().with_max_attempts(2))
+                .with_fault_injection(FaultConfig::with_rate(0.3, 0xFA17 ^ case));
+            let (rows, drops) =
+                execute_physical_union_degraded(&union, &mut reg, ExecConfig::with_batch_size(width))
+                    .unwrap();
+            assert!(
+                rows.is_subset(&reference),
+                "case {case} width {width}: degraded run invented answers: {q}"
+            );
+            if !drops.is_empty() {
+                degraded_seen += 1;
+            }
+        }
+    }
+    assert!(
+        degraded_seen > 0,
+        "fault rate 0.3 never degraded any case — injection is dead"
+    );
+}
+
 /// Lazy error semantics, pinned: a broken operator behind an empty prefix
 /// is never reached (both paths answer), and behind a non-empty prefix both
 /// paths raise the *same* error.

@@ -45,10 +45,13 @@ fn union_trace_totals_match_registry_call_stats() {
         let (_, trace) = eval_ordered_union_traced(&pair.over.eval_parts(), &mut reg).unwrap();
         let totals = trace.totals();
         let stats = reg.stats();
+        // The trace counts every request; the registry splits the same
+        // requests into positive wire calls, membership probes (disjoint
+        // since the resilience work), and cache hits.
         assert_eq!(
             totals.calls,
-            stats.calls + stats.cache_hits,
-            "cached={cached}: trace counts requests, stats split hits/misses"
+            stats.calls + reg.membership_probes() + stats.cache_hits,
+            "cached={cached}: trace counts requests, stats split them three ways"
         );
         // The recorder sees exactly what the legacy stats view reports.
         let snap = recorder.snapshot();
@@ -160,10 +163,16 @@ fn membership_probes_are_split_from_positive_calls() {
     assert!(probes > 0, "the bookstore plan ends in `not L(i)`");
     let snap = recorder.snapshot();
     assert_eq!(snap.counter("source.membership"), probes);
-    // Membership probes are a subset of the wire calls the legacy stats
-    // count; the split never invents or loses calls.
-    assert!(probes <= reg.stats().calls + reg.stats().cache_hits);
+    // Membership probes are DISJOINT from positive calls: `source.calls`
+    // counts only positive fetches, and the rows-per-call histogram (a
+    // positive-call profile) never sees a probe. Their sum is the wire
+    // total the per-literal trace observes.
     assert_eq!(snap.counter("source.calls"), reg.stats().calls);
+    assert_eq!(
+        snap.metrics.histograms["source.rows_per_call"].count,
+        reg.stats().calls,
+        "membership probes must not enter the positive-call histogram"
+    );
 
     // The end-to-end pipeline reports the same counter.
     let rec2 = Recorder::new();
