@@ -1,15 +1,16 @@
 //! Observability overhead bench: `eval_ordered_cq` through a
 //! [`SourceRegistry`] whose recorder is disabled (the default), metrics-only,
-//! and fully tracing. The acceptance bar for the `lap-obs` layer is that the
-//! disabled (no-op sink) configuration adds no measurable overhead over the
-//! pre-observability engine — the registry's counters are the same relaxed
-//! atomic adds either way — while the metrics and tracing tiers pay only for
-//! what they record.
+//! fully tracing, and journaling (the always-on flight-recorder tier). The
+//! acceptance bar for the `lap-obs` layer is that the disabled (no-op sink)
+//! configuration adds no measurable overhead over the pre-observability
+//! engine — the registry's counters are the same relaxed atomic adds either
+//! way — while the metrics, tracing, and journal tiers pay only for what
+//! they record.
 
 use lap_bench::microbench::{BenchmarkId, Criterion};
 use lap_bench::{criterion_group, criterion_main};
 use lap_engine::{eval_ordered_cq, SourceRegistry};
-use lap_obs::Recorder;
+use lap_obs::{JournalConfig, Recorder};
 use lap_prng::StdRng;
 use lap_workload::families::forward_chain;
 use lap_workload::{gen_instance, InstanceConfig};
@@ -28,6 +29,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
             ("disabled", Recorder::disabled()),
             ("metrics", Recorder::new()),
             ("tracing", Recorder::with_tracing()),
+            ("journal", Recorder::with_journal(JournalConfig::light())),
         ];
         for (tier, recorder) in &recorders {
             let label = format!("eval_{tier}");

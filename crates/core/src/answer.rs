@@ -5,11 +5,11 @@
 use crate::plan::{lower_pair, plan_star_obs, PlanPair};
 use lap_engine::{
     enumerate_domain, execute_physical_union, execute_physical_union_degraded, lower_union,
-    CallStats, Database, DisjunctDegradation, EngineError, ExecConfig, ResilienceConfig,
-    SourceRegistry, Tuple, Value,
+    CallStats, Database, DisjunctDegradation, EngineError, ExecConfig, FaultConfig,
+    ReplaySource, ResilienceConfig, RetryPolicy, SourceRegistry, Tuple, Value,
 };
 use lap_ir::{Atom, ConjunctiveQuery, Literal, Predicate, Schema, Term, UnionQuery, Var};
-use lap_obs::Recorder;
+use lap_obs::{Json, Recorder};
 use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 
@@ -73,6 +73,7 @@ pub fn answer_star_obs(
     recorder: &Recorder,
 ) -> Result<AnswerReport, EngineError> {
     let _span = recorder.span("answer*");
+    stamp_journal_meta(recorder, "answer*", q, &RetryPolicy::default(), None);
     let plans = plan_star_obs(q, schema, recorder);
     let physical = lower_pair(&plans, schema);
     let cfg = ExecConfig::default();
@@ -197,6 +198,13 @@ pub fn answer_star_resilient(
     resilience: &ResilienceConfig,
 ) -> Result<AnswerOutcome, EngineError> {
     let _span = recorder.span("answer*");
+    stamp_journal_meta(
+        recorder,
+        "answer*.resilient",
+        q,
+        &resilience.retry,
+        resilience.fault.as_ref(),
+    );
     let plans = plan_star_obs(q, schema, recorder);
     let physical = lower_pair(&plans, schema);
     let cfg = ExecConfig::default();
@@ -206,14 +214,27 @@ pub fn answer_star_resilient(
     if let Some(fault) = &resilience.fault {
         reg = reg.with_fault_injection(*fault);
     }
+    run_degraded_pair(&physical, &mut reg, cfg, recorder, plans)
+}
+
+/// Evaluates a lowered plan pair in degradation mode and assembles the
+/// [`AnswerOutcome`] — the shared tail of [`answer_star_resilient`] and
+/// [`answer_star_replay`].
+fn run_degraded_pair(
+    physical: &crate::plan::PhysicalPair,
+    reg: &mut SourceRegistry<'_>,
+    cfg: ExecConfig,
+    recorder: &Recorder,
+    plans: PlanPair,
+) -> Result<AnswerOutcome, EngineError> {
     let (under, under_drops) = {
         let _under = recorder.span("answer*.under");
-        execute_physical_union_degraded(&physical.under, &mut reg, cfg)?
+        execute_physical_union_degraded(&physical.under, reg, cfg)?
     };
     reg.reset_clock();
     let (over, over_drops) = {
         let _over = recorder.span("answer*.over");
-        execute_physical_union_degraded(&physical.over, &mut reg, cfg)?
+        execute_physical_union_degraded(&physical.over, reg, cfg)?
     };
     let degradation = DegradationReport { under: under_drops, over: over_drops };
     let retries = reg.retries_observed();
@@ -223,6 +244,58 @@ pub fn answer_star_resilient(
     let base = report.completeness.clone();
     report.completeness = degrade_completeness(base, &report, &degradation);
     Ok(AnswerOutcome { report, degradation, retries, failures, virtual_ms })
+}
+
+/// Replays a recorded ANSWER\* run: every source call is served from
+/// `source` (a [`ReplaySource`] decoded from a flight-recorder journal)
+/// instead of a live database, under the *same* retry policy the original
+/// run used. Everything above the transport — planning, lowering, the
+/// retry loop, the virtual clock, degradation — is deterministic, so the
+/// outcome reproduces the recorded run bit for bit.
+pub fn answer_star_replay(
+    q: &UnionQuery,
+    schema: &Schema,
+    source: ReplaySource,
+    retry: RetryPolicy,
+    recorder: &Recorder,
+) -> Result<AnswerOutcome, EngineError> {
+    let _span = recorder.span("answer*");
+    stamp_journal_meta(recorder, "answer*.replay", q, &retry, None);
+    let plans = plan_star_obs(q, schema, recorder);
+    let physical = lower_pair(&plans, schema);
+    let cfg = ExecConfig::default();
+    let mut reg = SourceRegistry::with_source(Box::new(source), schema)
+        .recording(recorder)
+        .with_retry(retry);
+    run_degraded_pair(&physical, &mut reg, cfg, recorder, plans)
+}
+
+/// Stamps run metadata on the recorder's journal (no-op without one) so a
+/// snapshot carries everything a replay needs: what ran, the query text,
+/// the retry policy, the fault config, and the journal's own fidelity.
+fn stamp_journal_meta(
+    recorder: &Recorder,
+    run_kind: &str,
+    q: &UnionQuery,
+    retry: &RetryPolicy,
+    fault: Option<&FaultConfig>,
+) {
+    if let Some(journal) = recorder.journal() {
+        let cfg = journal.config();
+        journal.merge_meta([
+            ("kind", Json::str(run_kind)),
+            ("query", Json::str(q.to_string())),
+            ("retry", retry.to_json()),
+            ("fault", fault.map_or(Json::Null, FaultConfig::to_json)),
+            (
+                "journal",
+                Json::obj([
+                    ("capture_rows", Json::Bool(cfg.capture_rows)),
+                    ("sample_every", Json::num(cfg.sample_every)),
+                ]),
+            ),
+        ]);
+    }
 }
 
 /// Downgrades a completeness verdict for what degradation destroyed.

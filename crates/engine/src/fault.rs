@@ -110,6 +110,27 @@ impl FaultConfig {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         FaultConfig { seed: z ^ (z >> 31), ..*self }
     }
+
+    /// JSON encoding for journal metadata (informational: a replay serves
+    /// recorded transport results and never re-injects faults). The seed
+    /// is written as a string so full 64-bit seeds survive the `f64`
+    /// number space.
+    pub fn to_json(&self) -> lap_obs::Json {
+        use lap_obs::Json;
+        Json::obj([
+            ("error_rate", Json::Num(self.error_rate)),
+            ("latency_ms", Json::num(self.latency_ms)),
+            ("latency_jitter_ms", Json::num(self.latency_jitter_ms)),
+            (
+                "timeout_ms",
+                match self.timeout_ms {
+                    Some(t) => Json::num(t),
+                    None => Json::Null,
+                },
+            ),
+            ("seed", Json::Str(self.seed.to_string())),
+        ])
+    }
 }
 
 /// A [`Source`] decorator injecting deterministic faults and latency.
@@ -226,6 +247,48 @@ impl RetryPolicy {
     pub fn with_deadline_ms(mut self, deadline_ms: u64) -> RetryPolicy {
         self.deadline_ms = Some(deadline_ms);
         self
+    }
+
+    /// JSON encoding, carried in journal metadata so a replay can rebuild
+    /// the exact retry behaviour of the recorded run.
+    pub fn to_json(&self) -> lap_obs::Json {
+        use lap_obs::Json;
+        Json::obj([
+            ("max_attempts", Json::num(u64::from(self.max_attempts))),
+            ("base_backoff_ms", Json::num(self.base_backoff_ms)),
+            ("max_backoff_ms", Json::num(self.max_backoff_ms)),
+            ("jitter", Json::Num(self.jitter)),
+            (
+                "deadline_ms",
+                match self.deadline_ms {
+                    Some(d) => Json::num(d),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Inverse of [`RetryPolicy::to_json`].
+    pub fn from_json(doc: &lap_obs::Json) -> Result<RetryPolicy, String> {
+        use lap_obs::Json;
+        let number = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("retry policy missing numeric {key:?}"))
+        };
+        Ok(RetryPolicy {
+            max_attempts: number("max_attempts")? as u32,
+            base_backoff_ms: number("base_backoff_ms")?,
+            max_backoff_ms: number("max_backoff_ms")?,
+            jitter: doc
+                .get("jitter")
+                .and_then(Json::as_f64)
+                .ok_or("retry policy missing numeric \"jitter\"")?,
+            deadline_ms: match doc.get("deadline_ms") {
+                None | Some(Json::Null) => None,
+                Some(d) => Some(d.as_u64().ok_or("non-numeric \"deadline_ms\"")?),
+            },
+        })
     }
 
     /// The backoff interval after `completed_attempts` failed attempts
@@ -418,6 +481,26 @@ mod tests {
         let jittered = RetryPolicy { jitter: 1.0, ..p };
         let b = jittered.backoff_ms(3, &mut rng);
         assert!((40..=80).contains(&b), "jitter adds at most one interval, got {b}");
+    }
+
+    #[test]
+    fn retry_policy_json_round_trips() {
+        for policy in [
+            RetryPolicy::default(),
+            RetryPolicy::standard(),
+            RetryPolicy::standard().with_max_attempts(7).with_deadline_ms(123),
+        ] {
+            let doc = policy.to_json();
+            let text = doc.to_compact();
+            let back = RetryPolicy::from_json(&lap_obs::json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, policy);
+        }
+        let seed_doc = FaultConfig::with_rate(0.5, u64::MAX).to_json();
+        assert_eq!(
+            seed_doc.get("seed").and_then(lap_obs::Json::as_str),
+            Some(u64::MAX.to_string().as_str()),
+            "seeds survive as strings"
+        );
     }
 
     #[test]

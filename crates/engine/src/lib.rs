@@ -43,6 +43,7 @@ mod oracle;
 mod parallel;
 pub mod physical;
 mod relation;
+mod replay;
 mod source;
 mod stats;
 mod trace;
@@ -66,10 +67,13 @@ pub use instance::Database;
 pub use oracle::{eval_oracle, eval_oracle_single};
 pub use parallel::{eval_ordered_union_parallel, eval_ordered_union_parallel_obs};
 pub use relation::Relation;
+pub use replay::{recorded_calls, RecordedCall, ReplaySource};
 pub use source::{InMemorySource, Source, SourceRegistry};
 pub use stats::CallStats;
 pub use trace::{
     eval_ordered_cq_traced, eval_ordered_union_traced, CqTrace, LiteralTrace, TraceTotals,
     UnionTrace,
 };
-pub use value::{display_tuple, Tuple, Value};
+pub use value::{
+    display_tuple, rows_from_json, rows_to_json, value_from_json, value_to_json, Tuple, Value,
+};

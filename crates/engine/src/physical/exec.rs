@@ -22,6 +22,8 @@ use crate::source::SourceRegistry;
 use crate::stats::CallStats;
 use crate::value::{Tuple, Value};
 use lap_ir::Schema;
+use lap_obs::journal::kind as journal_kind;
+use lap_obs::Json;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 
@@ -201,16 +203,37 @@ impl<'p> PlanExec<'p> {
         let plan = self.plan;
         self.profiles[i].batches += 1;
         self.profiles[i].rows_in += batch.len() as u64;
-        let mut produced: Vec<Row> = Vec::new();
-        match &plan.ops[i] {
-            PhysOp::Access(op) | PhysOp::BindJoin(op) => {
-                self.run_access(op, batch, reg, i, &mut produced)?;
-            }
-            PhysOp::NegFilter(op) => {
-                self.run_neg_filter(op, batch, reg, i, &mut produced)?;
-            }
-            PhysOp::Project(_) => unreachable!("projection is driven by the executor root"),
+        let journaled = reg.journal_enabled();
+        if journaled {
+            reg.journal_emit(
+                journal_kind::BATCH_BEGIN,
+                Json::obj([
+                    ("label", Json::str(self.profiles[i].op.as_str())),
+                    ("rows_in", Json::num(batch.len() as u64)),
+                ]),
+            );
         }
+        let mut produced: Vec<Row> = Vec::new();
+        let result = match &plan.ops[i] {
+            PhysOp::Access(op) | PhysOp::BindJoin(op) => {
+                self.run_access(op, batch, reg, i, &mut produced)
+            }
+            PhysOp::NegFilter(op) => self.run_neg_filter(op, batch, reg, i, &mut produced),
+            PhysOp::Project(_) => unreachable!("projection is driven by the executor root"),
+        };
+        // The close event is emitted even on error so begin/end pairs stay
+        // balanced in the journal.
+        if journaled {
+            reg.journal_emit(
+                journal_kind::BATCH_END,
+                Json::obj([
+                    ("label", Json::str(self.profiles[i].op.as_str())),
+                    ("rows_out", Json::num(produced.len() as u64)),
+                    ("ok", Json::Bool(result.is_ok())),
+                ]),
+            );
+        }
+        result?;
         self.profiles[i].rows_out += produced.len() as u64;
         self.buffers[i].extend(produced);
         Ok(())
@@ -461,18 +484,30 @@ pub fn execute_physical_union_degraded(
             Ok(rows) => out.extend(rows),
             Err(EngineError::SourceUnavailable { relation, attempts, reason }) => {
                 degraded.incr();
-                dropped.push(DisjunctDegradation {
+                let d = DisjunctDegradation {
                     index: i,
                     head: plan.head.to_string(),
                     relation,
                     attempts,
                     reason,
-                });
+                };
+                reg.journal_emit(journal_kind::DISJUNCT_DEGRADED, degradation_json(&d));
+                dropped.push(d);
             }
             Err(other) => return Err(other),
         }
     }
     Ok((out, dropped))
+}
+
+fn degradation_json(d: &DisjunctDegradation) -> Json {
+    Json::obj([
+        ("index", Json::num(d.index as u64)),
+        ("head", Json::str(d.head.as_str())),
+        ("relation", Json::str(d.relation.as_str())),
+        ("attempts", Json::num(u64::from(d.attempts))),
+        ("reason", Json::str(d.reason.as_str())),
+    ])
 }
 
 /// Parallel [`execute_physical_union_degraded`]: one worker thread, source
@@ -504,6 +539,7 @@ pub fn execute_physical_union_parallel_degraded(
                 scope.spawn(move || {
                     let mut reg = SourceRegistry::new(db, schema)
                         .recording(recorder)
+                        .with_journal_lane(i as u64)
                         .with_retry(resilience.retry);
                     if let Some(fault) = &resilience.fault {
                         reg = reg.with_fault_injection(fault.derive(i as u64));
@@ -540,6 +576,17 @@ pub fn execute_physical_union_parallel_degraded(
             Ok(rows) => out.extend(rows),
             Err(d) => {
                 degraded.incr();
+                // The drop decision lands on the main thread, which holds no
+                // registry — emit through the shared recorder on the
+                // degraded worker's lane.
+                if let Some(journal) = recorder.journal() {
+                    journal.emit(
+                        d.index as u64,
+                        0,
+                        journal_kind::DISJUNCT_DEGRADED,
+                        degradation_json(&d),
+                    );
+                }
                 dropped.push(d);
             }
         }
@@ -577,9 +624,12 @@ pub fn execute_physical_union_parallel_obs(
             let handles: Vec<_> = union
                 .parts
                 .iter()
-                .map(|plan| {
+                .enumerate()
+                .map(|(i, plan)| {
                     scope.spawn(move || {
-                        let mut reg = SourceRegistry::new(db, schema).recording(recorder);
+                        let mut reg = SourceRegistry::new(db, schema)
+                            .recording(recorder)
+                            .with_journal_lane(i as u64);
                         let rows = execute_physical_cq(plan, &mut reg, cfg)?;
                         Ok((rows, reg.stats()))
                     })

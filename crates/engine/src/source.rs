@@ -23,11 +23,21 @@ use crate::error::EngineError;
 use crate::fault::{RetryPolicy, SourceFault, SourceReply};
 use crate::instance::Database;
 use crate::stats::CallStats;
-use crate::value::{Tuple, Value};
+use crate::value::{rows_to_json, value_to_json, Tuple, Value};
 use lap_ir::{AccessPattern, Schema, Symbol};
-use lap_obs::{Counter, Histogram, Recorder};
+use lap_obs::journal::kind as journal_kind;
+use lap_obs::{Counter, Histogram, InstantPayload, Journal, Json, Recorder, WireOutcome};
 use lap_prng::StdRng;
 use std::collections::HashMap;
+
+/// Formats an access pattern's `i`/`o` word into a stack buffer, avoiding
+/// a heap allocation on the journal fast path.
+fn pattern_word(pattern: AccessPattern, buf: &mut [u8; AccessPattern::MAX_ARITY]) -> &str {
+    for (j, slot) in buf.iter_mut().enumerate().take(pattern.arity()) {
+        *slot = if pattern.is_input(j) { b'i' } else { b'o' };
+    }
+    std::str::from_utf8(&buf[..pattern.arity()]).expect("pattern word is ascii")
+}
 
 /// Cache key for one source call: relation, pattern, supplied inputs.
 type CallKey = (Symbol, AccessPattern, Vec<Option<Value>>);
@@ -202,6 +212,18 @@ pub struct SourceRegistry<'a> {
     /// calls, so lifetime reporting survives per-phase deadline resets.
     retired_clock_ms: u64,
     cache: Option<HashMap<CallKey, Vec<Tuple>>>,
+    /// Flight-recorder journal (attached via [`SourceRegistry::recording`]
+    /// when the recorder carries one).
+    journal: Option<Journal>,
+    /// Lane stamped on journal events (0 = main; parallel union workers
+    /// use their disjunct index so per-lane begin/end balance holds).
+    lane: u64,
+    /// Memoized journal interner ids per (relation, pattern). A plan
+    /// touches a handful of distinct accesses, so a linear scan beats a
+    /// hash map and keeps string hashing off the per-call fast path.
+    journal_call_ids: Vec<(Symbol, AccessPattern, u32, u32)>,
+    /// Memoized journal interner ids per relation (instant events).
+    journal_rel_ids: Vec<(Symbol, u32)>,
 }
 
 impl<'a> SourceRegistry<'a> {
@@ -248,6 +270,10 @@ impl<'a> SourceRegistry<'a> {
             clock_ms: 0,
             retired_clock_ms: 0,
             cache: None,
+            journal: None,
+            lane: 0,
+            journal_call_ids: Vec::new(),
+            journal_rel_ids: Vec::new(),
         }
     }
 
@@ -279,7 +305,72 @@ impl<'a> SourceRegistry<'a> {
         self.retries = recorder.counter("source.retries");
         self.failures = recorder.counter("source.failures");
         self.rows_per_call = recorder.histogram("source.rows_per_call");
+        self.journal = recorder.journal().cloned();
         self
+    }
+
+    /// Sets the lane stamped on this registry's journal events. Parallel
+    /// union workers use their disjunct index, keeping per-lane begin/end
+    /// pairs balanced while sequence numbers stay globally monotone.
+    pub fn with_journal_lane(mut self, lane: u64) -> SourceRegistry<'a> {
+        self.lane = lane;
+        self
+    }
+
+    /// True when a flight-recorder journal is attached.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Records one journal event stamped with this registry's lane and
+    /// virtual clock. No-op without an attached journal.
+    pub fn journal_emit(&self, kind: &str, data: Json) {
+        if let Some(journal) = &self.journal {
+            journal.emit(self.lane, self.virtual_elapsed_ms(), kind, data);
+        }
+    }
+
+    /// Journal interner ids for a (relation, pattern) access, memoized so
+    /// the steady-state call path never hashes a string. Only called with
+    /// a journal attached.
+    fn journal_call_ids(&mut self, name: Symbol, pattern: AccessPattern) -> (u32, u32) {
+        if let Some(hit) = self
+            .journal_call_ids
+            .iter()
+            .find(|(n, p, ..)| *n == name && *p == pattern)
+        {
+            return (hit.2, hit.3);
+        }
+        let journal = self.journal.as_ref().expect("memo used while journaling");
+        let mut buf = [0u8; AccessPattern::MAX_ARITY];
+        let rel = journal.intern(name.as_str());
+        let pat = journal.intern(pattern_word(pattern, &mut buf));
+        self.journal_call_ids.push((name, pattern, rel, pat));
+        (rel, pat)
+    }
+
+    /// Journal interner id for a relation, memoized like
+    /// [`SourceRegistry::journal_call_ids`].
+    fn journal_rel_id(&mut self, name: Symbol) -> u32 {
+        if let Some(hit) = self.journal_rel_ids.iter().find(|(n, _)| *n == name) {
+            return hit.1;
+        }
+        let journal = self.journal.as_ref().expect("memo used while journaling");
+        let rel = journal.intern(name.as_str());
+        self.journal_rel_ids.push((name, rel));
+        rel
+    }
+
+    /// Records one compact instant event for `name` on this registry's
+    /// lane and virtual clock. No-op without an attached journal.
+    fn journal_instant(&mut self, name: Symbol, payload: InstantPayload) {
+        if self.journal.is_some() {
+            let rel = self.journal_rel_id(name);
+            let ts = self.virtual_elapsed_ms();
+            if let Some(journal) = &self.journal {
+                journal.record_instant_by_id(self.lane, ts, rel, payload);
+            }
+        }
     }
 
     /// The recorder this registry reports to (disabled by default).
@@ -362,26 +453,145 @@ impl<'a> SourceRegistry<'a> {
         pattern: AccessPattern,
         inputs: &[Option<Value>],
     ) -> Result<SourceReply, EngineError> {
+        // One sampling decision covers every attempt of this call, so the
+        // journal's begin/end pairs stay balanced under sampling.
+        let journaled = self
+            .journal
+            .as_ref()
+            .is_some_and(Journal::should_sample_call);
+        let capture = journaled && self.journal.as_ref().is_some_and(Journal::capture_rows);
         let max_attempts = self.retry.max_attempts.max(1);
         let mut attempt = 0u32;
         loop {
             attempt += 1;
             if attempt > 1 {
-                let _span = self
-                    .recorder
-                    .span_lazy(|| format!("source.retry {name} attempt {attempt}"));
-                self.retries.incr();
-                self.local.retries += 1;
+                {
+                    let _span = self
+                        .recorder
+                        .span_lazy(|| format!("source.retry {name} attempt {attempt}"));
+                    self.retries.incr();
+                    self.local.retries += 1;
+                }
+                if journaled {
+                    self.journal_instant(name, InstantPayload::Retry { attempt: u64::from(attempt) });
+                }
             }
+            if capture {
+                // Replay tier: the begin event carries the bound inputs,
+                // so it goes through the general (allocating) emit path.
+                let data = vec![
+                    ("label".to_owned(), Json::Str(format!("{name}^{pattern}"))),
+                    ("relation".to_owned(), Json::str(name.as_str())),
+                    ("pattern".to_owned(), Json::Str(pattern.to_string())),
+                    ("attempt".to_owned(), Json::num(u64::from(attempt))),
+                    (
+                        "inputs".to_owned(),
+                        Json::Arr(
+                            inputs
+                                .iter()
+                                .map(|slot| match slot {
+                                    Some(v) => value_to_json(*v),
+                                    None => Json::Null,
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ];
+                self.journal_emit(journal_kind::SOURCE_CALL_BEGIN, Json::Obj(data));
+            }
+            let begin_ts = self.virtual_elapsed_ms();
             match self.source.fetch(name, pattern, inputs) {
                 Ok(reply) => {
                     self.clock_ms += reply.latency_ms;
+                    if capture {
+                        let data = vec![
+                            ("relation".to_owned(), Json::str(name.as_str())),
+                            ("ok".to_owned(), Json::Bool(true)),
+                            ("rows".to_owned(), Json::num(reply.rows.len() as u64)),
+                            ("latency_ms".to_owned(), Json::num(reply.latency_ms)),
+                            ("attempt".to_owned(), Json::num(u64::from(attempt))),
+                            ("rows_data".to_owned(), rows_to_json(&reply.rows)),
+                        ];
+                        self.journal_emit(journal_kind::SOURCE_CALL_END, Json::Obj(data));
+                    } else if journaled {
+                        let (rel, pat) = self.journal_call_ids(name, pattern);
+                        let end_ts = self.virtual_elapsed_ms();
+                        if let Some(journal) = &self.journal {
+                            journal.record_call_by_id(
+                                self.lane,
+                                begin_ts,
+                                end_ts,
+                                rel,
+                                pat,
+                                u64::from(attempt),
+                                WireOutcome::Ok {
+                                    rows: reply.rows.len() as u64,
+                                    latency_ms: reply.latency_ms,
+                                },
+                            );
+                        }
+                    }
                     return Ok(reply);
                 }
                 Err(fault) => {
                     self.failures.incr();
                     self.local.failures += 1;
                     self.clock_ms += fault.latency_ms();
+                    if journaled {
+                        let (outcome, raw_latency) = match fault {
+                            SourceFault::Unavailable { latency_ms } => {
+                                (WireOutcome::Unavailable { latency_ms }, latency_ms)
+                            }
+                            SourceFault::Timeout { latency_ms, timeout_ms } => (
+                                WireOutcome::Timeout { latency_ms, timeout_ms },
+                                latency_ms,
+                            ),
+                        };
+                        if capture {
+                            let (fault_name, timeout_ms) = match fault {
+                                SourceFault::Unavailable { .. } => ("unavailable", None),
+                                SourceFault::Timeout { timeout_ms, .. } => {
+                                    ("timeout", Some(timeout_ms))
+                                }
+                            };
+                            let mut data = vec![
+                                ("relation".to_owned(), Json::str(name.as_str())),
+                                ("ok".to_owned(), Json::Bool(false)),
+                                ("fault".to_owned(), Json::str(fault_name)),
+                                ("latency_ms".to_owned(), Json::num(raw_latency)),
+                                ("attempt".to_owned(), Json::num(u64::from(attempt))),
+                            ];
+                            if let Some(budget) = timeout_ms {
+                                data.push(("timeout_ms".to_owned(), Json::num(budget)));
+                            }
+                            self.journal_emit(journal_kind::SOURCE_CALL_END, Json::Obj(data));
+                        } else {
+                            let (rel, pat) = self.journal_call_ids(name, pattern);
+                            let end_ts = self.virtual_elapsed_ms();
+                            if let Some(journal) = &self.journal {
+                                journal.record_call_by_id(
+                                    self.lane,
+                                    begin_ts,
+                                    end_ts,
+                                    rel,
+                                    pat,
+                                    u64::from(attempt),
+                                    outcome,
+                                );
+                            }
+                        }
+                        let payload = match fault {
+                            SourceFault::Unavailable { .. } => InstantPayload::Fault {
+                                latency_ms: raw_latency,
+                                attempt: u64::from(attempt),
+                            },
+                            SourceFault::Timeout { .. } => InstantPayload::Timeout {
+                                latency_ms: raw_latency,
+                                attempt: u64::from(attempt),
+                            },
+                        };
+                        self.journal_instant(name, payload);
+                    }
                     let deadline_hit = self
                         .retry
                         .deadline_ms
@@ -425,12 +635,17 @@ impl<'a> SourceRegistry<'a> {
     ) -> Result<Vec<Tuple>, EngineError> {
         self.validate(name, pattern, inputs)?;
         let key = (name, pattern, inputs.to_vec());
-        if let Some(cache) = &self.cache {
-            if let Some(hit) = cache.get(&key) {
-                self.cache_hits.incr();
-                self.local.cache_hits += 1;
-                return Ok(hit.clone());
-            }
+        if let Some(hit) = self.cache.as_ref().and_then(|c| c.get(&key)).cloned() {
+            self.cache_hits.incr();
+            self.local.cache_hits += 1;
+            self.journal_instant(
+                name,
+                InstantPayload::CacheHit {
+                    rows: hit.len() as u64,
+                    membership: false,
+                },
+            );
+            return Ok(hit);
         }
         let reply = self.wire_fetch(name, pattern, inputs)?;
         let rows = reply.rows;
@@ -519,12 +734,16 @@ impl<'a> SourceRegistry<'a> {
             .map(|j| pattern.is_input(j).then(|| values[j]))
             .collect();
         let key = (name, pattern, inputs.clone());
-        if let Some(cache) = &self.cache {
-            if let Some(hit) = cache.get(&key) {
-                self.cache_hits.incr();
-                self.local.cache_hits += 1;
-                return Ok(hit.iter().any(|row| row.as_slice() == values));
-            }
+        let cached = self
+            .cache
+            .as_ref()
+            .and_then(|c| c.get(&key))
+            .map(|hit| (hit.len() as u64, hit.iter().any(|row| row.as_slice() == values)));
+        if let Some((rows, present)) = cached {
+            self.cache_hits.incr();
+            self.local.cache_hits += 1;
+            self.journal_instant(name, InstantPayload::CacheHit { rows, membership: true });
+            return Ok(present);
         }
         let reply = self.wire_fetch(name, pattern, &inputs)?;
         let rows = reply.rows;
@@ -533,6 +752,7 @@ impl<'a> SourceRegistry<'a> {
         self.tuples_returned.add(rows.len() as u64);
         self.local.tuples_returned += rows.len() as u64;
         let present = rows.iter().any(|row| row.as_slice() == values);
+        self.journal_instant(name, InstantPayload::Membership { present });
         if let Some(cache) = &mut self.cache {
             cache.insert(key, rows);
         }

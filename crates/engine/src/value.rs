@@ -87,6 +87,54 @@ pub fn display_tuple(t: &[Value]) -> String {
     format!("({})", items.join(", "))
 }
 
+/// JSON encoding of one value for the flight-recorder journal. Integers
+/// round-trip exactly while `|i| < 2^53` (the journal's `f64` number
+/// space); engine values in this reproduction are far below that.
+pub fn value_to_json(v: Value) -> lap_obs::Json {
+    match v {
+        Value::Null => lap_obs::Json::Null,
+        Value::Int(i) => lap_obs::Json::Num(i as f64),
+        Value::Str(s) => lap_obs::Json::Str(s.as_str().to_owned()),
+    }
+}
+
+/// Inverse of [`value_to_json`].
+pub fn value_from_json(j: &lap_obs::Json) -> Result<Value, String> {
+    match j {
+        lap_obs::Json::Null => Ok(Value::Null),
+        lap_obs::Json::Num(n) if n.fract() == 0.0 && n.abs() < 9.0e15 => {
+            Ok(Value::Int(*n as i64))
+        }
+        lap_obs::Json::Num(n) => Err(format!("non-integer journal value {n}")),
+        lap_obs::Json::Str(s) => Ok(Value::str(s)),
+        other => Err(format!("unsupported journal value {other:?}")),
+    }
+}
+
+/// JSON encoding of a row set for the flight-recorder journal.
+pub fn rows_to_json(rows: &[Tuple]) -> lap_obs::Json {
+    lap_obs::Json::Arr(
+        rows.iter()
+            .map(|row| lap_obs::Json::Arr(row.iter().map(|&v| value_to_json(v)).collect()))
+            .collect(),
+    )
+}
+
+/// Inverse of [`rows_to_json`].
+pub fn rows_from_json(j: &lap_obs::Json) -> Result<Vec<Tuple>, String> {
+    j.as_arr()
+        .ok_or("journal rows are not an array")?
+        .iter()
+        .map(|row| {
+            row.as_arr()
+                .ok_or_else(|| "journal row is not an array".to_owned())?
+                .iter()
+                .map(value_from_json)
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +172,20 @@ mod tests {
     fn display() {
         assert_eq!(Value::Null.to_string(), "null");
         assert_eq!(display_tuple(&[Value::Int(1), Value::Null]), "(1, null)");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let rows = vec![
+            vec![Value::Int(-42), Value::str("x \"y\""), Value::Null],
+            vec![Value::Int(i64::from(i32::MAX))],
+        ];
+        let doc = rows_to_json(&rows);
+        assert_eq!(rows_from_json(&doc).unwrap(), rows);
+        // Survives the actual JSON writer/parser too.
+        let reparsed = lap_obs::json::parse(&doc.to_compact()).unwrap();
+        assert_eq!(rows_from_json(&reparsed).unwrap(), rows);
+        assert!(value_from_json(&lap_obs::Json::Num(0.5)).is_err());
+        assert!(value_from_json(&lap_obs::Json::Bool(true)).is_err());
     }
 }

@@ -63,7 +63,7 @@ fn well_formed_programs_round_trip() {
             text.push_str("Q(x0) :- ");
             let mut parts = Vec::new();
             for l in 0..n_lits {
-                let neg = (salt + r as u64 + l as u64) % 3 == 0 && l > 0;
+                let neg = (salt + r as u64 + l as u64).is_multiple_of(3) && l > 0;
                 let rel = format!("R{}", (salt as usize + l) % 3);
                 let v1 = format!("x{}", (salt as usize + r + l) % 3);
                 let v2 = format!("x{}", (salt as usize + l) % 2);

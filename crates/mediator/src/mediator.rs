@@ -12,7 +12,8 @@ use lap_core::{
 use lap_core::{ContainmentEngine, EngineConfig, EngineStats};
 use lap_engine::{Database, EngineError, ResilienceConfig};
 use lap_ir::{parse_program, IrError, Schema, UnionQuery};
-use lap_obs::Recorder;
+use lap_obs::journal::kind as journal_kind;
+use lap_obs::{Json, Recorder};
 use std::fmt;
 use std::sync::Arc;
 
@@ -196,10 +197,20 @@ impl Mediator {
             let _span = self.recorder.span("unfold");
             unfold_deep(q, &self.views, self.max_disjuncts)?
         };
+        self.journal_phase(
+            journal_kind::MEDIATOR_UNFOLD,
+            q.disjuncts.len(),
+            unfolded.disjuncts.len(),
+        );
         let pruned = {
             let _span = self.recorder.span("prune");
             prune_unsatisfiable(&unfolded, &self.constraints)
         };
+        self.journal_phase(
+            journal_kind::MEDIATOR_PRUNE,
+            unfolded.disjuncts.len(),
+            pruned.disjuncts.len(),
+        );
         let feasibility =
             feasible_detailed_obs(&pruned, &self.source_schema, &self.engine, &self.recorder);
         let physical = lower_pair(&feasibility.plans, &self.source_schema);
@@ -241,6 +252,22 @@ impl Mediator {
             resilience,
         )?;
         Ok((plan, outcome))
+    }
+
+    /// Records a compile-time phase (unfold, prune) in the flight
+    /// recorder's journal, when one is attached.
+    fn journal_phase(&self, kind: &str, disjuncts_in: usize, disjuncts_out: usize) {
+        if let Some(journal) = self.recorder.journal() {
+            journal.emit(
+                0,
+                0,
+                kind,
+                Json::obj([
+                    ("disjuncts_in", Json::num(disjuncts_in as u64)),
+                    ("disjuncts_out", Json::num(disjuncts_out as u64)),
+                ]),
+            );
+        }
     }
 }
 
@@ -371,6 +398,26 @@ mod tests {
             snap.counter("containment.decisions"),
             m.engine_stats().decisions
         );
+    }
+
+    #[test]
+    fn journal_backed_mediator_records_compile_phases() {
+        let rec = Recorder::with_journal(lap_obs::JournalConfig::light());
+        let m = Mediator::from_program(BOOK_MEDIATOR)
+            .unwrap()
+            .with_recorder(&rec);
+        let q = parse_query("Q(i, a, t) :- Book(i, a, t), Cat(i, a), not Lib(i).").unwrap();
+        m.plan(&q).unwrap();
+        let snap = rec.journal().unwrap().snapshot();
+        let unfold: Vec<_> = snap.events_of(journal_kind::MEDIATOR_UNFOLD).collect();
+        assert_eq!(unfold.len(), 1);
+        // One Book query over two Book views unfolds into two disjuncts.
+        assert_eq!(unfold[0].data.get("disjuncts_in").and_then(Json::as_u64), Some(1));
+        assert_eq!(unfold[0].data.get("disjuncts_out").and_then(Json::as_u64), Some(2));
+        let prune: Vec<_> = snap.events_of(journal_kind::MEDIATOR_PRUNE).collect();
+        assert_eq!(prune.len(), 1);
+        assert_eq!(prune[0].data.get("disjuncts_out").and_then(Json::as_u64), Some(2));
+        assert!(snap.validate().is_ok());
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //!   tree.
 //! * **Sinks** ([`NoopSink`], [`TextSink`], [`JsonSink`]) — exporters over a
 //!   frozen [`Snapshot`], including a hand-rolled [`json`] writer/parser.
+//! * **Flight recorder** ([`Journal`], [`JournalSnapshot`]) — a bounded
+//!   ring buffer of structured, virtual-clock-stamped events with strictly
+//!   monotone sequence numbers, exportable as a [`chrome`] trace for
+//!   Perfetto, replayable through the engine's `ReplaySource`, and
+//!   summarisable via [`render_report`].
 //!
 //! Components receive a [`Recorder`] handle. The default,
 //! [`Recorder::disabled`], hands out *detached* instruments — they still
@@ -36,17 +41,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod report;
 pub mod sink;
 pub mod span;
 
+pub use chrome::{chrome_trace, validate_chrome_trace};
+pub use journal::{
+    InstantPayload, Journal, JournalCheck, JournalConfig, JournalEvent, JournalSnapshot,
+    WireOutcome,
+};
 pub use json::{Json, JsonError};
 pub use metrics::{
     bucket_bound, bucket_index, Counter, Histogram, HistogramSnapshot, MetricsRegistry,
     MetricsSnapshot, HISTOGRAM_BUCKETS,
 };
 pub use recorder::{Recorder, Snapshot};
+pub use report::render_report;
 pub use sink::{render_text, snapshot_to_json, JsonSink, NoopSink, Sink, TextSink};
 pub use span::{SpanGuard, SpanNode};

@@ -155,6 +155,55 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Estimated `q`-quantile (`q` in `[0, 1]`), linearly interpolated
+    /// inside the log₂ bucket where the target rank falls. Bucket 0 is
+    /// exactly the value 0; the unbounded last bucket uses `max` as its
+    /// upper edge. The result is clamped to `[0, max]`, so the estimate
+    /// is never off by more than the width of one bucket.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n;
+            if (next as f64) >= target {
+                if i == 0 {
+                    return 0.0;
+                }
+                let lo = (1u64 << (i - 1)) as f64;
+                let hi = match bucket_bound(i) {
+                    Some(b) => (b as f64).min(self.max as f64 + 1.0),
+                    None => self.max as f64 + 1.0,
+                };
+                let f = (target - cum as f64) / n as f64;
+                return (lo + f * (hi - lo)).min(self.max as f64);
+            }
+            cum = next;
+        }
+        self.max as f64
+    }
+
+    /// Median estimate ([`HistogramSnapshot::percentile`] at 0.50).
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+
     /// The non-empty buckets as `(label, count)` rows, labels like
     /// `"0"`, `"1"`, `"2-3"`, `"4-7"`.
     pub fn nonzero_buckets(&self) -> Vec<(String, u64)> {
@@ -296,6 +345,35 @@ mod tests {
         assert_eq!(s.buckets[2], 2);
         assert_eq!(s.buckets[3], 1);
         assert!((s.mean() - 1010.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_log2_buckets() {
+        let h = Histogram::detached();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Exact p50 is 500; the estimate must land inside the crossing
+        // bucket [256, 512) near the true value.
+        assert!((s.p50() - 500.0).abs() < 16.0, "p50 = {}", s.p50());
+        assert!((s.p95() - 950.0).abs() < 64.0, "p95 = {}", s.p95());
+        assert!(s.p99() <= 1000.0 && s.p99() > 950.0, "p99 = {}", s.p99());
+        assert_eq!(s.percentile(1.0), 1000.0, "q=1 clamps to max");
+
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.p50(), 0.0);
+
+        let zeros = Histogram::detached();
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.snapshot().p99(), 0.0, "bucket 0 is exactly 0");
+
+        let one = Histogram::detached();
+        one.record(7);
+        let s = one.snapshot();
+        assert!(s.p50() >= 4.0 && s.p50() <= 7.0, "single-sample clamp: {}", s.p50());
+        assert!(s.percentile(1.0) <= s.max as f64);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! (a mutex and an allocation per span) is only paid when tracing is on,
 //! and spans mark *phases*, not per-tuple work.
 
+use crate::journal::{Journal, JournalConfig};
 use crate::metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 use crate::span::{SpanGuard, SpanNode, SpanStore};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -25,6 +26,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 struct RecorderInner {
     metrics: Option<MetricsRegistry>,
     spans: Option<Mutex<SpanStore>>,
+    journal: Option<Journal>,
 }
 
 /// A handle to one observability session. Clone freely; clones share the
@@ -56,20 +58,44 @@ impl Recorder {
 
     /// A recorder that collects metrics but not spans.
     pub fn new() -> Recorder {
-        Recorder {
-            inner: Arc::new(RecorderInner {
-                metrics: Some(MetricsRegistry::new()),
-                spans: None,
-            }),
-        }
+        Recorder::build(true, false, None)
     }
 
     /// A recorder that collects metrics *and* phase spans.
     pub fn with_tracing() -> Recorder {
+        Recorder::build(true, true, None)
+    }
+
+    /// A recorder that collects metrics and a flight-recorder journal
+    /// (see [`Journal`]); the journal mirrors evictions to the
+    /// `journal.dropped` counter.
+    pub fn with_journal(cfg: JournalConfig) -> Recorder {
+        Recorder::build(true, false, Some(cfg))
+    }
+
+    /// Metrics, spans, *and* a journal.
+    pub fn with_tracing_and_journal(cfg: JournalConfig) -> Recorder {
+        Recorder::build(true, true, Some(cfg))
+    }
+
+    fn build(metrics: bool, tracing: bool, journal: Option<JournalConfig>) -> Recorder {
+        let registry = if metrics {
+            Some(MetricsRegistry::new())
+        } else {
+            None
+        };
+        let journal = journal.map(|cfg| {
+            let dropped = match &registry {
+                Some(reg) => reg.counter("journal.dropped"),
+                None => Counter::detached(),
+            };
+            Journal::new(cfg, dropped)
+        });
         Recorder {
             inner: Arc::new(RecorderInner {
-                metrics: Some(MetricsRegistry::new()),
-                spans: Some(Mutex::new(SpanStore::default())),
+                metrics: registry,
+                spans: tracing.then(|| Mutex::new(SpanStore::default())),
+                journal,
             }),
         }
     }
@@ -82,6 +108,16 @@ impl Recorder {
     /// True when this recorder collects spans.
     pub fn tracing_enabled(&self) -> bool {
         self.inner.spans.is_some()
+    }
+
+    /// True when this recorder carries a flight-recorder journal.
+    pub fn journal_enabled(&self) -> bool {
+        self.inner.journal.is_some()
+    }
+
+    /// The journal handle, when one is attached.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.inner.journal.as_ref()
     }
 
     /// The counter named `name` — registered when metrics are enabled,
@@ -216,6 +252,24 @@ mod tests {
     fn span_lazy_skips_formatting_when_disabled() {
         let rec = Recorder::new();
         let _g = rec.span_lazy(|| unreachable!("must not format when tracing is off"));
+    }
+
+    #[test]
+    fn journal_recorder_wires_the_dropped_counter() {
+        let cfg = JournalConfig {
+            capacity: 2,
+            ..JournalConfig::light()
+        };
+        let rec = Recorder::with_journal(cfg);
+        assert!(rec.journal_enabled());
+        let j = rec.journal().expect("journal attached").clone();
+        for i in 0..5 {
+            j.emit(0, i, "x.instant", crate::json::Json::Null);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("journal.dropped"), 3);
+        assert_eq!(j.snapshot().dropped, 3);
+        assert!(!Recorder::new().journal_enabled());
     }
 
     #[test]

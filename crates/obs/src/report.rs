@@ -1,0 +1,230 @@
+//! `lapq report`: roll a journal up into per-source / per-operator tables.
+//!
+//! The journal records individual events; this module aggregates them into
+//! the profiling view an operator actually reads: one row per source
+//! relation (calls, faults, retries, rows, latency p50/p95/p99 estimated
+//! through the log₂ [`Histogram`] machinery) and one row per physical
+//! operator (batches, rows in/out). Works on any journal — light or
+//! replay-profile — since it only needs the always-present fields.
+
+use crate::journal::{kind, JournalSnapshot};
+use crate::json::Json;
+use crate::metrics::Histogram;
+use std::collections::BTreeMap;
+
+#[derive(Default)]
+struct SourceRow {
+    calls: u64,
+    ok: u64,
+    faults: u64,
+    timeouts: u64,
+    retries: u64,
+    rows: u64,
+    cache_hits: u64,
+    membership: u64,
+    latency: Histogram,
+}
+
+#[derive(Default)]
+struct OperatorRow {
+    batches: u64,
+    rows_in: u64,
+    rows_out: u64,
+}
+
+fn data_str<'a>(data: &'a Json, key: &str) -> Option<&'a str> {
+    data.get(key).and_then(Json::as_str)
+}
+
+fn data_u64(data: &Json, key: &str) -> u64 {
+    data.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// Renders the profiling report for `snapshot` as fixed-width text.
+pub fn render_report(snapshot: &JournalSnapshot) -> String {
+    let mut sources: BTreeMap<String, SourceRow> = BTreeMap::new();
+    let mut operators: BTreeMap<String, OperatorRow> = BTreeMap::new();
+    let mut degraded: Vec<String> = Vec::new();
+    let mut last_ts = 0u64;
+    // Pending begin per lane, to attribute an end's relation when the end
+    // event omits it.
+    let mut open_call: BTreeMap<u64, String> = BTreeMap::new();
+
+    for event in &snapshot.events {
+        last_ts = last_ts.max(event.ts_ms);
+        match event.kind.as_str() {
+            kind::SOURCE_CALL_BEGIN => {
+                let rel = data_str(&event.data, "relation").unwrap_or("?").to_owned();
+                open_call.insert(event.lane, rel);
+            }
+            kind::SOURCE_CALL_END => {
+                let rel = data_str(&event.data, "relation")
+                    .map(str::to_owned)
+                    .or_else(|| open_call.remove(&event.lane))
+                    .unwrap_or_else(|| "?".to_owned());
+                let row = sources.entry(rel).or_default();
+                row.calls += 1;
+                row.rows += data_u64(&event.data, "rows");
+                row.latency.record(data_u64(&event.data, "latency_ms"));
+                if event.data.get("ok") == Some(&Json::Bool(true)) {
+                    row.ok += 1;
+                }
+            }
+            kind::FAULT => {
+                let rel = data_str(&event.data, "relation").unwrap_or("?");
+                sources.entry(rel.to_owned()).or_default().faults += 1;
+            }
+            kind::TIMEOUT => {
+                let rel = data_str(&event.data, "relation").unwrap_or("?");
+                sources.entry(rel.to_owned()).or_default().timeouts += 1;
+            }
+            kind::RETRY => {
+                let rel = data_str(&event.data, "relation").unwrap_or("?");
+                sources.entry(rel.to_owned()).or_default().retries += 1;
+            }
+            kind::CACHE_HIT => {
+                let rel = data_str(&event.data, "relation").unwrap_or("?");
+                sources.entry(rel.to_owned()).or_default().cache_hits += 1;
+            }
+            kind::MEMBERSHIP => {
+                let rel = data_str(&event.data, "relation").unwrap_or("?");
+                sources.entry(rel.to_owned()).or_default().membership += 1;
+            }
+            kind::BATCH_BEGIN => {
+                let label = data_str(&event.data, "label").unwrap_or("?").to_owned();
+                let row = operators.entry(label).or_default();
+                row.batches += 1;
+                row.rows_in += data_u64(&event.data, "rows_in");
+            }
+            kind::BATCH_END => {
+                let label = data_str(&event.data, "label").unwrap_or("?").to_owned();
+                operators.entry(label).or_default().rows_out +=
+                    data_u64(&event.data, "rows_out");
+            }
+            kind::DISJUNCT_DEGRADED => {
+                degraded.push(format!(
+                    "disjunct {} ({}) after {} attempt(s): {}",
+                    data_u64(&event.data, "index"),
+                    data_str(&event.data, "relation").unwrap_or("?"),
+                    data_u64(&event.data, "attempts"),
+                    data_str(&event.data, "reason").unwrap_or("?"),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    if let Some(query) = snapshot.meta.get("query").and_then(Json::as_str) {
+        out.push_str(&format!("query: {query}\n"));
+    }
+    out.push_str(&format!(
+        "journal: {} recorded, {} dropped, {} emitted; {} virtual ms\n",
+        snapshot.recorded(),
+        snapshot.dropped,
+        snapshot.emitted,
+        last_ts
+    ));
+
+    if !sources.is_empty() {
+        out.push_str("\nsources:\n");
+        let width = sources.keys().map(String::len).max().unwrap_or(6).max(6);
+        out.push_str(&format!(
+            "  {:width$}  {:>6} {:>6} {:>6} {:>6} {:>7} {:>7} {:>8} {:>8} {:>8}\n",
+            "source", "calls", "rows", "faults", "retry", "cached", "member", "p50ms", "p95ms", "p99ms",
+        ));
+        for (name, row) in &sources {
+            let lat = row.latency.snapshot();
+            out.push_str(&format!(
+                "  {name:width$}  {:>6} {:>6} {:>6} {:>6} {:>7} {:>7} {:>8.1} {:>8.1} {:>8.1}\n",
+                row.calls,
+                row.rows,
+                row.faults + row.timeouts,
+                row.retries,
+                row.cache_hits,
+                row.membership,
+                lat.p50(),
+                lat.p95(),
+                lat.p99(),
+            ));
+        }
+    }
+
+    if !operators.is_empty() {
+        out.push_str("\noperators:\n");
+        let width = operators.keys().map(String::len).max().unwrap_or(8).max(8);
+        out.push_str(&format!(
+            "  {:width$}  {:>8} {:>9} {:>9}\n",
+            "operator", "batches", "rows_in", "rows_out",
+        ));
+        for (label, row) in &operators {
+            out.push_str(&format!(
+                "  {label:width$}  {:>8} {:>9} {:>9}\n",
+                row.batches, row.rows_in, row.rows_out,
+            ));
+        }
+    }
+
+    if !degraded.is_empty() {
+        out.push_str("\ndegraded disjuncts:\n");
+        for line in &degraded {
+            out.push_str(&format!("  {line}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{Journal, JournalConfig};
+    use crate::metrics::Counter;
+
+    #[test]
+    fn report_rolls_up_sources_and_operators() {
+        let j = Journal::new(JournalConfig::light(), Counter::detached());
+        j.set_meta(Json::obj([("query", Json::str("Q"))]));
+        j.emit(0, 0, kind::BATCH_BEGIN, Json::obj([
+            ("label", Json::str("access B^oi")),
+            ("rows_in", Json::num(2)),
+        ]));
+        for latency in [3u64, 9] {
+            j.emit(0, 0, kind::SOURCE_CALL_BEGIN, Json::obj([("relation", Json::str("B"))]));
+            j.emit(0, latency, kind::SOURCE_CALL_END, Json::obj([
+                ("relation", Json::str("B")),
+                ("ok", Json::Bool(true)),
+                ("rows", Json::num(4)),
+                ("latency_ms", Json::num(latency)),
+            ]));
+        }
+        j.emit(0, 9, kind::FAULT, Json::obj([("relation", Json::str("S"))]));
+        j.emit(0, 9, kind::RETRY, Json::obj([("relation", Json::str("S"))]));
+        j.emit(0, 10, kind::BATCH_END, Json::obj([
+            ("label", Json::str("access B^oi")),
+            ("rows_out", Json::num(8)),
+        ]));
+        j.emit(0, 11, kind::DISJUNCT_DEGRADED, Json::obj([
+            ("index", Json::num(1)),
+            ("relation", Json::str("S")),
+            ("attempts", Json::num(4)),
+            ("reason", Json::str("unavailable")),
+        ]));
+        let text = render_report(&j.snapshot());
+        assert!(text.contains("query: Q"), "{text}");
+        assert!(text.contains("sources:"), "{text}");
+        assert!(text.contains("operators:"), "{text}");
+        assert!(text.contains("access B^oi"), "{text}");
+        assert!(text.contains("degraded disjuncts:"), "{text}");
+        assert!(text.contains("disjunct 1 (S) after 4 attempt(s): unavailable"), "{text}");
+        // B row: 2 calls, 8 rows.
+        let b_line = text.lines().find(|l| l.trim_start().starts_with("B ")).unwrap();
+        assert!(b_line.contains('2') && b_line.contains('8'), "{b_line}");
+    }
+
+    #[test]
+    fn empty_journal_still_reports_accounting() {
+        let j = Journal::new(JournalConfig::light(), Counter::detached());
+        let text = render_report(&j.snapshot());
+        assert!(text.contains("0 recorded, 0 dropped, 0 emitted"), "{text}");
+    }
+}

@@ -89,11 +89,14 @@ pub fn render_text(snapshot: &Snapshot) -> String {
         out.push_str("histograms:\n");
         for (name, h) in &snapshot.metrics.histograms {
             out.push_str(&format!(
-                "  {name}: count={} sum={} max={} mean={:.2}\n",
+                "  {name}: count={} sum={} max={} mean={:.2} p50={:.1} p95={:.1} p99={:.1}\n",
                 h.count,
                 h.sum,
                 h.max,
-                h.mean()
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99()
             ));
             for (label, count) in h.nonzero_buckets() {
                 out.push_str(&format!("    [{label}] {count}\n"));
@@ -141,6 +144,9 @@ fn histogram_to_json(h: &HistogramSnapshot) -> Json {
         ("count", Json::num(h.count)),
         ("sum", Json::num(h.sum)),
         ("max", Json::num(h.max)),
+        ("p50", Json::Num(h.p50())),
+        ("p95", Json::Num(h.p95())),
+        ("p99", Json::Num(h.p99())),
         (
             "buckets",
             Json::Obj(
@@ -244,6 +250,25 @@ mod tests {
             spans[0].get("children").and_then(Json::as_arr).map(<[Json]>::len),
             Some(2)
         );
+    }
+
+    #[test]
+    fn sinks_surface_percentile_estimates() {
+        let rec = Recorder::new();
+        let h = rec.histogram("latency_ms");
+        for v in [1u64, 2, 4, 8, 100] {
+            h.record(v);
+        }
+        let snap = rec.snapshot();
+        let text = render_text(&snap);
+        assert!(text.contains("p50="), "{text}");
+        assert!(text.contains("p99="), "{text}");
+        let doc = snapshot_to_json(&snap);
+        let hist = doc.get("histograms").and_then(|h| h.get("latency_ms")).unwrap();
+        for key in ["p50", "p95", "p99"] {
+            assert!(hist.get(key).and_then(Json::as_f64).is_some(), "missing {key}");
+        }
+        assert!(hist.get("p99").and_then(Json::as_f64).unwrap() <= 100.0);
     }
 
     #[test]

@@ -47,6 +47,28 @@ target/release/lapq run examples/data/bookstore.lap \
 target/release/lapq obs-validate "$OBS_SNAPSHOT"
 rm -f "$OBS_SNAPSHOT"
 
+echo "==> flight-recorder smoke: record, validate, replay bit-for-bit"
+FR_JOURNAL="${TMPDIR:-/tmp}/lapq_ci_journal.json"
+FR_RUN="${TMPDIR:-/tmp}/lapq_ci_journal_run.txt"
+FR_REPLAY="${TMPDIR:-/tmp}/lapq_ci_journal_replay.txt"
+target/release/lapq run examples/data/bookstore.lap \
+    examples/data/bookstore_facts.lap \
+    --fault-rate 0.4 --fault-seed 11 --latency-ms 5 --retry 3 \
+    --journal "$FR_JOURNAL" > "$FR_RUN"
+target/release/lapq obs-validate "$FR_JOURNAL"
+target/release/lapq replay "$FR_JOURNAL" > "$FR_REPLAY"
+cmp "$FR_RUN" "$FR_REPLAY"
+target/release/lapq report "$FR_JOURNAL" > /dev/null
+rm -f "$FR_JOURNAL" "$FR_RUN" "$FR_REPLAY"
+
+echo "==> chrome-trace smoke: export round-trips through obs-validate"
+FR_TRACE="${TMPDIR:-/tmp}/lapq_ci_trace.json"
+target/release/lapq run examples/data/bookstore.lap \
+    examples/data/bookstore_facts.lap \
+    --chrome-trace "$FR_TRACE" > /dev/null
+target/release/lapq obs-validate "$FR_TRACE"
+rm -f "$FR_TRACE"
+
 echo "==> resilience smoke: same seed must replay the same degraded answer"
 CHAOS_A="${TMPDIR:-/tmp}/lapq_ci_chaos_a.txt"
 CHAOS_B="${TMPDIR:-/tmp}/lapq_ci_chaos_b.txt"

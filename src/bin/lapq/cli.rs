@@ -22,6 +22,10 @@ pub const VALUE_FLAGS: &[&str] = &[
     "--timeout-ms",
     "--retry",
     "--retry-budget-ms",
+    "--journal",
+    "--journal-capacity",
+    "--journal-sample",
+    "--chrome-trace",
 ];
 
 /// An argument vector split into positionals and recognized flags.

@@ -21,26 +21,42 @@
 //!                                           plan minimization
 //! lapq profile <program.lap> <facts.lap>    EXPLAIN ANALYZE: per-literal
 //!                                           call/row/binding profile
-//! lapq obs-validate <metrics.json>          check an exported snapshot
+//! lapq replay <journal.json>                re-run a recorded query from
+//!                                           its flight-recorder journal,
+//!                                           reproducing the original
+//!                                           outcome bit for bit
+//! lapq report <journal.json>                per-source / per-operator
+//!                                           latency and row tables
+//! lapq obs-validate <file.json>             check an exported snapshot,
+//!                                           journal, or chrome trace
 //! ```
 //!
 //! Every command additionally accepts `--trace` (print the span tree and
 //! metric counters to stderr when done) and `--metrics-json <file>` (write
-//! the same snapshot as JSON). A program file holds access-pattern
-//! declarations and rules (see README); a facts file holds ground atoms
-//! (`B(1, "tolkien", "lotr").`).
+//! the same snapshot as JSON). The flight recorder is engaged by
+//! `--journal <file>` (structured event journal with captured inputs and
+//! rows — replayable with `lapq replay`), `--chrome-trace <file>`
+//! (Perfetto / `chrome://tracing` loadable trace), `--journal-capacity
+//! <n>` (ring size), and `--journal-sample <n>` (record every n-th source
+//! call). A program file holds access-pattern declarations and rules (see
+//! README); a facts file holds ground atoms (`B(1, "tolkien", "lotr").`).
 
 mod cli;
 
 use cli::CliArgs;
 use lap::core::{
-    answer_star_obs, answer_star_resilient, answer_star_with_domain, feasible_detailed_with,
-    is_executable, is_orderable, AnswerReport, Completeness, ContainmentEngine, DecisionPath,
-    EngineConfig,
+    answer_star_obs, answer_star_replay, answer_star_resilient, answer_star_with_domain,
+    feasible_detailed_with, is_executable, is_orderable, AnswerOutcome, AnswerReport,
+    Completeness, ContainmentEngine, DecisionPath, EngineConfig,
 };
-use lap::engine::{display_tuple, Database, FaultConfig, ResilienceConfig, RetryPolicy};
+use lap::engine::{
+    display_tuple, Database, FaultConfig, ReplaySource, ResilienceConfig, RetryPolicy,
+};
 use lap::ir::{parse_program, Program, UnionQuery};
-use lap::obs::{render_text, JsonSink, Recorder, Sink};
+use lap::obs::{
+    chrome_trace, render_report, render_text, validate_chrome_trace, JournalConfig,
+    JournalSnapshot, Json, JsonSink, Recorder, Sink,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -56,12 +72,15 @@ fn main() -> ExitCode {
             eprintln!("  lapq plan  <program.lap> [--trace] [--metrics-json <file>]");
             eprintln!("  lapq run   <program.lap> <facts.lap> [--domain <budget>] [--trace] [--metrics-json <file>]");
             eprintln!("             [--fault-rate <p>] [--fault-seed <n>] [--latency-ms <n>] [--timeout-ms <n>] [--retry <n>] [--retry-budget-ms <n>]");
+            eprintln!("             [--journal <file>] [--journal-capacity <n>] [--journal-sample <n>] [--chrome-trace <file>]");
             eprintln!("  lapq answer  (alias of run)");
+            eprintln!("  lapq replay <journal.json> [--trace] [--metrics-json <file>]");
+            eprintln!("  lapq report <journal.json>");
             eprintln!("  lapq contain <program.lap> <P> <Q> [--parallel] [--cache] [--trace] [--metrics-json <file>]");
             eprintln!("  lapq mediate <views.lap> <query.lap> <facts.lap> [--parallel] [--cache] [--trace] [--metrics-json <file>]");
             eprintln!("  lapq optimize <program.lap> [facts.lap] [--trace] [--metrics-json <file>]");
             eprintln!("  lapq profile <program.lap> <facts.lap> [--trace] [--metrics-json <file>]");
-            eprintln!("  lapq obs-validate <metrics.json>");
+            eprintln!("  lapq obs-validate <metrics|journal|chrome-trace .json>");
             ExitCode::FAILURE
         }
     }
@@ -70,15 +89,51 @@ fn main() -> ExitCode {
 fn run(raw: &[String]) -> Result<(), String> {
     let args = CliArgs::parse(raw)?;
     let cmd = args.require(0, "missing command")?.to_owned();
-    let recorder = if args.flag("--trace") {
-        Recorder::with_tracing()
-    } else if args.value("--metrics-json").is_some() {
-        Recorder::new()
-    } else {
-        Recorder::disabled()
+    let recorder = match (journal_config_from_args(&args)?, args.flag("--trace")) {
+        (Some(cfg), true) => Recorder::with_tracing_and_journal(cfg),
+        (Some(cfg), false) => Recorder::with_journal(cfg),
+        (None, true) => Recorder::with_tracing(),
+        (None, false) if args.value("--metrics-json").is_some() => Recorder::new(),
+        (None, false) => Recorder::disabled(),
     };
     dispatch(&cmd, &args, &recorder)?;
     export(&recorder, &args)
+}
+
+/// Valued flags that engage the flight recorder.
+const JOURNAL_FLAGS: &[&str] = &[
+    "--journal",
+    "--journal-capacity",
+    "--journal-sample",
+    "--chrome-trace",
+];
+
+/// Builds the journal configuration selected by the journal flags, or
+/// `None` when the flight recorder was not requested. `--journal` records
+/// in replay fidelity (inputs and rows captured); `--chrome-trace` alone
+/// records the light always-on tier.
+fn journal_config_from_args(args: &CliArgs) -> Result<Option<JournalConfig>, String> {
+    if !args.any_value(JOURNAL_FLAGS) {
+        return Ok(None);
+    }
+    let mut cfg = if args.value("--journal").is_some() {
+        JournalConfig::replay()
+    } else {
+        JournalConfig::light()
+    };
+    if let Some(cap) = args.value_u64("--journal-capacity")? {
+        if cap == 0 {
+            return Err("--journal-capacity must be at least 1".to_owned());
+        }
+        cfg.capacity = cap as usize;
+    }
+    if let Some(every) = args.value_u64("--journal-sample")? {
+        if every == 0 {
+            return Err("--journal-sample must be at least 1".to_owned());
+        }
+        cfg.sample_every = every;
+    }
+    Ok(Some(cfg))
 }
 
 fn dispatch(cmd: &str, args: &CliArgs, recorder: &Recorder) -> Result<(), String> {
@@ -126,6 +181,8 @@ fn dispatch(cmd: &str, args: &CliArgs, recorder: &Recorder) -> Result<(), String
             &engine_from_args(args, recorder),
             recorder,
         ),
+        "replay" => replay_cmd(args.require(1, "replay needs a journal file")?, recorder),
+        "report" => report_cmd(args.require(1, "report needs a journal file")?),
         "obs-validate" => obs_validate(args.require(1, "obs-validate needs a json file")?),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -185,8 +242,20 @@ fn engine_from_args(args: &CliArgs, recorder: &Recorder) -> ContainmentEngine {
     )
 }
 
-/// Prints the recorder snapshot per the `--trace` / `--metrics-json` flags.
+/// Prints the recorder snapshot per the `--trace` / `--metrics-json` flags
+/// and writes the flight-recorder exports (`--journal`, `--chrome-trace`).
 fn export(recorder: &Recorder, args: &CliArgs) -> Result<(), String> {
+    if let Some(journal) = recorder.journal() {
+        let snap = journal.snapshot();
+        if let Some(path) = args.value("--journal") {
+            std::fs::write(path, snap.to_json().to_pretty())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        if let Some(path) = args.value("--chrome-trace") {
+            std::fs::write(path, chrome_trace(&snap).to_pretty())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+    }
     if !recorder.metrics_enabled() {
         return Ok(());
     }
@@ -370,6 +439,27 @@ fn print_answer_report(rep: &AnswerReport) {
     println!("  -- {}", rep.stats);
 }
 
+/// Prints the resilience tail of an [`AnswerOutcome`]: degraded disjuncts
+/// and retry/failure/virtual-clock totals. Shared by `run` (resilient
+/// mode) and `replay`, whose outputs must match byte for byte.
+fn print_outcome(outcome: &AnswerOutcome) {
+    print_answer_report(&outcome.report);
+    if outcome.degradation.is_degraded() {
+        println!(
+            "  -- degraded: {} disjunct(s) dropped after exhausting retries:",
+            outcome.degradation.total()
+        );
+        for line in outcome.degradation.to_string().lines() {
+            println!("     {line}");
+        }
+    }
+    println!(
+        "  -- resilience: {} retry(ies), {} source failure(s), {} virtual ms",
+        outcome.retries, outcome.failures, outcome.virtual_ms
+    );
+    println!();
+}
+
 fn run_query(
     program_path: &str,
     facts_path: &str,
@@ -377,7 +467,17 @@ fn run_query(
     resilience: Option<&ResilienceConfig>,
     recorder: &Recorder,
 ) -> Result<(), String> {
-    let program = load(program_path, recorder)?;
+    let text = std::fs::read_to_string(program_path)
+        .map_err(|e| format!("cannot read {program_path}: {e}"))?;
+    let program = {
+        let _span = recorder.span("parse");
+        parse_program(&text).map_err(|e| format!("{program_path}: {e}"))?
+    };
+    // The journal carries the full program text so `lapq replay` can
+    // re-derive the schema and plans without the original files.
+    if let Some(journal) = recorder.journal() {
+        journal.merge_meta([("program", Json::str(text.as_str()))]);
+    }
     let facts = std::fs::read_to_string(facts_path)
         .map_err(|e| format!("cannot read {facts_path}: {e}"))?;
     let db = Database::from_facts(&facts).map_err(|e| format!("{facts_path}: {e}"))?;
@@ -386,21 +486,7 @@ fn run_query(
         if let Some(res) = resilience {
             let outcome = answer_star_resilient(query, &program.schema, &db, recorder, res)
                 .map_err(|e| format!("evaluating {}: {e}", query.signature.0))?;
-            print_answer_report(&outcome.report);
-            if outcome.degradation.is_degraded() {
-                println!(
-                    "  -- degraded: {} disjunct(s) dropped after exhausting retries:",
-                    outcome.degradation.total()
-                );
-                for line in outcome.degradation.to_string().lines() {
-                    println!("     {line}");
-                }
-            }
-            println!(
-                "  -- resilience: {} retry(ies), {} source failure(s), {} virtual ms",
-                outcome.retries, outcome.failures, outcome.virtual_ms
-            );
-            println!();
+            print_outcome(&outcome);
             continue;
         }
         let rep = answer_star_obs(query, &program.schema, &db, recorder)
@@ -586,14 +672,94 @@ fn rename_head(p: &UnionQuery, q: &UnionQuery) -> UnionQuery {
     out
 }
 
-/// Validates an exported metrics snapshot: the file must parse as JSON and
-/// carry the `counters` / `histograms` / `spans` keys with the shapes the
-/// exporter writes. Lets CI check a snapshot without python or jq.
-fn obs_validate(path: &str) -> Result<(), String> {
-    use lap::obs::Json;
+/// Reads and parses a flight-recorder journal document.
+fn load_journal(path: &str) -> Result<JournalSnapshot, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = lap::obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    JournalSnapshot::from_json(&doc).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Re-runs a recorded query from its journal: the program text, retry
+/// policy, and every transport-level source outcome come from the journal,
+/// so the run reproduces the original answers, degradations, retry counts,
+/// and virtual clock bit for bit — faults included, no live database
+/// needed.
+fn replay_cmd(path: &str, recorder: &Recorder) -> Result<(), String> {
+    let snap = load_journal(path)?;
+    snap.validate().map_err(|e| format!("{path}: invalid journal: {e}"))?;
+    let program_text = snap
+        .meta
+        .get("program")
+        .and_then(Json::as_str)
+        .ok_or_else(|| {
+            format!("{path}: no \"program\" metadata — record with `lapq run … --journal`")
+        })?;
+    let program =
+        parse_program(program_text).map_err(|e| format!("{path}: recorded program: {e}"))?;
+    let retry = match snap.meta.get("retry") {
+        Some(doc) if !matches!(doc, Json::Null) => {
+            RetryPolicy::from_json(doc).map_err(|e| format!("{path}: {e}"))?
+        }
+        _ => RetryPolicy::default(),
+    };
+    let source = ReplaySource::from_journal(&snap).map_err(|e| format!("{path}: {e}"))?;
+    for query in &program.queries {
+        println!("query {}:", query.signature.0);
+        let outcome =
+            answer_star_replay(query, &program.schema, source.clone(), retry, recorder)
+                .map_err(|e| format!("replaying {}: {e}", query.signature.0))?;
+        print_outcome(&outcome);
+    }
+    if source.mismatches() > 0 || source.remaining() > 0 {
+        return Err(format!(
+            "replay diverged from the recording: {} mismatched call(s), {} recorded call(s) \
+             never consumed",
+            source.mismatches(),
+            source.remaining()
+        ));
+    }
+    if source.out_of_order() > 0 {
+        eprintln!(
+            "lapq: note: {} call(s) were consumed out of recorded order",
+            source.out_of_order()
+        );
+    }
+    Ok(())
+}
+
+/// Rolls a journal up into per-source and per-operator tables with
+/// p50/p95/p99 latency estimates.
+fn report_cmd(path: &str) -> Result<(), String> {
+    let snap = load_journal(path)?;
+    print!("{}", render_report(&snap));
+    Ok(())
+}
+
+/// Validates an exported observability document: a metrics snapshot
+/// (`counters`/`histograms`/`spans`), a flight-recorder journal
+/// (`events`/`emitted`, checked for monotone sequence, accounting, and
+/// begin/end balance), or a chrome trace (`traceEvents`, checked for
+/// well-formed, balanced B/E events). The shape is detected from the
+/// document's keys. Lets CI check every export without python or jq.
+fn obs_validate(path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = lap::obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if doc.get("traceEvents").is_some() {
+        let n = validate_chrome_trace(&doc).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: ok (chrome trace, {n} event(s), balanced)");
+        return Ok(());
+    }
+    if doc.get("events").is_some() && doc.get("emitted").is_some() {
+        let snap = JournalSnapshot::from_json(&doc).map_err(|e| format!("{path}: {e}"))?;
+        let check = snap.validate().map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: ok (journal, {} event(s), {} begin(s)/{} end(s), {} lane(s), {} dropped)",
+            check.events, check.begins, check.ends, check.lanes, snap.dropped
+        );
+        return Ok(());
+    }
     let counters = doc
         .get("counters")
         .ok_or_else(|| format!("{path}: missing \"counters\" key"))?;

@@ -239,6 +239,121 @@ fn bad_resilience_flags_fail_cleanly() {
     assert!(err.contains("--retry must be in [1"), "{err}");
 }
 
+/// A scratch path under the target-adjacent temp dir, removed on drop.
+struct Scratch(std::path::PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let path = std::env::temp_dir().join(format!("lapq-cli-{}-{name}", std::process::id()));
+        Scratch(path)
+    }
+
+    fn as_str(&self) -> &str {
+        self.0.to_str().expect("temp path is utf-8")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn recorded_run_replays_bit_for_bit_from_the_journal() {
+    let journal = Scratch::new("replay.json");
+    let recorded = lapq(&[
+        "run",
+        "examples/data/bookstore.lap",
+        "examples/data/bookstore_facts.lap",
+        "--fault-rate",
+        "0.4",
+        "--fault-seed",
+        "11",
+        "--latency-ms",
+        "5",
+        "--retry",
+        "3",
+        "--journal",
+        journal.as_str(),
+    ]);
+    assert!(recorded.status.success(), "{}", String::from_utf8_lossy(&recorded.stderr));
+    let validated = lapq(&["obs-validate", journal.as_str()]);
+    assert!(validated.status.success());
+    assert!(stdout(&validated).contains("ok (journal"), "{}", stdout(&validated));
+
+    let replayed = lapq(&["replay", journal.as_str()]);
+    assert!(replayed.status.success(), "{}", String::from_utf8_lossy(&replayed.stderr));
+    assert_eq!(
+        stdout(&recorded),
+        stdout(&replayed),
+        "replay must reproduce the recorded run byte for byte"
+    );
+}
+
+#[test]
+fn chrome_trace_export_passes_validation() {
+    let trace = Scratch::new("trace.json");
+    let out = lapq(&[
+        "run",
+        "examples/data/bookstore.lap",
+        "examples/data/bookstore_facts.lap",
+        "--chrome-trace",
+        trace.as_str(),
+    ]);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(trace.as_str()).unwrap();
+    assert!(text.contains("traceEvents"), "{text}");
+    let validated = lapq(&["obs-validate", trace.as_str()]);
+    assert!(validated.status.success());
+    assert!(stdout(&validated).contains("balanced"), "{}", stdout(&validated));
+}
+
+#[test]
+fn report_rolls_the_journal_into_tables() {
+    let journal = Scratch::new("report.json");
+    let out = lapq(&[
+        "run",
+        "examples/data/bookstore.lap",
+        "examples/data/bookstore_facts.lap",
+        "--fault-rate",
+        "0.0",
+        "--latency-ms",
+        "3",
+        "--journal",
+        journal.as_str(),
+    ]);
+    assert!(out.status.success());
+    let report = lapq(&["report", journal.as_str()]);
+    assert!(report.status.success(), "{}", String::from_utf8_lossy(&report.stderr));
+    let text = stdout(&report);
+    assert!(text.contains("sources:"), "{text}");
+    assert!(text.contains("p95ms"), "{text}");
+    assert!(text.contains("operators:"), "{text}");
+}
+
+#[test]
+fn replay_of_a_non_replayable_journal_fails_cleanly() {
+    let journal = Scratch::new("light.json");
+    // --chrome-trace alone records the light tier: no captured rows.
+    let out = lapq(&[
+        "run",
+        "examples/data/bookstore.lap",
+        "examples/data/bookstore_facts.lap",
+        "--journal-capacity",
+        "65536",
+        "--journal",
+        journal.as_str(),
+        "--journal-sample",
+        "2",
+    ]);
+    assert!(out.status.success());
+    let replayed = lapq(&["replay", journal.as_str()]);
+    assert!(!replayed.status.success());
+    let err = String::from_utf8_lossy(&replayed.stderr).into_owned();
+    assert!(err.contains("sampled"), "{err}");
+}
+
 #[test]
 fn check_with_constraints_flips_feasibility() {
     let out = lapq(&[

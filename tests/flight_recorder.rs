@@ -1,0 +1,177 @@
+//! Flight-recorder suite: record a chaotic ANSWER\* run into the
+//! structured journal, then prove the journal is good for something:
+//!
+//! * **replay** — a seeded degraded run, re-executed from its journal
+//!   through a [`ReplaySource`], reproduces the original
+//!   [`AnswerOutcome`] bit for bit without the database;
+//! * **invariants** — journals validate (strictly monotone sequence,
+//!   `recorded + dropped == emitted`, per-lane begin/end balance) even
+//!   under the parallel executor and under ring overflow;
+//! * **export** — the chrome-trace rendering round-trips through the
+//!   in-repo JSON parser and stays balanced per thread lane.
+
+use lap::core::{answer_star_replay, answer_star_resilient};
+use lap::engine::{
+    execute_physical_union_parallel_degraded, ExecConfig, FaultConfig, ReplaySource,
+    ResilienceConfig, RetryPolicy,
+};
+use lap::obs::{chrome_trace, validate_chrome_trace, JournalConfig, JournalSnapshot, Recorder};
+use lap::workload::{bookstore, BookstoreConfig};
+use lap_prng::StdRng;
+
+/// A small federated bookstore with several disjuncts and a negated
+/// literal, plus its parsed standing query.
+fn scenario() -> (lap::ir::Program, lap::engine::Database) {
+    let mut rng = StdRng::seed_from_u64(2004);
+    let cfg = BookstoreConfig {
+        books: 60,
+        ..BookstoreConfig::default()
+    };
+    let bs = bookstore(&cfg, &mut rng);
+    let program = lap::ir::parse_program(&bs.program_text()).unwrap();
+    (program, bs.db)
+}
+
+#[test]
+fn recorded_chaos_run_replays_bit_for_bit() {
+    let (program, db) = scenario();
+    let query = program.single_query().unwrap();
+    let resilience = ResilienceConfig::chaos(0.3, 0xDECAF);
+
+    let recorder = Recorder::with_journal(JournalConfig::replay());
+    let original =
+        answer_star_resilient(query, &program.schema, &db, &recorder, &resilience).unwrap();
+    assert!(
+        original.degradation.is_degraded(),
+        "rate 0.3 over many calls should drop something"
+    );
+
+    // The journal survives a JSON round trip (file export / import).
+    let snap = recorder.journal().unwrap().snapshot();
+    snap.validate().expect("recorded journal validates");
+    let text = snap.to_json().to_pretty();
+    let snap = JournalSnapshot::from_json(&lap::obs::json::parse(&text).unwrap()).unwrap();
+    assert_eq!(snap, recorder.journal().unwrap().snapshot());
+
+    // Replay from the journal alone: no database, no fault injector.
+    let source = ReplaySource::from_journal(&snap).unwrap();
+    let replayed = answer_star_replay(
+        query,
+        &program.schema,
+        source.clone(),
+        resilience.retry,
+        &Recorder::disabled(),
+    )
+    .unwrap();
+    assert_eq!(replayed, original, "replay must reproduce the outcome bit for bit");
+    assert_eq!(source.mismatches(), 0);
+    assert_eq!(source.out_of_order(), 0);
+    assert_eq!(source.remaining(), 0, "every recorded call must be consumed");
+}
+
+#[test]
+fn journal_meta_carries_the_run_setup() {
+    let (program, db) = scenario();
+    let query = program.single_query().unwrap();
+    let resilience = ResilienceConfig::chaos(0.2, 7);
+    let recorder = Recorder::with_journal(JournalConfig::replay());
+    answer_star_resilient(query, &program.schema, &db, &recorder, &resilience).unwrap();
+    let meta = recorder.journal().unwrap().snapshot().meta;
+    assert_eq!(
+        meta.get("kind").and_then(lap::obs::Json::as_str),
+        Some("answer*.resilient")
+    );
+    assert_eq!(
+        meta.get("query").and_then(lap::obs::Json::as_str),
+        Some(query.to_string().as_str())
+    );
+    let retry = RetryPolicy::from_json(meta.get("retry").unwrap()).unwrap();
+    assert_eq!(retry, resilience.retry);
+    assert!(meta.get("fault").and_then(|f| f.get("seed")).is_some());
+}
+
+#[test]
+fn journal_invariants_hold_under_the_parallel_executor() {
+    let (program, db) = scenario();
+    let query = program.single_query().unwrap();
+    let pair = lap::core::plan_star(query, &program.schema);
+    let physical = pair.under.lower(&program.schema);
+    let resilience = ResilienceConfig {
+        fault: Some(FaultConfig::with_rate(0.25, 0xFEED)),
+        retry: RetryPolicy::standard(),
+    };
+    let recorder = Recorder::with_journal(JournalConfig::light());
+    let (_, _, drops) = execute_physical_union_parallel_degraded(
+        &physical,
+        &db,
+        &program.schema,
+        &recorder,
+        ExecConfig::default(),
+        &resilience,
+    )
+    .unwrap();
+    let snap = recorder.journal().unwrap().snapshot();
+    let check = snap.validate().expect("parallel journal validates");
+    assert!(check.lanes > 1, "workers must land on distinct lanes: {check:?}");
+    assert_eq!(check.begins, check.ends, "balanced per construction: {check:?}");
+    assert_eq!(
+        snap.events_of(lap::obs::journal::kind::DISJUNCT_DEGRADED).count(),
+        drops.len(),
+        "every drop decision must be journaled"
+    );
+}
+
+#[test]
+fn chrome_trace_round_trips_through_the_in_repo_parser() {
+    let (program, db) = scenario();
+    let query = program.single_query().unwrap();
+    let recorder = Recorder::with_journal(JournalConfig::light());
+    answer_star_resilient(
+        query,
+        &program.schema,
+        &db,
+        &recorder,
+        &ResilienceConfig::chaos(0.3, 0xDECAF),
+    )
+    .unwrap();
+    let snap = recorder.journal().unwrap().snapshot();
+    let rendered = chrome_trace(&snap).to_pretty();
+    let parsed = lap::obs::json::parse(&rendered).expect("chrome trace is valid JSON");
+    let n = validate_chrome_trace(&parsed).expect("chrome trace is balanced");
+    assert_eq!(n as u64, snap.recorded(), "one trace event per journal event");
+}
+
+#[test]
+fn ring_overflow_is_bounded_and_accounted_end_to_end() {
+    let (program, db) = scenario();
+    let query = program.single_query().unwrap();
+    let cfg = JournalConfig {
+        capacity: 16,
+        ..JournalConfig::light()
+    };
+    let recorder = Recorder::with_journal(cfg);
+    answer_star_resilient(
+        query,
+        &program.schema,
+        &db,
+        &recorder,
+        &ResilienceConfig::chaos(0.3, 0xDECAF),
+    )
+    .unwrap();
+    let snap = recorder.journal().unwrap().snapshot();
+    // Call begin/end pairs evict as a unit, so the ring may sit one event
+    // under capacity — but never over it.
+    assert!(
+        (15..=16).contains(&snap.events.len()),
+        "capacity is a hard bound, got {}",
+        snap.events.len()
+    );
+    assert!(snap.dropped > 0, "a chaotic run overflows 16 slots");
+    assert_eq!(snap.recorded() + snap.dropped, snap.emitted);
+    snap.validate().expect("truncated journal still validates");
+    // The eviction count is mirrored into the metrics registry.
+    assert_eq!(recorder.snapshot().counter("journal.dropped"), snap.dropped);
+    // And a truncated journal refuses to replay rather than diverging.
+    let err = ReplaySource::from_journal(&snap).unwrap_err();
+    assert!(err.contains("dropped"), "{err}");
+}
