@@ -1,10 +1,10 @@
-//! Experiment driver: prints the E1–E20 tables.
+//! Experiment driver: prints the E1–E21 tables.
 //!
 //! ```sh
 //! cargo run --release -p lap-bench --bin experiments             # all, text
 //! cargo run --release -p lap-bench --bin experiments -- e2 e11  # subset
 //! cargo run --release -p lap-bench --bin experiments -- --markdown
-//! cargo run --release -p lap-bench --bin experiments -- --json            # BENCH_PR5.json
+//! cargo run --release -p lap-bench --bin experiments -- --json            # BENCH_PR6.json
 //! cargo run --release -p lap-bench --bin experiments -- --json=tables.json
 //! ```
 
@@ -12,7 +12,7 @@ use lap_bench::runner;
 use lap_bench::tables::{tables_to_json, Table};
 
 /// Default path for `--json` without an explicit `=<path>`.
-const DEFAULT_JSON_PATH: &str = "BENCH_PR5.json";
+const DEFAULT_JSON_PATH: &str = "BENCH_PR6.json";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,6 +53,7 @@ fn main() {
         ("e18", Box::new(runner::e18_batched_executor)),
         ("e19", Box::new(runner::e19_fault_resilience)),
         ("e20", Box::new(runner::e20_journal_overhead)),
+        ("e21", Box::new(runner::e21_overlapped_io)),
     ];
 
     let mut rendered: Vec<Table> = Vec::new();

@@ -1,4 +1,4 @@
-//! The experiment suite E1–E20 (see DESIGN.md §6 and EXPERIMENTS.md).
+//! The experiment suite E1–E21 (see DESIGN.md §6 and EXPERIMENTS.md).
 //!
 //! Each experiment returns a [`Table`]; the `experiments` binary prints
 //! them all. Everything is seeded — rerunning reproduces identical
@@ -1188,6 +1188,87 @@ pub fn e20_journal_overhead() -> Table {
     t
 }
 
+/// E21 — overlapped source I/O: the 20ms-latency chaos workload under an
+/// increasing `io_workers` budget. Virtual wall-clock is the scheduler's
+/// deterministic model of elapsed time: at 1 worker it is the *sum* of
+/// per-call latencies (serial waits); with overlap it approaches the
+/// *max* per-lane critical path. Answers, completeness, retries, and
+/// failures are asserted identical to the serial oracle at every width —
+/// overlap changes when calls wait, never what they return. The
+/// acceptance bar is wall-clock at 8 workers ≤ 0.5× serial.
+pub fn e21_overlapped_io() -> Table {
+    use lap_core::answer_star_resilient_cfg;
+    use lap_engine::ExecConfig;
+    use lap_obs::Recorder;
+    use lap_workload::overlapped_chaos;
+    let mut t = Table::new(
+        "E21 — overlapped source I/O (20ms-latency chaos, federated bookstore)",
+        "The E19 scenario (2 vendors × 2 catalogs, 200 books) under the overlapped-chaos profile: every wire call carries a flat 20ms virtual latency plus a 0.10 error rate with up to 3 attempts. One resilient ANSWER* run per io_workers width; 'virtual ms' is the deterministic virtual wall-clock (latency + backoff waits as scheduled, not host time). Serial execution pays the sum of per-call latencies; overlapped execution pays per-lane critical paths, so the ratio falls toward 1/workers until retry chains and batch boundaries dominate. Answers and resilience counters are asserted bit-identical to the serial run at every width.",
+        &["io workers", "answers", "virtual ms", "vs serial", "retries", "failures", "calls"],
+    );
+    let cfg = BookstoreConfig {
+        books: 200,
+        authors: 40,
+        ..BookstoreConfig::default()
+    };
+    let scenario = bookstore(&cfg, &mut StdRng::seed_from_u64(21));
+    let program = parse_program(&scenario.program_text()).expect("scenario parses");
+    let q = program.single_query().expect("one query").clone();
+    let chaos = overlapped_chaos(21);
+    let recorder = Recorder::disabled();
+    let serial = answer_star_resilient_cfg(
+        &q,
+        &program.schema,
+        &scenario.db,
+        &recorder,
+        &chaos.resilience,
+        ExecConfig::default(),
+    )
+    .expect("serial run");
+    for workers in [1usize, 2, 4, 8, 16] {
+        let outcome = answer_star_resilient_cfg(
+            &q,
+            &program.schema,
+            &scenario.db,
+            &recorder,
+            &chaos.resilience,
+            ExecConfig::default().with_io_workers(workers),
+        )
+        .expect("overlapped run");
+        assert_eq!(outcome.report.under, serial.report.under, "answers must not change");
+        assert_eq!(outcome.report.completeness, serial.report.completeness);
+        assert_eq!(outcome.report.stats, serial.report.stats, "call counters must not change");
+        assert_eq!(outcome.retries, serial.retries, "retry schedule must not change");
+        assert_eq!(outcome.failures, serial.failures, "fault schedule must not change");
+        assert!(
+            outcome.virtual_ms <= serial.virtual_ms,
+            "overlap can only shorten the virtual wall-clock"
+        );
+        if workers == 8 {
+            assert!(
+                (outcome.virtual_ms as f64) <= 0.5 * serial.virtual_ms as f64,
+                "acceptance: 8 workers must at least halve the serial wall-clock \
+                 ({} vs {} virtual ms)",
+                outcome.virtual_ms,
+                serial.virtual_ms
+            );
+        }
+        t.row(vec![
+            workers.to_string(),
+            outcome.report.under.len().to_string(),
+            outcome.virtual_ms.to_string(),
+            format!(
+                "{:.2}x",
+                outcome.virtual_ms as f64 / (serial.virtual_ms as f64).max(1e-12)
+            ),
+            outcome.retries.to_string(),
+            outcome.failures.to_string(),
+            outcome.report.stats.calls.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Runs every experiment with the default sizes used in EXPERIMENTS.md.
 pub fn run_all() -> Vec<Table> {
     let sizes = [8usize, 16, 32, 64, 128, 256];
@@ -1212,6 +1293,7 @@ pub fn run_all() -> Vec<Table> {
         e18_batched_executor(),
         e19_fault_resilience(),
         e20_journal_overhead(),
+        e21_overlapped_io(),
     ]
 }
 

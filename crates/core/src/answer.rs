@@ -73,7 +73,7 @@ pub fn answer_star_obs(
     recorder: &Recorder,
 ) -> Result<AnswerReport, EngineError> {
     let _span = recorder.span("answer*");
-    stamp_journal_meta(recorder, "answer*", q, &RetryPolicy::default(), None);
+    stamp_journal_meta(recorder, "answer*", q, &RetryPolicy::default(), None, 1);
     let plans = plan_star_obs(q, schema, recorder);
     let physical = lower_pair(&plans, schema);
     let cfg = ExecConfig::default();
@@ -197,6 +197,23 @@ pub fn answer_star_resilient(
     recorder: &Recorder,
     resilience: &ResilienceConfig,
 ) -> Result<AnswerOutcome, EngineError> {
+    answer_star_resilient_cfg(q, schema, db, recorder, resilience, ExecConfig::default())
+}
+
+/// [`answer_star_resilient`] under an explicit executor configuration —
+/// the way to run the resilient path with overlapped source I/O
+/// (`cfg.io_workers > 1`). Answers, degradation, and retry/failure
+/// accounting are bit-identical across worker counts; only `virtual_ms`
+/// shrinks, since overlapped batches charge their longest worker lane and
+/// the under/over phases of the pair overlap too.
+pub fn answer_star_resilient_cfg(
+    q: &UnionQuery,
+    schema: &Schema,
+    db: &Database,
+    recorder: &Recorder,
+    resilience: &ResilienceConfig,
+    cfg: ExecConfig,
+) -> Result<AnswerOutcome, EngineError> {
     let _span = recorder.span("answer*");
     stamp_journal_meta(
         recorder,
@@ -204,12 +221,13 @@ pub fn answer_star_resilient(
         q,
         &resilience.retry,
         resilience.fault.as_ref(),
+        cfg.io_workers,
     );
     let plans = plan_star_obs(q, schema, recorder);
     let physical = lower_pair(&plans, schema);
-    let cfg = ExecConfig::default();
     let mut reg = SourceRegistry::new(db, schema)
         .recording(recorder)
+        .with_io_workers(cfg.io_workers)
         .with_retry(resilience.retry);
     if let Some(fault) = &resilience.fault {
         reg = reg.with_fault_injection(*fault);
@@ -227,10 +245,12 @@ fn run_degraded_pair(
     recorder: &Recorder,
     plans: PlanPair,
 ) -> Result<AnswerOutcome, EngineError> {
+    let base_wall = reg.virtual_elapsed_ms();
     let (under, under_drops) = {
         let _under = recorder.span("answer*.under");
         execute_physical_union_degraded(&physical.under, reg, cfg)?
     };
+    let under_wall = reg.virtual_elapsed_ms();
     reg.reset_clock();
     let (over, over_drops) = {
         let _over = recorder.span("answer*.over");
@@ -239,7 +259,14 @@ fn run_degraded_pair(
     let degradation = DegradationReport { under: under_drops, over: over_drops };
     let retries = reg.retries_observed();
     let failures = reg.failures_observed();
-    let virtual_ms = reg.virtual_elapsed_ms();
+    // Overlapped runs overlap the under/over phases of the pair too: the
+    // wall clock charges the longer phase, not the sum.
+    let virtual_ms = if cfg.io_workers > 1 {
+        let over_wall = reg.virtual_elapsed_ms() - under_wall;
+        base_wall + (under_wall - base_wall).max(over_wall)
+    } else {
+        reg.virtual_elapsed_ms()
+    };
     let mut report = build_report(under, over, reg.stats(), plans);
     let base = report.completeness.clone();
     report.completeness = degrade_completeness(base, &report, &degradation);
@@ -259,13 +286,28 @@ pub fn answer_star_replay(
     retry: RetryPolicy,
     recorder: &Recorder,
 ) -> Result<AnswerOutcome, EngineError> {
+    answer_star_replay_cfg(q, schema, source, retry, recorder, ExecConfig::default())
+}
+
+/// [`answer_star_replay`] under an explicit executor configuration. A
+/// recorded overlapped run must be replayed at the *same* `io_workers` it
+/// recorded with (carried in the journal metadata) for the outcome —
+/// including `virtual_ms` — to reproduce bit for bit.
+pub fn answer_star_replay_cfg(
+    q: &UnionQuery,
+    schema: &Schema,
+    source: ReplaySource,
+    retry: RetryPolicy,
+    recorder: &Recorder,
+    cfg: ExecConfig,
+) -> Result<AnswerOutcome, EngineError> {
     let _span = recorder.span("answer*");
-    stamp_journal_meta(recorder, "answer*.replay", q, &retry, None);
+    stamp_journal_meta(recorder, "answer*.replay", q, &retry, None, cfg.io_workers);
     let plans = plan_star_obs(q, schema, recorder);
     let physical = lower_pair(&plans, schema);
-    let cfg = ExecConfig::default();
     let mut reg = SourceRegistry::with_source(Box::new(source), schema)
         .recording(recorder)
+        .with_io_workers(cfg.io_workers)
         .with_retry(retry);
     run_degraded_pair(&physical, &mut reg, cfg, recorder, plans)
 }
@@ -279,6 +321,7 @@ fn stamp_journal_meta(
     q: &UnionQuery,
     retry: &RetryPolicy,
     fault: Option<&FaultConfig>,
+    io_workers: usize,
 ) {
     if let Some(journal) = recorder.journal() {
         let cfg = journal.config();
@@ -287,6 +330,7 @@ fn stamp_journal_meta(
             ("query", Json::str(q.to_string())),
             ("retry", retry.to_json()),
             ("fault", fault.map_or(Json::Null, FaultConfig::to_json)),
+            ("io_workers", Json::num(io_workers.max(1) as u64)),
             (
                 "journal",
                 Json::obj([

@@ -14,7 +14,7 @@
 //! which the degraded executors translate into a dropped disjunct and an
 //! honest completeness downgrade instead of an aborted run.
 
-use crate::source::Source;
+use crate::source::{PlannedFetch, Source};
 use crate::value::{Tuple, Value};
 use lap_ir::{AccessPattern, Symbol};
 use lap_prng::StdRng;
@@ -171,6 +171,28 @@ impl<S: Source> Source for FaultInjectingSource<S> {
         pattern: AccessPattern,
         inputs: &[Option<Value>],
     ) -> Result<SourceReply, SourceFault> {
+        // Route through the plan so the RNG draw sequence has exactly one
+        // definition — serial fetches and overlapped planning consume the
+        // schedule identically, bit for bit.
+        match self.plan_fetch(name, pattern, inputs) {
+            PlannedFetch::Fault(fault) => Err(fault),
+            PlannedFetch::Defer { latency_ms } => {
+                // The plan already consumed every draw down the decorator
+                // stack, so the data phase must use the draw-free path.
+                let mut reply = self.fetch_deferred(name, pattern, inputs)?;
+                reply.latency_ms += latency_ms;
+                Ok(reply)
+            }
+            PlannedFetch::Ready(result) => result,
+        }
+    }
+
+    fn plan_fetch(
+        &mut self,
+        name: Symbol,
+        pattern: AccessPattern,
+        inputs: &[Option<Value>],
+    ) -> PlannedFetch {
         let jitter = if self.cfg.latency_jitter_ms > 0 {
             self.rng.gen_range(0..=self.cfg.latency_jitter_ms)
         } else {
@@ -179,17 +201,37 @@ impl<S: Source> Source for FaultInjectingSource<S> {
         let latency = self.cfg.latency_ms + jitter;
         if self.cfg.error_rate > 0.0 && self.rng.gen_bool(self.cfg.error_rate) {
             self.injected += 1;
-            return Err(SourceFault::Unavailable { latency_ms: latency });
+            return PlannedFetch::Fault(SourceFault::Unavailable { latency_ms: latency });
         }
         if let Some(timeout_ms) = self.cfg.timeout_ms {
             if latency > timeout_ms {
                 self.injected += 1;
-                return Err(SourceFault::Timeout { latency_ms: latency, timeout_ms });
+                return PlannedFetch::Fault(SourceFault::Timeout { latency_ms: latency, timeout_ms });
             }
         }
-        let mut reply = self.inner.fetch(name, pattern, inputs)?;
-        reply.latency_ms += latency;
-        Ok(reply)
+        // The call survived every fault draw: whether the inner transfer
+        // can be deferred to a worker is the inner source's decision.
+        match self.inner.plan_fetch(name, pattern, inputs) {
+            PlannedFetch::Defer { latency_ms } => PlannedFetch::Defer {
+                latency_ms: latency_ms + latency,
+            },
+            PlannedFetch::Fault(fault) => PlannedFetch::Fault(fault),
+            PlannedFetch::Ready(result) => PlannedFetch::Ready(result.map(|mut reply| {
+                reply.latency_ms += latency;
+                reply
+            })),
+        }
+    }
+
+    fn fetch_deferred(
+        &mut self,
+        name: Symbol,
+        pattern: AccessPattern,
+        inputs: &[Option<Value>],
+    ) -> Result<SourceReply, SourceFault> {
+        // The fault draws already happened in `plan_fetch`; only the row
+        // transfer remains (the planned latency is added by the caller).
+        self.inner.fetch_deferred(name, pattern, inputs)
     }
 }
 

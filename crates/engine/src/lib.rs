@@ -44,6 +44,7 @@ mod parallel;
 pub mod physical;
 mod relation;
 mod replay;
+pub mod sched;
 mod source;
 mod stats;
 mod trace;
@@ -68,7 +69,7 @@ pub use oracle::{eval_oracle, eval_oracle_single};
 pub use parallel::{eval_ordered_union_parallel, eval_ordered_union_parallel_obs};
 pub use relation::Relation;
 pub use replay::{recorded_calls, RecordedCall, ReplaySource};
-pub use source::{InMemorySource, Source, SourceRegistry};
+pub use source::{InMemorySource, PlannedFetch, Source, SourceRegistry, MAX_IO_WORKERS};
 pub use stats::CallStats;
 pub use trace::{
     eval_ordered_cq_traced, eval_ordered_union_traced, CqTrace, LiteralTrace, TraceTotals,

@@ -34,18 +34,31 @@ pub struct ExecConfig {
     /// degenerates to tuple-at-a-time; larger widths widen the per-batch
     /// call-dedup window.
     pub batch_size: usize,
+    /// Worker lanes for overlapped source I/O (≥ 1). With 1 (the
+    /// default) a batch's deduplicated calls go out serially; with more,
+    /// their wire waits overlap on the registry's virtual wall clock and
+    /// the row transfers run on the [`crate::sched`] pool — answers and
+    /// counters stay bit-identical to the serial path.
+    pub io_workers: usize,
 }
 
 impl Default for ExecConfig {
     fn default() -> ExecConfig {
-        ExecConfig { batch_size: 1024 }
+        ExecConfig { batch_size: 1024, io_workers: 1 }
     }
 }
 
 impl ExecConfig {
     /// A config with the given batch width (clamped to ≥ 1).
     pub fn with_batch_size(batch_size: usize) -> ExecConfig {
-        ExecConfig { batch_size: batch_size.max(1) }
+        ExecConfig { batch_size: batch_size.max(1), io_workers: 1 }
+    }
+
+    /// Same config with `io_workers` worker lanes for overlapped source
+    /// I/O (clamped to ≥ 1).
+    pub fn with_io_workers(mut self, io_workers: usize) -> ExecConfig {
+        self.io_workers = io_workers.max(1);
+        self
     }
 }
 
@@ -251,19 +264,27 @@ impl<'p> PlanExec<'p> {
             return Err(access_error(op, problem));
         }
         let pattern = op.pattern.expect("problem-free access op has a pattern");
-        // In-batch call dedup: one wire call per distinct input key.
-        let mut fetched: HashMap<Vec<Option<Value>>, Vec<Tuple>> = HashMap::new();
+        // In-batch call dedup: one wire call per distinct input key, in
+        // first-occurrence order. The batch's calls go out together so
+        // the registry can overlap their wire waits (`io_workers > 1`).
+        let mut key_index: HashMap<Vec<Option<Value>>, usize> = HashMap::new();
+        let mut keys: Vec<Vec<Option<Value>>> = Vec::new();
+        let mut row_keys: Vec<usize> = Vec::with_capacity(batch.len());
         for row in batch {
             let inputs: Vec<Option<Value>> = (0..pattern.arity())
                 .map(|j| pattern.is_input(j).then(|| resolve(&op.args[j], row)))
                 .collect();
-            if !fetched.contains_key(&inputs) {
-                let rows = reg.call(op.relation, pattern, &inputs)?;
-                self.profiles[i].calls += 1;
-                self.profiles[i].source_rows += rows.len() as u64;
-                fetched.insert(inputs.clone(), rows);
-            }
-            for tuple in &fetched[&inputs] {
+            let k = *key_index.entry(inputs.clone()).or_insert_with(|| {
+                keys.push(inputs);
+                keys.len() - 1
+            });
+            row_keys.push(k);
+        }
+        let fetched = reg.call_many(op.relation, pattern, &keys)?;
+        self.profiles[i].calls += keys.len() as u64;
+        self.profiles[i].source_rows += fetched.iter().map(|rows| rows.len() as u64).sum::<u64>();
+        for (row, &k) in batch.iter().zip(&row_keys) {
+            for tuple in &fetched[k] {
                 if let Some(out) = unify(&op.args, row, tuple) {
                     produced.push(out);
                 }
@@ -540,6 +561,7 @@ pub fn execute_physical_union_parallel_degraded(
                     let mut reg = SourceRegistry::new(db, schema)
                         .recording(recorder)
                         .with_journal_lane(i as u64)
+                        .with_io_workers(cfg.io_workers)
                         .with_retry(resilience.retry);
                     if let Some(fault) = &resilience.fault {
                         reg = reg.with_fault_injection(fault.derive(i as u64));
@@ -629,7 +651,8 @@ pub fn execute_physical_union_parallel_obs(
                     scope.spawn(move || {
                         let mut reg = SourceRegistry::new(db, schema)
                             .recording(recorder)
-                            .with_journal_lane(i as u64);
+                            .with_journal_lane(i as u64)
+                            .with_io_workers(cfg.io_workers);
                         let rows = execute_physical_cq(plan, &mut reg, cfg)?;
                         Ok((rows, reg.stats()))
                     })

@@ -117,8 +117,13 @@ impl Source for ReplaySource {
 }
 
 /// Decodes the journal's `source.call.begin`/`source.call.end` pairs into
-/// [`RecordedCall`]s, ordered by end event (= the order outcomes were
-/// observed). Used by [`ReplaySource::from_journal`] and tests.
+/// [`RecordedCall`]s, ordered by **begin sequence number** — the order
+/// calls were issued. For a serial journal that equals end-event order;
+/// for an overlapped one (concurrent sub-lanes, `io_workers > 1`) begin
+/// order is the order the replaying registry re-issues the calls in, so
+/// sorting here is what lets a replay front-match the stream without
+/// spurious `out_of_order` hits. Used by [`ReplaySource::from_journal`]
+/// and tests.
 pub fn recorded_calls(journal: &JournalSnapshot) -> Result<Vec<RecordedCall>, String> {
     if journal.dropped > 0 {
         return Err(format!(
@@ -136,8 +141,9 @@ pub fn recorded_calls(journal: &JournalSnapshot) -> Result<Vec<RecordedCall>, St
         }
     }
     // Pending begin per lane; wire attempts never nest within a lane.
-    let mut pending: BTreeMap<u64, (Symbol, AccessPattern, Vec<Option<Value>>)> = BTreeMap::new();
-    let mut calls = Vec::new();
+    type PendingBegin = (u64, Symbol, AccessPattern, Vec<Option<Value>>);
+    let mut pending: BTreeMap<u64, PendingBegin> = BTreeMap::new();
+    let mut calls: Vec<(u64, RecordedCall)> = Vec::new();
     for event in &journal.events {
         match event.kind.as_str() {
             kind::SOURCE_CALL_BEGIN => {
@@ -174,10 +180,19 @@ pub fn recorded_calls(journal: &JournalSnapshot) -> Result<Vec<RecordedCall>, St
                         }
                     })
                     .collect::<Result<Vec<_>, _>>()?;
-                pending.insert(event.lane, (Symbol::intern(relation), pattern, inputs));
+                if let Some((prior, ..)) = pending.insert(
+                    event.lane,
+                    (event.seq, Symbol::intern(relation), pattern, inputs),
+                ) {
+                    return Err(format!(
+                        "call begin seq {} overwrites unfinished begin seq {prior} \
+                         on lane {} — begin/end pairs interleaved within a lane",
+                        event.seq, event.lane
+                    ));
+                }
             }
             kind::SOURCE_CALL_END => {
-                let (relation, pattern, inputs) =
+                let (begin_seq, relation, pattern, inputs) =
                     pending.remove(&event.lane).ok_or_else(|| {
                         format!("call end seq {} without a begin on its lane", event.seq)
                     })?;
@@ -211,12 +226,13 @@ pub fn recorded_calls(journal: &JournalSnapshot) -> Result<Vec<RecordedCall>, St
                         _ => Err(SourceFault::Unavailable { latency_ms }),
                     }
                 };
-                calls.push(RecordedCall { relation, pattern, inputs, outcome });
+                calls.push((begin_seq, RecordedCall { relation, pattern, inputs, outcome }));
             }
             _ => {}
         }
     }
-    Ok(calls)
+    calls.sort_by_key(|(begin_seq, _)| *begin_seq);
+    Ok(calls.into_iter().map(|(_, call)| call).collect())
 }
 
 #[cfg(test)]

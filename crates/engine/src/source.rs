@@ -22,13 +22,14 @@
 use crate::error::EngineError;
 use crate::fault::{RetryPolicy, SourceFault, SourceReply};
 use crate::instance::Database;
+use crate::sched;
 use crate::stats::CallStats;
 use crate::value::{rows_to_json, value_to_json, Tuple, Value};
 use lap_ir::{AccessPattern, Schema, Symbol};
-use lap_obs::journal::kind as journal_kind;
 use lap_obs::{Counter, Histogram, InstantPayload, Journal, Json, Recorder, WireOutcome};
 use lap_prng::StdRng;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Formats an access pattern's `i`/`o` word into a stack buffer, avoiding
 /// a heap allocation on the journal fast path.
@@ -41,8 +42,176 @@ fn pattern_word(pattern: AccessPattern, buf: &mut [u8; AccessPattern::MAX_ARITY]
 
 /// Cache key for one source call: relation, pattern, supplied inputs.
 type CallKey = (Symbol, AccessPattern, Vec<Option<Value>>);
+
+/// Hard cap on [`SourceRegistry::with_io_workers`]: far above any sane
+/// pool, but keeps the journal's per-worker sub-lane arithmetic
+/// (`LANE_STRIDE`) collision-free.
+pub const MAX_IO_WORKERS: usize = 256;
+
+/// Journal sub-lane spacing for overlapped calls: a registry on base lane
+/// `l` journals its overlapped call pairs on lanes `(l + 1) * LANE_STRIDE
+/// + worker`, keeping them disjoint from every registry's base lane and
+/// every other registry's workers (base lanes are small disjunct indexes,
+/// `MAX_IO_WORKERS < LANE_STRIDE`).
+const LANE_STRIDE: u64 = 1024;
+
+/// Rich begin-event payload of a captured source call (replay tier): the
+/// bound inputs ride along so a journal alone can re-drive the run.
+fn capture_begin_json(
+    name: Symbol,
+    pattern: AccessPattern,
+    attempt: u32,
+    inputs: &[Option<Value>],
+) -> Json {
+    Json::Obj(vec![
+        ("label".to_owned(), Json::Str(format!("{name}^{pattern}"))),
+        ("relation".to_owned(), Json::str(name.as_str())),
+        ("pattern".to_owned(), Json::Str(pattern.to_string())),
+        ("attempt".to_owned(), Json::num(u64::from(attempt))),
+        (
+            "inputs".to_owned(),
+            Json::Arr(
+                inputs
+                    .iter()
+                    .map(|slot| match slot {
+                        Some(v) => value_to_json(*v),
+                        None => Json::Null,
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Rich end-event payload of a captured successful call.
+fn capture_ok_json(name: Symbol, attempt: u32, reply: &SourceReply) -> Json {
+    Json::Obj(vec![
+        ("relation".to_owned(), Json::str(name.as_str())),
+        ("ok".to_owned(), Json::Bool(true)),
+        ("rows".to_owned(), Json::num(reply.rows.len() as u64)),
+        ("latency_ms".to_owned(), Json::num(reply.latency_ms)),
+        ("attempt".to_owned(), Json::num(u64::from(attempt))),
+        ("rows_data".to_owned(), rows_to_json(&reply.rows)),
+    ])
+}
+
+/// Rich end-event payload of a captured faulted call.
+fn capture_fault_json(name: Symbol, attempt: u32, fault: &SourceFault) -> Json {
+    let (fault_name, raw_latency, timeout_ms) = match *fault {
+        SourceFault::Unavailable { latency_ms } => ("unavailable", latency_ms, None),
+        SourceFault::Timeout { latency_ms, timeout_ms } => ("timeout", latency_ms, Some(timeout_ms)),
+    };
+    let mut data = vec![
+        ("relation".to_owned(), Json::str(name.as_str())),
+        ("ok".to_owned(), Json::Bool(false)),
+        ("fault".to_owned(), Json::str(fault_name)),
+        ("latency_ms".to_owned(), Json::num(raw_latency)),
+        ("attempt".to_owned(), Json::num(u64::from(attempt))),
+    ];
+    if let Some(budget) = timeout_ms {
+        data.push(("timeout_ms".to_owned(), Json::num(budget)));
+    }
+    Json::Obj(data)
+}
+
+/// One planned attempt of an overlapped wire call: what the transport
+/// committed to, plus the backoff the retry policy charged after it
+/// (zero on the final attempt).
+struct ScriptedAttempt {
+    attempt: u32,
+    outcome: ScriptedOutcome,
+    backoff_ms: u64,
+}
+
+/// The transport's committed outcome for one planned attempt.
+enum ScriptedOutcome {
+    /// Success committed; the row transfer itself runs on the worker
+    /// pool. `latency_ms` is the planned wire latency to add to the
+    /// fetched reply.
+    Deferred { latency_ms: u64 },
+    /// The transport produced the full reply during planning.
+    Ready(SourceReply),
+    /// The attempt faults with exactly this fault.
+    Fault(SourceFault),
+}
+
+impl ScriptedOutcome {
+    /// Virtual wire time this attempt occupies its worker lane.
+    fn latency_ms(&self) -> u64 {
+        match self {
+            ScriptedOutcome::Deferred { latency_ms } => *latency_ms,
+            ScriptedOutcome::Ready(reply) => reply.latency_ms,
+            ScriptedOutcome::Fault(fault) => fault.latency_ms(),
+        }
+    }
+}
+
+/// One planned call of an overlapped batch, in issue order.
+enum ScriptedCall {
+    /// Cache hit during planning; rows already in hand.
+    Cached(Vec<Tuple>),
+    /// Duplicate of an earlier key in the same batch (cache enabled):
+    /// resolves to that call's rows, counted as a cache hit like the
+    /// serial loop would.
+    Dup(usize),
+    /// A wire call with a fully scripted attempt sequence.
+    Wire(WireScript),
+}
+
+/// The scripted attempt sequence of one overlapped wire call, plus its
+/// scheduled slot on the virtual wall clock.
+struct WireScript {
+    attempts: Vec<ScriptedAttempt>,
+    /// Terminal error after the last attempt (retries exhausted or
+    /// deadline hit), exactly as the serial loop would surface it.
+    error: Option<EngineError>,
+    /// This call won the journal sampling decision.
+    journaled: bool,
+    /// Replay tier: record rich pairs with row payloads.
+    capture: bool,
+    /// Scheduled start on the virtual wall clock.
+    start_ms: u64,
+    /// Journal sub-lane of the worker slot this call runs on.
+    lane: u64,
+}
+
+impl WireScript {
+    /// Total virtual time the call occupies its worker lane: every
+    /// attempt's wire latency plus the backoffs between attempts.
+    fn duration_ms(&self) -> u64 {
+        self.attempts
+            .iter()
+            .map(|a| a.outcome.latency_ms() + a.backoff_ms)
+            .sum()
+    }
+}
 /// One hash index: projection of the indexed columns → matching rows.
 type ColumnIndex = HashMap<Vec<Value>, Vec<Tuple>>;
+
+/// The transport's verdict on one fetch attempt, split from the data
+/// transfer so the registry can keep many calls in flight at once.
+///
+/// Everything order-sensitive about an attempt — fault coins, latency
+/// jitter, recorded replay outcomes — is decided by
+/// [`Source::plan_fetch`] while the registry still issues attempts
+/// strictly in order. What remains for [`Source::fetch_deferred`] is the
+/// pure row transfer, which draws no randomness and therefore commutes
+/// across worker threads.
+pub enum PlannedFetch {
+    /// The attempt faults; the data transfer never happens.
+    Fault(SourceFault),
+    /// The attempt will succeed after `latency_ms` of virtual wire time;
+    /// the row transfer is deferred to [`Source::fetch_deferred`]. The
+    /// caller adds `latency_ms` on top of whatever the deferred reply
+    /// reports.
+    Defer {
+        /// Virtual wire latency of the planned attempt.
+        latency_ms: u64,
+    },
+    /// The complete outcome is already in hand (replay transports, and
+    /// the default for transports that never split a fetch).
+    Ready(Result<SourceReply, SourceFault>),
+}
 
 /// One remote source transport: answers a validated access-pattern call
 /// with the matching rows, or fails with a [`SourceFault`].
@@ -51,7 +220,10 @@ type ColumnIndex = HashMap<Vec<Value>, Vec<Tuple>>;
 /// reaches the transport, so implementations only answer well-formed
 /// selections. Latency is virtual (milliseconds of simulated wall clock),
 /// so fault/retry schedules are deterministic and tests never sleep.
-pub trait Source {
+/// Transports are `Send` so deferred row transfers can run on the
+/// overlapped executor's worker pool (behind a mutex — `Sync` is not
+/// required).
+pub trait Source: Send {
     /// Answers one call: the rows of `name` matching the `Some` slots of
     /// `inputs` under `pattern`.
     fn fetch(
@@ -60,6 +232,33 @@ pub trait Source {
         pattern: AccessPattern,
         inputs: &[Option<Value>],
     ) -> Result<SourceReply, SourceFault>;
+
+    /// Decides one attempt's outcome without transferring rows, consuming
+    /// exactly the randomness [`Source::fetch`] would have. The default
+    /// performs the whole fetch eagerly — always correct, never
+    /// overlapped — so transports that draw randomness inside `fetch`
+    /// stay deterministic without opting in.
+    fn plan_fetch(
+        &mut self,
+        name: Symbol,
+        pattern: AccessPattern,
+        inputs: &[Option<Value>],
+    ) -> PlannedFetch {
+        PlannedFetch::Ready(self.fetch(name, pattern, inputs))
+    }
+
+    /// Completes a [`PlannedFetch::Defer`]: the pure row transfer, safe
+    /// on a worker thread because [`Source::plan_fetch`] already consumed
+    /// every order-sensitive decision. The planned latency is accounted
+    /// by the caller, not here.
+    fn fetch_deferred(
+        &mut self,
+        name: Symbol,
+        pattern: AccessPattern,
+        inputs: &[Option<Value>],
+    ) -> Result<SourceReply, SourceFault> {
+        self.fetch(name, pattern, inputs)
+    }
 }
 
 impl<'a> Source for Box<dyn Source + 'a> {
@@ -70,6 +269,24 @@ impl<'a> Source for Box<dyn Source + 'a> {
         inputs: &[Option<Value>],
     ) -> Result<SourceReply, SourceFault> {
         (**self).fetch(name, pattern, inputs)
+    }
+
+    fn plan_fetch(
+        &mut self,
+        name: Symbol,
+        pattern: AccessPattern,
+        inputs: &[Option<Value>],
+    ) -> PlannedFetch {
+        (**self).plan_fetch(name, pattern, inputs)
+    }
+
+    fn fetch_deferred(
+        &mut self,
+        name: Symbol,
+        pattern: AccessPattern,
+        inputs: &[Option<Value>],
+    ) -> Result<SourceReply, SourceFault> {
+        (**self).fetch_deferred(name, pattern, inputs)
     }
 }
 
@@ -141,6 +358,17 @@ impl Source for InMemorySource<'_> {
     ) -> Result<SourceReply, SourceFault> {
         Ok(SourceReply { rows: self.select_rows(name, inputs), latency_ms: 0 })
     }
+
+    /// In-memory fetches never fault and carry zero latency, so the whole
+    /// call is deferrable row transfer.
+    fn plan_fetch(
+        &mut self,
+        _name: Symbol,
+        _pattern: AccessPattern,
+        _inputs: &[Option<Value>],
+    ) -> PlannedFetch {
+        PlannedFetch::Defer { latency_ms: 0 }
+    }
 }
 
 /// Placeholder transport used only while swapping boxes during
@@ -205,12 +433,30 @@ pub struct SourceRegistry<'a> {
     /// Jitter source for retry backoff; fixed seed keeps runs replayable.
     retry_rng: StdRng,
     /// Virtual milliseconds spent in transport latency + backoff since the
-    /// last [`SourceRegistry::reset_clock`]; checked against the retry
-    /// policy's per-query deadline budget.
+    /// last [`SourceRegistry::reset_clock`], *serially accounted* (every
+    /// attempt adds its full cost even when attempts overlap); checked
+    /// against the retry policy's per-query deadline budget, which stays a
+    /// budget of work, not of elapsed time.
     clock_ms: u64,
     /// Virtual milliseconds folded in by past [`SourceRegistry::reset_clock`]
     /// calls, so lifetime reporting survives per-phase deadline resets.
     retired_clock_ms: u64,
+    /// Virtual *wall-clock* milliseconds since the last reset: equal to
+    /// `clock_ms` under serial execution, but only the longest worker
+    /// lane of each overlapped batch when `io_workers > 1`.
+    wall_ms: u64,
+    /// Wall-clock milliseconds folded in by past resets.
+    retired_wall_ms: u64,
+    /// Worker lanes for overlapped batches ([`SourceRegistry::call_many`]);
+    /// 1 = fully serial, the legacy behaviour bit for bit.
+    io_workers: usize,
+    /// When set, overlapped batches execute their deferred transfers in a
+    /// seeded pseudo-random completion order ([`crate::sched`]) instead of
+    /// on real threads — the interleaving suite's adversarial scheduler.
+    sched_seed: Option<u64>,
+    /// Per-batch salt folded into `sched_seed` so every overlapped batch
+    /// of one run sees a fresh adversarial permutation.
+    sched_epoch: u64,
     cache: Option<HashMap<CallKey, Vec<Tuple>>>,
     /// Flight-recorder journal (attached via [`SourceRegistry::recording`]
     /// when the recorder carries one).
@@ -269,6 +515,11 @@ impl<'a> SourceRegistry<'a> {
             retry_rng: StdRng::seed_from_u64(0x5EED_BACC_0FF5),
             clock_ms: 0,
             retired_clock_ms: 0,
+            wall_ms: 0,
+            retired_wall_ms: 0,
+            io_workers: 1,
+            sched_seed: None,
+            sched_epoch: 0,
             cache: None,
             journal: None,
             lane: 0,
@@ -289,6 +540,30 @@ impl<'a> SourceRegistry<'a> {
     /// first fault, no backoff — the legacy behaviour).
     pub fn with_retry(mut self, policy: RetryPolicy) -> SourceRegistry<'a> {
         self.retry = policy;
+        self
+    }
+
+    /// Sets the number of worker lanes for overlapped batched calls
+    /// (clamped to `1..=`[`MAX_IO_WORKERS`]). With the default of 1 every
+    /// call runs serially — the legacy behaviour bit for bit; with more,
+    /// [`SourceRegistry::call_many`] overlaps a batch's wire waits across
+    /// that many virtual lanes and a matching worker-thread pool.
+    pub fn with_io_workers(mut self, workers: usize) -> SourceRegistry<'a> {
+        self.io_workers = workers.clamp(1, MAX_IO_WORKERS);
+        self
+    }
+
+    /// Number of worker lanes overlapped batches may use.
+    pub fn io_workers(&self) -> usize {
+        self.io_workers
+    }
+
+    /// Forces overlapped batches through the seeded adversarial scheduler
+    /// ([`crate::sched::run_adversarial`]): deferred transfers execute in
+    /// a pseudo-random completion order drawn from `seed`. Test-harness
+    /// knob; results must not depend on the seed.
+    pub fn with_adversarial_sched(mut self, seed: u64) -> SourceRegistry<'a> {
+        self.sched_seed = Some(seed);
         self
     }
 
@@ -429,11 +704,15 @@ impl<'a> SourceRegistry<'a> {
         self.baseline = self.local;
     }
 
-    /// Lifetime virtual milliseconds spent on transport latency and retry
-    /// backoff, across [`SourceRegistry::reset_clock`] resets (which only
-    /// restart the *deadline* window, not this total).
+    /// Lifetime virtual *wall-clock* milliseconds spent waiting on
+    /// transport latency and retry backoff, across
+    /// [`SourceRegistry::reset_clock`] resets (which only restart the
+    /// *deadline* window, not this total). Under serial execution this
+    /// equals the serial sum of all waits; under overlapped execution
+    /// (`io_workers > 1`) each batch contributes only its longest worker
+    /// lane — concurrent waits count once.
     pub fn virtual_elapsed_ms(&self) -> u64 {
-        self.retired_clock_ms + self.clock_ms
+        self.retired_wall_ms + self.wall_ms
     }
 
     /// Restarts the deadline window of the virtual clock (the retry
@@ -442,6 +721,17 @@ impl<'a> SourceRegistry<'a> {
     pub fn reset_clock(&mut self) {
         self.retired_clock_ms += self.clock_ms;
         self.clock_ms = 0;
+        self.retired_wall_ms += self.wall_ms;
+        self.wall_ms = 0;
+    }
+
+    /// Charges `ms` of serial wire time: the deadline window and the wall
+    /// clock advance in lockstep. Overlapped batches bypass this — they
+    /// charge the deadline window serially during planning and the wall
+    /// clock once per batch, from the scheduled lane ends.
+    fn charge_serial(&mut self, ms: u64) {
+        self.clock_ms += ms;
+        self.wall_ms += ms;
     }
 
     /// One transport fetch under the retry policy: faults are retried with
@@ -476,43 +766,23 @@ impl<'a> SourceRegistry<'a> {
                     self.journal_instant(name, InstantPayload::Retry { attempt: u64::from(attempt) });
                 }
             }
-            if capture {
-                // Replay tier: the begin event carries the bound inputs,
-                // so it goes through the general (allocating) emit path.
-                let data = vec![
-                    ("label".to_owned(), Json::Str(format!("{name}^{pattern}"))),
-                    ("relation".to_owned(), Json::str(name.as_str())),
-                    ("pattern".to_owned(), Json::Str(pattern.to_string())),
-                    ("attempt".to_owned(), Json::num(u64::from(attempt))),
-                    (
-                        "inputs".to_owned(),
-                        Json::Arr(
-                            inputs
-                                .iter()
-                                .map(|slot| match slot {
-                                    Some(v) => value_to_json(*v),
-                                    None => Json::Null,
-                                })
-                                .collect(),
-                        ),
-                    ),
-                ];
-                self.journal_emit(journal_kind::SOURCE_CALL_BEGIN, Json::Obj(data));
-            }
+            // Replay tier: the begin event carries the bound inputs, so a
+            // journal alone can re-drive the run. The pair is recorded
+            // atomically after the outcome — concurrent lanes can then
+            // never interleave inside a pair, and eviction keeps both
+            // halves or neither.
+            let capture_begin =
+                capture.then(|| capture_begin_json(name, pattern, attempt, inputs));
             let begin_ts = self.virtual_elapsed_ms();
             match self.source.fetch(name, pattern, inputs) {
                 Ok(reply) => {
-                    self.clock_ms += reply.latency_ms;
-                    if capture {
-                        let data = vec![
-                            ("relation".to_owned(), Json::str(name.as_str())),
-                            ("ok".to_owned(), Json::Bool(true)),
-                            ("rows".to_owned(), Json::num(reply.rows.len() as u64)),
-                            ("latency_ms".to_owned(), Json::num(reply.latency_ms)),
-                            ("attempt".to_owned(), Json::num(u64::from(attempt))),
-                            ("rows_data".to_owned(), rows_to_json(&reply.rows)),
-                        ];
-                        self.journal_emit(journal_kind::SOURCE_CALL_END, Json::Obj(data));
+                    self.charge_serial(reply.latency_ms);
+                    if let Some(begin_data) = capture_begin {
+                        let end_data = capture_ok_json(name, attempt, &reply);
+                        let end_ts = self.virtual_elapsed_ms();
+                        if let Some(journal) = &self.journal {
+                            journal.record_call_rich(self.lane, begin_ts, end_ts, begin_data, end_data);
+                        }
                     } else if journaled {
                         let (rel, pat) = self.journal_call_ids(name, pattern);
                         let end_ts = self.virtual_elapsed_ms();
@@ -536,7 +806,7 @@ impl<'a> SourceRegistry<'a> {
                 Err(fault) => {
                     self.failures.incr();
                     self.local.failures += 1;
-                    self.clock_ms += fault.latency_ms();
+                    self.charge_serial(fault.latency_ms());
                     if journaled {
                         let (outcome, raw_latency) = match fault {
                             SourceFault::Unavailable { latency_ms } => {
@@ -547,24 +817,14 @@ impl<'a> SourceRegistry<'a> {
                                 latency_ms,
                             ),
                         };
-                        if capture {
-                            let (fault_name, timeout_ms) = match fault {
-                                SourceFault::Unavailable { .. } => ("unavailable", None),
-                                SourceFault::Timeout { timeout_ms, .. } => {
-                                    ("timeout", Some(timeout_ms))
-                                }
-                            };
-                            let mut data = vec![
-                                ("relation".to_owned(), Json::str(name.as_str())),
-                                ("ok".to_owned(), Json::Bool(false)),
-                                ("fault".to_owned(), Json::str(fault_name)),
-                                ("latency_ms".to_owned(), Json::num(raw_latency)),
-                                ("attempt".to_owned(), Json::num(u64::from(attempt))),
-                            ];
-                            if let Some(budget) = timeout_ms {
-                                data.push(("timeout_ms".to_owned(), Json::num(budget)));
+                        if let Some(begin_data) = capture_begin {
+                            let end_data = capture_fault_json(name, attempt, &fault);
+                            let end_ts = self.virtual_elapsed_ms();
+                            if let Some(journal) = &self.journal {
+                                journal.record_call_rich(
+                                    self.lane, begin_ts, end_ts, begin_data, end_data,
+                                );
                             }
-                            self.journal_emit(journal_kind::SOURCE_CALL_END, Json::Obj(data));
                         } else {
                             let (rel, pat) = self.journal_call_ids(name, pattern);
                             let end_ts = self.virtual_elapsed_ms();
@@ -611,7 +871,8 @@ impl<'a> SourceRegistry<'a> {
                             reason,
                         });
                     }
-                    self.clock_ms += self.retry.backoff_ms(attempt, &mut self.retry_rng);
+                    let backoff = self.retry.backoff_ms(attempt, &mut self.retry_rng);
+                    self.charge_serial(backoff);
                 }
             }
         }
@@ -658,6 +919,465 @@ impl<'a> SourceRegistry<'a> {
             cache.insert(key, rows.clone());
         }
         Ok(rows)
+    }
+
+    /// Calls relation `name` once per key in `keys`, overlapping the wire
+    /// waits across up to [`SourceRegistry::with_io_workers`] virtual
+    /// lanes. Results come back in issue order and are bit-identical to
+    /// calling [`SourceRegistry::call`] in a loop — same answers, same
+    /// counters, same retry/failure accounting, same terminal error — only
+    /// the *wall* clock differs: a batch charges its longest worker lane
+    /// instead of the serial sum.
+    ///
+    /// With one worker (the default) and no adversarial schedule this *is*
+    /// the serial loop.
+    pub fn call_many(
+        &mut self,
+        name: Symbol,
+        pattern: AccessPattern,
+        keys: &[Vec<Option<Value>>],
+    ) -> Result<Vec<Vec<Tuple>>, EngineError> {
+        if (self.io_workers <= 1 && self.sched_seed.is_none()) || keys.len() <= 1 {
+            return keys.iter().map(|key| self.call(name, pattern, key)).collect();
+        }
+        self.call_many_overlapped(name, pattern, keys)
+    }
+
+    /// The overlapped path of [`SourceRegistry::call_many`], in four
+    /// phases:
+    ///
+    /// 1. **Plan** (issue order, sequential): the transport commits each
+    ///    attempt's outcome via [`Source::plan_fetch`], consuming exactly
+    ///    the randomness and deadline budget the serial loop would.
+    /// 2. **Schedule**: each wire call is greedily assigned to the
+    ///    earliest-free of `io_workers` virtual lanes; the wall clock
+    ///    advances by the longest lane.
+    /// 3. **Dispatch**: committed-success row transfers run on the
+    ///    [`crate::sched`] worker pool (or the seeded adversarial
+    ///    scheduler) — pure data movement, no randomness left.
+    /// 4. **Merge** (issue order): journal pairs and instants are emitted
+    ///    at their scheduled timestamps on per-worker sub-lanes, counters
+    ///    and the cache are updated, and any planned terminal error is
+    ///    surfaced after its prefix — exactly like the serial loop.
+    fn call_many_overlapped(
+        &mut self,
+        name: Symbol,
+        pattern: AccessPattern,
+        keys: &[Vec<Option<Value>>],
+    ) -> Result<Vec<Vec<Tuple>>, EngineError> {
+        let base_wall = self.virtual_elapsed_ms();
+
+        // Phase 1 — plan. Stops at the first terminal outcome, like the
+        // serial loop stops at its first `Err`.
+        let mut scripts: Vec<ScriptedCall> = Vec::with_capacity(keys.len());
+        let mut validation_err: Option<EngineError> = None;
+        for (i, key) in keys.iter().enumerate() {
+            if let Err(e) = self.validate(name, pattern, key) {
+                validation_err = Some(e);
+                break;
+            }
+            let cache_key = (name, pattern, key.clone());
+            if let Some(hit) = self.cache.as_ref().and_then(|c| c.get(&cache_key)).cloned() {
+                self.cache_hits.incr();
+                self.local.cache_hits += 1;
+                self.journal_instant(
+                    name,
+                    InstantPayload::CacheHit {
+                        rows: hit.len() as u64,
+                        membership: false,
+                    },
+                );
+                scripts.push(ScriptedCall::Cached(hit));
+                continue;
+            }
+            // A duplicate key in the batch: the serial loop would have
+            // cached the first occurrence by now, so it cache-hits.
+            if self.cache.is_some() {
+                if let Some(first) = keys[..i].iter().position(|k| k == key) {
+                    self.cache_hits.incr();
+                    self.local.cache_hits += 1;
+                    scripts.push(ScriptedCall::Dup(first));
+                    continue;
+                }
+            }
+            let script = self.plan_wire(name, pattern, key);
+            let failed = script.error.is_some();
+            scripts.push(ScriptedCall::Wire(script));
+            if failed {
+                break;
+            }
+        }
+
+        // Phase 2 — schedule: greedy earliest-free-lane in issue order.
+        let workers = self.io_workers.max(1);
+        let mut lane_free = vec![base_wall; workers];
+        for sc in &mut scripts {
+            if let ScriptedCall::Wire(ws) = sc {
+                let k = lane_free
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, free)| **free)
+                    .map(|(k, _)| k)
+                    .unwrap_or(0);
+                ws.start_ms = lane_free[k];
+                ws.lane = (self.lane + 1) * LANE_STRIDE + k as u64;
+                lane_free[k] += ws.duration_ms();
+            }
+        }
+        let batch_end = lane_free.into_iter().max().unwrap_or(base_wall);
+        self.wall_ms += batch_end - base_wall;
+
+        // Phase 3 — dispatch the committed-success row transfers.
+        let deferred: Vec<usize> = scripts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, sc)| match sc {
+                ScriptedCall::Wire(ws)
+                    if matches!(
+                        ws.attempts.last().map(|a| &a.outcome),
+                        Some(ScriptedOutcome::Deferred { .. })
+                    ) =>
+                {
+                    Some(i)
+                }
+                _ => None,
+            })
+            .collect();
+        let fetched: Vec<Result<SourceReply, SourceFault>> = if deferred.is_empty() {
+            Vec::new()
+        } else {
+            let sched_seed = self.sched_seed;
+            self.sched_epoch = self.sched_epoch.wrapping_add(1);
+            let epoch = self.sched_epoch;
+            let transport = Mutex::new(&mut self.source);
+            let jobs: Vec<_> = deferred
+                .iter()
+                .map(|&i| {
+                    let transport = &transport;
+                    let key = &keys[i];
+                    move || {
+                        transport
+                            .lock()
+                            .expect("transport lock")
+                            .fetch_deferred(name, pattern, key)
+                    }
+                })
+                .collect();
+            match sched_seed {
+                Some(seed) => sched::run_adversarial(seed.wrapping_add(epoch), jobs),
+                None => sched::run_ordered(workers, jobs),
+            }
+        };
+
+        // Phase 4 — merge in issue order.
+        let mut rows_out: Vec<Vec<Tuple>> = Vec::with_capacity(scripts.len());
+        let mut pool = fetched.into_iter();
+        for (i, sc) in scripts.into_iter().enumerate() {
+            match sc {
+                ScriptedCall::Cached(rows) => rows_out.push(rows),
+                ScriptedCall::Dup(first) => {
+                    let rows = rows_out[first].clone();
+                    self.journal_instant(
+                        name,
+                        InstantPayload::CacheHit {
+                            rows: rows.len() as u64,
+                            membership: false,
+                        },
+                    );
+                    rows_out.push(rows);
+                }
+                ScriptedCall::Wire(mut ws) => {
+                    let mut t = ws.start_ms;
+                    let mut final_reply: Option<SourceReply> = None;
+                    for sa in std::mem::take(&mut ws.attempts) {
+                        if sa.attempt > 1 && ws.journaled {
+                            self.journal_instant_at(
+                                ws.lane,
+                                t,
+                                name,
+                                InstantPayload::Retry {
+                                    attempt: u64::from(sa.attempt),
+                                },
+                            );
+                        }
+                        let begin_ts = t;
+                        match sa.outcome {
+                            ScriptedOutcome::Deferred { latency_ms } => {
+                                let end_ts = begin_ts + latency_ms;
+                                match pool.next().expect("one pool result per deferred call") {
+                                    Ok(mut reply) => {
+                                        reply.latency_ms += latency_ms;
+                                        self.journal_wire_ok(
+                                            &ws, begin_ts, end_ts, name, pattern, &keys[i],
+                                            sa.attempt, &reply,
+                                        );
+                                        final_reply = Some(reply);
+                                    }
+                                    Err(fault) => {
+                                        // Defensive: a transport that committed to
+                                        // `Defer` must not fault in the data phase.
+                                        self.failures.incr();
+                                        self.local.failures += 1;
+                                        self.journal_wire_fault(
+                                            &ws, begin_ts, end_ts, name, pattern, &keys[i],
+                                            sa.attempt, &fault,
+                                        );
+                                        ws.error = Some(EngineError::SourceUnavailable {
+                                            relation: name.to_string(),
+                                            attempts: sa.attempt,
+                                            reason: fault.to_string(),
+                                        });
+                                    }
+                                }
+                                t = end_ts;
+                            }
+                            ScriptedOutcome::Ready(reply) => {
+                                let end_ts = begin_ts + reply.latency_ms;
+                                self.journal_wire_ok(
+                                    &ws, begin_ts, end_ts, name, pattern, &keys[i], sa.attempt,
+                                    &reply,
+                                );
+                                final_reply = Some(reply);
+                                t = end_ts;
+                            }
+                            ScriptedOutcome::Fault(fault) => {
+                                let end_ts = begin_ts + fault.latency_ms();
+                                self.journal_wire_fault(
+                                    &ws, begin_ts, end_ts, name, pattern, &keys[i], sa.attempt,
+                                    &fault,
+                                );
+                                t = end_ts + sa.backoff_ms;
+                            }
+                        }
+                    }
+                    if let Some(err) = ws.error.take() {
+                        // The prefix before the failing call is fully merged;
+                        // surface the error the serial loop would return.
+                        return Err(err);
+                    }
+                    let reply = final_reply.expect("a script without error ends in a reply");
+                    let rows = reply.rows;
+                    self.calls.incr();
+                    self.local.calls += 1;
+                    self.tuples_returned.add(rows.len() as u64);
+                    self.local.tuples_returned += rows.len() as u64;
+                    self.rows_per_call.record(rows.len() as u64);
+                    if let Some(cache) = &mut self.cache {
+                        cache.insert((name, pattern, keys[i].clone()), rows.clone());
+                    }
+                    rows_out.push(rows);
+                }
+            }
+        }
+        match validation_err {
+            Some(err) => Err(err),
+            None => Ok(rows_out),
+        }
+    }
+
+    /// Plans one overlapped wire call by asking the transport to commit
+    /// each attempt's outcome ([`Source::plan_fetch`]) in the exact order
+    /// the serial [`SourceRegistry::wire_fetch`] loop would, consuming the
+    /// same randomness, deadline budget, and retry/failure counters. The
+    /// journal events are deferred to the merge phase, where the call's
+    /// scheduled lane and timestamps are known.
+    fn plan_wire(
+        &mut self,
+        name: Symbol,
+        pattern: AccessPattern,
+        inputs: &[Option<Value>],
+    ) -> WireScript {
+        let journaled = self
+            .journal
+            .as_ref()
+            .is_some_and(Journal::should_sample_call);
+        let capture = journaled && self.journal.as_ref().is_some_and(Journal::capture_rows);
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut script = WireScript {
+            attempts: Vec::new(),
+            error: None,
+            journaled,
+            capture,
+            start_ms: 0,
+            lane: self.lane,
+        };
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            if attempt > 1 {
+                let _span = self
+                    .recorder
+                    .span_lazy(|| format!("source.retry {name} attempt {attempt}"));
+                self.retries.incr();
+                self.local.retries += 1;
+            }
+            match self.source.plan_fetch(name, pattern, inputs) {
+                PlannedFetch::Defer { latency_ms } => {
+                    self.clock_ms += latency_ms;
+                    script.attempts.push(ScriptedAttempt {
+                        attempt,
+                        outcome: ScriptedOutcome::Deferred { latency_ms },
+                        backoff_ms: 0,
+                    });
+                    return script;
+                }
+                PlannedFetch::Ready(Ok(reply)) => {
+                    self.clock_ms += reply.latency_ms;
+                    script.attempts.push(ScriptedAttempt {
+                        attempt,
+                        outcome: ScriptedOutcome::Ready(reply),
+                        backoff_ms: 0,
+                    });
+                    return script;
+                }
+                PlannedFetch::Fault(fault) | PlannedFetch::Ready(Err(fault)) => {
+                    self.failures.incr();
+                    self.local.failures += 1;
+                    self.clock_ms += fault.latency_ms();
+                    let deadline_hit = self
+                        .retry
+                        .deadline_ms
+                        .is_some_and(|d| self.clock_ms >= d);
+                    if attempt >= max_attempts || deadline_hit {
+                        let reason = if deadline_hit && attempt < max_attempts {
+                            format!(
+                                "{fault}; per-query deadline budget of {}ms exhausted",
+                                self.retry.deadline_ms.unwrap_or(0)
+                            )
+                        } else {
+                            fault.to_string()
+                        };
+                        script.error = Some(EngineError::SourceUnavailable {
+                            relation: name.to_string(),
+                            attempts: attempt,
+                            reason,
+                        });
+                        script.attempts.push(ScriptedAttempt {
+                            attempt,
+                            outcome: ScriptedOutcome::Fault(fault),
+                            backoff_ms: 0,
+                        });
+                        return script;
+                    }
+                    let backoff = self.retry.backoff_ms(attempt, &mut self.retry_rng);
+                    self.clock_ms += backoff;
+                    script.attempts.push(ScriptedAttempt {
+                        attempt,
+                        outcome: ScriptedOutcome::Fault(fault),
+                        backoff_ms: backoff,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Records one compact instant event at an explicit lane and
+    /// timestamp — the merge phase's variant of
+    /// [`SourceRegistry::journal_instant`].
+    fn journal_instant_at(&mut self, lane: u64, ts: u64, name: Symbol, payload: InstantPayload) {
+        if self.journal.is_some() {
+            let rel = self.journal_rel_id(name);
+            if let Some(journal) = &self.journal {
+                journal.record_instant_by_id(lane, ts, rel, payload);
+            }
+        }
+    }
+
+    /// Journals a successful attempt of an overlapped call as an atomic
+    /// begin/end pair on the call's scheduled sub-lane, at the replay tier
+    /// (rich, with rows) or the light tier (compact ids).
+    #[allow(clippy::too_many_arguments)]
+    fn journal_wire_ok(
+        &mut self,
+        ws: &WireScript,
+        begin_ts: u64,
+        end_ts: u64,
+        name: Symbol,
+        pattern: AccessPattern,
+        inputs: &[Option<Value>],
+        attempt: u32,
+        reply: &SourceReply,
+    ) {
+        if ws.capture {
+            let begin = capture_begin_json(name, pattern, attempt, inputs);
+            let end = capture_ok_json(name, attempt, reply);
+            if let Some(journal) = &self.journal {
+                journal.record_call_rich(ws.lane, begin_ts, end_ts, begin, end);
+            }
+        } else if ws.journaled {
+            let (rel, pat) = self.journal_call_ids(name, pattern);
+            if let Some(journal) = &self.journal {
+                journal.record_call_by_id(
+                    ws.lane,
+                    begin_ts,
+                    end_ts,
+                    rel,
+                    pat,
+                    u64::from(attempt),
+                    WireOutcome::Ok {
+                        rows: reply.rows.len() as u64,
+                        latency_ms: reply.latency_ms,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Journals a faulted attempt of an overlapped call: the begin/end
+    /// pair plus the fault/timeout instant, all on the call's scheduled
+    /// sub-lane at its scheduled timestamps.
+    #[allow(clippy::too_many_arguments)]
+    fn journal_wire_fault(
+        &mut self,
+        ws: &WireScript,
+        begin_ts: u64,
+        end_ts: u64,
+        name: Symbol,
+        pattern: AccessPattern,
+        inputs: &[Option<Value>],
+        attempt: u32,
+        fault: &SourceFault,
+    ) {
+        if !ws.journaled {
+            return;
+        }
+        if ws.capture {
+            let begin = capture_begin_json(name, pattern, attempt, inputs);
+            let end = capture_fault_json(name, attempt, fault);
+            if let Some(journal) = &self.journal {
+                journal.record_call_rich(ws.lane, begin_ts, end_ts, begin, end);
+            }
+        } else {
+            let (rel, pat) = self.journal_call_ids(name, pattern);
+            let outcome = match *fault {
+                SourceFault::Unavailable { latency_ms } => WireOutcome::Unavailable { latency_ms },
+                SourceFault::Timeout { latency_ms, timeout_ms } => {
+                    WireOutcome::Timeout { latency_ms, timeout_ms }
+                }
+            };
+            if let Some(journal) = &self.journal {
+                journal.record_call_by_id(
+                    ws.lane,
+                    begin_ts,
+                    end_ts,
+                    rel,
+                    pat,
+                    u64::from(attempt),
+                    outcome,
+                );
+            }
+        }
+        let payload = match *fault {
+            SourceFault::Unavailable { latency_ms } => InstantPayload::Fault {
+                latency_ms,
+                attempt: u64::from(attempt),
+            },
+            SourceFault::Timeout { latency_ms, .. } => InstantPayload::Timeout {
+                latency_ms,
+                attempt: u64::from(attempt),
+            },
+        };
+        self.journal_instant_at(ws.lane, end_ts, name, payload);
     }
 
     /// Schema validation shared by positive calls and membership probes.

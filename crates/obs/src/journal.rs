@@ -311,6 +311,10 @@ struct InstantEntry {
 #[derive(Debug)]
 enum Entry {
     Rich(JournalEvent),
+    /// A pre-built begin/end pair held in one slot, so concurrent lanes
+    /// can never interleave inside the pair and eviction keeps both
+    /// halves or neither (the replay tier's analogue of [`Entry::Call`]).
+    RichPair(Box<(JournalEvent, JournalEvent)>),
     Call(CallEntry),
     Instant(InstantEntry),
 }
@@ -319,7 +323,7 @@ impl Entry {
     /// Logical events this slot accounts for (a call pair counts as 2).
     fn events(&self) -> u64 {
         match self {
-            Entry::Call(_) => 2,
+            Entry::Call(_) | Entry::RichPair(_) => 2,
             _ => 1,
         }
     }
@@ -476,6 +480,46 @@ impl Journal {
         self.push_call(state, lane, begin_ts_ms, end_ts_ms, relation, pattern, attempt, outcome)
     }
 
+    /// Records a rich [`kind::SOURCE_CALL_BEGIN`] / [`kind::SOURCE_CALL_END`]
+    /// pair (the replay tier, whose payloads carry bound inputs and row
+    /// data) as **one** ring slot: concurrent lanes can never interleave
+    /// an event inside the pair, and eviction keeps both halves or
+    /// neither — the `dropped` accounting charges the pair as two logical
+    /// events, like [`Journal::record_call`]. Returns the begin sequence
+    /// number; the end event takes the next one.
+    pub fn record_call_rich(
+        &self,
+        lane: u64,
+        begin_ts_ms: u64,
+        end_ts_ms: u64,
+        begin_data: Json,
+        end_data: Json,
+    ) -> u64 {
+        let mut state = self.lock();
+        let begin_seq = state.next_seq;
+        state.next_seq += 2;
+        let begin = JournalEvent {
+            seq: begin_seq,
+            ts_ms: begin_ts_ms,
+            lane,
+            kind: kind::SOURCE_CALL_BEGIN.to_owned(),
+            data: begin_data,
+        };
+        let end = JournalEvent {
+            seq: begin_seq + 1,
+            ts_ms: end_ts_ms,
+            lane,
+            kind: kind::SOURCE_CALL_END.to_owned(),
+            data: end_data,
+        };
+        state.push_entry(
+            Entry::RichPair(Box::new((begin, end))),
+            self.inner.cfg.capacity,
+            &self.inner.dropped_counter,
+        );
+        begin_seq
+    }
+
     /// Fast path for a compact instant event (`payload` picks the kind
     /// and the snapshot-time shape).
     pub fn record_instant(
@@ -607,6 +651,10 @@ impl Journal {
         for entry in &state.entries {
             match entry {
                 Entry::Rich(event) => events.push(event.clone()),
+                Entry::RichPair(pair) => {
+                    events.push(pair.0.clone());
+                    events.push(pair.1.clone());
+                }
                 Entry::Call(call) => expand_call(call, &state.names, &mut events),
                 Entry::Instant(instant) => events.push(expand_instant(instant, &state.names)),
             }

@@ -58,6 +58,26 @@ pub fn slow_source(error_rate: f64, seed: u64) -> ChaosScenario {
     }
 }
 
+/// The overlapped-I/O chaos scenario experiment E21 sweeps: every wire
+/// call carries a flat 20ms virtual latency (no jitter, no timeout — the
+/// latency dominates, so overlap is what wall-clock measures) plus a
+/// moderate error rate to exercise retry scheduling under concurrency.
+pub fn overlapped_chaos(seed: u64) -> ChaosScenario {
+    ChaosScenario {
+        name: "overlapped chaos (20ms latency, rate 0.10)".to_owned(),
+        resilience: ResilienceConfig {
+            fault: Some(FaultConfig {
+                error_rate: 0.1,
+                latency_ms: 20,
+                latency_jitter_ms: 0,
+                timeout_ms: None,
+                seed,
+            }),
+            retry: RetryPolicy::standard().with_max_attempts(3),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +103,16 @@ mod tests {
         let seeds: std::collections::BTreeSet<u64> =
             a.iter().map(|s| s.resilience.fault.unwrap().seed).collect();
         assert_eq!(seeds.len(), a.len(), "per-rung seeds must differ");
+    }
+
+    #[test]
+    fn overlapped_chaos_is_latency_dominated() {
+        let s = overlapped_chaos(21);
+        let f = s.resilience.fault.unwrap();
+        assert_eq!(f.latency_ms, 20);
+        assert_eq!(f.latency_jitter_ms, 0, "flat latency: wall-clock measures overlap only");
+        assert!(f.timeout_ms.is_none());
+        assert_eq!(s.resilience.retry.max_attempts, 3);
     }
 
     #[test]

@@ -24,7 +24,7 @@ mod instance_gen;
 mod query_gen;
 mod schema_gen;
 
-pub use chaos::{chaos_ladder, slow_source, ChaosScenario, CHAOS_RATES};
+pub use chaos::{chaos_ladder, overlapped_chaos, slow_source, ChaosScenario, CHAOS_RATES};
 pub use instance_gen::{gen_instance, gen_instance_with_inclusion, InstanceConfig};
 pub use query_gen::{gen_query, QueryConfig};
 pub use scenario::{bookstore, Bookstore, BookstoreConfig};

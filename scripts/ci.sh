@@ -24,6 +24,9 @@ cargo test -q --test executor_differential
 echo "==> chaos suite (seeded fault injection: determinism + soundness)"
 cargo test -q --test chaos
 
+echo "==> interleaving suite (adversarial completion orders, overlapped I/O)"
+cargo test -q --test interleaving
+
 if [ "${SKIP_SLOW:-0}" != "1" ]; then
     echo "==> cargo test --features slow-tests (widened seeded sweeps)"
     cargo test -q --features slow-tests
@@ -34,7 +37,7 @@ if [ "${RUN_SOAK:-0}" = "1" ]; then
     cargo test -q --release --test soak -- --ignored
 fi
 
-echo "==> cargo clippy -D warnings (crates touched by the engine work)"
+echo "==> cargo clippy -D warnings (crates touched by the engine work, incl. lap_engine::sched)"
 cargo clippy -q --all-targets -p lap-prng -p lap-containment -p lap-core \
     -p lap-engine -p lap-planner \
     -p lap-mediator -p lap-workload -p lap-obs -p lap-bench -p lap -- -D warnings
@@ -68,6 +71,25 @@ target/release/lapq run examples/data/bookstore.lap \
     --chrome-trace "$FR_TRACE" > /dev/null
 target/release/lapq obs-validate "$FR_TRACE"
 rm -f "$FR_TRACE"
+
+echo "==> overlapped-chaos smoke: two runs at --io-workers 8 agree, replay is bit-for-bit"
+OV_JOURNAL="${TMPDIR:-/tmp}/lapq_ci_overlap.json"
+OV_RUN_A="${TMPDIR:-/tmp}/lapq_ci_overlap_a.txt"
+OV_RUN_B="${TMPDIR:-/tmp}/lapq_ci_overlap_b.txt"
+OV_REPLAY="${TMPDIR:-/tmp}/lapq_ci_overlap_replay.txt"
+target/release/lapq run examples/data/bookstore.lap \
+    examples/data/bookstore_facts.lap \
+    --fault-rate 0.4 --fault-seed 11 --latency-ms 20 --retry 3 --io-workers 8 \
+    --journal "$OV_JOURNAL" > "$OV_RUN_A"
+target/release/lapq run examples/data/bookstore.lap \
+    examples/data/bookstore_facts.lap \
+    --fault-rate 0.4 --fault-seed 11 --latency-ms 20 --retry 3 --io-workers 8 \
+    > "$OV_RUN_B"
+cmp "$OV_RUN_A" "$OV_RUN_B"
+target/release/lapq obs-validate "$OV_JOURNAL"
+target/release/lapq replay "$OV_JOURNAL" > "$OV_REPLAY"
+cmp "$OV_RUN_A" "$OV_REPLAY"
+rm -f "$OV_JOURNAL" "$OV_RUN_A" "$OV_RUN_B" "$OV_REPLAY"
 
 echo "==> resilience smoke: same seed must replay the same degraded answer"
 CHAOS_A="${TMPDIR:-/tmp}/lapq_ci_chaos_a.txt"

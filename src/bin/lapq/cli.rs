@@ -22,6 +22,7 @@ pub const VALUE_FLAGS: &[&str] = &[
     "--timeout-ms",
     "--retry",
     "--retry-budget-ms",
+    "--io-workers",
     "--journal",
     "--journal-capacity",
     "--journal-sample",

@@ -45,12 +45,13 @@ mod cli;
 
 use cli::CliArgs;
 use lap::core::{
-    answer_star_obs, answer_star_replay, answer_star_resilient, answer_star_with_domain,
+    answer_star_obs, answer_star_replay_cfg, answer_star_resilient_cfg, answer_star_with_domain,
     feasible_detailed_with, is_executable, is_orderable, AnswerOutcome, AnswerReport,
     Completeness, ContainmentEngine, DecisionPath, EngineConfig,
 };
 use lap::engine::{
-    display_tuple, Database, FaultConfig, ReplaySource, ResilienceConfig, RetryPolicy,
+    display_tuple, Database, ExecConfig, FaultConfig, ReplaySource, ResilienceConfig, RetryPolicy,
+    MAX_IO_WORKERS,
 };
 use lap::ir::{parse_program, Program, UnionQuery};
 use lap::obs::{
@@ -71,7 +72,7 @@ fn main() -> ExitCode {
             eprintln!("  lapq explain <program.lap> [--parallel] [--cache] [--trace] [--metrics-json <file>]");
             eprintln!("  lapq plan  <program.lap> [--trace] [--metrics-json <file>]");
             eprintln!("  lapq run   <program.lap> <facts.lap> [--domain <budget>] [--trace] [--metrics-json <file>]");
-            eprintln!("             [--fault-rate <p>] [--fault-seed <n>] [--latency-ms <n>] [--timeout-ms <n>] [--retry <n>] [--retry-budget-ms <n>]");
+            eprintln!("             [--fault-rate <p>] [--fault-seed <n>] [--latency-ms <n>] [--timeout-ms <n>] [--retry <n>] [--retry-budget-ms <n>] [--io-workers <n>]");
             eprintln!("             [--journal <file>] [--journal-capacity <n>] [--journal-sample <n>] [--chrome-trace <file>]");
             eprintln!("  lapq answer  (alias of run)");
             eprintln!("  lapq replay <journal.json> [--trace] [--metrics-json <file>]");
@@ -155,6 +156,7 @@ fn dispatch(cmd: &str, args: &CliArgs, recorder: &Recorder) -> Result<(), String
             args.require(2, "run needs a facts file")?,
             args.value_u64("--domain")?,
             resilience_from_args(args)?.as_ref(),
+            exec_config_from_args(args)?,
             recorder,
         ),
         "profile" => profile(
@@ -197,7 +199,24 @@ const RESILIENCE_FLAGS: &[&str] = &[
     "--timeout-ms",
     "--retry",
     "--retry-budget-ms",
+    "--io-workers",
 ];
+
+/// Parses `--io-workers` into an [`ExecConfig`], defaulting to serial
+/// (one worker) when the flag is absent.
+fn exec_config_from_args(args: &CliArgs) -> Result<ExecConfig, String> {
+    match args.value_u64("--io-workers")? {
+        None => Ok(ExecConfig::default()),
+        Some(n) => {
+            if n == 0 || n > MAX_IO_WORKERS as u64 {
+                return Err(format!(
+                    "--io-workers must be in [1, {MAX_IO_WORKERS}], got {n}"
+                ));
+            }
+            Ok(ExecConfig::default().with_io_workers(n as usize))
+        }
+    }
+}
 
 /// Builds the fault + retry profile selected by the resilience flags, or
 /// `None` when no resilience flag was given (plain ANSWER\* execution).
@@ -465,6 +484,7 @@ fn run_query(
     facts_path: &str,
     domain: Option<u64>,
     resilience: Option<&ResilienceConfig>,
+    cfg: ExecConfig,
     recorder: &Recorder,
 ) -> Result<(), String> {
     let text = std::fs::read_to_string(program_path)
@@ -484,8 +504,9 @@ fn run_query(
     for query in &program.queries {
         println!("query {}:", query.signature.0);
         if let Some(res) = resilience {
-            let outcome = answer_star_resilient(query, &program.schema, &db, recorder, res)
-                .map_err(|e| format!("evaluating {}: {e}", query.signature.0))?;
+            let outcome =
+                answer_star_resilient_cfg(query, &program.schema, &db, recorder, res, cfg)
+                    .map_err(|e| format!("evaluating {}: {e}", query.signature.0))?;
             print_outcome(&outcome);
             continue;
         }
@@ -703,11 +724,19 @@ fn replay_cmd(path: &str, recorder: &Recorder) -> Result<(), String> {
         }
         _ => RetryPolicy::default(),
     };
+    // Replay honors the recorded `io_workers` so the overlapped virtual
+    // clock (and therefore `print_outcome`) reproduces byte for byte.
+    let io_workers = snap
+        .meta
+        .get("io_workers")
+        .and_then(Json::as_u64)
+        .unwrap_or(1) as usize;
+    let cfg = ExecConfig::default().with_io_workers(io_workers);
     let source = ReplaySource::from_journal(&snap).map_err(|e| format!("{path}: {e}"))?;
     for query in &program.queries {
         println!("query {}:", query.signature.0);
         let outcome =
-            answer_star_replay(query, &program.schema, source.clone(), retry, recorder)
+            answer_star_replay_cfg(query, &program.schema, source.clone(), retry, recorder, cfg)
                 .map_err(|e| format!("replaying {}: {e}", query.signature.0))?;
         print_outcome(&outcome);
     }

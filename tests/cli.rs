@@ -291,6 +291,85 @@ fn recorded_run_replays_bit_for_bit_from_the_journal() {
     );
 }
 
+/// Same contract under overlapped I/O: a degraded run recorded at
+/// `--io-workers 8` replays byte for byte from the journal alone. The
+/// journal's `io_workers` metadata makes replay re-derive the overlapped
+/// wall-clock, so the printed virtual-ms line (which differs from a
+/// serial run's) must match too. An explicitly serial rerun of the same
+/// profile returns the same answers but a longer virtual clock.
+#[test]
+fn overlapped_run_replays_bit_for_bit_from_the_journal() {
+    let journal = Scratch::new("replay-overlapped.json");
+    let profile = [
+        "run",
+        "examples/data/bookstore.lap",
+        "examples/data/bookstore_facts.lap",
+        "--fault-rate",
+        "0.4",
+        "--fault-seed",
+        "11",
+        "--latency-ms",
+        "20",
+        "--retry",
+        "3",
+    ];
+    let mut record_args: Vec<&str> = profile.to_vec();
+    record_args.extend(["--io-workers", "8", "--journal", journal.as_str()]);
+    let recorded = lapq(&record_args);
+    assert!(recorded.status.success(), "{}", String::from_utf8_lossy(&recorded.stderr));
+    let validated = lapq(&["obs-validate", journal.as_str()]);
+    assert!(validated.status.success());
+    assert!(stdout(&validated).contains("ok (journal"), "{}", stdout(&validated));
+
+    let replayed = lapq(&["replay", journal.as_str()]);
+    assert!(replayed.status.success(), "{}", String::from_utf8_lossy(&replayed.stderr));
+    assert_eq!(
+        stdout(&recorded),
+        stdout(&replayed),
+        "overlapped replay must reproduce the recorded run byte for byte"
+    );
+
+    let serial = lapq(&profile);
+    assert!(serial.status.success(), "{}", String::from_utf8_lossy(&serial.stderr));
+    assert_ne!(
+        stdout(&serial),
+        stdout(&recorded),
+        "overlap must shorten the printed virtual clock"
+    );
+    let virtual_ms = |out: &str| -> u64 {
+        let line = out
+            .lines()
+            .find(|l| l.contains("virtual ms"))
+            .expect("resilient runs print a virtual-ms line");
+        line.split_whitespace()
+            .rev()
+            .nth(2)
+            .and_then(|w| w.parse().ok())
+            .expect("virtual-ms line carries a number")
+    };
+    assert!(
+        virtual_ms(&stdout(&recorded)) < virtual_ms(&stdout(&serial)),
+        "8 workers must beat serial on the 20ms-latency profile"
+    );
+}
+
+#[test]
+fn io_workers_flag_rejects_zero() {
+    let out = lapq(&[
+        "run",
+        "examples/data/bookstore.lap",
+        "examples/data/bookstore_facts.lap",
+        "--io-workers",
+        "0",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--io-workers must be in [1, 256]"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
 #[test]
 fn chrome_trace_export_passes_validation() {
     let trace = Scratch::new("trace.json");

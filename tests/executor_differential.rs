@@ -292,6 +292,108 @@ fn fault_injected_runs_stay_sound_at_every_batch_width() {
     );
 }
 
+/// Concurrency leg: overlapped source I/O must be invisible to everything
+/// except the virtual wall-clock. At every batch width × worker count ×
+/// fault rate, a degraded run on an overlapped registry must reproduce the
+/// serial oracle's answers, dropped disjuncts, call statistics, retry and
+/// failure counts exactly — the worker pool may reorder *completions*, but
+/// outcomes are planned in issue order before any work is dispatched. At
+/// rate 0 the answers must also equal the fault-free tuple reference.
+#[test]
+fn overlapped_execution_matches_the_serial_oracle_exactly() {
+    use lap::engine::{execute_physical_union_degraded, FaultConfig, RetryPolicy};
+    const IO_WORKERS: [usize; 3] = [1, 4, 16];
+    const FAULT_RATES: [f64; 2] = [0.0, 0.2];
+    let mut degraded_seen = 0u64;
+    for case in 0..CASES / 2 {
+        let mut rng = case_rng(0x10CC, case);
+        let schema = gen_schema(
+            &SchemaConfig {
+                free_scan_fraction: 0.8,
+                ..SchemaConfig::default()
+            },
+            &mut rng,
+        );
+        let q = gen_query(
+            &schema,
+            &QueryConfig {
+                num_disjuncts: 2 + (case % 3) as usize,
+                negative_per_disjunct: (case % 2) as usize,
+                ..QueryConfig::default()
+            },
+            &mut rng,
+        );
+        let db = gen_instance(&schema, &InstanceConfig::default(), &mut rng);
+        let pair = plan_star(&q, &schema);
+        let parts = pair.under.eval_parts();
+        let Ok(reference) = tuple_reference(&parts, &db, &schema) else {
+            continue;
+        };
+        let union = lower_union(&parts, &schema);
+        for rate in FAULT_RATES {
+            for width in WIDTHS {
+                let registry = |workers: usize| {
+                    let mut reg = SourceRegistry::new(&db, &schema)
+                        .with_retry(RetryPolicy::standard().with_max_attempts(2))
+                        .with_io_workers(workers);
+                    if rate > 0.0 {
+                        reg = reg.with_fault_injection(FaultConfig::with_rate(rate, 0x10CC ^ case));
+                    }
+                    reg
+                };
+                let mut serial_reg = registry(1);
+                let (serial_rows, serial_drops) = execute_physical_union_degraded(
+                    &union,
+                    &mut serial_reg,
+                    ExecConfig::with_batch_size(width),
+                )
+                .unwrap();
+                if rate == 0.0 {
+                    assert_eq!(
+                        serial_rows, reference,
+                        "case {case} width {width}: fault-free run lost answers: {q}"
+                    );
+                    assert!(serial_drops.is_empty());
+                }
+                if !serial_drops.is_empty() {
+                    degraded_seen += 1;
+                }
+                for workers in IO_WORKERS {
+                    let mut reg = registry(workers);
+                    let (rows, drops) = execute_physical_union_degraded(
+                        &union,
+                        &mut reg,
+                        ExecConfig::with_batch_size(width).with_io_workers(workers),
+                    )
+                    .unwrap();
+                    let ctx = format!("case {case} rate {rate} width {width} workers {workers}: {q}");
+                    assert_eq!(rows, serial_rows, "answers differ: {ctx}");
+                    assert_eq!(drops, serial_drops, "dropped disjuncts differ: {ctx}");
+                    assert_eq!(reg.stats(), serial_reg.stats(), "call stats differ: {ctx}");
+                    assert_eq!(
+                        reg.retries_observed(),
+                        serial_reg.retries_observed(),
+                        "retry counts differ: {ctx}"
+                    );
+                    assert_eq!(
+                        reg.failures_observed(),
+                        serial_reg.failures_observed(),
+                        "failure counts differ: {ctx}"
+                    );
+                    assert!(
+                        reg.virtual_elapsed_ms() <= serial_reg.virtual_elapsed_ms(),
+                        "overlap lengthened the virtual wall-clock: {ctx}"
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        degraded_seen > 0,
+        "fault rate 0.2 never degraded any case — the concurrency leg is not exercising retries"
+    );
+}
+
 /// Lazy error semantics, pinned: a broken operator behind an empty prefix
 /// is never reached (both paths answer), and behind a non-empty prefix both
 /// paths raise the *same* error.

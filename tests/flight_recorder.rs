@@ -10,7 +10,7 @@
 //! * **export** — the chrome-trace rendering round-trips through the
 //!   in-repo JSON parser and stays balanced per thread lane.
 
-use lap::core::{answer_star_replay, answer_star_resilient};
+use lap::core::{answer_star_replay, answer_star_resilient, answer_star_resilient_cfg};
 use lap::engine::{
     execute_physical_union_parallel_degraded, ExecConfig, FaultConfig, ReplaySource,
     ResilienceConfig, RetryPolicy,
@@ -174,4 +174,58 @@ fn ring_overflow_is_bounded_and_accounted_end_to_end() {
     // And a truncated journal refuses to replay rather than diverging.
     let err = ReplaySource::from_journal(&snap).unwrap_err();
     assert!(err.contains("dropped"), "{err}");
+}
+
+/// Ring overflow under overlapped I/O: concurrent lanes interleave calls
+/// in the ring, but a source-call begin/end pair occupies one slot and
+/// evicts as a unit — overflow may drop whole pairs, never split one.
+/// Pins the accounting (`recorded + dropped == emitted`, counter mirror)
+/// and the per-lane begin/end balance that a torn pair would break.
+#[test]
+fn ring_overflow_under_concurrency_never_tears_a_call_pair() {
+    let (program, db) = scenario();
+    let query = program.single_query().unwrap();
+    let cfg = JournalConfig {
+        capacity: 16,
+        ..JournalConfig::light()
+    };
+    let recorder = Recorder::with_journal(cfg);
+    answer_star_resilient_cfg(
+        query,
+        &program.schema,
+        &db,
+        &recorder,
+        &ResilienceConfig::chaos(0.3, 0xDECAF),
+        ExecConfig::default().with_io_workers(8),
+    )
+    .unwrap();
+    let snap = recorder.journal().unwrap().snapshot();
+    assert!(
+        (15..=16).contains(&snap.events.len()),
+        "capacity is a hard bound, got {}",
+        snap.events.len()
+    );
+    assert!(snap.dropped > 0, "a chaotic overlapped run overflows 16 slots");
+    assert_eq!(snap.recorded() + snap.dropped, snap.emitted);
+    assert_eq!(recorder.snapshot().counter("journal.dropped"), snap.dropped);
+    snap.validate().expect("truncated overlapped journal still validates");
+    // Overlapped calls land on per-worker sub-lanes, but each call's
+    // begin/end halves share one ring slot: eviction keeps both or drops
+    // both, and nothing can wedge between them. A torn or interleaved
+    // pair — a begin with no adjacent same-lane end — fails here.
+    let events: Vec<_> = snap.events.iter().collect();
+    let mut call_begins = 0u64;
+    for (i, e) in events.iter().enumerate() {
+        if e.kind == lap::obs::journal::kind::SOURCE_CALL_BEGIN {
+            call_begins += 1;
+            let end = events.get(i + 1).expect("begin must be followed by its end");
+            assert_eq!(end.kind, lap::obs::journal::kind::SOURCE_CALL_END);
+            assert_eq!(end.lane, e.lane, "pair halves stay on one lane");
+        }
+    }
+    let call_ends = events
+        .iter()
+        .filter(|e| e.kind == lap::obs::journal::kind::SOURCE_CALL_END)
+        .count() as u64;
+    assert_eq!(call_begins, call_ends, "no orphaned call end survives eviction");
 }
