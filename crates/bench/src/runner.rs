@@ -1,4 +1,4 @@
-//! The experiment suite E1–E21 (see DESIGN.md §6 and EXPERIMENTS.md).
+//! The experiment suite E1–E22 (see DESIGN.md §6 and EXPERIMENTS.md).
 //!
 //! Each experiment returns a [`Table`]; the `experiments` binary prints
 //! them all. Everything is seeded — rerunning reproduces identical
@@ -1269,6 +1269,129 @@ pub fn e21_overlapped_io() -> Table {
     t
 }
 
+/// E22 — calibrated re-planning: the feedback loop closed end to end. A
+/// schema where the static model's uniform extents pick the wrong join
+/// order (seed the plan with the 40-row A scan and call D^io once per
+/// row) runs under seeded latency chaos with the flight recorder on; the
+/// journal is folded into a feedback profile, frozen through its JSON
+/// round-trip, and fed back as a calibrated cost model. The acceptance
+/// bar is that the calibrated plan recovers at least 80% of the oracle
+/// speedup — `(static − calibrated) / (static − oracle)` in virtual ms,
+/// where the oracle model is built from the true database extents — with
+/// answers identical to the static plan and the whole loop bit-for-bit
+/// deterministic (two runs from the frozen profile agree exactly).
+pub fn e22_calibrated_replanning() -> Table {
+    use lap_core::{answer_star_resilient_cfg, answer_star_resilient_planned_cfg, AnswerOutcome};
+    use lap_engine::{Database, ExecConfig, FaultConfig, ResilienceConfig, RetryPolicy};
+    use lap_obs::{FeedbackStore, JournalConfig, Recorder};
+    let mut t = Table::new(
+        "E22 — calibrated re-planning (journal-fed feedback, latency chaos)",
+        "Q(x, y) :- A(x), D(x, y) over A^o (40 rows), D^oo, D^io (8 rows), under 10ms-latency chaos (rate 0.05, standard retry, seed 22). The static uniform cost model orders A first and pays one D^io call per A row; the journal of that run is folded into a feedback profile (frozen through its JSON round-trip), and the calibrated model re-orders the body to scan D^oo first. 'recovery' is the fraction of the oracle speedup (cost model built from true extents) the calibrated plan achieves in virtual ms; acceptance is >= 80%, identical answers, and bit-identical repetition from the frozen profile.",
+        &["plan", "answers", "calls", "virtual ms", "vs static", "recovery"],
+    );
+    let program = parse_program("A^o. D^oo. D^io.\nQ(x, y) :- A(x), D(x, y).").expect("parses");
+    let q = program.single_query().expect("one query").clone();
+    let mut facts = String::new();
+    for i in 0..40 {
+        facts.push_str(&format!("A({i}). "));
+    }
+    for i in 0..8 {
+        facts.push_str(&format!("D({i}, {}). ", 100 + i));
+    }
+    let db = Database::from_facts(&facts).expect("facts parse");
+    let resilience = ResilienceConfig {
+        fault: Some(FaultConfig {
+            error_rate: 0.05,
+            latency_ms: 10,
+            latency_jitter_ms: 0,
+            timeout_ms: None,
+            seed: 22,
+        }),
+        retry: RetryPolicy::standard(),
+    };
+    let cfg = ExecConfig::default();
+
+    // Static run, flight recorder on: this is the journal the profile
+    // is calibrated from.
+    let rec = Recorder::with_journal(JournalConfig::light());
+    let static_run =
+        answer_star_resilient_cfg(&q, &program.schema, &db, &rec, &resilience, cfg)
+            .expect("static run");
+    assert!(!static_run.degradation.is_degraded(), "chaos must not degrade the baseline");
+    let mut store = FeedbackStore::new();
+    store.fold(&rec.journal().expect("journal on").snapshot());
+    store.validate().expect("folded profile is valid");
+    // Freeze the profile: the calibrated plan must come from the JSON
+    // snapshot, not the in-memory store.
+    let frozen =
+        FeedbackStore::from_json(&store.to_json()).expect("profile round-trips");
+    assert_eq!(frozen, store, "freezing must lose nothing");
+
+    let static_model = CostModel::new();
+    let base_pair = plan_star(&q, &program.schema);
+    let quiet = Recorder::disabled();
+    let run_with = |model: &CostModel| -> AnswerOutcome {
+        let plans = optimize_plan_pair(&base_pair, &program.schema, model, Strategy::Exhaustive);
+        answer_star_resilient_planned_cfg(
+            &q, &plans, &program.schema, &db, &quiet, &resilience, cfg,
+        )
+        .expect("planned run")
+    };
+    let calibrated_model = static_model.calibrated(&frozen);
+    let calibrated = run_with(&calibrated_model);
+    let oracle = run_with(&CostModel::from_database(&db));
+
+    // Same answers, same completeness — calibration only re-orders.
+    for (name, outcome) in [("calibrated", &calibrated), ("oracle", &oracle)] {
+        assert_eq!(outcome.report.under, static_run.report.under, "{name} answers");
+        assert_eq!(outcome.report.completeness, static_run.report.completeness, "{name}");
+        assert!(!outcome.degradation.is_degraded(), "{name} must not degrade");
+    }
+    // Determinism: a second run from the same frozen profile is
+    // bit-identical.
+    let again = run_with(&calibrated_model);
+    assert_eq!(again.report.under, calibrated.report.under);
+    assert_eq!(again.report.stats, calibrated.report.stats);
+    assert_eq!(again.virtual_ms, calibrated.virtual_ms);
+    assert_eq!(again.retries, calibrated.retries);
+    assert_eq!(again.failures, calibrated.failures);
+
+    let saved_oracle = static_run.virtual_ms.saturating_sub(oracle.virtual_ms) as f64;
+    let saved_calib = static_run.virtual_ms.saturating_sub(calibrated.virtual_ms) as f64;
+    let recovery = saved_calib / saved_oracle.max(1e-12);
+    assert!(
+        saved_oracle > 0.0,
+        "the oracle model must beat the static plan for recovery to be meaningful"
+    );
+    assert!(
+        recovery >= 0.8,
+        "acceptance: calibrated plan recovers >= 80% of the oracle speedup, got {:.0}% \
+         (static {} vs calibrated {} vs oracle {} virtual ms)",
+        recovery * 100.0,
+        static_run.virtual_ms,
+        calibrated.virtual_ms,
+        oracle.virtual_ms
+    );
+    for (name, outcome, rec_cell) in [
+        ("static", &static_run, "-".to_owned()),
+        ("calibrated", &calibrated, format!("{:.0}%", recovery * 100.0)),
+        ("oracle", &oracle, "100%".to_owned()),
+    ] {
+        t.row(vec![
+            name.to_owned(),
+            outcome.report.under.len().to_string(),
+            outcome.report.stats.calls.to_string(),
+            outcome.virtual_ms.to_string(),
+            format!(
+                "{:.2}x",
+                outcome.virtual_ms as f64 / (static_run.virtual_ms as f64).max(1e-12)
+            ),
+            rec_cell,
+        ]);
+    }
+    t
+}
+
 /// Runs every experiment with the default sizes used in EXPERIMENTS.md.
 pub fn run_all() -> Vec<Table> {
     let sizes = [8usize, 16, 32, 64, 128, 256];
@@ -1294,6 +1417,7 @@ pub fn run_all() -> Vec<Table> {
         e19_fault_resilience(),
         e20_journal_overhead(),
         e21_overlapped_io(),
+        e22_calibrated_replanning(),
     ]
 }
 
@@ -1396,5 +1520,15 @@ mod tests {
         for row in &t.rows {
             assert_eq!(row[4], "yes");
         }
+    }
+
+    #[test]
+    fn e22_calibration_recovers_oracle_speedup() {
+        // The acceptance assertions (>= 80% recovery, identical answers,
+        // bit-identical repetition) live inside the experiment.
+        let t = e22_calibrated_replanning();
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[0][0], "static");
+        assert_eq!(t.rows[1][0], "calibrated");
     }
 }

@@ -90,6 +90,38 @@ pub fn answer_star_obs(
     Ok(build_report(under, over, stats, plans))
 }
 
+/// [`answer_star_obs`] executing a **pre-optimized** plan pair instead of
+/// re-running PLAN\* — the entry point of the feedback loop, where the
+/// caller has re-ordered PLAN\*'s output under a journal-calibrated cost
+/// model (`lap_planner::optimize_plan_pair`). The pair must be an
+/// answer-equivalent reordering of PLAN\*'s plans for `q` (re-ordering an
+/// executable body never changes its answers, only its calls), so the
+/// report is exactly what [`answer_star_obs`] would have produced, at the
+/// calibrated plan's cost.
+pub fn answer_star_planned_obs(
+    q: &UnionQuery,
+    plans: &PlanPair,
+    schema: &Schema,
+    db: &Database,
+    recorder: &Recorder,
+) -> Result<AnswerReport, EngineError> {
+    let _span = recorder.span("answer*");
+    stamp_journal_meta(recorder, "answer*.planned", q, &RetryPolicy::default(), None, 1);
+    let physical = lower_pair(plans, schema);
+    let cfg = ExecConfig::default();
+    let mut reg = SourceRegistry::new(db, schema).recording(recorder);
+    let under = {
+        let _under = recorder.span("answer*.under");
+        execute_physical_union(&physical.under, &mut reg, cfg)?
+    };
+    let over = {
+        let _over = recorder.span("answer*.over");
+        execute_physical_union(&physical.over, &mut reg, cfg)?
+    };
+    let stats = reg.stats();
+    Ok(build_report(under, over, stats, plans.clone()))
+}
+
 pub(crate) fn build_report(
     under: BTreeSet<Tuple>,
     over: BTreeSet<Tuple>,
@@ -233,6 +265,39 @@ pub fn answer_star_resilient_cfg(
         reg = reg.with_fault_injection(*fault);
     }
     run_degraded_pair(&physical, &mut reg, cfg, recorder, plans)
+}
+
+/// [`answer_star_resilient_cfg`] executing a **pre-optimized** plan pair
+/// (see [`answer_star_planned_obs`] for the contract): the resilient leg
+/// of the feedback loop, where a calibrated ordering steers calls away
+/// from degraded sources before retries and backoff waits pile up.
+pub fn answer_star_resilient_planned_cfg(
+    q: &UnionQuery,
+    plans: &PlanPair,
+    schema: &Schema,
+    db: &Database,
+    recorder: &Recorder,
+    resilience: &ResilienceConfig,
+    cfg: ExecConfig,
+) -> Result<AnswerOutcome, EngineError> {
+    let _span = recorder.span("answer*");
+    stamp_journal_meta(
+        recorder,
+        "answer*.resilient.planned",
+        q,
+        &resilience.retry,
+        resilience.fault.as_ref(),
+        cfg.io_workers,
+    );
+    let physical = lower_pair(plans, schema);
+    let mut reg = SourceRegistry::new(db, schema)
+        .recording(recorder)
+        .with_io_workers(cfg.io_workers)
+        .with_retry(resilience.retry);
+    if let Some(fault) = &resilience.fault {
+        reg = reg.with_fault_injection(*fault);
+    }
+    run_degraded_pair(&physical, &mut reg, cfg, recorder, plans.clone())
 }
 
 /// Evaluates a lowered plan pair in degradation mode and assembles the

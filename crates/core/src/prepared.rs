@@ -85,6 +85,23 @@ impl PreparedQuery {
         &self.physical
     }
 
+    /// The schema the query was compiled against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Replaces the compiled plans and physical trees in place — the
+    /// adaptive re-planning hook (`lap_planner::recalibrate_prepared`
+    /// re-orders the plan bodies under a journal-calibrated cost model and
+    /// re-lowers them after an execution blew its estimates). The
+    /// replacement must be answer-equivalent to the compiled plans (a
+    /// reordering of the same bodies); the feasibility verdict is kept,
+    /// not re-derived.
+    pub fn replace_plans(&mut self, plans: PlanPair, physical: PhysicalPair) {
+        self.report.plans = plans;
+        self.physical = physical;
+    }
+
     /// Executes against an instance (algorithm ANSWER\*, reusing the
     /// compiled physical plans). For feasible queries the overestimate in
     /// the report *is* the exact answer.

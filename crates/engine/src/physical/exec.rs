@@ -65,6 +65,13 @@ impl ExecConfig {
 /// A binding: one value per plan slot, `None` while unbound.
 type Row = Vec<Option<Value>>;
 
+/// Factor at which an operator's observed output cardinality counts as
+/// having blown past its planner estimate: ≥ 10× triggers the
+/// `exec.estimate.blown` journal marker (the mid-query escape hatch —
+/// callers re-lower from calibrated statistics before the next prepared
+/// execution).
+pub const ESTIMATE_BLOWN_FACTOR: f64 = 10.0;
+
 /// Runtime counters for one operator.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct OpProfile {
@@ -81,6 +88,9 @@ pub struct OpProfile {
     pub calls: u64,
     /// Tuples transferred from the sources by those calls.
     pub source_rows: u64,
+    /// True once the operator's output cardinality exceeded its static
+    /// cost estimate by [`ESTIMATE_BLOWN_FACTOR`] (marker emitted once).
+    pub estimate_blown: bool,
 }
 
 /// Runtime counters for one disjunct pipeline.
@@ -248,6 +258,24 @@ impl<'p> PlanExec<'p> {
         }
         result?;
         self.profiles[i].rows_out += produced.len() as u64;
+        // Mid-query escape hatch: the first time an operator's cumulative
+        // output exceeds its static estimate by ESTIMATE_BLOWN_FACTOR,
+        // leave a marker. The current execution keeps running (answers are
+        // unaffected by cardinality misestimates); the marker tells the
+        // caller to re-lower from calibrated statistics before the next
+        // prepared execution.
+        if let Some(cost) = plan.ops[i].cost() {
+            if !self.profiles[i].estimate_blown
+                && self.profiles[i].rows_out as f64 >= ESTIMATE_BLOWN_FACTOR * cost.tuples.max(1.0)
+            {
+                self.profiles[i].estimate_blown = true;
+                reg.note_estimate_blown(
+                    &self.profiles[i].op,
+                    self.profiles[i].rows_out,
+                    cost.tuples,
+                );
+            }
+        }
         self.buffers[i].extend(produced);
         Ok(())
     }

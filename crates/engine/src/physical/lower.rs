@@ -71,6 +71,7 @@ pub fn lower_cq(cq: &ConjunctiveQuery, null_vars: &[Var], schema: &Schema) -> Ph
                 literal: display_adorned(lit, pattern),
                 bound_after: bound_in_slot_order(&slots, &bound),
                 cost: None,
+                calibrated: None,
             };
             if ops.is_empty() {
                 ops.push(PhysOp::Access(op));
@@ -92,6 +93,7 @@ pub fn lower_cq(cq: &ConjunctiveQuery, null_vars: &[Var], schema: &Schema) -> Ph
                 literal: lit.to_string(),
                 bound_after: bound_in_slot_order(&slots, &bound),
                 cost: None,
+                calibrated: None,
             }));
         }
     }
@@ -117,6 +119,7 @@ pub fn lower_cq(cq: &ConjunctiveQuery, null_vars: &[Var], schema: &Schema) -> Ph
         head: cq.head.to_string(),
         cols,
         cost: None,
+        calibrated: None,
     }));
 
     PhysicalPlan {

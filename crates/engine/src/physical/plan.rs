@@ -68,6 +68,9 @@ pub struct AccessOp {
     pub bound_after: Vec<Var>,
     /// Optional planner cost annotation.
     pub cost: Option<OpCost>,
+    /// Optional calibrated cost annotation (journal-fed model), shown next
+    /// to the static estimate so `explain` explains *why* a plan changed.
+    pub calibrated: Option<OpCost>,
 }
 
 /// A negated literal acting as a membership filter: it "can only filter
@@ -88,6 +91,8 @@ pub struct NegOp {
     pub bound_after: Vec<Var>,
     /// Optional planner cost annotation.
     pub cost: Option<OpCost>,
+    /// Optional calibrated cost annotation (journal-fed model).
+    pub calibrated: Option<OpCost>,
 }
 
 /// One head column of a [`ProjectOp`].
@@ -114,6 +119,8 @@ pub struct ProjectOp {
     pub cols: Vec<ProjCol>,
     /// Optional planner cost annotation.
     pub cost: Option<OpCost>,
+    /// Optional calibrated cost annotation (journal-fed model).
+    pub calibrated: Option<OpCost>,
 }
 
 /// One operator of a physical pipeline.
@@ -167,6 +174,25 @@ impl PhysOp {
         }
     }
 
+    /// The calibrated cost annotation, if a feedback-fed lowering filled
+    /// it in.
+    pub fn calibrated(&self) -> Option<OpCost> {
+        match self {
+            PhysOp::Access(a) | PhysOp::BindJoin(a) => a.calibrated,
+            PhysOp::NegFilter(n) => n.calibrated,
+            PhysOp::Project(p) => p.calibrated,
+        }
+    }
+
+    /// Mutable access to the calibrated cost annotation.
+    pub fn calibrated_mut(&mut self) -> &mut Option<OpCost> {
+        match self {
+            PhysOp::Access(a) | PhysOp::BindJoin(a) => &mut a.calibrated,
+            PhysOp::NegFilter(n) => &mut n.calibrated,
+            PhysOp::Project(p) => &mut p.calibrated,
+        }
+    }
+
     /// The binding schema after this operator (bound variables in slot
     /// order; the projection reports no bindings).
     pub fn bound_after(&self) -> &[Var] {
@@ -206,8 +232,17 @@ impl fmt::Display for PhysicalPlan {
                 let names: Vec<String> = bound.iter().map(|v| v.to_string()).collect();
                 write!(f, "  [bound: {}]", names.join(", "))?;
             }
-            if let Some(cost) = op.cost() {
-                write!(f, "  ({cost})")?;
+            match (op.cost(), op.calibrated()) {
+                (Some(cost), Some(cal)) => write!(
+                    f,
+                    "  ({cost}; cal {:.1} calls, {:.1} tuples)",
+                    cal.calls, cal.tuples
+                )?,
+                (Some(cost), None) => write!(f, "  ({cost})")?,
+                (None, Some(cal)) => {
+                    write!(f, "  (cal {:.1} calls, {:.1} tuples)", cal.calls, cal.tuples)?
+                }
+                (None, None) => {}
             }
             if depth + 1 < self.ops.len() {
                 writeln!(f)?;

@@ -605,6 +605,23 @@ impl<'a> SourceRegistry<'a> {
         }
     }
 
+    /// Records an `exec.estimate.blown` marker: operator `label` has
+    /// emitted `observed` rows against a static estimate of `estimated`
+    /// tuples. Bumps the shared `exec.estimate_blown` counter even when no
+    /// journal is attached, so callers can poll the recorder for blown
+    /// estimates cheaply.
+    pub fn note_estimate_blown(&self, label: &str, observed: u64, estimated: f64) {
+        self.recorder.counter("exec.estimate_blown").incr();
+        self.journal_emit(
+            lap_obs::journal::kind::ESTIMATE_BLOWN,
+            Json::obj([
+                ("label", Json::str(label)),
+                ("observed_rows", Json::num(observed)),
+                ("estimated_tuples", Json::Num(estimated)),
+            ]),
+        );
+    }
+
     /// Journal interner ids for a (relation, pattern) access, memoized so
     /// the steady-state call path never hashes a string. Only called with
     /// a journal attached.
@@ -752,6 +769,10 @@ impl<'a> SourceRegistry<'a> {
         let capture = journaled && self.journal.as_ref().is_some_and(Journal::capture_rows);
         let max_attempts = self.retry.max_attempts.max(1);
         let mut attempt = 0u32;
+        // Backoff charged after the previous failed attempt, carried into
+        // the next attempt's retry marker so the journal can attribute
+        // per-source wait time.
+        let mut pending_backoff = 0u64;
         loop {
             attempt += 1;
             if attempt > 1 {
@@ -763,7 +784,13 @@ impl<'a> SourceRegistry<'a> {
                     self.local.retries += 1;
                 }
                 if journaled {
-                    self.journal_instant(name, InstantPayload::Retry { attempt: u64::from(attempt) });
+                    self.journal_instant(
+                        name,
+                        InstantPayload::Retry {
+                            attempt: u64::from(attempt),
+                            backoff_ms: pending_backoff,
+                        },
+                    );
                 }
             }
             // Replay tier: the begin event carries the bound inputs, so a
@@ -873,6 +900,7 @@ impl<'a> SourceRegistry<'a> {
                     }
                     let backoff = self.retry.backoff_ms(attempt, &mut self.retry_rng);
                     self.charge_serial(backoff);
+                    pending_backoff = backoff;
                 }
             }
         }
@@ -1089,6 +1117,9 @@ impl<'a> SourceRegistry<'a> {
                 ScriptedCall::Wire(mut ws) => {
                     let mut t = ws.start_ms;
                     let mut final_reply: Option<SourceReply> = None;
+                    // The backoff the previous failed attempt scheduled,
+                    // attributed to the retry marker it delayed.
+                    let mut prev_backoff = 0u64;
                     for sa in std::mem::take(&mut ws.attempts) {
                         if sa.attempt > 1 && ws.journaled {
                             self.journal_instant_at(
@@ -1097,6 +1128,7 @@ impl<'a> SourceRegistry<'a> {
                                 name,
                                 InstantPayload::Retry {
                                     attempt: u64::from(sa.attempt),
+                                    backoff_ms: prev_backoff,
                                 },
                             );
                         }
@@ -1147,6 +1179,7 @@ impl<'a> SourceRegistry<'a> {
                                     &fault,
                                 );
                                 t = end_ts + sa.backoff_ms;
+                                prev_backoff = sa.backoff_ms;
                             }
                         }
                     }

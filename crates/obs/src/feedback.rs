@@ -1,0 +1,696 @@
+//! Journal-fed calibrated source statistics — the feedback half of the
+//! observability loop.
+//!
+//! The flight recorder captures ground truth the planner's static
+//! [`CostModel`](../../lap_planner) can only guess at: per-source,
+//! per-access-pattern call latency, rows-per-call, failure/timeout rates,
+//! retry backoff waits. A [`FeedbackStore`] folds any number of
+//! [`JournalSnapshot`]s into per-`(relation, pattern)` [`SourceProfile`]s,
+//! maintains an EWMA health score across folds, detects drift against a
+//! caller-supplied model expectation, and serializes to/from the same
+//! hand-rolled JSON as every other snapshot in the crate — so a
+//! calibration profile is reproducible, diffable, and freezable (a run
+//! driven by a frozen profile is bit-for-bit deterministic).
+//!
+//! The store is deliberately model-agnostic: it records what was
+//! *observed* and exposes aggregates ([`SourceProfile::rows_per_call`],
+//! [`SourceProfile::failure_rate`], latency percentiles). Turning those
+//! into plan costs is the planner's job (`CostModel::calibrated`).
+
+use crate::journal::{kind, JournalSnapshot};
+use crate::json::Json;
+use crate::metrics::{bucket_index, HistogramSnapshot, HISTOGRAM_BUCKETS};
+use std::collections::BTreeMap;
+
+/// EWMA smoothing factor for the per-profile health score: each fold
+/// contributes 30% and history keeps 70%, so a recovering source climbs
+/// back within a few folds while one bad fold cannot erase a good history.
+pub const HEALTH_ALPHA: f64 = 0.3;
+
+/// Divergence factor that flags drift: an observation ≥ 10× (or ≤ 1/10×)
+/// of the model's expectation is no longer noise the interpolating cost
+/// model can absorb — the plan should be re-costed.
+pub const DRIFT_FACTOR: f64 = 10.0;
+
+/// Calibrated statistics for one `(relation, access pattern)` pair, folded
+/// from journal snapshots.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SourceProfile {
+    /// Relation name.
+    pub relation: String,
+    /// Access pattern the calls used (`"io"`, `"oo"`, …).
+    pub pattern: String,
+    /// Wire attempts observed (each retry is one attempt).
+    pub attempts: u64,
+    /// Attempts that returned rows.
+    pub ok: u64,
+    /// Attempts that failed with an unavailability fault.
+    pub faults: u64,
+    /// Attempts that exceeded their timeout budget.
+    pub timeouts: u64,
+    /// Retry markers attributed to this pattern.
+    pub retries: u64,
+    /// Total rows returned by successful attempts.
+    pub rows: u64,
+    /// Total backoff wait charged before retries, in virtual ms.
+    pub wait_ms: u64,
+    /// Per-attempt latency distribution (log₂ buckets, virtual ms).
+    pub latency: HistogramSnapshot,
+    /// EWMA health score in `[0, 1]`: the smoothed per-fold success
+    /// ratio. 1.0 = every observed attempt succeeded.
+    pub health: f64,
+    /// Number of folds that contributed traffic to this profile.
+    pub folds: u64,
+}
+
+impl SourceProfile {
+    /// An empty profile for `(relation, pattern)` with the latency bucket
+    /// vector materialized at full width, so a serialized profile (which
+    /// always round-trips through the full-width vector) compares equal.
+    fn empty(relation: String, pattern: String) -> SourceProfile {
+        SourceProfile {
+            relation,
+            pattern,
+            latency: HistogramSnapshot {
+                buckets: vec![0; HISTOGRAM_BUCKETS],
+                ..HistogramSnapshot::default()
+            },
+            ..SourceProfile::default()
+        }
+    }
+
+    /// Observed mean rows per successful call (0.0 with no successes).
+    pub fn rows_per_call(&self) -> f64 {
+        if self.ok == 0 {
+            0.0
+        } else {
+            self.rows as f64 / self.ok as f64
+        }
+    }
+
+    /// Share of attempts that failed (fault or timeout), in `[0, 1]`.
+    pub fn failure_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            (self.faults + self.timeouts) as f64 / self.attempts as f64
+        }
+    }
+
+    /// Share of attempts that timed out, in `[0, 1]`.
+    pub fn timeout_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.timeouts as f64 / self.attempts as f64
+        }
+    }
+
+    /// Mean backoff wait per successful call, in virtual ms.
+    pub fn wait_per_call_ms(&self) -> f64 {
+        if self.ok == 0 {
+            0.0
+        } else {
+            self.wait_ms as f64 / self.ok as f64
+        }
+    }
+
+    /// Expected virtual milliseconds one *logical* call costs on this
+    /// source: attempts-per-success × mean attempt latency, plus the
+    /// backoff waits the retries charged. This is the number a calibrated
+    /// cost model weighs calls by.
+    pub fn effective_call_ms(&self) -> f64 {
+        if self.ok == 0 {
+            // Never succeeded: every attempt was wasted latency.
+            return self.latency.mean() * self.attempts.max(1) as f64 + self.wait_ms as f64;
+        }
+        let attempts_per_success = self.attempts as f64 / self.ok as f64;
+        attempts_per_success * self.latency.mean() + self.wait_per_call_ms()
+    }
+
+    /// The number of input (`i`) slots in this profile's pattern.
+    pub fn num_inputs(&self) -> usize {
+        self.pattern.chars().filter(|&c| c == 'i').count()
+    }
+
+    fn fold_health(&mut self, fold_ok: u64, fold_attempts: u64) {
+        if fold_attempts == 0 {
+            return;
+        }
+        let ratio = fold_ok as f64 / fold_attempts as f64;
+        self.health = if self.folds == 0 {
+            ratio
+        } else {
+            HEALTH_ALPHA * ratio + (1.0 - HEALTH_ALPHA) * self.health
+        };
+        self.folds += 1;
+    }
+
+    fn to_json(&self) -> Json {
+        // Latency buckets serialize sparsely as [index, count] pairs.
+        let buckets: Vec<Json> = self
+            .latency
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Json::Arr(vec![Json::num(i as u64), Json::num(c)]))
+            .collect();
+        Json::obj([
+            ("relation", Json::str(&self.relation)),
+            ("pattern", Json::str(&self.pattern)),
+            ("attempts", Json::num(self.attempts)),
+            ("ok", Json::num(self.ok)),
+            ("faults", Json::num(self.faults)),
+            ("timeouts", Json::num(self.timeouts)),
+            ("retries", Json::num(self.retries)),
+            ("rows", Json::num(self.rows)),
+            ("wait_ms", Json::num(self.wait_ms)),
+            ("health", Json::Num(self.health)),
+            ("folds", Json::num(self.folds)),
+            (
+                "latency",
+                Json::obj([
+                    ("count", Json::num(self.latency.count)),
+                    ("sum", Json::num(self.latency.sum)),
+                    ("max", Json::num(self.latency.max)),
+                    ("buckets", Json::Arr(buckets)),
+                ]),
+            ),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<SourceProfile, String> {
+        let num = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("profile missing numeric {key:?}"))
+        };
+        let text = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("profile missing string {key:?}"))
+        };
+        let lat = doc.get("latency").ok_or("profile missing \"latency\"")?;
+        let lat_num = |key: &str| {
+            lat.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("latency missing numeric {key:?}"))
+        };
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        if let Some(Json::Arr(pairs)) = lat.get("buckets") {
+            for pair in pairs {
+                let Json::Arr(kv) = pair else {
+                    return Err("latency bucket is not an [index, count] pair".to_owned());
+                };
+                let (Some(i), Some(c)) = (
+                    kv.first().and_then(Json::as_u64),
+                    kv.get(1).and_then(Json::as_u64),
+                ) else {
+                    return Err("latency bucket pair is not numeric".to_owned());
+                };
+                let slot = buckets
+                    .get_mut(i as usize)
+                    .ok_or_else(|| format!("latency bucket index {i} out of range"))?;
+                *slot = c;
+            }
+        }
+        Ok(SourceProfile {
+            relation: text("relation")?,
+            pattern: text("pattern")?,
+            attempts: num("attempts")?,
+            ok: num("ok")?,
+            faults: num("faults")?,
+            timeouts: num("timeouts")?,
+            retries: num("retries")?,
+            rows: num("rows")?,
+            wait_ms: num("wait_ms")?,
+            health: doc
+                .get("health")
+                .and_then(Json::as_f64)
+                .ok_or("profile missing numeric \"health\"")?,
+            folds: num("folds")?,
+            latency: HistogramSnapshot {
+                count: lat_num("count")?,
+                sum: lat_num("sum")?,
+                max: lat_num("max")?,
+                buckets,
+            },
+        })
+    }
+}
+
+/// What a static model expects of one relation, for drift detection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Expectation {
+    /// Modeled rows transferred per call.
+    pub rows_per_call: f64,
+    /// Modeled virtual latency per call, in ms (0.0 = no latency model).
+    pub latency_ms: f64,
+}
+
+/// One detected divergence between an observed profile and the model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DriftFlag {
+    /// Relation name.
+    pub relation: String,
+    /// Access pattern.
+    pub pattern: String,
+    /// Which quantity diverged (`"rows_per_call"` or `"latency_ms"`).
+    pub metric: String,
+    /// The observed value.
+    pub observed: f64,
+    /// What the model expected.
+    pub expected: f64,
+}
+
+impl std::fmt::Display for DriftFlag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}^{}: observed {} {:.1} vs modeled {:.1} (>= {DRIFT_FACTOR}x apart)",
+            self.relation, self.pattern, self.metric, self.observed, self.expected
+        )
+    }
+}
+
+/// A calibrated statistics store: per-source, per-pattern profiles folded
+/// from journal snapshots, serializable to a frozen JSON profile.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FeedbackStore {
+    /// Profiles keyed by `(relation, pattern)`.
+    pub profiles: BTreeMap<(String, String), SourceProfile>,
+    /// Number of journal snapshots folded in.
+    pub folds: u64,
+}
+
+impl FeedbackStore {
+    /// An empty store.
+    pub fn new() -> FeedbackStore {
+        FeedbackStore::default()
+    }
+
+    /// Folds one journal snapshot into the store: attempts, outcomes, and
+    /// latencies from `source.call.*` pairs, retry waits from
+    /// `source.retry` markers, and one EWMA health update per profile that
+    /// saw traffic in this snapshot.
+    pub fn fold(&mut self, snapshot: &JournalSnapshot) {
+        // (relation, pattern) open per lane, so an end event (which omits
+        // the pattern) can be attributed; plus the last pattern begun per
+        // relation, for retry markers (which carry the relation only).
+        let mut open: BTreeMap<u64, (String, String)> = BTreeMap::new();
+        let mut last_pattern: BTreeMap<String, String> = BTreeMap::new();
+        let mut fold_traffic: BTreeMap<(String, String), (u64, u64)> = BTreeMap::new();
+        for event in &snapshot.events {
+            let rel = |key: &str| {
+                event
+                    .data
+                    .get(key)
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_owned()
+            };
+            let num =
+                |key: &str| event.data.get(key).and_then(Json::as_u64).unwrap_or(0);
+            match event.kind.as_str() {
+                kind::SOURCE_CALL_BEGIN => {
+                    let relation = rel("relation");
+                    let pattern = rel("pattern");
+                    last_pattern.insert(relation.clone(), pattern.clone());
+                    open.insert(event.lane, (relation, pattern));
+                }
+                kind::SOURCE_CALL_END => {
+                    let (relation, pattern) = open
+                        .remove(&event.lane)
+                        .unwrap_or_else(|| (rel("relation"), "?".to_owned()));
+                    let key = (relation.clone(), pattern.clone());
+                    let profile = self
+                        .profiles
+                        .entry(key.clone())
+                        .or_insert_with(|| SourceProfile::empty(relation, pattern));
+                    profile.attempts += 1;
+                    let latency = num("latency_ms");
+                    profile.latency.count += 1;
+                    profile.latency.sum += latency;
+                    profile.latency.max = profile.latency.max.max(latency);
+                    profile.latency.buckets[bucket_index(latency)] += 1;
+                    let traffic = fold_traffic.entry(key).or_insert((0, 0));
+                    traffic.1 += 1;
+                    if event.data.get("ok") == Some(&Json::Bool(true)) {
+                        profile.ok += 1;
+                        profile.rows += num("rows");
+                        traffic.0 += 1;
+                    } else if event.data.get("fault").and_then(Json::as_str)
+                        == Some("timeout")
+                    {
+                        profile.timeouts += 1;
+                    } else {
+                        profile.faults += 1;
+                    }
+                }
+                kind::RETRY => {
+                    let relation = rel("relation");
+                    let pattern = last_pattern
+                        .get(&relation)
+                        .cloned()
+                        .unwrap_or_else(|| "?".to_owned());
+                    let profile = self
+                        .profiles
+                        .entry((relation.clone(), pattern.clone()))
+                        .or_insert_with(|| SourceProfile::empty(relation, pattern));
+                    profile.retries += 1;
+                    profile.wait_ms += num("backoff_ms");
+                }
+                _ => {}
+            }
+        }
+        for (key, (ok, attempts)) in fold_traffic {
+            if let Some(profile) = self.profiles.get_mut(&key) {
+                profile.fold_health(ok, attempts);
+            }
+        }
+        self.folds += 1;
+    }
+
+    /// The profile for `(relation, pattern)`, if any traffic was folded.
+    pub fn profile(&self, relation: &str, pattern: &str) -> Option<&SourceProfile> {
+        self.profiles
+            .get(&(relation.to_owned(), pattern.to_owned()))
+    }
+
+    /// All profiles of `relation`, across patterns.
+    pub fn profiles_of<'a>(
+        &'a self,
+        relation: &'a str,
+    ) -> impl Iterator<Item = &'a SourceProfile> {
+        self.profiles
+            .values()
+            .filter(move |p| p.relation == relation)
+    }
+
+    /// Aggregated health of `relation` over its patterns, weighted by
+    /// attempts (`None` with no traffic).
+    pub fn relation_health(&self, relation: &str) -> Option<f64> {
+        let (mut weighted, mut attempts) = (0.0, 0u64);
+        for p in self.profiles_of(relation) {
+            weighted += p.health * p.attempts as f64;
+            attempts += p.attempts;
+        }
+        (attempts > 0).then(|| weighted / attempts as f64)
+    }
+
+    /// Drift flags against a model expectation per relation: a profile
+    /// whose observed rows-per-call or mean latency is ≥ [`DRIFT_FACTOR`]×
+    /// away from the expectation (in either direction) is flagged.
+    pub fn drift_flags<F>(&self, expect: F) -> Vec<DriftFlag>
+    where
+        F: Fn(&str) -> Option<Expectation>,
+    {
+        let mut flags = Vec::new();
+        let apart = |observed: f64, expected: f64| {
+            observed.max(expected) >= DRIFT_FACTOR * observed.min(expected).max(1e-9)
+                && (observed - expected).abs() > 1e-9
+        };
+        for profile in self.profiles.values() {
+            let Some(expectation) = expect(&profile.relation) else {
+                continue;
+            };
+            if profile.ok > 0 && apart(profile.rows_per_call(), expectation.rows_per_call) {
+                flags.push(DriftFlag {
+                    relation: profile.relation.clone(),
+                    pattern: profile.pattern.clone(),
+                    metric: "rows_per_call".to_owned(),
+                    observed: profile.rows_per_call(),
+                    expected: expectation.rows_per_call,
+                });
+            }
+            if expectation.latency_ms > 0.0
+                && profile.latency.count > 0
+                && apart(profile.latency.mean(), expectation.latency_ms)
+            {
+                flags.push(DriftFlag {
+                    relation: profile.relation.clone(),
+                    pattern: profile.pattern.clone(),
+                    metric: "latency_ms".to_owned(),
+                    observed: profile.latency.mean(),
+                    expected: expectation.latency_ms,
+                });
+            }
+        }
+        flags
+    }
+
+    /// Serializes the store to a frozen JSON profile.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("feedback_version", Json::num(1)),
+            ("folds", Json::num(self.folds)),
+            (
+                "profiles",
+                Json::Arr(self.profiles.values().map(SourceProfile::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Reads a store back from [`FeedbackStore::to_json`] output.
+    pub fn from_json(doc: &Json) -> Result<FeedbackStore, String> {
+        let folds = doc
+            .get("folds")
+            .and_then(Json::as_u64)
+            .ok_or("feedback snapshot missing numeric \"folds\"")?;
+        let Some(Json::Arr(entries)) = doc.get("profiles") else {
+            return Err("feedback snapshot missing \"profiles\" array".to_owned());
+        };
+        let mut profiles = BTreeMap::new();
+        for entry in entries {
+            let p = SourceProfile::from_json(entry)?;
+            profiles.insert((p.relation.clone(), p.pattern.clone()), p);
+        }
+        Ok(FeedbackStore { profiles, folds })
+    }
+
+    /// Checks the store's invariants, as `lapq obs-validate` does for the
+    /// other snapshot shapes: all rates and health scores in `[0, 1]`,
+    /// latency percentiles monotone (p50 ≤ p95 ≤ p99 ≤ max), per-profile
+    /// accounting consistent (`ok + faults + timeouts == attempts`,
+    /// latency sample count == attempts), and a JSON round trip exact.
+    pub fn validate(&self) -> Result<(), String> {
+        for ((rel, pat), p) in &self.profiles {
+            let ctx = format!("{rel}^{pat}");
+            if p.relation != *rel || p.pattern != *pat {
+                return Err(format!("{ctx}: profile key does not match its fields"));
+            }
+            for (name, rate) in [
+                ("failure_rate", p.failure_rate()),
+                ("timeout_rate", p.timeout_rate()),
+                ("health", p.health),
+            ] {
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("{ctx}: {name} {rate} outside [0, 1]"));
+                }
+            }
+            if p.ok + p.faults + p.timeouts != p.attempts {
+                return Err(format!(
+                    "{ctx}: ok {} + faults {} + timeouts {} != attempts {}",
+                    p.ok, p.faults, p.timeouts, p.attempts
+                ));
+            }
+            if p.latency.count != p.attempts {
+                return Err(format!(
+                    "{ctx}: latency samples {} != attempts {}",
+                    p.latency.count, p.attempts
+                ));
+            }
+            let (p50, p95, p99) = (p.latency.p50(), p.latency.p95(), p.latency.p99());
+            if !(p50 <= p95 && p95 <= p99 && p99 <= p.latency.max as f64) {
+                return Err(format!(
+                    "{ctx}: percentiles not monotone: p50 {p50} p95 {p95} p99 {p99} max {}",
+                    p.latency.max
+                ));
+            }
+        }
+        let round = FeedbackStore::from_json(&self.to_json())
+            .map_err(|e| format!("round trip failed to parse: {e}"))?;
+        if &round != self {
+            return Err("JSON round trip is not exact".to_owned());
+        }
+        Ok(())
+    }
+
+    /// A human-readable one-line summary per profile (for `lapq calibrate`).
+    pub fn summary(&self) -> String {
+        let mut out = format!("{} profile(s), {} fold(s)\n", self.profiles.len(), self.folds);
+        for p in self.profiles.values() {
+            out.push_str(&format!(
+                "  {}^{}: {} call(s), {:.1} rows/call, {:.0}% failed, \
+                 p50 {:.1}ms p95 {:.1}ms p99 {:.1}ms, {:.1}ms eff/call, health {:.2}\n",
+                p.relation,
+                p.pattern,
+                p.attempts,
+                p.rows_per_call(),
+                100.0 * p.failure_rate(),
+                p.latency.p50(),
+                p.latency.p95(),
+                p.latency.p99(),
+                p.effective_call_ms(),
+                p.health,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{Journal, JournalConfig, WireOutcome};
+    use crate::metrics::Counter;
+
+    fn journal() -> Journal {
+        Journal::new(JournalConfig::light(), Counter::detached())
+    }
+
+    fn ok(j: &Journal, ts: u64, rel: &str, pat: &str, rows: u64, latency: u64) {
+        j.record_call(0, ts, ts + latency, rel, pat, 1, WireOutcome::Ok { rows, latency_ms: latency });
+    }
+
+    #[test]
+    fn folding_builds_per_pattern_profiles() {
+        let j = journal();
+        ok(&j, 0, "B", "io", 4, 10);
+        ok(&j, 10, "B", "io", 6, 20);
+        ok(&j, 30, "B", "oo", 100, 5);
+        j.record_call(0, 40, 45, "S", "o", 2, WireOutcome::Unavailable { latency_ms: 5 });
+        j.record_instant(0, 65, "S", crate::journal::InstantPayload::Retry {
+            attempt: 2,
+            backoff_ms: 20,
+        });
+        ok(&j, 65, "S", "o", 3, 5);
+
+        let mut store = FeedbackStore::new();
+        store.fold(&j.snapshot());
+        assert_eq!(store.folds, 1);
+
+        let b_io = store.profile("B", "io").unwrap();
+        assert_eq!((b_io.attempts, b_io.ok, b_io.rows), (2, 2, 10));
+        assert_eq!(b_io.rows_per_call(), 5.0);
+        assert_eq!(b_io.num_inputs(), 1);
+        assert_eq!(b_io.health, 1.0);
+        assert_eq!(b_io.failure_rate(), 0.0);
+
+        let b_oo = store.profile("B", "oo").unwrap();
+        assert_eq!(b_oo.rows_per_call(), 100.0);
+
+        let s = store.profile("S", "o").unwrap();
+        assert_eq!((s.attempts, s.ok, s.faults), (2, 1, 1));
+        assert_eq!(s.failure_rate(), 0.5);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.wait_ms, 20);
+        assert!(s.effective_call_ms() > 20.0, "{}", s.effective_call_ms());
+        assert!(store.relation_health("S").unwrap() < store.relation_health("B").unwrap());
+    }
+
+    #[test]
+    fn health_is_an_ewma_across_folds() {
+        let mut store = FeedbackStore::new();
+        let good = journal();
+        ok(&good, 0, "S", "o", 1, 5);
+        store.fold(&good.snapshot());
+        assert_eq!(store.profile("S", "o").unwrap().health, 1.0);
+
+        let bad = journal();
+        bad.record_call(0, 0, 5, "S", "o", 1, WireOutcome::Unavailable { latency_ms: 5 });
+        store.fold(&bad.snapshot());
+        let h = store.profile("S", "o").unwrap().health;
+        assert!((h - 0.7).abs() < 1e-9, "0.3*0 + 0.7*1.0 = 0.7, got {h}");
+
+        // A fold with no S traffic leaves its health untouched.
+        let idle = journal();
+        ok(&idle, 0, "B", "oo", 1, 1);
+        store.fold(&idle.snapshot());
+        assert_eq!(store.profile("S", "o").unwrap().health, h);
+        assert_eq!(store.folds, 3);
+    }
+
+    #[test]
+    fn drift_flags_fire_at_10x() {
+        let j = journal();
+        ok(&j, 0, "B", "oo", 500, 3); // model expects 10 rows → 50× off
+        ok(&j, 3, "T", "oo", 12, 3); // model expects 10 rows → fine
+        let mut store = FeedbackStore::new();
+        store.fold(&j.snapshot());
+        let flags = store.drift_flags(|_| {
+            Some(Expectation { rows_per_call: 10.0, latency_ms: 0.0 })
+        });
+        assert_eq!(flags.len(), 1, "{flags:?}");
+        assert_eq!(flags[0].relation, "B");
+        assert_eq!(flags[0].metric, "rows_per_call");
+        assert!(flags[0].to_string().contains("B^oo"), "{}", flags[0]);
+        // Latency drift fires independently.
+        let slow = journal();
+        ok(&slow, 0, "L", "o", 10, 200);
+        let mut store = FeedbackStore::new();
+        store.fold(&slow.snapshot());
+        let flags = store.drift_flags(|_| {
+            Some(Expectation { rows_per_call: 10.0, latency_ms: 5.0 })
+        });
+        assert_eq!(flags.len(), 1, "{flags:?}");
+        assert_eq!(flags[0].metric, "latency_ms");
+    }
+
+    #[test]
+    fn json_round_trip_is_exact_and_validates() {
+        let j = journal();
+        ok(&j, 0, "B", "io", 4, 10);
+        ok(&j, 10, "B", "io", 6, 1000);
+        j.record_call(0, 40, 45, "S", "o", 2, WireOutcome::Unavailable { latency_ms: 5 });
+        j.record_call(
+            0,
+            50,
+            55,
+            "S",
+            "o",
+            3,
+            WireOutcome::Timeout { latency_ms: 9, timeout_ms: 5 },
+        );
+        let mut store = FeedbackStore::new();
+        store.fold(&j.snapshot());
+        store.validate().expect("freshly folded store validates");
+
+        let text = store.to_json().to_pretty();
+        let parsed = crate::json::parse(&text).expect("profile JSON parses");
+        let back = FeedbackStore::from_json(&parsed).expect("profile JSON loads");
+        assert_eq!(back, store, "round trip must be exact");
+        back.validate().expect("round-tripped store validates");
+    }
+
+    #[test]
+    fn validate_rejects_broken_accounting() {
+        let j = journal();
+        ok(&j, 0, "B", "io", 4, 10);
+        let mut store = FeedbackStore::new();
+        store.fold(&j.snapshot());
+        let key = ("B".to_owned(), "io".to_owned());
+        store.profiles.get_mut(&key).unwrap().attempts = 2; // ok+faults != attempts
+        let err = store.validate().unwrap_err();
+        assert!(err.contains("attempts"), "{err}");
+
+        let mut store = FeedbackStore::new();
+        store.fold(&j.snapshot());
+        store.profiles.get_mut(&key).unwrap().health = 1.5;
+        let err = store.validate().unwrap_err();
+        assert!(err.contains("health"), "{err}");
+    }
+
+    #[test]
+    fn summary_names_every_profile() {
+        let j = journal();
+        ok(&j, 0, "B", "io", 4, 10);
+        let mut store = FeedbackStore::new();
+        store.fold(&j.snapshot());
+        let text = store.summary();
+        assert!(text.contains("B^io"), "{text}");
+        assert!(text.contains("rows/call"), "{text}");
+    }
+}

@@ -65,6 +65,9 @@ pub mod kind {
     pub const TIMEOUT: &str = "source.timeout";
     /// A disjunct was dropped from a degraded union evaluation.
     pub const DISJUNCT_DEGRADED: &str = "disjunct.degraded";
+    /// An operator's observed cardinality blew past its planner estimate
+    /// (≥ 10×): the plan should be re-costed before the next execution.
+    pub const ESTIMATE_BLOWN: &str = "exec.estimate.blown";
     /// A physical operator starts processing one batch.
     pub const BATCH_BEGIN: &str = "exec.batch.begin";
     /// A physical operator finished one batch.
@@ -214,10 +217,14 @@ pub enum InstantPayload {
         /// True when the hit answered a membership probe.
         membership: bool,
     },
-    /// A [`kind::RETRY`] marker (`{relation, attempt}`).
+    /// A [`kind::RETRY`] marker (`{relation, attempt}`, plus
+    /// `backoff_ms` when the preceding failure charged a backoff wait).
     Retry {
         /// The attempt about to run (≥ 2).
         attempt: u64,
+        /// Backoff wait charged to the virtual clock before this attempt
+        /// (0 when the policy waited nothing).
+        backoff_ms: u64,
     },
     /// A [`kind::FAULT`] marker (`{relation, latency_ms, attempt}`).
     Fault {
@@ -243,7 +250,7 @@ impl InstantPayload {
             InstantPayload::CacheHit { rows, membership } => {
                 (kind::CACHE_HIT, rows, u64::from(membership))
             }
-            InstantPayload::Retry { attempt } => (kind::RETRY, attempt, 0),
+            InstantPayload::Retry { attempt, backoff_ms } => (kind::RETRY, attempt, backoff_ms),
             InstantPayload::Fault { latency_ms, attempt } => (kind::FAULT, latency_ms, attempt),
             InstantPayload::Timeout { latency_ms, attempt } => {
                 (kind::TIMEOUT, latency_ms, attempt)
@@ -747,10 +754,16 @@ fn expand_instant(instant: &InstantEntry, names: &Interner) -> JournalEvent {
             }
             Json::Obj(pairs)
         }
-        kind::RETRY => Json::obj([
-            ("relation", Json::str(relation)),
-            ("attempt", Json::num(instant.a)),
-        ]),
+        kind::RETRY => {
+            let mut pairs = vec![
+                ("relation".to_owned(), Json::str(relation)),
+                ("attempt".to_owned(), Json::num(instant.a)),
+            ];
+            if instant.b != 0 {
+                pairs.push(("backoff_ms".to_owned(), Json::num(instant.b)));
+            }
+            Json::Obj(pairs)
+        }
         // FAULT and TIMEOUT share one shape.
         _ => Json::obj([
             ("relation", Json::str(relation)),
@@ -1149,12 +1162,24 @@ mod tests {
             ]),
         );
 
-        fast.record_instant(0, 10, "B", InstantPayload::Retry { attempt: 2 });
+        fast.record_instant(0, 10, "B", InstantPayload::Retry { attempt: 2, backoff_ms: 0 });
         rich.emit(
             0,
             10,
             kind::RETRY,
             Json::obj([("relation", Json::str("B")), ("attempt", Json::num(2))]),
+        );
+
+        fast.record_instant(0, 11, "B", InstantPayload::Retry { attempt: 3, backoff_ms: 16 });
+        rich.emit(
+            0,
+            11,
+            kind::RETRY,
+            Json::obj([
+                ("relation", Json::str("B")),
+                ("attempt", Json::num(3)),
+                ("backoff_ms", Json::num(16)),
+            ]),
         );
 
         fast.record_instant(0, 10, "B", InstantPayload::Fault { latency_ms: 6, attempt: 2 });

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod feedback;
 pub mod journal;
 pub mod json;
 pub mod metrics;
@@ -51,6 +52,7 @@ pub mod sink;
 pub mod span;
 
 pub use chrome::{chrome_trace, validate_chrome_trace};
+pub use feedback::{DriftFlag, Expectation, FeedbackStore, SourceProfile, DRIFT_FACTOR};
 pub use journal::{
     InstantPayload, Journal, JournalCheck, JournalConfig, JournalEvent, JournalSnapshot,
     WireOutcome,

@@ -160,9 +160,20 @@ impl HistogramSnapshot {
     /// exactly the value 0; the unbounded last bucket uses `max` as its
     /// upper edge. The result is clamped to `[0, max]`, so the estimate
     /// is never off by more than the width of one bucket.
+    ///
+    /// Degenerate distributions are exact, not bucket artifacts: an empty
+    /// histogram answers 0.0 at every quantile, a single sample answers
+    /// that sample, and an all-equal distribution answers the common value
+    /// (both recoverable from `sum`/`count`/`max` alone).
     pub fn percentile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
+        }
+        if self.count == 1 {
+            return self.sum as f64;
+        }
+        if self.sum == self.count.saturating_mul(self.max) {
+            return self.max as f64;
         }
         let q = q.clamp(0.0, 1.0);
         let target = q * self.count as f64;
@@ -374,6 +385,47 @@ mod tests {
         let s = one.snapshot();
         assert!(s.p50() >= 4.0 && s.p50() <= 7.0, "single-sample clamp: {}", s.p50());
         assert!(s.percentile(1.0) <= s.max as f64);
+    }
+
+    /// Satellite pin: degenerate histograms must answer exact values, not
+    /// bucket-boundary artifacts.
+    #[test]
+    fn percentile_edge_cases_are_exact() {
+        // Empty: every quantile is a defined 0.0.
+        let empty = HistogramSnapshot::default();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(empty.percentile(q), 0.0, "empty at q={q}");
+        }
+        // Single sample: the answer is the sample itself, not the lower
+        // edge of its log₂ bucket (7 lives in [4, 8), the old interpolation
+        // could answer 4.x).
+        let one = Histogram::detached();
+        one.record(7);
+        let s = one.snapshot();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(s.percentile(q), 7.0, "single sample at q={q}");
+        }
+        // A single zero sample stays 0.
+        let zero = Histogram::detached();
+        zero.record(0);
+        assert_eq!(zero.snapshot().p95(), 0.0);
+        // All-equal samples: the common value, at every quantile.
+        let flat = Histogram::detached();
+        for _ in 0..10 {
+            flat.record(20);
+        }
+        let s = flat.snapshot();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(s.percentile(q), 20.0, "all-equal at q={q}");
+        }
+        // Monotonicity survives the special cases on a mixed distribution.
+        let mixed = Histogram::detached();
+        for v in [1u64, 3, 3, 9, 80, 81] {
+            mixed.record(v);
+        }
+        let s = mixed.snapshot();
+        assert!(s.p50() <= s.p95() && s.p95() <= s.p99(), "p50={} p95={} p99={}", s.p50(), s.p95(), s.p99());
+        assert!(s.p99() <= s.max as f64);
     }
 
     #[test]

@@ -23,6 +23,8 @@ struct SourceRow {
     cache_hits: u64,
     membership: u64,
     latency: Histogram,
+    /// Total backoff wait charged to the virtual clock before retries.
+    wait_ms: u64,
 }
 
 #[derive(Default)]
@@ -80,7 +82,9 @@ pub fn render_report(snapshot: &JournalSnapshot) -> String {
             }
             kind::RETRY => {
                 let rel = data_str(&event.data, "relation").unwrap_or("?");
-                sources.entry(rel.to_owned()).or_default().retries += 1;
+                let row = sources.entry(rel.to_owned()).or_default();
+                row.retries += 1;
+                row.wait_ms += data_u64(&event.data, "backoff_ms");
             }
             kind::CACHE_HIT => {
                 let rel = data_str(&event.data, "relation").unwrap_or("?");
@@ -130,13 +134,20 @@ pub fn render_report(snapshot: &JournalSnapshot) -> String {
         out.push_str("\nsources:\n");
         let width = sources.keys().map(String::len).max().unwrap_or(6).max(6);
         out.push_str(&format!(
-            "  {:width$}  {:>6} {:>6} {:>6} {:>6} {:>7} {:>7} {:>8} {:>8} {:>8}\n",
-            "source", "calls", "rows", "faults", "retry", "cached", "member", "p50ms", "p95ms", "p99ms",
+            "  {:width$}  {:>6} {:>6} {:>6} {:>6} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8} {:>7}\n",
+            "source", "calls", "rows", "faults", "retry", "cached", "member", "p50ms", "p95ms", "p99ms", "waitms", "wait%",
         ));
         for (name, row) in &sources {
             let lat = row.latency.snapshot();
+            // Backoff waits as a share of the run's virtual elapsed time:
+            // what degradation actually cost, next to what calls cost.
+            let wait_share = if last_ts == 0 {
+                0.0
+            } else {
+                100.0 * row.wait_ms as f64 / last_ts as f64
+            };
             out.push_str(&format!(
-                "  {name:width$}  {:>6} {:>6} {:>6} {:>6} {:>7} {:>7} {:>8.1} {:>8.1} {:>8.1}\n",
+                "  {name:width$}  {:>6} {:>6} {:>6} {:>6} {:>7} {:>7} {:>8.1} {:>8.1} {:>8.1} {:>8} {:>6.1}%\n",
                 row.calls,
                 row.rows,
                 row.faults + row.timeouts,
@@ -146,6 +157,8 @@ pub fn render_report(snapshot: &JournalSnapshot) -> String {
                 lat.p50(),
                 lat.p95(),
                 lat.p99(),
+                row.wait_ms,
+                wait_share,
             ));
         }
     }
@@ -219,6 +232,57 @@ mod tests {
         // B row: 2 calls, 8 rows.
         let b_line = text.lines().find(|l| l.trim_start().starts_with("B ")).unwrap();
         assert!(b_line.contains('2') && b_line.contains('8'), "{b_line}");
+    }
+
+    /// Satellite pin: retry markers carrying `backoff_ms` roll up into a
+    /// per-source wait-time column plus its share of the virtual elapsed
+    /// time, right next to the latency percentiles.
+    #[test]
+    fn retry_backoff_rolls_up_into_wait_columns() {
+        let j = Journal::new(JournalConfig::light(), Counter::detached());
+        j.emit(0, 0, kind::SOURCE_CALL_BEGIN, Json::obj([("relation", Json::str("S"))]));
+        j.emit(0, 5, kind::SOURCE_CALL_END, Json::obj([
+            ("relation", Json::str("S")),
+            ("ok", Json::Bool(false)),
+            ("latency_ms", Json::num(5)),
+        ]));
+        j.emit(0, 5, kind::FAULT, Json::obj([("relation", Json::str("S"))]));
+        j.emit(0, 25, kind::RETRY, Json::obj([
+            ("relation", Json::str("S")),
+            ("attempt", Json::num(2)),
+            ("backoff_ms", Json::num(20)),
+        ]));
+        j.emit(0, 25, kind::SOURCE_CALL_BEGIN, Json::obj([("relation", Json::str("S"))]));
+        j.emit(0, 30, kind::SOURCE_CALL_END, Json::obj([
+            ("relation", Json::str("S")),
+            ("ok", Json::Bool(true)),
+            ("rows", Json::num(1)),
+            ("latency_ms", Json::num(5)),
+        ]));
+        j.emit(0, 70, kind::RETRY, Json::obj([
+            ("relation", Json::str("S")),
+            ("attempt", Json::num(3)),
+            ("backoff_ms", Json::num(15)),
+        ]));
+        // A legacy retry marker with no backoff field counts as zero wait.
+        j.emit(0, 80, kind::RETRY, Json::obj([
+            ("relation", Json::str("S")),
+            ("attempt", Json::num(4)),
+        ]));
+        j.emit(0, 100, kind::SOURCE_CALL_BEGIN, Json::obj([("relation", Json::str("S"))]));
+        j.emit(0, 100, kind::SOURCE_CALL_END, Json::obj([
+            ("relation", Json::str("S")),
+            ("ok", Json::Bool(true)),
+            ("rows", Json::num(1)),
+            ("latency_ms", Json::num(0)),
+        ]));
+        let text = render_report(&j.snapshot());
+        assert!(text.contains("waitms"), "{text}");
+        assert!(text.contains("wait%"), "{text}");
+        let s_line = text.lines().find(|l| l.trim_start().starts_with("S ")).unwrap();
+        // 20 + 15 + 0 = 35 wait ms over 100 virtual ms = 35.0%.
+        assert!(s_line.contains("35"), "{s_line}");
+        assert!(s_line.contains("35.0%"), "{s_line}");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use lap_engine::Database;
 use lap_ir::{ConjunctiveQuery, Schema, Symbol, Term, Var};
+use lap_obs::FeedbackStore;
 use std::collections::{HashMap, HashSet};
 
 /// Per-relation statistics driving the estimates.
@@ -22,6 +23,12 @@ pub struct CostModel {
     /// input slot *and* per bound output column filtered client-side).
     pub selectivity: f64,
     extents: HashMap<Symbol, f64>,
+    /// Per-relation call-cost multipliers in units of one healthy-baseline
+    /// call. Empty (weight 1.0 everywhere) for static models; a calibrated
+    /// model weighs calls to slow or failing sources by their observed
+    /// effective latency, so the `calls` component of a [`PlanCost`] reads
+    /// as "healthy-call equivalents".
+    call_weights: HashMap<Symbol, f64>,
 }
 
 impl Default for CostModel {
@@ -30,6 +37,7 @@ impl Default for CostModel {
             default_extent: 100.0,
             selectivity: 0.1,
             extents: HashMap::new(),
+            call_weights: HashMap::new(),
         }
     }
 }
@@ -58,6 +66,74 @@ impl CostModel {
     /// The (estimated) extent of a relation.
     pub fn extent(&self, name: Symbol) -> f64 {
         self.extents.get(&name).copied().unwrap_or(self.default_extent)
+    }
+
+    /// Overrides one relation's call-cost multiplier (builder style).
+    pub fn with_call_weight(mut self, name: &str, weight: f64) -> CostModel {
+        self.call_weights.insert(Symbol::intern(name), weight.max(0.0));
+        self
+    }
+
+    /// The call-cost multiplier of a relation (1.0 without statistics).
+    pub fn call_weight(&self, name: Symbol) -> f64 {
+        self.call_weights.get(&name).copied().unwrap_or(1.0)
+    }
+
+    /// True iff any relation carries a non-unit call weight (i.e. the
+    /// model was calibrated against observed source health).
+    pub fn has_call_weights(&self) -> bool {
+        self.call_weights.values().any(|&w| (w - 1.0).abs() > 1e-9)
+    }
+
+    /// Re-costs this model from journal-fed observations: per-relation
+    /// extents are backed out of the observed rows-per-call (a pattern
+    /// with *k* input slots observes `extent × selectivity^k` rows per
+    /// call, so `extent ≈ rows_per_call / selectivity^k`, averaged over
+    /// patterns weighted by successful calls), and per-relation call
+    /// weights are the observed effective per-call virtual milliseconds —
+    /// attempts-per-success × mean latency plus retry backoff — relative
+    /// to the cheapest observed source. Relations with no folded traffic
+    /// keep the static extent and unit weight, so an uncalibrated source
+    /// is treated like the healthy baseline.
+    pub fn calibrated(&self, feedback: &FeedbackStore) -> CostModel {
+        let mut out = self.clone();
+        // Extents from observed rows-per-call.
+        let mut extent_acc: HashMap<Symbol, (f64, f64)> = HashMap::new();
+        // Effective per-call cost per relation, weighted by attempts.
+        let mut effective: HashMap<Symbol, (f64, f64)> = HashMap::new();
+        for profile in feedback.profiles.values() {
+            let name = Symbol::intern(&profile.relation);
+            if profile.ok > 0 {
+                let backed_out = profile.rows_per_call()
+                    / self.selectivity.powi(profile.num_inputs() as i32).max(1e-12);
+                let weight = profile.ok as f64;
+                let acc = extent_acc.entry(name).or_insert((0.0, 0.0));
+                acc.0 += backed_out * weight;
+                acc.1 += weight;
+            }
+            if profile.attempts > 0 {
+                let weight = profile.attempts as f64;
+                let acc = effective.entry(name).or_insert((0.0, 0.0));
+                acc.0 += profile.effective_call_ms() * weight;
+                acc.1 += weight;
+            }
+        }
+        for (name, (sum, weight)) in extent_acc {
+            out.extents.insert(name, (sum / weight).max(1.0));
+        }
+        let per_call: Vec<(Symbol, f64)> = effective
+            .into_iter()
+            .map(|(name, (sum, weight))| (name, sum / weight))
+            .collect();
+        let baseline = per_call
+            .iter()
+            .map(|&(_, ms)| ms)
+            .fold(f64::INFINITY, f64::min)
+            .max(1.0);
+        for (name, ms) in per_call {
+            out.call_weights.insert(name, (ms / baseline).max(1.0));
+        }
+        out
     }
 }
 
@@ -98,6 +174,10 @@ impl PlanCost {
 ///   client-side;
 /// * a negative literal issues one membership call per binding and keeps
 ///   half of them (a conventional default).
+///
+/// Calls are weighted by the model's per-relation call weight (unit for a
+/// static model), so a calibrated model charges calls to degraded sources
+/// at their observed effective latency.
 pub fn estimate_cost(cq: &ConjunctiveQuery, schema: &Schema, model: &CostModel) -> Option<PlanCost> {
     let mut bound: HashSet<Var> = HashSet::new();
     let mut bindings = 1.0f64; // tuples flowing into the next literal
@@ -117,14 +197,14 @@ pub fn estimate_cost(cq: &ConjunctiveQuery, schema: &Schema, model: &CostModel) 
             // Client-side filtering on bound outputs / repeated vars.
             let extra_filters = bound_positions.saturating_sub(pattern.num_inputs());
             let surviving = per_call_transfer * model.selectivity.powi(extra_filters as i32);
-            cost.calls += bindings;
+            cost.calls += bindings * model.call_weight(lit.atom.predicate.name);
             cost.tuples += bindings * per_call_transfer;
             bindings *= surviving.max(0.0);
         } else {
             if bound_positions != lit.atom.args.len() || decl.patterns.is_empty() {
                 return None; // unbound negation: not executable
             }
-            cost.calls += bindings;
+            cost.calls += bindings * model.call_weight(lit.atom.predicate.name);
             // Membership probes transfer at most the matching row(s).
             cost.tuples += bindings;
             bindings *= 0.5;

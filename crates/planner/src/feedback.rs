@@ -1,0 +1,162 @@
+//! Adaptive re-planning from flight-recorder feedback.
+//!
+//! The static [`CostModel`] guesses extents; the journal records what the
+//! sources actually did. [`CostModel::calibrated`] turns a folded
+//! [`FeedbackStore`] into a re-costed model; [`recalibrate_prepared`]
+//! closes the loop for a long-lived [`PreparedQuery`]: re-order its plan
+//! bodies under the calibrated model, re-lower with **dual** cost
+//! annotations (static `est` next to calibrated `cal`), and swap the
+//! physical trees in place so the *next* execution runs the new plan.
+//!
+//! Re-ordering the same bodies is answer-preserving — every order of one
+//! executable body computes the same relation — so a calibrated plan may
+//! only differ in calls and latency, never in answers. That invariant is
+//! what lets the mid-query escape hatch stay lazy: when an execution blows
+//! an estimate (the engine's `exec.estimate.blown` marker), the current
+//! run completes correctly and only the next one re-plans.
+
+use crate::cost::CostModel;
+use crate::lower::lower_dual;
+use crate::order::{optimize_plan_pair, Strategy};
+use lap_core::PreparedQuery;
+use lap_obs::FeedbackStore;
+
+/// Re-plans `prepared` under `static_model` calibrated with `feedback`:
+/// the plan bodies are re-ordered by `strategy` under the calibrated
+/// model and re-lowered with dual (static + calibrated) cost annotations.
+/// Returns `true` when the calibrated ordering differs from the compiled
+/// one (the next [`PreparedQuery::execute`] runs a different plan).
+pub fn recalibrate_prepared(
+    prepared: &mut PreparedQuery,
+    static_model: &CostModel,
+    feedback: &FeedbackStore,
+    strategy: Strategy,
+) -> bool {
+    let calibrated = static_model.calibrated(feedback);
+    let optimized = optimize_plan_pair(prepared.plans(), prepared.schema(), &calibrated, strategy);
+    let changed = optimized != *prepared.plans();
+    let physical = lower_dual(&optimized, prepared.schema(), static_model, &calibrated);
+    prepared.replace_plans(optimized, physical);
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lap_engine::{Database, PhysOp, SourceRegistry};
+    use lap_ir::parse_program;
+    use lap_obs::Recorder;
+
+    /// A schema where the static model (uniform extents) seeds the plan
+    /// with the free-scan A and hammers D^io once per A row, while the
+    /// true extents make the D^oo scan-first order far cheaper.
+    const PROGRAM: &str = "A^o. D^oo. D^io.\nQ(x, y) :- A(x), D(x, y).";
+
+    fn scenario() -> (PreparedQuery, Database) {
+        let p = parse_program(PROGRAM).unwrap();
+        let q = p.single_query().unwrap();
+        let prepared = PreparedQuery::compile(q, &p.schema);
+        let mut facts = String::new();
+        for i in 0..40 {
+            facts.push_str(&format!("A({i}). "));
+        }
+        for i in 0..8 {
+            facts.push_str(&format!("D({i}, {}). ", 100 + i));
+        }
+        let db = Database::from_facts(&facts).unwrap();
+        (prepared, db)
+    }
+
+    /// Folds a feedback store out of one recorded execution of `prepared`.
+    fn record_feedback(prepared: &PreparedQuery, db: &Database) -> FeedbackStore {
+        let rec = Recorder::with_journal(lap_obs::journal::JournalConfig::light());
+        let mut reg = SourceRegistry::new(db, prepared.schema()).recording(&rec);
+        lap_engine::execute_physical_union(
+            &prepared.physical().under,
+            &mut reg,
+            lap_engine::ExecConfig::default(),
+        )
+        .unwrap();
+        let mut store = FeedbackStore::new();
+        store.fold(&rec.journal().unwrap().snapshot());
+        store
+    }
+
+    #[test]
+    fn recalibration_reorders_and_dual_annotates() {
+        let (mut prepared, db) = scenario();
+        let before = prepared.execute(&db).unwrap();
+        let static_model = CostModel::new();
+        let feedback = record_feedback(&prepared, &db);
+
+        let changed =
+            recalibrate_prepared(&mut prepared, &static_model, &feedback, Strategy::Exhaustive);
+        assert!(changed, "calibrated extents must flip the join order");
+        // The calibrated plan leads with the D^oo scan (8 rows observed)
+        // instead of the 40-row A scan.
+        let first = &prepared.physical().under.parts[0].ops[0];
+        let PhysOp::Access(op) = first else { panic!("leaf is an access op") };
+        assert_eq!(op.relation.as_str(), "D", "{}", prepared.physical().under.parts[0]);
+        // Dual annotations: every operator carries est and cal.
+        for op in &prepared.physical().under.parts[0].ops {
+            assert!(op.cost().is_some(), "static estimate on {}", op.label());
+            assert!(op.calibrated().is_some(), "calibrated estimate on {}", op.label());
+        }
+        let shown = prepared.physical().under.parts[0].to_string();
+        assert!(shown.contains("est "), "{shown}");
+        assert!(shown.contains("; cal "), "{shown}");
+
+        // Re-ordering is answer-preserving.
+        let after = prepared.execute(&db).unwrap();
+        assert_eq!(before.under, after.under);
+        assert_eq!(before.over, after.over);
+        // And cheaper: the D-first order scans once and probes A once per
+        // distinct binding batch instead of calling D per A row.
+        assert!(
+            after.stats.calls < before.stats.calls,
+            "{} vs {}",
+            after.stats.calls,
+            before.stats.calls
+        );
+    }
+
+    #[test]
+    fn blown_estimates_surface_then_recalibration_clears_the_plan() {
+        let (mut prepared, db) = scenario();
+        let static_model = CostModel::new();
+        // Annotate the compiled plan with static estimates so the executor
+        // can compare observed cardinality against them. Understate A's
+        // extent so its scan (40 real rows vs 1 estimated) blows the
+        // 10× threshold.
+        let skewed = CostModel::new().with_extent("A", 1.0).with_extent("D", 1.0);
+        let physical = crate::lower::lower(prepared.plans(), prepared.schema(), &skewed);
+        prepared.replace_plans(prepared.plans().clone(), physical);
+
+        let rec = Recorder::with_journal(lap_obs::journal::JournalConfig::light());
+        {
+            let mut reg = SourceRegistry::new(&db, prepared.schema()).recording(&rec);
+            lap_engine::execute_physical_union(
+                &prepared.physical().under,
+                &mut reg,
+                lap_engine::ExecConfig::default(),
+            )
+            .unwrap();
+        }
+        assert!(
+            rec.snapshot().counter("exec.estimate_blown") > 0,
+            "misestimated join must leave the escape-hatch marker"
+        );
+        let snap = rec.journal().unwrap().snapshot();
+        assert!(
+            snap.events.iter().any(|e| e.kind == lap_obs::journal::kind::ESTIMATE_BLOWN),
+            "journal carries the estimate-blown event"
+        );
+
+        // The recorded journal feeds the recalibration that fixes the plan.
+        let mut feedback = FeedbackStore::new();
+        feedback.fold(&snap);
+        let changed =
+            recalibrate_prepared(&mut prepared, &static_model, &feedback, Strategy::Exhaustive);
+        assert!(changed);
+    }
+}

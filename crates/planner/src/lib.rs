@@ -13,6 +13,11 @@
 //! * [`optimize_plan_pair`] — re-orders PLAN\* output per [`Strategy`];
 //! * [`lower`] — lowers a plan pair to physical operator trees with
 //!   per-operator cost annotations;
+//! * [`CostModel::calibrated`] / [`lower_dual`] / [`recalibrate_prepared`]
+//!   — the feedback loop: re-cost a model from a journal-fed
+//!   [`lap_obs::FeedbackStore`], annotate plans with both the static and
+//!   the calibrated estimate, and re-plan a prepared query whose
+//!   estimates were blown at run time;
 //! * [`minimal_executable_plan`] — shrinks a feasible query's `ans(Q)`
 //!   plan to an equivalent executable plan with no removable disjunct or
 //!   literal (fewer source calls than the Theorem-16 witness).
@@ -40,11 +45,13 @@
 #![warn(missing_docs)]
 
 mod cost;
+mod feedback;
 mod lower;
 mod minimize;
 mod order;
 
 pub use cost::{estimate_cost, CostModel, PlanCost};
-pub use lower::{annotate_union, lower};
+pub use feedback::recalibrate_prepared;
+pub use lower::{annotate_union, annotate_union_calibrated, lower, lower_dual};
 pub use minimize::minimal_executable_plan;
 pub use order::{best_order, greedy_order, optimize_plan_pair, Strategy};

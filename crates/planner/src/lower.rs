@@ -21,6 +21,14 @@ use lap_engine::{ArgSource, OpCost, PhysOp, PhysicalPlan, PhysicalUnion};
 use lap_ir::{Schema, Var};
 use std::collections::HashSet;
 
+/// Which annotation slot a pass writes: the static estimate shown as
+/// `est …`, or the journal-calibrated one shown as `cal …`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CostSlot {
+    Static,
+    Calibrated,
+}
+
 /// Lowers both PLAN\* estimate plans to physical trees and annotates every
 /// operator with its [`OpCost`] under `model`.
 pub fn lower(pair: &PlanPair, schema: &Schema, model: &CostModel) -> PhysicalPair {
@@ -30,15 +38,43 @@ pub fn lower(pair: &PlanPair, schema: &Schema, model: &CostModel) -> PhysicalPai
     physical
 }
 
+/// [`lower`] with **both** annotations: every operator carries the static
+/// estimate under `static_model` *and* the calibrated one under
+/// `calibrated_model`, so `explain` renders `(est …; cal …)` and the
+/// reader sees why the calibrated plan differs from the static one.
+pub fn lower_dual(
+    pair: &PlanPair,
+    schema: &Schema,
+    static_model: &CostModel,
+    calibrated_model: &CostModel,
+) -> PhysicalPair {
+    let mut physical = lap_core::lower_pair(pair, schema);
+    for union in [&mut physical.under, &mut physical.over] {
+        for plan in &mut union.parts {
+            annotate_plan(plan, static_model, CostSlot::Static);
+            annotate_plan(plan, calibrated_model, CostSlot::Calibrated);
+        }
+    }
+    physical
+}
+
 /// Annotates one lowered union in place (exposed for callers that lowered
 /// through [`lap_core::UnionPlan::lower`] directly).
 pub fn annotate_union(union: &mut PhysicalUnion, model: &CostModel) {
     for plan in &mut union.parts {
-        annotate_plan(plan, model);
+        annotate_plan(plan, model, CostSlot::Static);
     }
 }
 
-fn annotate_plan(plan: &mut PhysicalPlan, model: &CostModel) {
+/// Like [`annotate_union`], but fills the *calibrated* annotation slot,
+/// leaving any static estimates in place.
+pub fn annotate_union_calibrated(union: &mut PhysicalUnion, model: &CostModel) {
+    for plan in &mut union.parts {
+        annotate_plan(plan, model, CostSlot::Calibrated);
+    }
+}
+
+fn annotate_plan(plan: &mut PhysicalPlan, model: &CostModel, slot: CostSlot) {
     let mut bound: HashSet<Var> = HashSet::new();
     let mut bindings = 1.0f64;
     let mut total = OpCost {
@@ -52,7 +88,7 @@ fn annotate_plan(plan: &mut PhysicalPlan, model: &CostModel) {
         ArgSource::Slot(s) => bound.contains(&slots[*s]),
     };
     for op in &mut plan.ops {
-        match op {
+        let cost = match &*op {
             PhysOp::Access(a) | PhysOp::BindJoin(a) => {
                 let Some(pattern) = a.pattern else { return };
                 let bound_positions =
@@ -63,31 +99,37 @@ fn annotate_plan(plan: &mut PhysicalPlan, model: &CostModel) {
                 let extra_filters = bound_positions.saturating_sub(pattern.num_inputs());
                 let surviving =
                     per_call_transfer * model.selectivity.powi(extra_filters as i32);
-                a.cost = Some(OpCost {
-                    calls: bindings,
+                let weighted_calls = bindings * model.call_weight(a.relation);
+                let cost = OpCost {
+                    calls: weighted_calls,
                     tuples: bindings * per_call_transfer,
-                });
-                total.calls += bindings;
+                };
+                total.calls += weighted_calls;
                 total.tuples += bindings * per_call_transfer;
                 bindings *= surviving.max(0.0);
                 bound.extend(a.bound_after.iter().copied());
+                cost
             }
             PhysOp::NegFilter(n) => {
                 if !n.unbound.is_empty() {
                     return;
                 }
-                n.cost = Some(OpCost {
-                    calls: bindings,
+                let weighted_calls = bindings * model.call_weight(n.relation);
+                let cost = OpCost {
+                    calls: weighted_calls,
                     tuples: bindings,
-                });
-                total.calls += bindings;
+                };
+                total.calls += weighted_calls;
                 total.tuples += bindings;
                 bindings *= 0.5;
                 bound.extend(n.bound_after.iter().copied());
+                cost
             }
-            PhysOp::Project(p) => {
-                p.cost = Some(total);
-            }
+            PhysOp::Project(_) => total,
+        };
+        match slot {
+            CostSlot::Static => *op.cost_mut() = Some(cost),
+            CostSlot::Calibrated => *op.calibrated_mut() = Some(cost),
         }
     }
 }

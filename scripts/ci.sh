@@ -91,6 +91,47 @@ target/release/lapq replay "$OV_JOURNAL" > "$OV_REPLAY"
 cmp "$OV_RUN_A" "$OV_REPLAY"
 rm -f "$OV_JOURNAL" "$OV_RUN_A" "$OV_RUN_B" "$OV_REPLAY"
 
+echo "==> calibration smoke: record, calibrate, re-run — plan differs, answers do not"
+CAL_DIR="${TMPDIR:-/tmp}/lapq_ci_calibrate"
+mkdir -p "$CAL_DIR"
+# A schema where the static model's uniform extents pick the wrong join
+# order: the A^o scan (40 rows) seeds the plan and D^io is called per row,
+# while the true extents favour scanning D^oo (8 rows) first.
+printf 'A^o. D^oo. D^io.\nQ(x, y) :- A(x), D(x, y).\n' > "$CAL_DIR/prog.lap"
+: > "$CAL_DIR/facts.lap"
+i=0
+while [ "$i" -lt 40 ]; do
+    printf 'A(%d). ' "$i" >> "$CAL_DIR/facts.lap"
+    i=$((i + 1))
+done
+i=0
+while [ "$i" -lt 8 ]; do
+    printf 'D(%d, %d). ' "$i" "$((100 + i))" >> "$CAL_DIR/facts.lap"
+    i=$((i + 1))
+done
+target/release/lapq run "$CAL_DIR/prog.lap" "$CAL_DIR/facts.lap" \
+    --journal "$CAL_DIR/journal.json" > "$CAL_DIR/static.txt"
+target/release/lapq calibrate "$CAL_DIR/journal.json" --out "$CAL_DIR/profile.json" > /dev/null
+target/release/lapq obs-validate "$CAL_DIR/profile.json"
+target/release/lapq run "$CAL_DIR/prog.lap" "$CAL_DIR/facts.lap" \
+    --feedback "$CAL_DIR/profile.json" > "$CAL_DIR/cal_a.txt"
+# Frozen profile => the calibrated run is bit-for-bit repeatable.
+target/release/lapq run "$CAL_DIR/prog.lap" "$CAL_DIR/facts.lap" \
+    --feedback "$CAL_DIR/profile.json" > "$CAL_DIR/cal_b.txt"
+cmp "$CAL_DIR/cal_a.txt" "$CAL_DIR/cal_b.txt"
+# The answers (and completeness) are identical; only the call schedule moved.
+grep -v ' calls, ' "$CAL_DIR/static.txt" > "$CAL_DIR/static_answers.txt"
+grep -v ' calls, ' "$CAL_DIR/cal_a.txt" > "$CAL_DIR/cal_answers.txt"
+cmp "$CAL_DIR/static_answers.txt" "$CAL_DIR/cal_answers.txt"
+if cmp -s "$CAL_DIR/static.txt" "$CAL_DIR/cal_a.txt"; then
+    echo "calibration smoke: calibrated plan did not change the call schedule" >&2
+    exit 1
+fi
+# explain --feedback shows the dual est/cal annotations.
+target/release/lapq explain "$CAL_DIR/prog.lap" --feedback "$CAL_DIR/profile.json" \
+    | grep -q '; cal '
+rm -rf "$CAL_DIR"
+
 echo "==> resilience smoke: same seed must replay the same degraded answer"
 CHAOS_A="${TMPDIR:-/tmp}/lapq_ci_chaos_a.txt"
 CHAOS_B="${TMPDIR:-/tmp}/lapq_ci_chaos_b.txt"

@@ -27,6 +27,8 @@ pub const VALUE_FLAGS: &[&str] = &[
     "--journal-capacity",
     "--journal-sample",
     "--chrome-trace",
+    "--feedback",
+    "--out",
 ];
 
 /// An argument vector split into positionals and recognized flags.

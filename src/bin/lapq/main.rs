@@ -27,8 +27,12 @@
 //!                                           outcome bit for bit
 //! lapq report <journal.json>                per-source / per-operator
 //!                                           latency and row tables
+//! lapq calibrate <journal.json…> --out <profile.json>
+//!                                           fold journals into per-source
+//!                                           calibrated statistics
 //! lapq obs-validate <file.json>             check an exported snapshot,
-//!                                           journal, or chrome trace
+//!                                           journal, chrome trace, or
+//!                                           feedback profile
 //! ```
 //!
 //! Every command additionally accepts `--trace` (print the span tree and
@@ -38,16 +42,21 @@
 //! rows — replayable with `lapq replay`), `--chrome-trace <file>`
 //! (Perfetto / `chrome://tracing` loadable trace), `--journal-capacity
 //! <n>` (ring size), and `--journal-sample <n>` (record every n-th source
-//! call). A program file holds access-pattern declarations and rules (see
+//! call). `run`/`answer`/`explain` accept `--feedback <profile.json>` (a
+//! `lapq calibrate` output): plan bodies are re-ordered under the
+//! journal-calibrated cost model before execution, and `explain` annotates
+//! each operator with both the static and the calibrated estimate. A
+//! program file holds access-pattern declarations and rules (see
 //! README); a facts file holds ground atoms (`B(1, "tolkien", "lotr").`).
 
 mod cli;
 
 use cli::CliArgs;
 use lap::core::{
-    answer_star_obs, answer_star_replay_cfg, answer_star_resilient_cfg, answer_star_with_domain,
-    feasible_detailed_with, is_executable, is_orderable, AnswerOutcome, AnswerReport,
-    Completeness, ContainmentEngine, DecisionPath, EngineConfig,
+    answer_star_obs, answer_star_planned_obs, answer_star_replay_cfg, answer_star_resilient_cfg,
+    answer_star_resilient_planned_cfg, answer_star_with_domain, feasible_detailed_with,
+    is_executable, is_orderable, AnswerOutcome, AnswerReport, Completeness, ContainmentEngine,
+    DecisionPath, EngineConfig,
 };
 use lap::engine::{
     display_tuple, Database, ExecConfig, FaultConfig, ReplaySource, ResilienceConfig, RetryPolicy,
@@ -55,9 +64,10 @@ use lap::engine::{
 };
 use lap::ir::{parse_program, Program, UnionQuery};
 use lap::obs::{
-    chrome_trace, render_report, render_text, validate_chrome_trace, JournalConfig,
-    JournalSnapshot, Json, JsonSink, Recorder, Sink,
+    chrome_trace, render_report, render_text, validate_chrome_trace, FeedbackStore,
+    JournalConfig, JournalSnapshot, Json, JsonSink, Recorder, Sink,
 };
+use lap::planner::{optimize_plan_pair, CostModel, Strategy};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -69,19 +79,21 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("usage:");
             eprintln!("  lapq check <program.lap> [--constraints <sigma.lap>] [--parallel] [--cache] [--trace] [--metrics-json <file>]");
-            eprintln!("  lapq explain <program.lap> [--parallel] [--cache] [--trace] [--metrics-json <file>]");
+            eprintln!("  lapq explain <program.lap> [--feedback <profile.json>] [--parallel] [--cache] [--trace] [--metrics-json <file>]");
             eprintln!("  lapq plan  <program.lap> [--trace] [--metrics-json <file>]");
             eprintln!("  lapq run   <program.lap> <facts.lap> [--domain <budget>] [--trace] [--metrics-json <file>]");
             eprintln!("             [--fault-rate <p>] [--fault-seed <n>] [--latency-ms <n>] [--timeout-ms <n>] [--retry <n>] [--retry-budget-ms <n>] [--io-workers <n>]");
             eprintln!("             [--journal <file>] [--journal-capacity <n>] [--journal-sample <n>] [--chrome-trace <file>]");
+            eprintln!("             [--feedback <profile.json>]");
             eprintln!("  lapq answer  (alias of run)");
             eprintln!("  lapq replay <journal.json> [--trace] [--metrics-json <file>]");
             eprintln!("  lapq report <journal.json>");
+            eprintln!("  lapq calibrate <journal.json>... --out <profile.json>");
             eprintln!("  lapq contain <program.lap> <P> <Q> [--parallel] [--cache] [--trace] [--metrics-json <file>]");
             eprintln!("  lapq mediate <views.lap> <query.lap> <facts.lap> [--parallel] [--cache] [--trace] [--metrics-json <file>]");
             eprintln!("  lapq optimize <program.lap> [facts.lap] [--trace] [--metrics-json <file>]");
             eprintln!("  lapq profile <program.lap> <facts.lap> [--trace] [--metrics-json <file>]");
-            eprintln!("  lapq obs-validate <metrics|journal|chrome-trace .json>");
+            eprintln!("  lapq obs-validate <metrics|journal|chrome-trace|feedback .json>");
             ExitCode::FAILURE
         }
     }
@@ -147,6 +159,7 @@ fn dispatch(cmd: &str, args: &CliArgs, recorder: &Recorder) -> Result<(), String
         ),
         "explain" => explain_cmd(
             args.require(1, "explain needs a program file")?,
+            feedback_from_args(args)?.as_ref(),
             &engine_from_args(args, recorder),
             recorder,
         ),
@@ -157,6 +170,7 @@ fn dispatch(cmd: &str, args: &CliArgs, recorder: &Recorder) -> Result<(), String
             args.value_u64("--domain")?,
             resilience_from_args(args)?.as_ref(),
             exec_config_from_args(args)?,
+            feedback_from_args(args)?.as_ref(),
             recorder,
         ),
         "profile" => profile(
@@ -185,6 +199,7 @@ fn dispatch(cmd: &str, args: &CliArgs, recorder: &Recorder) -> Result<(), String
         ),
         "replay" => replay_cmd(args.require(1, "replay needs a journal file")?, recorder),
         "report" => report_cmd(args.require(1, "report needs a journal file")?),
+        "calibrate" => calibrate_cmd(args),
         "obs-validate" => obs_validate(args.require(1, "obs-validate needs a json file")?),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -246,6 +261,22 @@ fn resilience_from_args(args: &CliArgs) -> Result<Option<ResilienceConfig>, Stri
         retry = retry.with_deadline_ms(budget);
     }
     Ok(Some(ResilienceConfig { fault: Some(fault), retry }))
+}
+
+/// Loads and validates the `--feedback <profile.json>` calibration profile
+/// (a `lapq calibrate` output), or `None` when the flag was not given.
+fn feedback_from_args(args: &CliArgs) -> Result<Option<FeedbackStore>, String> {
+    let Some(path) = args.value("--feedback") else {
+        return Ok(None);
+    };
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = lap::obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let store = FeedbackStore::from_json(&doc).map_err(|e| format!("{path}: {e}"))?;
+    store
+        .validate()
+        .map_err(|e| format!("{path}: invalid feedback profile: {e}"))?;
+    Ok(Some(store))
 }
 
 /// Builds the containment engine selected by the global `--parallel` and
@@ -383,6 +414,7 @@ fn report_query(
 
 fn explain_cmd(
     path: &str,
+    feedback: Option<&FeedbackStore>,
     engine: &ContainmentEngine,
     recorder: &Recorder,
 ) -> Result<(), String> {
@@ -390,14 +422,25 @@ fn explain_cmd(
     if program.queries.is_empty() {
         return Err(format!("{path}: no queries defined"));
     }
-    let model = lap::planner::CostModel::new();
+    let model = CostModel::new();
+    let calibrated = feedback.map(|store| model.calibrated(store));
     for query in &program.queries {
         println!("query {}:", query.signature.0);
         print!("{}", lap::core::explain_with(query, &program.schema, engine));
         // The lowered operator trees: what ANSWER* will actually run, with
         // the chosen access patterns and default-model cost estimates.
+        // With `--feedback`, the bodies are re-ordered under the calibrated
+        // model and every operator shows est (static) next to cal
+        // (calibrated) — the two numbers explain *why* the plan changed.
         let pair = lap::core::plan_star(query, &program.schema);
-        let physical = lap::planner::lower(&pair, &program.schema, &model);
+        let physical = match &calibrated {
+            Some(cal) => {
+                let optimized =
+                    optimize_plan_pair(&pair, &program.schema, cal, Strategy::Exhaustive);
+                lap::planner::lower_dual(&optimized, &program.schema, &model, cal)
+            }
+            None => lap::planner::lower(&pair, &program.schema, &model),
+        };
         println!("  physical plan (underestimate):");
         for line in physical.under.to_string().lines() {
             println!("    {line}");
@@ -485,6 +528,7 @@ fn run_query(
     domain: Option<u64>,
     resilience: Option<&ResilienceConfig>,
     cfg: ExecConfig,
+    feedback: Option<&FeedbackStore>,
     recorder: &Recorder,
 ) -> Result<(), String> {
     let text = std::fs::read_to_string(program_path)
@@ -501,17 +545,31 @@ fn run_query(
     let facts = std::fs::read_to_string(facts_path)
         .map_err(|e| format!("cannot read {facts_path}: {e}"))?;
     let db = Database::from_facts(&facts).map_err(|e| format!("{facts_path}: {e}"))?;
+    let calibrated = feedback.map(|store| CostModel::new().calibrated(store));
     for query in &program.queries {
         println!("query {}:", query.signature.0);
+        // With `--feedback`, re-order the plan bodies under the calibrated
+        // model before executing — same answers, cheaper call schedule.
+        let planned = calibrated.as_ref().map(|cal| {
+            let pair = lap::core::plan_star(query, &program.schema);
+            optimize_plan_pair(&pair, &program.schema, cal, Strategy::Exhaustive)
+        });
         if let Some(res) = resilience {
-            let outcome =
-                answer_star_resilient_cfg(query, &program.schema, &db, recorder, res, cfg)
-                    .map_err(|e| format!("evaluating {}: {e}", query.signature.0))?;
+            let outcome = match &planned {
+                Some(plans) => answer_star_resilient_planned_cfg(
+                    query, plans, &program.schema, &db, recorder, res, cfg,
+                ),
+                None => answer_star_resilient_cfg(query, &program.schema, &db, recorder, res, cfg),
+            }
+            .map_err(|e| format!("evaluating {}: {e}", query.signature.0))?;
             print_outcome(&outcome);
             continue;
         }
-        let rep = answer_star_obs(query, &program.schema, &db, recorder)
-            .map_err(|e| format!("evaluating {}: {e}", query.signature.0))?;
+        let rep = match &planned {
+            Some(plans) => answer_star_planned_obs(query, plans, &program.schema, &db, recorder),
+            None => answer_star_obs(query, &program.schema, &db, recorder),
+        }
+        .map_err(|e| format!("evaluating {}: {e}", query.signature.0))?;
         print_answer_report(&rep);
         if recorder.metrics_enabled() {
             // Observability run: also record the FEASIBLE decision so the
@@ -765,12 +823,45 @@ fn report_cmd(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Folds one or more flight-recorder journals into a calibrated feedback
+/// profile (per-source, per-access-pattern call statistics) and writes it
+/// to `--out`. The profile feeds `--feedback` on `run`/`answer`/`explain`.
+fn calibrate_cmd(args: &CliArgs) -> Result<(), String> {
+    let out = args
+        .value("--out")
+        .ok_or("calibrate needs --out <profile.json>")?;
+    let mut store = FeedbackStore::new();
+    let mut i = 1;
+    let mut folded = 0usize;
+    while let Some(path) = args.positional(i) {
+        let snap = load_journal(path)?;
+        snap.validate().map_err(|e| format!("{path}: invalid journal: {e}"))?;
+        store.fold(&snap);
+        folded += 1;
+        i += 1;
+    }
+    if folded == 0 {
+        return Err("calibrate needs at least one journal file".to_owned());
+    }
+    store
+        .validate()
+        .map_err(|e| format!("calibration produced an invalid profile: {e}"))?;
+    std::fs::write(out, store.to_json().to_pretty())
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    print!("{}", store.summary());
+    println!("wrote {out}");
+    Ok(())
+}
+
 /// Validates an exported observability document: a metrics snapshot
 /// (`counters`/`histograms`/`spans`), a flight-recorder journal
 /// (`events`/`emitted`, checked for monotone sequence, accounting, and
-/// begin/end balance), or a chrome trace (`traceEvents`, checked for
-/// well-formed, balanced B/E events). The shape is detected from the
-/// document's keys. Lets CI check every export without python or jq.
+/// begin/end balance), a chrome trace (`traceEvents`, checked for
+/// well-formed, balanced B/E events), or a feedback profile
+/// (`feedback_version`/`profiles`, checked for rates in [0, 1], ordered
+/// percentiles, consistent accounting, and exact JSON round-trip). The
+/// shape is detected from the document's keys. Lets CI check every export
+/// without python or jq.
 fn obs_validate(path: &str) -> Result<(), String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -778,6 +869,23 @@ fn obs_validate(path: &str) -> Result<(), String> {
     if doc.get("traceEvents").is_some() {
         let n = validate_chrome_trace(&doc).map_err(|e| format!("{path}: {e}"))?;
         println!("{path}: ok (chrome trace, {n} event(s), balanced)");
+        return Ok(());
+    }
+    if doc.get("feedback_version").is_some() && doc.get("profiles").is_some() {
+        let store = FeedbackStore::from_json(&doc).map_err(|e| format!("{path}: {e}"))?;
+        store.validate().map_err(|e| format!("{path}: {e}"))?;
+        // Round-trip equality: serializing the parsed store must reproduce
+        // a document that parses back to the same store.
+        let reparsed = FeedbackStore::from_json(&store.to_json())
+            .map_err(|e| format!("{path}: round-trip: {e}"))?;
+        if reparsed != store {
+            return Err(format!("{path}: feedback profile does not round-trip"));
+        }
+        println!(
+            "{path}: ok (feedback profile, {} profile(s), {} fold(s))",
+            store.profiles.len(),
+            store.folds
+        );
         return Ok(());
     }
     if doc.get("events").is_some() && doc.get("emitted").is_some() {

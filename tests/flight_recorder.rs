@@ -229,3 +229,63 @@ fn ring_overflow_under_concurrency_never_tears_a_call_pair() {
         .count() as u64;
     assert_eq!(call_begins, call_ends, "no orphaned call end survives eviction");
 }
+
+/// Journal sampling under overlapped I/O: with `sample_every > 1` the
+/// keep/skip decision is taken once per *call*, not once per event, so a
+/// sampled journal still holds whole begin/end pairs — concurrent lanes
+/// must never tear one by sampling the begin but not the end (or vice
+/// versa). Also pins that sampling composes with the feedback fold: a
+/// store folded from a sampled journal still passes its own validation.
+#[test]
+fn sampled_journal_under_concurrency_never_tears_a_call_pair() {
+    let (program, db) = scenario();
+    let query = program.single_query().unwrap();
+    for sample_every in [2u64, 3, 7] {
+        let cfg = JournalConfig {
+            sample_every,
+            ..JournalConfig::light()
+        };
+        let recorder = Recorder::with_journal(cfg);
+        answer_star_resilient_cfg(
+            query,
+            &program.schema,
+            &db,
+            &recorder,
+            &ResilienceConfig::chaos(0.3, 0xDECAF),
+            ExecConfig::default().with_io_workers(8),
+        )
+        .unwrap();
+        let snap = recorder.journal().unwrap().snapshot();
+        snap.validate().expect("sampled overlapped journal validates");
+        let events: Vec<_> = snap.events.iter().collect();
+        let mut call_begins = 0u64;
+        for (i, e) in events.iter().enumerate() {
+            if e.kind == lap::obs::journal::kind::SOURCE_CALL_BEGIN {
+                call_begins += 1;
+                let end = events
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("1/{sample_every}: begin without its end"));
+                assert_eq!(
+                    end.kind,
+                    lap::obs::journal::kind::SOURCE_CALL_END,
+                    "1/{sample_every}: sampling must keep or skip a pair atomically"
+                );
+                assert_eq!(end.lane, e.lane, "1/{sample_every}: pair halves stay on one lane");
+            }
+        }
+        let call_ends = events
+            .iter()
+            .filter(|e| e.kind == lap::obs::journal::kind::SOURCE_CALL_END)
+            .count() as u64;
+        assert_eq!(call_begins, call_ends, "1/{sample_every}: no orphaned end");
+        assert!(
+            call_begins > 0,
+            "1/{sample_every}: a chaotic run must keep some sampled calls"
+        );
+        // A sampled journal is exactly what `lapq calibrate` folds on a
+        // busy system; the resulting profile must still be coherent.
+        let mut store = lap::obs::FeedbackStore::new();
+        store.fold(&snap);
+        store.validate().expect("profile folded from a sampled journal validates");
+    }
+}
