@@ -1,10 +1,10 @@
-//! Experiment driver: prints the E1–E22 tables.
+//! Experiment driver: prints the E1–E23 tables.
 //!
 //! ```sh
 //! cargo run --release -p lap-bench --bin experiments             # all, text
 //! cargo run --release -p lap-bench --bin experiments -- e2 e11  # subset
 //! cargo run --release -p lap-bench --bin experiments -- --markdown
-//! cargo run --release -p lap-bench --bin experiments -- --json            # BENCH_PR7.json
+//! cargo run --release -p lap-bench --bin experiments -- --json            # BENCH_PR8.json
 //! cargo run --release -p lap-bench --bin experiments -- --json=tables.json
 //! ```
 
@@ -12,7 +12,7 @@ use lap_bench::runner;
 use lap_bench::tables::{tables_to_json, Table};
 
 /// Default path for `--json` without an explicit `=<path>`.
-const DEFAULT_JSON_PATH: &str = "BENCH_PR7.json";
+const DEFAULT_JSON_PATH: &str = "BENCH_PR8.json";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +55,7 @@ fn main() {
         ("e20", Box::new(runner::e20_journal_overhead)),
         ("e21", Box::new(runner::e21_overlapped_io)),
         ("e22", Box::new(runner::e22_calibrated_replanning)),
+        ("e23", Box::new(runner::e23_columnar_executor)),
     ];
 
     let mut rendered: Vec<Table> = Vec::new();

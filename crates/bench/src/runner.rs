@@ -1,4 +1,4 @@
-//! The experiment suite E1–E22 (see DESIGN.md §6 and EXPERIMENTS.md).
+//! The experiment suite E1–E23 (see DESIGN.md §6 and EXPERIMENTS.md).
 //!
 //! Each experiment returns a [`Table`]; the `experiments` binary prints
 //! them all. Everything is seeded — rerunning reproduces identical
@@ -1392,6 +1392,86 @@ pub fn e22_calibrated_replanning() -> Table {
     t
 }
 
+/// E23 — columnar vs row executor across batch widths: the same E18
+/// workload (overestimate plans, dup-key-rich instances) run through the
+/// row-at-a-time baseline and the vectorized columnar pipeline. Both
+/// executors assemble identical batch windows, so their source-call counts
+/// are equal by construction at every width — the table isolates the pure
+/// representation win (interned columns, branch-free filtering, code-level
+/// dedup at the projection root). Times are summed medians over the four
+/// families; answers are asserted identical to the row baseline first.
+pub fn e23_columnar_executor() -> Table {
+    use lap_engine::{execute_physical_union, lower_union, ExecConfig};
+    let mut t = Table::new(
+        "E23 — columnar vs row executor across batch widths",
+        "The E18 workload (overestimate plans, domain 8, 200 tuples per relation, four families) under both executors at each batch width. Wire traffic is identical by construction (same dedup windows), so the speedup is purely the columnar representation: dictionary-interned columns, selection vectors, branch-free negation filtering, and code-tuple dedup at the projection root. Times are sums of per-family medians.",
+        &[
+            "batch width",
+            "row executor",
+            "columnar",
+            "speedup",
+            "calls",
+        ],
+    );
+    let fams = [
+        ("forward_chain(6)", forward_chain(6)),
+        ("star(5)", star(5)),
+        ("feasible_not_orderable(3)", feasible_not_orderable(3)),
+        ("gav_unfolding(3,2,1)", gav_unfolding(3, 2, 1)),
+    ];
+    let cfg = InstanceConfig {
+        domain_size: 8,
+        tuples_per_relation: 200,
+    };
+    let prepared: Vec<_> = fams
+        .iter()
+        .map(|(name, inst)| {
+            let db = gen_instance(&inst.schema, &cfg, &mut StdRng::seed_from_u64(18));
+            let pair = plan_star(&inst.query, &inst.schema);
+            let parts = pair.over.eval_parts();
+            let union = lower_union(&parts, &inst.schema);
+            (*name, inst.schema.clone(), db, union)
+        })
+        .collect();
+    for width in [1usize, 16, 64, 256, 1024, 4096] {
+        let exec = ExecConfig::with_batch_size(width);
+        let mut d_row = Duration::ZERO;
+        let mut d_col = Duration::ZERO;
+        let mut calls = 0u64;
+        for (name, schema, db, union) in &prepared {
+            let mut row_reg = SourceRegistry::new(db, schema);
+            let want = execute_physical_union(union, &mut row_reg, exec.rows())
+                .expect("row executor evaluates");
+            let mut col_reg = SourceRegistry::new(db, schema);
+            let got =
+                execute_physical_union(union, &mut col_reg, exec).expect("columnar evaluates");
+            assert_eq!(want, got, "executors disagree on {name} at width {width}");
+            assert_eq!(
+                row_reg.stats(),
+                col_reg.stats(),
+                "wire traffic differs on {name} at width {width}"
+            );
+            calls += col_reg.stats().calls;
+            d_row += time_median(TIMING_ITERS, || {
+                let mut reg = SourceRegistry::new(db, schema);
+                std::hint::black_box(execute_physical_union(union, &mut reg, exec.rows()).unwrap());
+            });
+            d_col += time_median(TIMING_ITERS, || {
+                let mut reg = SourceRegistry::new(db, schema);
+                std::hint::black_box(execute_physical_union(union, &mut reg, exec).unwrap());
+            });
+        }
+        t.row(vec![
+            width.to_string(),
+            fmt_duration(d_row),
+            fmt_duration(d_col),
+            format!("{:.2}x", d_row.as_secs_f64() / d_col.as_secs_f64().max(1e-12)),
+            calls.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Runs every experiment with the default sizes used in EXPERIMENTS.md.
 pub fn run_all() -> Vec<Table> {
     let sizes = [8usize, 16, 32, 64, 128, 256];
@@ -1418,6 +1498,7 @@ pub fn run_all() -> Vec<Table> {
         e20_journal_overhead(),
         e21_overlapped_io(),
         e22_calibrated_replanning(),
+        e23_columnar_executor(),
     ]
 }
 

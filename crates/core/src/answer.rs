@@ -72,12 +72,25 @@ pub fn answer_star_obs(
     db: &Database,
     recorder: &Recorder,
 ) -> Result<AnswerReport, EngineError> {
+    answer_star_obs_cfg(q, schema, db, recorder, ExecConfig::default())
+}
+
+/// [`answer_star_obs`] under an explicit executor configuration (batch
+/// width, columnar vs row executor, I/O workers). Answers are identical
+/// across configurations; only the execution shape changes.
+pub fn answer_star_obs_cfg(
+    q: &UnionQuery,
+    schema: &Schema,
+    db: &Database,
+    recorder: &Recorder,
+    cfg: ExecConfig,
+) -> Result<AnswerReport, EngineError> {
     let _span = recorder.span("answer*");
-    stamp_journal_meta(recorder, "answer*", q, &RetryPolicy::default(), None, 1);
+    stamp_journal_meta(recorder, "answer*", q, &RetryPolicy::default(), None, cfg);
     let plans = plan_star_obs(q, schema, recorder);
     let physical = lower_pair(&plans, schema);
-    let cfg = ExecConfig::default();
-    let mut reg = SourceRegistry::new(db, schema).recording(recorder);
+    let mut reg =
+        SourceRegistry::new(db, schema).recording(recorder).with_io_workers(cfg.io_workers);
     let under = {
         let _under = recorder.span("answer*.under");
         execute_physical_union(&physical.under, &mut reg, cfg)?
@@ -105,11 +118,23 @@ pub fn answer_star_planned_obs(
     db: &Database,
     recorder: &Recorder,
 ) -> Result<AnswerReport, EngineError> {
+    answer_star_planned_obs_cfg(q, plans, schema, db, recorder, ExecConfig::default())
+}
+
+/// [`answer_star_planned_obs`] under an explicit executor configuration.
+pub fn answer_star_planned_obs_cfg(
+    q: &UnionQuery,
+    plans: &PlanPair,
+    schema: &Schema,
+    db: &Database,
+    recorder: &Recorder,
+    cfg: ExecConfig,
+) -> Result<AnswerReport, EngineError> {
     let _span = recorder.span("answer*");
-    stamp_journal_meta(recorder, "answer*.planned", q, &RetryPolicy::default(), None, 1);
+    stamp_journal_meta(recorder, "answer*.planned", q, &RetryPolicy::default(), None, cfg);
     let physical = lower_pair(plans, schema);
-    let cfg = ExecConfig::default();
-    let mut reg = SourceRegistry::new(db, schema).recording(recorder);
+    let mut reg =
+        SourceRegistry::new(db, schema).recording(recorder).with_io_workers(cfg.io_workers);
     let under = {
         let _under = recorder.span("answer*.under");
         execute_physical_union(&physical.under, &mut reg, cfg)?
@@ -253,7 +278,7 @@ pub fn answer_star_resilient_cfg(
         q,
         &resilience.retry,
         resilience.fault.as_ref(),
-        cfg.io_workers,
+        cfg,
     );
     let plans = plan_star_obs(q, schema, recorder);
     let physical = lower_pair(&plans, schema);
@@ -287,7 +312,7 @@ pub fn answer_star_resilient_planned_cfg(
         q,
         &resilience.retry,
         resilience.fault.as_ref(),
-        cfg.io_workers,
+        cfg,
     );
     let physical = lower_pair(plans, schema);
     let mut reg = SourceRegistry::new(db, schema)
@@ -367,7 +392,7 @@ pub fn answer_star_replay_cfg(
     cfg: ExecConfig,
 ) -> Result<AnswerOutcome, EngineError> {
     let _span = recorder.span("answer*");
-    stamp_journal_meta(recorder, "answer*.replay", q, &retry, None, cfg.io_workers);
+    stamp_journal_meta(recorder, "answer*.replay", q, &retry, None, cfg);
     let plans = plan_star_obs(q, schema, recorder);
     let physical = lower_pair(&plans, schema);
     let mut reg = SourceRegistry::with_source(Box::new(source), schema)
@@ -386,7 +411,7 @@ fn stamp_journal_meta(
     q: &UnionQuery,
     retry: &RetryPolicy,
     fault: Option<&FaultConfig>,
-    io_workers: usize,
+    exec: ExecConfig,
 ) {
     if let Some(journal) = recorder.journal() {
         let cfg = journal.config();
@@ -395,7 +420,9 @@ fn stamp_journal_meta(
             ("query", Json::str(q.to_string())),
             ("retry", retry.to_json()),
             ("fault", fault.map_or(Json::Null, FaultConfig::to_json)),
-            ("io_workers", Json::num(io_workers.max(1) as u64)),
+            ("io_workers", Json::num(exec.io_workers.max(1) as u64)),
+            ("batch_width", Json::num(exec.batch_size.max(1) as u64)),
+            ("columnar", Json::Bool(exec.columnar)),
             (
                 "journal",
                 Json::obj([

@@ -39,10 +39,11 @@ mod prepared;
 mod reduction;
 
 pub use answer::{
-    answer_star, answer_star_obs, answer_star_planned_obs, answer_star_replay,
-    answer_star_replay_cfg, answer_star_resilient, answer_star_resilient_cfg,
-    answer_star_resilient_planned_cfg, answer_star_with_domain, AnswerOutcome,
-    AnswerReport, Completeness, DegradationReport, ImprovedAnswerReport,
+    answer_star, answer_star_obs, answer_star_obs_cfg, answer_star_planned_obs,
+    answer_star_planned_obs_cfg, answer_star_replay, answer_star_replay_cfg,
+    answer_star_resilient, answer_star_resilient_cfg, answer_star_resilient_planned_cfg,
+    answer_star_with_domain, AnswerOutcome, AnswerReport, Completeness, DegradationReport,
+    ImprovedAnswerReport,
 };
 pub use answerable::{
     ans, answerable_literals, answerable_split, is_q_answerable, literal_executable,

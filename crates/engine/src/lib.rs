@@ -61,8 +61,9 @@ pub use physical::{
     execute_physical_union_degraded, execute_physical_union_parallel,
     execute_physical_union_parallel_degraded, execute_physical_union_parallel_obs,
     execute_physical_union_profiled, lower_cq, lower_union, AccessOp, AccessProblem, ArgSource,
-    DisjunctDegradation, ExecConfig, NegOp, OpCost, OpProfile, PhysOp, PhysicalPlan,
-    PhysicalUnion, PlanProfile, ProjCol, ProjectOp, UnionProfile,
+    Code, ColumnBatch, Dictionary, DisjunctDegradation, ExecConfig, NegOp, OpCost, OpProfile,
+    PhysOp, PhysicalPlan, PhysicalUnion, PlanProfile, ProjCol, ProjectOp, UnionProfile,
+    MAX_BATCH_WIDTH,
 };
 pub use instance::Database;
 pub use oracle::{eval_oracle, eval_oracle_single};

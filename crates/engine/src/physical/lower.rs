@@ -8,6 +8,13 @@
 //! before it, so the plan-time choice coincides with every per-tuple
 //! choice — the lowered plan is call-for-call equivalent.
 //!
+//! The same fact gives the columnar executor its layout invariant:
+//! `bound_after` grows monotonically along the pipeline and holds for
+//! *every* binding that reaches an operator, so a
+//! [`ColumnBatch`](super::ColumnBatch) column is either present for all
+//! rows or absent for all rows — boundness is per position, never per
+//! cell.
+//!
 //! Lowering is total: problems (unknown relation, no usable pattern,
 //! unbound negation, unbound head variable) are recorded in the operator
 //! and raised by the executor only when a non-empty batch reaches it.
@@ -176,6 +183,31 @@ mod tests {
         assert!(n.unbound.is_empty());
         assert_eq!(n.literal, "not L(i)");
         assert!(matches!(plan.ops[3], PhysOp::Project(_)));
+    }
+
+    #[test]
+    fn boundness_is_uniform_along_the_pipeline() {
+        // The columnar layout stores one column per *bound* slot with no
+        // per-cell optionality; that is sound because `bound_after` only
+        // ever grows along the pipeline (plan-time boundness covers every
+        // row that reaches the operator).
+        let cq =
+            parse_cq("Q(i, a, t) :- C(i, a), B(i, a, t), not L(i), C(i, b).").unwrap();
+        let plan = lower_cq(&cq, &[], &schema());
+        let mut prev: Vec<lap_ir::Var> = Vec::new();
+        // The projection reports no binding schema of its own — walk the
+        // pipeline stages.
+        for op in &plan.ops[..plan.ops.len() - 1] {
+            let after = op.bound_after();
+            assert!(
+                prev.iter().all(|v| after.contains(v)),
+                "{:?} shrank to {:?}",
+                prev,
+                after
+            );
+            prev = after.to_vec();
+        }
+        assert_eq!(prev.len(), plan.slots.len(), "all slots bound at the end");
     }
 
     #[test]

@@ -27,16 +27,18 @@
 //! semantics, on which ANSWER\* relies (a broken literal behind an empty
 //! prefix contributes an empty disjunct, not a failure).
 
+mod column;
 mod exec;
 mod lower;
 mod plan;
 
+pub use column::{Code, CodeHasher, CodeMap, CodeSet, ColumnBatch, Dictionary};
 pub use exec::{
     execute_physical_cq, execute_physical_cq_profiled, execute_physical_union,
     execute_physical_union_degraded, execute_physical_union_parallel,
     execute_physical_union_parallel_degraded, execute_physical_union_parallel_obs,
     execute_physical_union_profiled, DisjunctDegradation, ExecConfig, OpProfile, PlanProfile,
-    UnionProfile,
+    UnionProfile, MAX_BATCH_WIDTH,
 };
 pub use lower::{lower_cq, lower_union};
 pub use plan::{

@@ -23,11 +23,21 @@ pub struct OpCost {
     pub calls: f64,
     /// Estimated number of tuples it transfers from the sources.
     pub tuples: f64,
+    /// Estimated number of batch windows the vectorized executor drives
+    /// through this operator: incoming bindings over the cost model's
+    /// batch width, at least one. Per-batch overheads (group assembly,
+    /// build-side setup, memo resets) scale with this, not with tuples —
+    /// it is what a width change moves while `calls`/`tuples` stay put.
+    pub batches: f64,
 }
 
 impl fmt::Display for OpCost {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "est {:.1} calls, {:.1} tuples", self.calls, self.tuples)
+        write!(
+            f,
+            "est {:.1} calls, {:.1} tuples, {:.0} batches",
+            self.calls, self.tuples, self.batches
+        )
     }
 }
 

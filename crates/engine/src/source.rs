@@ -1511,6 +1511,24 @@ impl<'a> SourceRegistry<'a> {
         }
         Ok(present)
     }
+
+    /// Tests a batch of fully-ground tuples for membership in relation
+    /// `name`, in order. The wire behaviour is identical to calling
+    /// [`SourceRegistry::membership_test`] once per key — the vectorized
+    /// negation filter hands the whole distinct-key set of a batch window
+    /// here so the probe loop lives next to the wire instead of in the
+    /// operator.
+    pub fn membership_test_many(
+        &mut self,
+        name: Symbol,
+        keys: &[Vec<Value>],
+    ) -> Result<Vec<bool>, EngineError> {
+        let mut present = Vec::with_capacity(keys.len());
+        for key in keys {
+            present.push(self.membership_test(name, key)?);
+        }
+        Ok(present)
+    }
 }
 
 #[cfg(test)]

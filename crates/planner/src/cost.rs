@@ -22,6 +22,10 @@ pub struct CostModel {
     /// Fraction of an extent matching one bound column (applied once per
     /// input slot *and* per bound output column filtered client-side).
     pub selectivity: f64,
+    /// Batch width the vectorized executor is assumed to run at; the
+    /// width-aware `batches` term of an [`OpCost`](lap_engine::OpCost) is
+    /// incoming bindings over this. Matches `ExecConfig`'s default width.
+    pub batch_width: f64,
     extents: HashMap<Symbol, f64>,
     /// Per-relation call-cost multipliers in units of one healthy-baseline
     /// call. Empty (weight 1.0 everywhere) for static models; a calibrated
@@ -36,6 +40,7 @@ impl Default for CostModel {
         CostModel {
             default_extent: 100.0,
             selectivity: 0.1,
+            batch_width: 1024.0,
             extents: HashMap::new(),
             call_weights: HashMap::new(),
         }
@@ -60,6 +65,13 @@ impl CostModel {
     /// Overrides one relation's extent (builder style).
     pub fn with_extent(mut self, name: &str, extent: f64) -> CostModel {
         self.extents.insert(Symbol::intern(name), extent);
+        self
+    }
+
+    /// Overrides the assumed executor batch width (builder style). Clamped
+    /// to at least one row per window.
+    pub fn with_batch_width(mut self, batch_width: usize) -> CostModel {
+        self.batch_width = batch_width.max(1) as f64;
         self
     }
 

@@ -80,7 +80,11 @@ fn annotate_plan(plan: &mut PhysicalPlan, model: &CostModel, slot: CostSlot) {
     let mut total = OpCost {
         calls: 0.0,
         tuples: 0.0,
+        batches: 0.0,
     };
+    // Batch windows an operator sees: its incoming bindings over the
+    // vectorized executor's width, never less than one window.
+    let windows = |bindings: f64| (bindings / model.batch_width).ceil().max(1.0);
     // Split borrows: the walk needs each op mutably plus the slot table.
     let slots = plan.slots.clone();
     let arg_bound = |arg: &ArgSource, bound: &HashSet<Var>| match arg {
@@ -103,9 +107,11 @@ fn annotate_plan(plan: &mut PhysicalPlan, model: &CostModel, slot: CostSlot) {
                 let cost = OpCost {
                     calls: weighted_calls,
                     tuples: bindings * per_call_transfer,
+                    batches: windows(bindings),
                 };
                 total.calls += weighted_calls;
                 total.tuples += bindings * per_call_transfer;
+                total.batches += cost.batches;
                 bindings *= surviving.max(0.0);
                 bound.extend(a.bound_after.iter().copied());
                 cost
@@ -118,9 +124,11 @@ fn annotate_plan(plan: &mut PhysicalPlan, model: &CostModel, slot: CostSlot) {
                 let cost = OpCost {
                     calls: weighted_calls,
                     tuples: bindings,
+                    batches: windows(bindings),
                 };
                 total.calls += weighted_calls;
                 total.tuples += bindings;
+                total.batches += cost.batches;
                 bindings *= 0.5;
                 bound.extend(n.bound_after.iter().copied());
                 cost
@@ -166,6 +174,28 @@ mod tests {
         // Every operator carries an estimate, and the first scan costs one call.
         assert!(plan.ops.iter().all(|op| op.cost().is_some()));
         assert!((plan.ops[0].cost().unwrap().calls - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_width_scales_the_batches_term_only() {
+        let (pair, schema) = setup(
+            "L^o. B^ioo.\n\
+             Q(t) :- L(i), B(i, a, t).",
+        );
+        // 5000 L rows reach the join: width 1024 → 5 windows, width 64 →
+        // 79 windows, while calls/tuples are untouched by the width.
+        let wide = CostModel::new().with_extent("L", 5_000.0).with_extent("B", 10.0);
+        let narrow = wide.clone().with_batch_width(64);
+        let join_wide = lower(&pair, &schema, &wide).under.parts[0].ops[1].cost().unwrap();
+        let join_narrow =
+            lower(&pair, &schema, &narrow).under.parts[0].ops[1].cost().unwrap();
+        assert!((join_wide.batches - 5.0).abs() < 1e-9, "{join_wide}");
+        assert!((join_narrow.batches - 79.0).abs() < 1e-9, "{join_narrow}");
+        assert_eq!(join_wide.calls, join_narrow.calls);
+        assert_eq!(join_wide.tuples, join_narrow.tuples);
+        // A leaf access always sees exactly the one unit window.
+        let leaf = lower(&pair, &schema, &wide).under.parts[0].ops[0].cost().unwrap();
+        assert!((leaf.batches - 1.0).abs() < 1e-9, "{leaf}");
     }
 
     #[test]

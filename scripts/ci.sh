@@ -91,6 +91,34 @@ target/release/lapq replay "$OV_JOURNAL" > "$OV_REPLAY"
 cmp "$OV_RUN_A" "$OV_REPLAY"
 rm -f "$OV_JOURNAL" "$OV_RUN_A" "$OV_RUN_B" "$OV_REPLAY"
 
+echo "==> columnar smoke: batch widths agree, faulted record replays bit-for-bit"
+COL_JOURNAL="${TMPDIR:-/tmp}/lapq_ci_columnar.json"
+COL_RUN="${TMPDIR:-/tmp}/lapq_ci_columnar_run.txt"
+COL_REPLAY="${TMPDIR:-/tmp}/lapq_ci_columnar_replay.txt"
+COL_W1="${TMPDIR:-/tmp}/lapq_ci_columnar_w1.txt"
+COL_W64="${TMPDIR:-/tmp}/lapq_ci_columnar_w64.txt"
+# The batch width changes dedup windows (and hence the call counts the
+# run footer reports) but never the answers.
+target/release/lapq run examples/data/bookstore.lap \
+    examples/data/bookstore_facts.lap --batch-width 1 > "$COL_W1"
+target/release/lapq run examples/data/bookstore.lap \
+    examples/data/bookstore_facts.lap --batch-width 64 > "$COL_W64"
+grep -v ' calls, ' "$COL_W1" > "$COL_W1.answers"
+grep -v ' calls, ' "$COL_W64" > "$COL_W64.answers"
+cmp "$COL_W1.answers" "$COL_W64.answers"
+# A faulted overlapped columnar run records a journal that replays
+# bit-for-bit without touching the sources.
+target/release/lapq run examples/data/bookstore.lap \
+    examples/data/bookstore_facts.lap \
+    --fault-rate 0.4 --fault-seed 11 --latency-ms 5 --retry 3 \
+    --batch-width 64 --io-workers 8 \
+    --journal "$COL_JOURNAL" > "$COL_RUN"
+target/release/lapq obs-validate "$COL_JOURNAL"
+target/release/lapq replay "$COL_JOURNAL" > "$COL_REPLAY"
+cmp "$COL_RUN" "$COL_REPLAY"
+rm -f "$COL_JOURNAL" "$COL_RUN" "$COL_REPLAY" \
+    "$COL_W1" "$COL_W64" "$COL_W1.answers" "$COL_W64.answers"
+
 echo "==> calibration smoke: record, calibrate, re-run — plan differs, answers do not"
 CAL_DIR="${TMPDIR:-/tmp}/lapq_ci_calibrate"
 mkdir -p "$CAL_DIR"

@@ -23,6 +23,7 @@ pub const VALUE_FLAGS: &[&str] = &[
     "--retry",
     "--retry-budget-ms",
     "--io-workers",
+    "--batch-width",
     "--journal",
     "--journal-capacity",
     "--journal-sample",

@@ -53,14 +53,15 @@ mod cli;
 
 use cli::CliArgs;
 use lap::core::{
-    answer_star_obs, answer_star_planned_obs, answer_star_replay_cfg, answer_star_resilient_cfg,
-    answer_star_resilient_planned_cfg, answer_star_with_domain, feasible_detailed_with,
+    answer_star_obs_cfg, answer_star_planned_obs_cfg, answer_star_replay_cfg,
+    answer_star_resilient_cfg, answer_star_resilient_planned_cfg, answer_star_with_domain,
+    feasible_detailed_with,
     is_executable, is_orderable, AnswerOutcome, AnswerReport, Completeness, ContainmentEngine,
     DecisionPath, EngineConfig,
 };
 use lap::engine::{
     display_tuple, Database, ExecConfig, FaultConfig, ReplaySource, ResilienceConfig, RetryPolicy,
-    MAX_IO_WORKERS,
+    MAX_BATCH_WIDTH, MAX_IO_WORKERS,
 };
 use lap::ir::{parse_program, Program, UnionQuery};
 use lap::obs::{
@@ -79,10 +80,10 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("usage:");
             eprintln!("  lapq check <program.lap> [--constraints <sigma.lap>] [--parallel] [--cache] [--trace] [--metrics-json <file>]");
-            eprintln!("  lapq explain <program.lap> [--feedback <profile.json>] [--parallel] [--cache] [--trace] [--metrics-json <file>]");
+            eprintln!("  lapq explain <program.lap> [--feedback <profile.json>] [--batch-width <n>] [--parallel] [--cache] [--trace] [--metrics-json <file>]");
             eprintln!("  lapq plan  <program.lap> [--trace] [--metrics-json <file>]");
             eprintln!("  lapq run   <program.lap> <facts.lap> [--domain <budget>] [--trace] [--metrics-json <file>]");
-            eprintln!("             [--fault-rate <p>] [--fault-seed <n>] [--latency-ms <n>] [--timeout-ms <n>] [--retry <n>] [--retry-budget-ms <n>] [--io-workers <n>]");
+            eprintln!("             [--fault-rate <p>] [--fault-seed <n>] [--latency-ms <n>] [--timeout-ms <n>] [--retry <n>] [--retry-budget-ms <n>] [--io-workers <n>] [--batch-width <n>]");
             eprintln!("             [--journal <file>] [--journal-capacity <n>] [--journal-sample <n>] [--chrome-trace <file>]");
             eprintln!("             [--feedback <profile.json>]");
             eprintln!("  lapq answer  (alias of run)");
@@ -92,7 +93,7 @@ fn main() -> ExitCode {
             eprintln!("  lapq contain <program.lap> <P> <Q> [--parallel] [--cache] [--trace] [--metrics-json <file>]");
             eprintln!("  lapq mediate <views.lap> <query.lap> <facts.lap> [--parallel] [--cache] [--trace] [--metrics-json <file>]");
             eprintln!("  lapq optimize <program.lap> [facts.lap] [--trace] [--metrics-json <file>]");
-            eprintln!("  lapq profile <program.lap> <facts.lap> [--trace] [--metrics-json <file>]");
+            eprintln!("  lapq profile <program.lap> <facts.lap> [--batch-width <n>] [--io-workers <n>] [--trace] [--metrics-json <file>]");
             eprintln!("  lapq obs-validate <metrics|journal|chrome-trace|feedback .json>");
             ExitCode::FAILURE
         }
@@ -160,6 +161,7 @@ fn dispatch(cmd: &str, args: &CliArgs, recorder: &Recorder) -> Result<(), String
         "explain" => explain_cmd(
             args.require(1, "explain needs a program file")?,
             feedback_from_args(args)?.as_ref(),
+            exec_config_from_args(args)?,
             &engine_from_args(args, recorder),
             recorder,
         ),
@@ -176,6 +178,7 @@ fn dispatch(cmd: &str, args: &CliArgs, recorder: &Recorder) -> Result<(), String
         "profile" => profile(
             args.require(1, "profile needs a program file")?,
             args.require(2, "profile needs a facts file")?,
+            exec_config_from_args(args)?,
             recorder,
         ),
         "optimize" => optimize(
@@ -217,20 +220,29 @@ const RESILIENCE_FLAGS: &[&str] = &[
     "--io-workers",
 ];
 
-/// Parses `--io-workers` into an [`ExecConfig`], defaulting to serial
-/// (one worker) when the flag is absent.
+/// Parses `--io-workers` and `--batch-width` into an [`ExecConfig`],
+/// defaulting to serial I/O at the executor's default width when the
+/// flags are absent. Zero is rejected for both, like out-of-range worker
+/// counts.
 fn exec_config_from_args(args: &CliArgs) -> Result<ExecConfig, String> {
-    match args.value_u64("--io-workers")? {
-        None => Ok(ExecConfig::default()),
-        Some(n) => {
-            if n == 0 || n > MAX_IO_WORKERS as u64 {
-                return Err(format!(
-                    "--io-workers must be in [1, {MAX_IO_WORKERS}], got {n}"
-                ));
-            }
-            Ok(ExecConfig::default().with_io_workers(n as usize))
+    let mut cfg = ExecConfig::default();
+    if let Some(n) = args.value_u64("--io-workers")? {
+        if n == 0 || n > MAX_IO_WORKERS as u64 {
+            return Err(format!(
+                "--io-workers must be in [1, {MAX_IO_WORKERS}], got {n}"
+            ));
         }
+        cfg = cfg.with_io_workers(n as usize);
     }
+    if let Some(n) = args.value_u64("--batch-width")? {
+        if n == 0 || n > MAX_BATCH_WIDTH as u64 {
+            return Err(format!(
+                "--batch-width must be in [1, {MAX_BATCH_WIDTH}], got {n}"
+            ));
+        }
+        cfg.batch_size = n as usize;
+    }
+    Ok(cfg)
 }
 
 /// Builds the fault + retry profile selected by the resilience flags, or
@@ -415,6 +427,7 @@ fn report_query(
 fn explain_cmd(
     path: &str,
     feedback: Option<&FeedbackStore>,
+    exec: ExecConfig,
     engine: &ContainmentEngine,
     recorder: &Recorder,
 ) -> Result<(), String> {
@@ -422,7 +435,9 @@ fn explain_cmd(
     if program.queries.is_empty() {
         return Err(format!("{path}: no queries defined"));
     }
-    let model = CostModel::new();
+    // `--batch-width` steers the estimated batch-window counts in the
+    // operator annotations (calls/tuples are width-independent).
+    let model = CostModel::new().with_batch_width(exec.batch_size);
     let calibrated = feedback.map(|store| model.calibrated(store));
     for query in &program.queries {
         println!("query {}:", query.signature.0);
@@ -566,8 +581,10 @@ fn run_query(
             continue;
         }
         let rep = match &planned {
-            Some(plans) => answer_star_planned_obs(query, plans, &program.schema, &db, recorder),
-            None => answer_star_obs(query, &program.schema, &db, recorder),
+            Some(plans) => {
+                answer_star_planned_obs_cfg(query, plans, &program.schema, &db, recorder, cfg)
+            }
+            None => answer_star_obs_cfg(query, &program.schema, &db, recorder, cfg),
         }
         .map_err(|e| format!("evaluating {}: {e}", query.signature.0))?;
         print_answer_report(&rep);
@@ -600,8 +617,13 @@ fn run_query(
     Ok(())
 }
 
-fn profile(program_path: &str, facts_path: &str, recorder: &Recorder) -> Result<(), String> {
-    use lap::engine::{execute_physical_union_profiled, ExecConfig, SourceRegistry};
+fn profile(
+    program_path: &str,
+    facts_path: &str,
+    cfg: ExecConfig,
+    recorder: &Recorder,
+) -> Result<(), String> {
+    use lap::engine::{execute_physical_union_profiled, SourceRegistry};
     let program = load(program_path, recorder)?;
     let facts = std::fs::read_to_string(facts_path)
         .map_err(|e| format!("cannot read {facts_path}: {e}"))?;
@@ -610,10 +632,11 @@ fn profile(program_path: &str, facts_path: &str, recorder: &Recorder) -> Result<
         println!("query {}:", query.signature.0);
         let pair = lap::core::plan_star_obs(query, &program.schema, recorder);
         let physical = pair.over.lower(&program.schema);
-        let mut reg = SourceRegistry::new(&db, &program.schema).recording(recorder);
-        let (_, prof) =
-            execute_physical_union_profiled(&physical, &mut reg, ExecConfig::default())
-                .map_err(|e| format!("evaluating: {e}"))?;
+        let mut reg = SourceRegistry::new(&db, &program.schema)
+            .recording(recorder)
+            .with_io_workers(cfg.io_workers);
+        let (_, prof) = execute_physical_union_profiled(&physical, &mut reg, cfg)
+            .map_err(|e| format!("evaluating: {e}"))?;
         println!("{prof}");
         println!("total source usage (positive calls): {}", reg.stats());
         println!("membership probes (negative literals, disjoint): {}", reg.membership_probes());
@@ -782,14 +805,22 @@ fn replay_cmd(path: &str, recorder: &Recorder) -> Result<(), String> {
         }
         _ => RetryPolicy::default(),
     };
-    // Replay honors the recorded `io_workers` so the overlapped virtual
-    // clock (and therefore `print_outcome`) reproduces byte for byte.
+    // Replay honors the recorded `io_workers`, `batch_width`, and
+    // `columnar` executor choice so the overlapped virtual clock, the
+    // batch windows, and therefore `print_outcome` reproduce byte for
+    // byte.
     let io_workers = snap
         .meta
         .get("io_workers")
         .and_then(Json::as_u64)
         .unwrap_or(1) as usize;
-    let cfg = ExecConfig::default().with_io_workers(io_workers);
+    let mut cfg = ExecConfig::default().with_io_workers(io_workers);
+    if let Some(width) = snap.meta.get("batch_width").and_then(Json::as_u64) {
+        cfg.batch_size = (width as usize).max(1);
+    }
+    if let Some(Json::Bool(columnar)) = snap.meta.get("columnar") {
+        cfg.columnar = *columnar;
+    }
     let source = ReplaySource::from_journal(&snap).map_err(|e| format!("{path}: {e}"))?;
     for query in &program.queries {
         println!("query {}:", query.signature.0);
