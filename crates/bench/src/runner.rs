@@ -1,4 +1,4 @@
-//! The experiment suite E1–E23 (see DESIGN.md §6 and EXPERIMENTS.md).
+//! The experiment suite E1–E24 (see DESIGN.md §6 and EXPERIMENTS.md).
 //!
 //! Each experiment returns a [`Table`]; the `experiments` binary prints
 //! them all. Everything is seeded — rerunning reproduces identical
@@ -1472,6 +1472,157 @@ pub fn e23_columnar_executor() -> Table {
     t
 }
 
+/// The mixed request set E24 cycles through: a feasible negation query,
+/// an infeasible union, a plain scan, and a two-query program. Repeated
+/// texts by design — the shared plan cache is what the experiment
+/// measures.
+const E24_SCENARIOS: &[(&str, &str)] = &[
+    (
+        "B^ioo. B^oio. C^oo. L^o.\nQ(i, a, t) :- B(i, a, t), C(i, a), not L(i).",
+        r#"B(1, "a", "t1"). B(2, "b", "t2"). C(1, "a"). C(2, "b"). L(1)."#,
+    ),
+    (
+        "S^o. R^oo. B^ii. T^oo.\nQ(x, y) :- not S(z), R(x, z), B(x, y).\nQ(x, y) :- T(x, y).",
+        "R(1, 10). S(99). T(7, 8). B(1, 5).",
+    ),
+    ("C^oo.\nQ(i) :- C(i, a).", r#"C(1, "a"). C(2, "b"). C(3, "c")."#),
+    (
+        "C^oo. F^o.\nQ(i) :- C(i, a).\nP(x) :- F(x).",
+        r#"C(1, "a"). F(9). F(10)."#,
+    ),
+];
+
+/// E24 — daemon concurrency: a live `lapd` server (in-process, ephemeral
+/// port) under an increasing concurrent-client sweep on the mixed
+/// four-scenario workload. Every response is asserted byte-identical to
+/// the one-shot ANSWER\* rendering of the same program — the daemon may
+/// amortize parsing, planning, and lowering through its shared plan
+/// cache, but never change a byte of the answer. Each width runs against
+/// a fresh server so the plan-cache hit rate is per-row; the acceptance
+/// bar is zero failed requests at every width and a >80% hit rate at 200
+/// concurrent clients.
+pub fn e24_daemon_concurrency() -> Table {
+    use lap::daemon::{DaemonConfig, Server};
+    use lap::proto::{Client, QueryOptions, Response};
+    use lap_core::{answer_star_obs_cfg, render_answer_report};
+    use lap_engine::{Database, ExecConfig};
+    use lap_obs::Recorder;
+    use std::time::Instant;
+
+    // The daemon's rendering contract, replicated in-process: per query a
+    // `query <sig>:` header, the shared answer-report renderer, and a
+    // blank separator line. `tests/daemon.rs` and the CI smoke test pin
+    // the same bytes against the actual `lapq run` binary.
+    let one_shot_text = |program_text: &str, facts_text: &str| -> String {
+        let program = parse_program(program_text).expect("scenario parses");
+        let db = Database::from_facts(facts_text).expect("scenario facts parse");
+        let recorder = Recorder::disabled();
+        let mut text = String::new();
+        for q in &program.queries {
+            text.push_str(&format!("query {}:\n", q.signature.0));
+            let report =
+                answer_star_obs_cfg(q, &program.schema, &db, &recorder, ExecConfig::default())
+                    .expect("scenario answers");
+            text.push_str(&render_answer_report(&report));
+            text.push('\n');
+        }
+        text
+    };
+    let expected: Vec<String> =
+        E24_SCENARIOS.iter().map(|(p, f)| one_shot_text(p, f)).collect();
+
+    let mut t = Table::new(
+        "E24 — daemon concurrency (shared plan cache, mixed workload)",
+        "An in-process lapd server per row, hammered by N concurrent client connections each issuing 8 queries from a 4-scenario mix (feasible negation, infeasible union, plain scan, two-query program). Latencies are host wall-clock per request (connect excluded); 'hit rate' is the server's plan-cache view of the whole row. Every response is asserted byte-identical to the one-shot ANSWER* rendering; the acceptance bar is zero failures at every width and a >80% cache hit rate at 200 clients.",
+        &["clients", "requests", "ok", "wall ms", "qps", "p50 ms", "p95 ms", "p99 ms", "cache hit rate"],
+    );
+
+    const REQUESTS_PER_CLIENT: usize = 8;
+    for clients in [8usize, 32, 64, 128, 200, 256] {
+        let server = Server::start(
+            DaemonConfig {
+                max_sessions: 512,
+                admission_wait_ms: 60_000,
+                ..DaemonConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .expect("ephemeral bind");
+        let addr = server.addr().to_string();
+
+        let started = Instant::now();
+        let per_client: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let addr = addr.clone();
+                    let expected = &expected;
+                    scope.spawn(move || {
+                        let mut client = Client::connect(&addr).expect("client connects");
+                        let mut latencies_us = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                        for r in 0..REQUESTS_PER_CLIENT {
+                            let idx = (c + r) % E24_SCENARIOS.len();
+                            let (program, facts) = E24_SCENARIOS[idx];
+                            let t0 = Instant::now();
+                            let resp = client
+                                .query(program, facts, QueryOptions::default())
+                                .expect("query frame round-trips");
+                            latencies_us.push(t0.elapsed().as_micros() as u64);
+                            match resp {
+                                Response::Ok { text, .. } => assert_eq!(
+                                    text, expected[idx],
+                                    "client {c} request {r}: daemon answer diverged"
+                                ),
+                                Response::Error { code, message, .. } => {
+                                    panic!("client {c} request {r}: {code}: {message}")
+                                }
+                            }
+                        }
+                        latencies_us
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+        });
+        let wall = started.elapsed();
+
+        let mut latencies: Vec<u64> = per_client.into_iter().flatten().collect();
+        latencies.sort_unstable();
+        let total = clients * REQUESTS_PER_CLIENT;
+        assert_eq!(latencies.len(), total, "every request must succeed");
+
+        let snap = server.metrics();
+        let hits = snap.counter("plan_cache.hit");
+        let misses = snap.counter("plan_cache.miss");
+        assert_eq!(hits + misses, total as u64, "every query consulted the cache");
+        let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+        if clients >= 200 {
+            assert!(
+                hit_rate > 0.80,
+                "acceptance: >80% plan-cache hit rate at {clients} clients (got {:.1}%)",
+                100.0 * hit_rate
+            );
+        }
+        server.shutdown();
+
+        let pct = |p: f64| -> f64 {
+            let idx = ((p / 100.0) * (latencies.len() - 1) as f64).round() as usize;
+            latencies[idx] as f64 / 1000.0
+        };
+        t.row(vec![
+            clients.to_string(),
+            total.to_string(),
+            latencies.len().to_string(),
+            format!("{:.1}", wall.as_secs_f64() * 1000.0),
+            format!("{:.0}", total as f64 / wall.as_secs_f64().max(1e-9)),
+            format!("{:.2}", pct(50.0)),
+            format!("{:.2}", pct(95.0)),
+            format!("{:.2}", pct(99.0)),
+            format!("{:.1}%", 100.0 * hit_rate),
+        ]);
+    }
+    t
+}
+
 /// Runs every experiment with the default sizes used in EXPERIMENTS.md.
 pub fn run_all() -> Vec<Table> {
     let sizes = [8usize, 16, 32, 64, 128, 256];
@@ -1499,6 +1650,7 @@ pub fn run_all() -> Vec<Table> {
         e21_overlapped_io(),
         e22_calibrated_replanning(),
         e23_columnar_executor(),
+        e24_daemon_concurrency(),
     ]
 }
 

@@ -328,7 +328,7 @@ pub fn answer_star_resilient_planned_cfg(
 /// Evaluates a lowered plan pair in degradation mode and assembles the
 /// [`AnswerOutcome`] — the shared tail of [`answer_star_resilient`] and
 /// [`answer_star_replay`].
-fn run_degraded_pair(
+pub(crate) fn run_degraded_pair(
     physical: &crate::plan::PhysicalPair,
     reg: &mut SourceRegistry<'_>,
     cfg: ExecConfig,
@@ -405,7 +405,7 @@ pub fn answer_star_replay_cfg(
 /// Stamps run metadata on the recorder's journal (no-op without one) so a
 /// snapshot carries everything a replay needs: what ran, the query text,
 /// the retry policy, the fault config, and the journal's own fidelity.
-fn stamp_journal_meta(
+pub(crate) fn stamp_journal_meta(
     recorder: &Recorder,
     run_kind: &str,
     q: &UnionQuery,

@@ -31,12 +31,14 @@
 
 mod answer;
 mod answerable;
+mod cache;
 mod executable;
 mod explain;
 mod feasible;
 mod plan;
 mod prepared;
 mod reduction;
+mod render;
 
 pub use answer::{
     answer_star, answer_star_obs, answer_star_obs_cfg, answer_star_planned_obs,
@@ -60,7 +62,9 @@ pub use feasible::{
 };
 pub use lap_containment::{ContainmentEngine, ContainmentStats, EngineConfig, EngineStats};
 pub use plan::{lower_pair, plan_star, plan_star_obs, CqPlan, PhysicalPair, PlanPair, UnionPlan};
-pub use prepared::PreparedQuery;
+pub use cache::{canonical_text, PlanCache, PlanCacheStats, DEFAULT_CACHE_BYTES};
+pub use prepared::{PreparedProgram, PreparedQuery};
+pub use render::{render_answer_report, render_outcome};
 pub use reduction::{
     containment_to_feasibility, containment_to_feasibility_cqn, FeasibilityInstance,
 };

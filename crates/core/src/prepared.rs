@@ -6,15 +6,19 @@
 //! construction, and (optionally) cost-based validation happen once; each
 //! [`PreparedQuery::execute`] then only pays the runtime price.
 
-use crate::answer::{build_report, AnswerOutcome, AnswerReport, DegradationReport};
+use crate::answer::{
+    build_report, run_degraded_pair, stamp_journal_meta, AnswerOutcome, AnswerReport,
+    DegradationReport,
+};
 use crate::feasible::{feasible_detailed, feasible_detailed_with, DecisionPath, FeasibilityReport};
 use crate::plan::{lower_pair, PhysicalPair, PlanPair};
-use lap_containment::ContainmentEngine;
+use lap_containment::{ContainmentEngine, EngineConfig};
 use lap_engine::{
     execute_physical_union, execute_physical_union_degraded, Database, EngineError, ExecConfig,
-    ResilienceConfig, SourceRegistry,
+    ResilienceConfig, RetryPolicy, SourceRegistry,
 };
-use lap_ir::{Schema, UnionQuery};
+use lap_ir::{parse_program, Program, Schema, UnionQuery};
+use lap_obs::Recorder;
 use std::collections::BTreeSet;
 
 /// A query compiled against a schema of access patterns.
@@ -113,6 +117,82 @@ impl PreparedQuery {
         Ok(build_report(under, over, reg.stats(), self.report.plans.clone()))
     }
 
+    /// [`PreparedQuery::execute`] under a recorder and an explicit
+    /// executor configuration — the daemon's hot path. Produces exactly
+    /// the report [`crate::answer_star_obs_cfg`] would (same spans, same
+    /// registry wiring, same physical trees — both lower PLAN\*'s pair
+    /// with [`lower_pair`]), minus the per-request planning cost: the
+    /// whole point of serving repeated queries from a plan cache.
+    pub fn execute_obs_cfg(
+        &self,
+        db: &Database,
+        recorder: &Recorder,
+        cfg: ExecConfig,
+    ) -> Result<AnswerReport, EngineError> {
+        let _span = recorder.span("answer*");
+        stamp_journal_meta(
+            recorder,
+            "answer*.prepared",
+            &self.query,
+            &RetryPolicy::default(),
+            None,
+            cfg,
+        );
+        let mut reg = SourceRegistry::new(db, &self.schema)
+            .recording(recorder)
+            .with_io_workers(cfg.io_workers);
+        let under = {
+            let _under = recorder.span("answer*.under");
+            execute_physical_union(&self.physical.under, &mut reg, cfg)?
+        };
+        let over = {
+            let _over = recorder.span("answer*.over");
+            execute_physical_union(&self.physical.over, &mut reg, cfg)?
+        };
+        Ok(build_report(under, over, reg.stats(), self.report.plans.clone()))
+    }
+
+    /// [`PreparedQuery::execute_resilient`] under a recorder and an
+    /// explicit executor configuration, with the same degradation
+    /// accounting as [`crate::answer_star_resilient_cfg`] — the daemon's
+    /// resilient path.
+    pub fn execute_resilient_obs_cfg(
+        &self,
+        db: &Database,
+        recorder: &Recorder,
+        resilience: &ResilienceConfig,
+        cfg: ExecConfig,
+    ) -> Result<AnswerOutcome, EngineError> {
+        let _span = recorder.span("answer*");
+        stamp_journal_meta(
+            recorder,
+            "answer*.prepared.resilient",
+            &self.query,
+            &resilience.retry,
+            resilience.fault.as_ref(),
+            cfg,
+        );
+        let mut reg = SourceRegistry::new(db, &self.schema)
+            .recording(recorder)
+            .with_io_workers(cfg.io_workers)
+            .with_retry(resilience.retry);
+        if let Some(fault) = &resilience.fault {
+            reg = reg.with_fault_injection(*fault);
+        }
+        run_degraded_pair(&self.physical, &mut reg, cfg, recorder, self.report.plans.clone())
+    }
+
+    /// A size estimate for plan-cache accounting: the rendered footprint
+    /// of the query, schema, and both physical trees. Not exact heap
+    /// bytes — a stable, cheap proxy that grows with what the entry
+    /// actually pins.
+    pub fn estimated_bytes(&self) -> usize {
+        self.query.to_string().len()
+            + self.schema.to_string().len()
+            + self.physical.under.to_string().len()
+            + self.physical.over.to_string().len()
+    }
+
     /// [`PreparedQuery::execute`] in degradation mode: sources run under
     /// `resilience` (fault injection + retries) and a disjunct whose
     /// source stays unavailable is dropped and reported instead of
@@ -156,6 +236,68 @@ impl PreparedQuery {
     /// How the feasibility decision was reached (fast path vs containment).
     pub fn decision_path(&self) -> DecisionPath {
         self.report.decided_by
+    }
+}
+
+/// A whole program compiled once: the parsed [`Program`] plus one
+/// [`PreparedQuery`] per query, in program order. This is what the `lapd`
+/// plan cache stores per canonical program text — a session that hits the
+/// cache executes straight from the physical trees, paying neither parse
+/// nor PLAN\*/FEASIBLE nor lowering.
+#[derive(Clone, Debug)]
+pub struct PreparedProgram {
+    program: Program,
+    prepared: Vec<PreparedQuery>,
+}
+
+impl PreparedProgram {
+    /// Parses and compiles `text`, sharing one containment engine across
+    /// the program's queries.
+    pub fn compile(text: &str) -> Result<PreparedProgram, String> {
+        PreparedProgram::compile_with(text, &ContainmentEngine::new(EngineConfig::default()))
+    }
+
+    /// [`PreparedProgram::compile`] against a caller-provided (typically
+    /// long-lived, memoized) containment engine.
+    pub fn compile_with(text: &str, engine: &ContainmentEngine) -> Result<PreparedProgram, String> {
+        let program = parse_program(text).map_err(|e| e.to_string())?;
+        let prepared = program
+            .queries
+            .iter()
+            .map(|q| PreparedQuery::compile_with(q, &program.schema, engine))
+            .collect();
+        Ok(PreparedProgram { program, prepared })
+    }
+
+    /// The parsed program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The compiled queries, in program order.
+    pub fn queries(&self) -> &[PreparedQuery] {
+        &self.prepared
+    }
+
+    /// Cache-accounting size estimate: the sum over the compiled queries
+    /// (see [`PreparedQuery::estimated_bytes`]).
+    pub fn estimated_bytes(&self) -> usize {
+        self.prepared.iter().map(PreparedQuery::estimated_bytes).sum()
+    }
+
+    /// A copy of this program with `prepared` substituted for the compiled
+    /// queries — the build-aside step of replace-on-publish recalibration
+    /// (see [`crate::PlanCache`]): clone the shared entry's queries,
+    /// recalibrate the clones, then publish the result as a new entry.
+    /// The substitutes must be answer-equivalent recompilations of the
+    /// same queries, one per original.
+    pub fn with_queries(&self, prepared: Vec<PreparedQuery>) -> PreparedProgram {
+        assert_eq!(
+            prepared.len(),
+            self.prepared.len(),
+            "substituted queries must match the program one-for-one"
+        );
+        PreparedProgram { program: self.program.clone(), prepared }
     }
 }
 
@@ -208,6 +350,73 @@ mod tests {
         // ANSWER* alone would have reported only the (empty) underestimate.
         let rep = prepared.execute(&db).unwrap();
         assert!(rep.under.is_empty());
+    }
+
+    #[test]
+    fn prepared_obs_execution_reproduces_answer_star_exactly() {
+        // The daemon serves cached PreparedQuery entries; the contract is
+        // that their reports — answers, completeness, *and* call stats —
+        // are indistinguishable from a one-shot answer_star run.
+        let (q, schema) = setup(
+            "B^ioo. B^oio. C^oo. L^o.\n\
+             Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).",
+        );
+        let db = Database::from_facts(
+            r#"B(1, "a", "t1"). B(2, "b", "t2"). C(1, "a"). C(2, "b"). L(1)."#,
+        )
+        .unwrap();
+        let prepared = PreparedQuery::compile(&q, &schema);
+        for cfg in [ExecConfig::default(), ExecConfig::default().with_io_workers(4)] {
+            let one_shot =
+                crate::answer::answer_star_obs_cfg(&q, &schema, &db, &Recorder::disabled(), cfg)
+                    .unwrap();
+            let served = prepared.execute_obs_cfg(&db, &Recorder::disabled(), cfg).unwrap();
+            assert_eq!(served, one_shot);
+        }
+    }
+
+    #[test]
+    fn prepared_resilient_obs_matches_answer_star_resilient() {
+        let (q, schema) = setup("F^o. G^o.\nQ(x) :- F(x).\nQ(x) :- G(x).");
+        let db = Database::from_facts("F(1). G(2). G(3).").unwrap();
+        let prepared = PreparedQuery::compile(&q, &schema);
+        for seed in [0u64, 7, 21] {
+            let res = ResilienceConfig::chaos(0.4, seed);
+            let cfg = ExecConfig::default();
+            let one_shot = crate::answer::answer_star_resilient_cfg(
+                &q,
+                &schema,
+                &db,
+                &Recorder::disabled(),
+                &res,
+                cfg,
+            )
+            .unwrap();
+            let served = prepared
+                .execute_resilient_obs_cfg(&db, &Recorder::disabled(), &res, cfg)
+                .unwrap();
+            assert_eq!(served, one_shot, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn prepared_program_compiles_every_query_in_order() {
+        let text = "C^oo. F^o.\n\
+                    Q(i) :- C(i, a).\n\
+                    P(x) :- F(x).";
+        let prog = PreparedProgram::compile(text).unwrap();
+        assert_eq!(prog.queries().len(), 2);
+        assert_eq!(prog.program().queries.len(), 2);
+        assert!(prog.estimated_bytes() > 0);
+        let db = Database::from_facts(r#"C(1, "a"). F(9)."#).unwrap();
+        let reps: Vec<AnswerReport> = prog
+            .queries()
+            .iter()
+            .map(|p| p.execute(&db).unwrap())
+            .collect();
+        assert_eq!(reps[0].under.len(), 1);
+        assert_eq!(reps[1].under.len(), 1);
+        assert!(PreparedProgram::compile("Q(x) :- ???").is_err());
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Canonical text rendering of answer reports and outcomes.
+//!
+//! `lapq run` prints an [`AnswerReport`] to stdout; the `lapd` daemon
+//! ships the same report to a remote client inside a response frame. The
+//! acceptance bar for the daemon is **byte identity**: for the same
+//! program and facts, the daemon's answer text must equal the one-shot
+//! CLI's output exactly, so clients (and the CI smoke test) can `cmp`
+//! them. The only way to keep two call sites byte-identical is to have
+//! one renderer — this module. `lapq` prints these strings; the daemon
+//! frames them; nobody formats a report by hand.
+
+use crate::answer::{AnswerOutcome, AnswerReport, Completeness};
+use lap_engine::display_tuple;
+use std::fmt::Write as _;
+
+/// Renders the body of an [`AnswerReport`]: certain answers, the
+/// completeness verdict, possible extra tuples, and call statistics. Every
+/// line is `\n`-terminated; there is no trailing blank line.
+pub fn render_answer_report(rep: &AnswerReport) -> String {
+    let mut out = String::new();
+    for t in &rep.under {
+        let _ = writeln!(out, "  {}", display_tuple(t));
+    }
+    match rep.completeness {
+        Completeness::Complete => out.push_str("  -- answer is complete\n"),
+        Completeness::AtLeast(r) => {
+            let _ = writeln!(out, "  -- answer is not known to be complete (>= {:.0}%)", r * 100.0);
+        }
+        Completeness::Unknown => out.push_str("  -- answer is not known to be complete\n"),
+    }
+    if !rep.delta.is_empty() {
+        out.push_str("  -- these tuples may be part of the answer:\n");
+        for t in &rep.delta {
+            let _ = writeln!(out, "     {}", display_tuple(t));
+        }
+    }
+    let _ = writeln!(out, "  -- {}", rep.stats);
+    out
+}
+
+/// Renders an [`AnswerOutcome`]: the report body, the degradation tail
+/// (when any disjunct dropped), the resilience totals, and a trailing
+/// blank line — exactly what `lapq run --retry ...` prints per query.
+pub fn render_outcome(outcome: &AnswerOutcome) -> String {
+    let mut out = render_answer_report(&outcome.report);
+    if outcome.degradation.is_degraded() {
+        let _ = writeln!(
+            out,
+            "  -- degraded: {} disjunct(s) dropped after exhausting retries:",
+            outcome.degradation.total()
+        );
+        for line in outcome.degradation.to_string().lines() {
+            let _ = writeln!(out, "     {line}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  -- resilience: {} retry(ies), {} source failure(s), {} virtual ms",
+        outcome.retries, outcome.failures, outcome.virtual_ms
+    );
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lap_engine::Database;
+    use lap_ir::parse_program;
+    use lap_obs::Recorder;
+
+    #[test]
+    fn report_rendering_covers_every_verdict_shape() {
+        let p = parse_program(
+            "S^o. R^oo. B^ii. T^oo.\n\
+             Q(x, y) :- not S(z), R(x, z), B(x, y).\n\
+             Q(x, y) :- T(x, y).",
+        )
+        .unwrap();
+        let db = Database::from_facts(r#"R(1, 10). S(99). T(7, 8). B(1, 5)."#).unwrap();
+        let rep = crate::answer_star(p.single_query().unwrap(), &p.schema, &db).unwrap();
+        let text = render_answer_report(&rep);
+        assert!(text.contains("  (7, 8)\n"), "{text}");
+        assert!(text.contains("  -- answer is not known to be complete\n"), "{text}");
+        assert!(text.contains("  -- these tuples may be part of the answer:\n"), "{text}");
+        assert!(text.contains("     (1, null)\n"), "{text}");
+        assert!(!text.ends_with("\n\n"), "no trailing blank line: {text:?}");
+
+        let complete = crate::answer_star(
+            p.single_query().unwrap(),
+            &p.schema,
+            &Database::from_facts("R(1, 10). S(10). T(7, 8).").unwrap(),
+        )
+        .unwrap();
+        let text = render_answer_report(&complete);
+        assert!(text.contains("  -- answer is complete\n"), "{text}");
+    }
+
+    #[test]
+    fn outcome_rendering_has_resilience_tail_and_trailing_blank() {
+        let p = parse_program("F^o. G^o.\nQ(x) :- F(x).\nQ(x) :- G(x).").unwrap();
+        let db = Database::from_facts("F(1). G(2).").unwrap();
+        let outcome = crate::answer_star_resilient(
+            p.single_query().unwrap(),
+            &p.schema,
+            &db,
+            &Recorder::disabled(),
+            &lap_engine::ResilienceConfig::chaos(0.0, 1),
+        )
+        .unwrap();
+        let text = render_outcome(&outcome);
+        assert!(
+            text.contains("  -- resilience: 0 retry(ies), 0 source failure(s), 0 virtual ms\n"),
+            "{text}"
+        );
+        assert!(text.ends_with("\n\n"), "outcome ends with a blank line: {text:?}");
+
+        let degraded = crate::answer_star_resilient(
+            p.single_query().unwrap(),
+            &p.schema,
+            &db,
+            &Recorder::disabled(),
+            &lap_engine::ResilienceConfig::chaos(1.0, 7),
+        )
+        .unwrap();
+        let text = render_outcome(&degraded);
+        assert!(text.contains("disjunct(s) dropped after exhausting retries:"), "{text}");
+        assert!(text.contains("     [under]"), "{text}");
+    }
+}

@@ -1034,6 +1034,40 @@ mod tests {
         snap.validate().expect("sampled journal stays balanced");
     }
 
+    /// Regression pin: `sample_every: 0` must behave exactly like 1
+    /// (record everything), not divide or modulo by zero. The CLI rejects
+    /// `--journal-sample 0` up front, but the library clamps defensively
+    /// for direct construction — both halves are pinned so neither guard
+    /// is "cleaned up" as redundant.
+    #[test]
+    fn sample_every_zero_is_clamped_to_record_all() {
+        let j = Journal::new(
+            JournalConfig {
+                sample_every: 0,
+                ..JournalConfig::light()
+            },
+            Counter::detached(),
+        );
+        for i in 0..5 {
+            assert!(j.should_sample_call(), "call {i} must record under clamp");
+            j.emit(0, i, kind::SOURCE_CALL_BEGIN, Json::Null);
+            j.emit(0, i, kind::SOURCE_CALL_END, Json::Null);
+        }
+        let snap = j.snapshot();
+        assert_eq!(snap.events.len(), 10, "every call recorded");
+        snap.validate().expect("clamped journal stays balanced");
+        // Zero capacity is clamped the same way.
+        let j = Journal::new(
+            JournalConfig {
+                capacity: 0,
+                ..JournalConfig::light()
+            },
+            Counter::detached(),
+        );
+        j.emit(0, 0, kind::SOURCE_CALL_BEGIN, Json::Null);
+        assert_eq!(j.snapshot().events.len(), 1);
+    }
+
     #[test]
     fn json_round_trip_through_in_repo_parser() {
         let j = journal(16);

@@ -140,14 +140,23 @@ pub fn render_report(snapshot: &JournalSnapshot) -> String {
         for (name, row) in &sources {
             let lat = row.latency.snapshot();
             // Backoff waits as a share of the run's virtual elapsed time:
-            // what degradation actually cost, next to what calls cost.
-            let wait_share = if last_ts == 0 {
-                0.0
+            // what degradation actually cost, next to what calls cost. A
+            // source that never retried has no wait to attribute — render
+            // `-` rather than a 0/0 percentage (a journal whose events all
+            // land on virtual ms 0 has `last_ts == 0`, and the naive
+            // division used to print `NaN%`).
+            let (wait_ms, wait_share) = if row.retries == 0 {
+                ("-".to_owned(), "-".to_owned())
             } else {
-                100.0 * row.wait_ms as f64 / last_ts as f64
+                let share = if last_ts == 0 {
+                    0.0
+                } else {
+                    100.0 * row.wait_ms as f64 / last_ts as f64
+                };
+                (row.wait_ms.to_string(), format!("{share:.1}%"))
             };
             out.push_str(&format!(
-                "  {name:width$}  {:>6} {:>6} {:>6} {:>6} {:>7} {:>7} {:>8.1} {:>8.1} {:>8.1} {:>8} {:>6.1}%\n",
+                "  {name:width$}  {:>6} {:>6} {:>6} {:>6} {:>7} {:>7} {:>8.1} {:>8.1} {:>8.1} {:>8} {:>7}\n",
                 row.calls,
                 row.rows,
                 row.faults + row.timeouts,
@@ -157,7 +166,7 @@ pub fn render_report(snapshot: &JournalSnapshot) -> String {
                 lat.p50(),
                 lat.p95(),
                 lat.p99(),
-                row.wait_ms,
+                wait_ms,
                 wait_share,
             ));
         }
@@ -283,6 +292,56 @@ mod tests {
         // 20 + 15 + 0 = 35 wait ms over 100 virtual ms = 35.0%.
         assert!(s_line.contains("35"), "{s_line}");
         assert!(s_line.contains("35.0%"), "{s_line}");
+    }
+
+    /// Regression: a journal whose events all land on virtual ms 0 (so
+    /// `last_ts == 0`) used to divide 0 by 0 for the wait share and print
+    /// `NaN%`. A source with zero retries now renders `-` for both wait
+    /// columns; retrying sources keep their numeric share.
+    #[test]
+    fn zero_retry_sources_render_dash_not_nan() {
+        let j = Journal::new(JournalConfig::light(), Counter::detached());
+        // Everything at virtual ms 0: instant call, no faults, no retries.
+        j.emit(0, 0, kind::SOURCE_CALL_BEGIN, Json::obj([("relation", Json::str("B"))]));
+        j.emit(0, 0, kind::SOURCE_CALL_END, Json::obj([
+            ("relation", Json::str("B")),
+            ("ok", Json::Bool(true)),
+            ("rows", Json::num(3)),
+            ("latency_ms", Json::num(0)),
+        ]));
+        let text = render_report(&j.snapshot());
+        assert!(!text.contains("NaN"), "{text}");
+        let b_line = text.lines().find(|l| l.trim_start().starts_with("B ")).unwrap();
+        assert!(b_line.trim_end().ends_with('-'), "{b_line}");
+        assert!(!b_line.contains('%'), "{b_line}");
+
+        // And a mixed journal: the retrying source keeps its percentage
+        // while the clean source stays dashed.
+        let j = Journal::new(JournalConfig::light(), Counter::detached());
+        j.emit(0, 0, kind::SOURCE_CALL_BEGIN, Json::obj([("relation", Json::str("B"))]));
+        j.emit(0, 0, kind::SOURCE_CALL_END, Json::obj([
+            ("relation", Json::str("B")),
+            ("ok", Json::Bool(true)),
+            ("rows", Json::num(1)),
+            ("latency_ms", Json::num(0)),
+        ]));
+        j.emit(0, 50, kind::RETRY, Json::obj([
+            ("relation", Json::str("S")),
+            ("attempt", Json::num(2)),
+            ("backoff_ms", Json::num(25)),
+        ]));
+        j.emit(0, 100, kind::SOURCE_CALL_BEGIN, Json::obj([("relation", Json::str("S"))]));
+        j.emit(0, 100, kind::SOURCE_CALL_END, Json::obj([
+            ("relation", Json::str("S")),
+            ("ok", Json::Bool(true)),
+            ("rows", Json::num(1)),
+            ("latency_ms", Json::num(0)),
+        ]));
+        let text = render_report(&j.snapshot());
+        let b_line = text.lines().find(|l| l.trim_start().starts_with("B ")).unwrap();
+        assert!(b_line.trim_end().ends_with('-'), "{b_line}");
+        let s_line = text.lines().find(|l| l.trim_start().starts_with("S ")).unwrap();
+        assert!(s_line.contains("25.0%"), "{s_line}");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crate::cost::CostModel;
 use crate::lower::lower_dual;
 use crate::order::{optimize_plan_pair, Strategy};
-use lap_core::PreparedQuery;
+use lap_core::{PlanCache, PreparedProgram, PreparedQuery};
 use lap_obs::FeedbackStore;
 
 /// Re-plans `prepared` under `static_model` calibrated with `feedback`:
@@ -26,6 +26,15 @@ use lap_obs::FeedbackStore;
 /// model and re-lowered with dual (static + calibrated) cost annotations.
 /// Returns `true` when the calibrated ordering differs from the compiled
 /// one (the next [`PreparedQuery::execute`] runs a different plan).
+///
+/// **Ownership invariant:** this mutates `prepared` in place, so it is
+/// only sound for an entry the caller *exclusively owns* (the `&mut`
+/// enforces it locally, but an owner must also not have handed out
+/// clones-by-`Arc` of the entry). A query mutated while another session
+/// executes it would tear — plans and physical trees swapped mid-read.
+/// For entries shared through a [`PlanCache`] use
+/// [`recalibrate_published`], which builds the recalibrated entry aside
+/// and swaps the cache slot atomically instead.
 pub fn recalibrate_prepared(
     prepared: &mut PreparedQuery,
     static_model: &CostModel,
@@ -38,6 +47,44 @@ pub fn recalibrate_prepared(
     let physical = lower_dual(&optimized, prepared.schema(), static_model, &calibrated);
     prepared.replace_plans(optimized, physical);
     changed
+}
+
+/// Replace-on-publish recalibration of a **cache-shared** program: looks
+/// the entry up without disturbing the hit/miss accounting, clones its
+/// queries, recalibrates the clones aside ([`recalibrate_prepared`] on
+/// owned copies), and — only when some ordering actually changed —
+/// publishes the rebuilt [`PreparedProgram`] through
+/// [`PlanCache::publish`], which swaps the slot atomically.
+///
+/// From the cache's view the entry is never in a half-recalibrated state:
+/// a lookup observes either the old program or the new one, and sessions
+/// already holding the old `Arc` finish on internally-consistent plans.
+/// Returns `true` when a recalibrated entry was published, `false` when
+/// the key is absent or calibration left every ordering unchanged (in
+/// which case the cache is untouched).
+pub fn recalibrate_published(
+    cache: &PlanCache<PreparedProgram>,
+    key: &str,
+    static_model: &CostModel,
+    feedback: &FeedbackStore,
+    strategy: Strategy,
+) -> bool {
+    let Some(current) = cache.peek(key) else {
+        return false;
+    };
+    // Build aside: recalibrate owned clones, never the shared entry.
+    let mut queries: Vec<PreparedQuery> = current.queries().to_vec();
+    let mut changed = false;
+    for q in &mut queries {
+        changed |= recalibrate_prepared(q, static_model, feedback, strategy);
+    }
+    if !changed {
+        return false;
+    }
+    let next = current.with_queries(queries);
+    let bytes = next.estimated_bytes();
+    cache.publish(key, next, bytes);
+    true
 }
 
 #[cfg(test)]
@@ -118,6 +165,64 @@ mod tests {
             after.stats.calls,
             before.stats.calls
         );
+    }
+
+    #[test]
+    fn publish_swap_recalibration_is_atomic_from_the_caches_view() {
+        use lap_core::{canonical_text, PlanCache, PreparedProgram};
+
+        let (prepared, db) = scenario();
+        let feedback = record_feedback(&prepared, &db);
+        let static_model = CostModel::new();
+
+        let cache: PlanCache<PreparedProgram> = PlanCache::new(lap_core::DEFAULT_CACHE_BYTES);
+        let key = canonical_text(PROGRAM);
+        let prog = PreparedProgram::compile(PROGRAM).unwrap();
+        let bytes = prog.estimated_bytes();
+        cache.insert(&key, prog, bytes);
+
+        // A session mid-execution holds the shared entry.
+        let held = cache.get(&key).unwrap();
+        let before_plans = held.queries()[0].plans().clone();
+
+        let published = recalibrate_published(
+            &cache,
+            &key,
+            &static_model,
+            &feedback,
+            Strategy::Exhaustive,
+        );
+        assert!(published, "calibrated extents must flip the ordering and publish");
+
+        // The held handle still sees the *old*, internally-consistent entry —
+        // the recalibration was built aside, not applied in place.
+        assert_eq!(*held.queries()[0].plans(), before_plans);
+
+        // New lookups see the swapped entry, whose underestimate now leads
+        // with the cheap D scan.
+        let fresh = cache.get(&key).unwrap();
+        assert_ne!(*fresh.queries()[0].plans(), before_plans);
+        let first = &fresh.queries()[0].physical().under.parts[0].ops[0];
+        let PhysOp::Access(op) = first else { panic!("leaf is an access op") };
+        assert_eq!(op.relation.as_str(), "D");
+
+        // Answer-preserving: old and new entries agree on every answer.
+        let old_rep = held.queries()[0].execute(&db).unwrap();
+        let new_rep = fresh.queries()[0].execute(&db).unwrap();
+        assert_eq!(old_rep.under, new_rep.under);
+        assert_eq!(old_rep.over, new_rep.over);
+
+        // Accounting: one publish; the maintenance peek did not pollute the
+        // hit/miss counters (only our two explicit gets did).
+        let stats = cache.stats();
+        assert_eq!(stats.publishes, 1, "{stats:?}");
+        assert_eq!((stats.hits, stats.misses), (2, 0), "{stats:?}");
+
+        // Re-running with the same feedback is a no-op — the published
+        // entry is already calibrated — and an absent key never publishes.
+        assert!(!recalibrate_published(&cache, &key, &static_model, &feedback, Strategy::Exhaustive));
+        assert!(!recalibrate_published(&cache, "no-such-key", &static_model, &feedback, Strategy::Exhaustive));
+        assert_eq!(cache.stats().publishes, 1);
     }
 
     #[test]

@@ -51,7 +51,7 @@ mod minimize;
 mod order;
 
 pub use cost::{estimate_cost, CostModel, PlanCost};
-pub use feedback::recalibrate_prepared;
+pub use feedback::{recalibrate_prepared, recalibrate_published};
 pub use lower::{annotate_union, annotate_union_calibrated, lower, lower_dual};
 pub use minimize::minimal_executable_plan;
 pub use order::{best_order, greedy_order, optimize_plan_pair, Strategy};

@@ -1,0 +1,99 @@
+//! A blocking TCP client for the `lapd` protocol.
+
+use crate::frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
+use crate::message::{QueryOptions, Request, Response};
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One connection-scoped session with a `lapd` daemon: send a request,
+/// block for its response. Request ids are assigned monotonically per
+/// client and checked on receipt.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7464"`).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Sets a read timeout so a hung server cannot block the client
+    /// forever.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends `req` (its id is overwritten with this client's next id) and
+    /// blocks for the matching response.
+    pub fn call(&mut self, req: Request) -> Result<Response, FrameError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = with_id(req, id);
+        write_frame(&mut self.writer, &req.to_json())?;
+        let doc = read_frame(&mut self.reader, MAX_FRAME_BYTES)?;
+        let resp = Response::from_json(&doc).map_err(FrameError::Malformed)?;
+        let got = match &resp {
+            Response::Ok { id, .. } | Response::Error { id, .. } => *id,
+        };
+        // id 0 marks an unsolicited error (e.g. quota refusal before the
+        // request was parsed); anything else must echo our id.
+        if got != 0 && got != id {
+            return Err(FrameError::Malformed(format!(
+                "response id {got} does not match request id {id}"
+            )));
+        }
+        Ok(resp)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<Response, FrameError> {
+        self.call(Request::Ping { id: 0 })
+    }
+
+    /// Executes a program over an inline instance.
+    pub fn query(
+        &mut self,
+        program: &str,
+        facts: &str,
+        options: QueryOptions,
+    ) -> Result<Response, FrameError> {
+        self.call(Request::Query {
+            id: 0,
+            program: program.to_owned(),
+            facts: facts.to_owned(),
+            options,
+        })
+    }
+
+    /// Fetches server statistics.
+    pub fn stats(&mut self) -> Result<Response, FrameError> {
+        self.call(Request::Stats { id: 0 })
+    }
+
+    /// Asks the daemon to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<Response, FrameError> {
+        self.call(Request::Shutdown { id: 0 })
+    }
+}
+
+fn with_id(req: Request, id: u64) -> Request {
+    match req {
+        Request::Ping { .. } => Request::Ping { id },
+        Request::Stats { .. } => Request::Stats { id },
+        Request::Shutdown { .. } => Request::Shutdown { id },
+        Request::Query { program, facts, options, .. } => {
+            Request::Query { id, program, facts, options }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Length-prefixed JSON frame codec.
+//!
+//! A frame is `[len: u32 big-endian][payload: len bytes of JSON]`. The
+//! codec works over any `Read`/`Write` pair, so the daemon, the client,
+//! and the tests all share one implementation.
+
+use lap_obs::{json, Json};
+use std::io::{self, Read, Write};
+
+/// Default ceiling on a single frame's payload, in bytes (16 MiB). Large
+/// enough for a replay-fidelity journal, small enough that a corrupt
+/// length prefix cannot balloon the peer.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed mid-frame.
+    Io(io::Error),
+    /// The peer closed the connection cleanly *between* frames.
+    Closed,
+    /// The frame is syntactically unusable: oversized length prefix,
+    /// truncated payload, or invalid JSON. The connection should answer
+    /// with a `bad-frame` error (the stream may be out of sync, so the
+    /// session ends after that).
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Malformed(why) => write!(f, "malformed frame: {why}"),
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame: 4-byte big-endian payload length, then the compact
+/// JSON encoding of `doc`.
+pub fn write_frame(w: &mut impl Write, doc: &Json) -> io::Result<()> {
+    let payload = doc.to_compact();
+    let bytes = payload.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32 length"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one frame, enforcing `max_bytes` on the declared payload length
+/// *before* allocating. Returns [`FrameError::Closed`] on a clean EOF at a
+/// frame boundary and [`FrameError::Malformed`] on an oversized prefix,
+/// a truncated payload, or invalid JSON/UTF-8.
+pub fn read_frame(r: &mut impl Read, max_bytes: usize) -> Result<Json, FrameError> {
+    let mut prefix = [0u8; 4];
+    match read_exact_or_eof(r, &mut prefix)? {
+        ReadOutcome::Eof => return Err(FrameError::Closed),
+        ReadOutcome::Partial => {
+            return Err(FrameError::Malformed("truncated length prefix".to_owned()))
+        }
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > max_bytes {
+        return Err(FrameError::Malformed(format!(
+            "frame of {len} bytes exceeds the {max_bytes}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| FrameError::Malformed(format!("truncated payload: {e}")))?;
+    let text = String::from_utf8(payload)
+        .map_err(|e| FrameError::Malformed(format!("payload is not UTF-8: {e}")))?;
+    json::parse(&text).map_err(|e| FrameError::Malformed(format!("payload is not JSON: {e}")))
+}
+
+enum ReadOutcome {
+    Full,
+    Partial,
+    Eof,
+}
+
+/// `read_exact` that distinguishes a clean EOF before the first byte
+/// (peer hung up between frames) from a mid-buffer EOF (truncation).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 { ReadOutcome::Eof } else { ReadOutcome::Partial })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let doc = Json::obj([("op", Json::str("ping")), ("id", Json::num(7))]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &doc).unwrap();
+        let back = read_frame(&mut buf.as_slice(), MAX_FRAME_BYTES).unwrap();
+        assert_eq!(back.get("op").and_then(Json::as_str), Some("ping"));
+        assert_eq!(back.get("id").and_then(Json::as_u64), Some(7));
+    }
+
+    #[test]
+    fn several_frames_stream_back_to_back() {
+        let mut buf = Vec::new();
+        for i in 0..3u64 {
+            write_frame(&mut buf, &Json::obj([("id", Json::num(i))])).unwrap();
+        }
+        let mut r = buf.as_slice();
+        for i in 0..3u64 {
+            let doc = read_frame(&mut r, MAX_FRAME_BYTES).unwrap();
+            assert_eq!(doc.get("id").and_then(Json::as_u64), Some(i));
+        }
+        assert!(matches!(read_frame(&mut r, MAX_FRAME_BYTES), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_prefix_is_malformed_not_alloc() {
+        // 0xFFFF_FFFF declared bytes against a 1 KiB limit: must refuse
+        // before allocating.
+        let buf = [0xFFu8, 0xFF, 0xFF, 0xFF, b'x'];
+        let err = read_frame(&mut buf.as_slice(), 1024).unwrap_err();
+        assert!(matches!(err, FrameError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_payload_and_bad_json_are_malformed() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_be_bytes());
+        buf.extend_from_slice(b"abc"); // 3 of 10 promised bytes
+        assert!(matches!(
+            read_frame(&mut buf.as_slice(), 1024),
+            Err(FrameError::Malformed(_))
+        ));
+
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&3u32.to_be_bytes());
+        bad.extend_from_slice(b"{{{");
+        assert!(matches!(
+            read_frame(&mut bad.as_slice(), 1024),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn clean_eof_between_frames_is_closed() {
+        let empty: &[u8] = &[];
+        assert!(matches!(
+            read_frame(&mut &empty[..], 1024),
+            Err(FrameError::Closed)
+        ));
+        // EOF inside the prefix is malformed, not Closed.
+        let partial: &[u8] = &[0, 0];
+        assert!(matches!(
+            read_frame(&mut &partial[..], 1024),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,37 @@
+//! Wire protocol for the `lapd` query service.
+//!
+//! The daemon and its clients speak **length-prefixed JSON frames** over a
+//! plain TCP stream: a 4-byte big-endian payload length followed by that
+//! many bytes of UTF-8 JSON (the hand-rolled [`lap_obs::json`] dialect —
+//! the workspace stays zero-dependency). One frame carries one
+//! [`Request`] or one [`Response`]; the connection is a strict
+//! request/response session with no pipelining, so a blocking client can
+//! be written in a dozen lines.
+//!
+//! Design points, in order of importance:
+//!
+//! * **Bounded frames.** [`read_frame`] refuses payloads above the
+//!   caller's limit *before* allocating, so a malformed or hostile peer
+//!   cannot balloon the server ([`MAX_FRAME_BYTES`] is the daemon's
+//!   default). A bad length prefix or invalid JSON surfaces as
+//!   [`FrameError::Malformed`], which the daemon answers with an error
+//!   frame instead of dying.
+//! * **Self-describing errors.** Failures travel as `{"ok": false,
+//!   "error": {"code", "message"}}` response frames with stable
+//!   [`ErrorCode`]s (`quota`, `bad-frame`, `bad-request`, `query-error`,
+//!   `shutting-down`), so clients can distinguish back-pressure from
+//!   bugs.
+//! * **No versioning negotiation.** Every request carries the protocol
+//!   version ([`PROTO_VERSION`]); the daemon rejects newer versions with
+//!   `bad-request` rather than guessing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod frame;
+mod message;
+
+pub use client::Client;
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
+pub use message::{ErrorCode, QueryOptions, Request, Response, PROTO_VERSION};

@@ -1,0 +1,399 @@
+//! Request and response message shapes.
+//!
+//! Every request is an object `{"v", "id", "op", ...}`; every response is
+//! `{"id", "ok", ...}`. The `id` is chosen by the client and echoed back
+//! verbatim, so a client that (unlike [`crate::Client`]) wants to
+//! interleave requests on several connections can correlate replies.
+
+use lap_obs::Json;
+
+/// Protocol version spoken by this build. The daemon answers requests
+/// with a higher version with [`ErrorCode::BadRequest`].
+pub const PROTO_VERSION: u64 = 1;
+
+/// Execution knobs a query request may carry. All optional; the daemon
+/// validates ranges exactly like the `lapq` CLI does.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryOptions {
+    /// Overlapped source I/O workers (`--io-workers`).
+    pub io_workers: Option<u64>,
+    /// Executor batch width (`--batch-width`).
+    pub batch_width: Option<u64>,
+    /// Fault-injection rate (`--fault-rate`); engages the resilient path.
+    pub fault_rate: Option<f64>,
+    /// Fault-injection seed (`--fault-seed`).
+    pub fault_seed: Option<u64>,
+    /// Injected per-call virtual latency (`--latency-ms`).
+    pub latency_ms: Option<u64>,
+    /// Per-call timeout (`--timeout-ms`).
+    pub timeout_ms: Option<u64>,
+    /// Maximum retry attempts (`--retry`).
+    pub retry: Option<u64>,
+    /// Per-request virtual-clock deadline for the retry loop
+    /// (`--retry-budget-ms`): the degradation budget of PR 4, now a
+    /// per-request admission lever.
+    pub deadline_ms: Option<u64>,
+}
+
+impl QueryOptions {
+    /// True when any resilience knob is set — the daemon then runs the
+    /// degradation-mode executor. The set of triggering knobs mirrors the
+    /// `lapq` CLI's resilience flags exactly (including `io_workers`,
+    /// which the CLI routes through the resilient path too), so a daemon
+    /// answer stays byte-identical to a one-shot `lapq run` with the same
+    /// options.
+    pub fn wants_resilience(&self) -> bool {
+        self.io_workers.is_some()
+            || self.fault_rate.is_some()
+            || self.fault_seed.is_some()
+            || self.latency_ms.is_some()
+            || self.timeout_ms.is_some()
+            || self.retry.is_some()
+            || self.deadline_ms.is_some()
+    }
+
+    fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = Vec::new();
+        let mut num = |k: &str, v: Option<u64>| {
+            if let Some(n) = v {
+                pairs.push((k.to_owned(), Json::num(n)));
+            }
+        };
+        num("io_workers", self.io_workers);
+        num("batch_width", self.batch_width);
+        num("fault_seed", self.fault_seed);
+        num("latency_ms", self.latency_ms);
+        num("timeout_ms", self.timeout_ms);
+        num("retry", self.retry);
+        num("deadline_ms", self.deadline_ms);
+        if let Some(rate) = self.fault_rate {
+            pairs.push(("fault_rate".to_owned(), Json::Num(rate)));
+        }
+        Json::Obj(pairs)
+    }
+
+    fn from_json(doc: &Json) -> Result<QueryOptions, String> {
+        let num = |k: &str| doc.get(k).and_then(Json::as_u64);
+        let opts = QueryOptions {
+            io_workers: num("io_workers"),
+            batch_width: num("batch_width"),
+            fault_rate: doc.get("fault_rate").and_then(Json::as_f64),
+            fault_seed: num("fault_seed"),
+            latency_ms: num("latency_ms"),
+            timeout_ms: num("timeout_ms"),
+            retry: num("retry"),
+            deadline_ms: num("deadline_ms"),
+        };
+        Ok(opts)
+    }
+}
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with an empty `ok` frame.
+    Ping {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+    },
+    /// Compile (or fetch from the shared plan cache) and execute a
+    /// program over an inline instance.
+    Query {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// Program text: access-pattern declarations plus rules, exactly
+        /// the contents of a `.lap` program file.
+        program: String,
+        /// Facts text: ground atoms, exactly the contents of a facts file.
+        facts: String,
+        /// Execution knobs.
+        options: QueryOptions,
+    },
+    /// Server statistics: plan cache hits/misses/evictions, containment
+    /// engine counters, session and quota accounting.
+    Stats {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+    },
+    /// Graceful shutdown: the daemon stops accepting connections,
+    /// finishes in-flight requests, and exits.
+    Shutdown {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The request's correlation id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Ping { id }
+            | Request::Query { id, .. }
+            | Request::Stats { id }
+            | Request::Shutdown { id } => *id,
+        }
+    }
+
+    /// Encodes the request as a frame payload.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Ping { id } => Json::obj([
+                ("v", Json::num(PROTO_VERSION)),
+                ("id", Json::num(*id)),
+                ("op", Json::str("ping")),
+            ]),
+            Request::Query { id, program, facts, options } => Json::obj([
+                ("v", Json::num(PROTO_VERSION)),
+                ("id", Json::num(*id)),
+                ("op", Json::str("query")),
+                ("program", Json::str(program.as_str())),
+                ("facts", Json::str(facts.as_str())),
+                ("options", options.to_json()),
+            ]),
+            Request::Stats { id } => Json::obj([
+                ("v", Json::num(PROTO_VERSION)),
+                ("id", Json::num(*id)),
+                ("op", Json::str("stats")),
+            ]),
+            Request::Shutdown { id } => Json::obj([
+                ("v", Json::num(PROTO_VERSION)),
+                ("id", Json::num(*id)),
+                ("op", Json::str("shutdown")),
+            ]),
+        }
+    }
+
+    /// Decodes a frame payload into a request. The error string is safe to
+    /// echo back in a `bad-request` frame.
+    pub fn from_json(doc: &Json) -> Result<Request, String> {
+        let v = doc.get("v").and_then(Json::as_u64).ok_or("missing numeric \"v\"")?;
+        if v > PROTO_VERSION {
+            return Err(format!("protocol version {v} is newer than {PROTO_VERSION}"));
+        }
+        let id = doc.get("id").and_then(Json::as_u64).ok_or("missing numeric \"id\"")?;
+        let op = doc.get("op").and_then(Json::as_str).ok_or("missing string \"op\"")?;
+        match op {
+            "ping" => Ok(Request::Ping { id }),
+            "stats" => Ok(Request::Stats { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            "query" => {
+                let program = doc
+                    .get("program")
+                    .and_then(Json::as_str)
+                    .ok_or("query needs a string \"program\"")?
+                    .to_owned();
+                let facts = doc
+                    .get("facts")
+                    .and_then(Json::as_str)
+                    .ok_or("query needs a string \"facts\"")?
+                    .to_owned();
+                let options = match doc.get("options") {
+                    Some(opts) => QueryOptions::from_json(opts)?,
+                    None => QueryOptions::default(),
+                };
+                Ok(Request::Query { id, program, facts, options })
+            }
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// Stable error codes carried by error frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Admission control refused the request; retry later.
+    Quota,
+    /// The frame itself was unusable (oversized, truncated, not JSON).
+    /// The session ends after this reply — the stream may be out of sync.
+    BadFrame,
+    /// The frame was valid JSON but not a valid request.
+    BadRequest,
+    /// The program/facts failed to parse or the query failed to execute.
+    QueryError,
+    /// The daemon is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Quota => "quota",
+            ErrorCode::BadFrame => "bad-frame",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::QueryError => "query-error",
+            ErrorCode::ShuttingDown => "shutting-down",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "quota" => ErrorCode::Quota,
+            "bad-frame" => ErrorCode::BadFrame,
+            "bad-request" => ErrorCode::BadRequest,
+            "query-error" => ErrorCode::QueryError,
+            "shutting-down" => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The request succeeded. `text` is the human-readable result (for a
+    /// query: byte-identical to what one-shot `lapq run` prints); `data`
+    /// carries op-specific structured fields.
+    Ok {
+        /// Echo of the request id (0 for unsolicited errors).
+        id: u64,
+        /// Rendered result text.
+        text: String,
+        /// Structured payload (`Json::Null` when the op has none).
+        data: Json,
+    },
+    /// The request failed.
+    Error {
+        /// Echo of the request id (0 when the request never parsed).
+        id: u64,
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encodes the response as a frame payload.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Ok { id, text, data } => Json::obj([
+                ("id", Json::num(*id)),
+                ("ok", Json::Bool(true)),
+                ("text", Json::str(text.as_str())),
+                ("data", data.clone()),
+            ]),
+            Response::Error { id, code, message } => Json::obj([
+                ("id", Json::num(*id)),
+                ("ok", Json::Bool(false)),
+                (
+                    "error",
+                    Json::obj([
+                        ("code", Json::str(code.as_str())),
+                        ("message", Json::str(message.as_str())),
+                    ]),
+                ),
+            ]),
+        }
+    }
+
+    /// Decodes a frame payload into a response.
+    pub fn from_json(doc: &Json) -> Result<Response, String> {
+        let id = doc.get("id").and_then(Json::as_u64).ok_or("missing numeric \"id\"")?;
+        match doc.get("ok") {
+            Some(Json::Bool(true)) => Ok(Response::Ok {
+                id,
+                text: doc
+                    .get("text")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+                data: doc.get("data").cloned().unwrap_or(Json::Null),
+            }),
+            Some(Json::Bool(false)) => {
+                let err = doc.get("error").ok_or("error response without \"error\"")?;
+                let code = err
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .and_then(ErrorCode::parse)
+                    .ok_or("error response without a known \"code\"")?;
+                let message = err
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_owned();
+                Ok(Response::Error { id, code, message })
+            }
+            _ => Err("response without boolean \"ok\"".to_owned()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Ping { id: 1 },
+            Request::Stats { id: 2 },
+            Request::Shutdown { id: 3 },
+            Request::Query {
+                id: 4,
+                program: "C^oo.\nQ(i) :- C(i, a).".to_owned(),
+                facts: "C(1, \"a\").".to_owned(),
+                options: QueryOptions {
+                    io_workers: Some(8),
+                    batch_width: Some(64),
+                    fault_rate: Some(0.25),
+                    deadline_ms: Some(500),
+                    ..QueryOptions::default()
+                },
+            },
+        ];
+        for req in reqs {
+            let back = Request::from_json(&req.to_json()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Ok {
+                id: 9,
+                text: "query Q:\n  (1)\n".to_owned(),
+                data: Json::obj([("cache_hit", Json::Bool(true))]),
+            },
+            Response::Error {
+                id: 0,
+                code: ErrorCode::Quota,
+                message: "too many in-flight queries".to_owned(),
+            },
+        ];
+        for resp in resps {
+            let back = Response::from_json(&resp.to_json()).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn newer_protocol_version_is_rejected() {
+        let doc = Json::obj([
+            ("v", Json::num(PROTO_VERSION + 1)),
+            ("id", Json::num(1)),
+            ("op", Json::str("ping")),
+        ]);
+        assert!(Request::from_json(&doc).unwrap_err().contains("newer"));
+    }
+
+    #[test]
+    fn malformed_requests_explain_themselves() {
+        let missing_op = Json::obj([("v", Json::num(1)), ("id", Json::num(1))]);
+        assert!(Request::from_json(&missing_op).unwrap_err().contains("op"));
+        let bad_op = Json::obj([
+            ("v", Json::num(1)),
+            ("id", Json::num(1)),
+            ("op", Json::str("frobnicate")),
+        ]);
+        assert!(Request::from_json(&bad_op).unwrap_err().contains("unknown op"));
+    }
+}

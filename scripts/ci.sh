@@ -39,7 +39,7 @@ fi
 
 echo "==> cargo clippy -D warnings (crates touched by the engine work, incl. lap_engine::sched)"
 cargo clippy -q --all-targets -p lap-prng -p lap-containment -p lap-core \
-    -p lap-engine -p lap-planner \
+    -p lap-engine -p lap-planner -p lap-proto \
     -p lap-mediator -p lap-workload -p lap-obs -p lap-bench -p lap -- -D warnings
 
 echo "==> observability smoke: lapq run --trace --metrics-json + obs-validate"
@@ -159,6 +159,63 @@ fi
 target/release/lapq explain "$CAL_DIR/prog.lap" --feedback "$CAL_DIR/profile.json" \
     | grep -q '; cal '
 rm -rf "$CAL_DIR"
+
+echo "==> daemon smoke: lapd on an ephemeral port, answers byte-identical to one-shot run"
+LAPD_DIR="${TMPDIR:-/tmp}/lapq_ci_daemon"
+mkdir -p "$LAPD_DIR"
+target/release/lapd --bind 127.0.0.1:0 > "$LAPD_DIR/lapd.log" 2>&1 &
+LAPD_PID=$!
+# Scrape the ephemeral port from the startup line.
+LAPD_ADDR=""
+i=0
+while [ "$i" -lt 100 ]; do
+    LAPD_ADDR=$(sed -n 's/^lapd listening on //p' "$LAPD_DIR/lapd.log")
+    [ -n "$LAPD_ADDR" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$LAPD_ADDR" ]; then
+    echo "daemon smoke: lapd did not report a listen address" >&2
+    kill "$LAPD_PID" 2>/dev/null || true
+    exit 1
+fi
+# Three clients, mixed workloads, each cmp'ed against one-shot lapq run.
+target/release/lapq run examples/data/bookstore.lap \
+    examples/data/bookstore_facts.lap > "$LAPD_DIR/oneshot_1.txt"
+target/release/lapq query-daemon examples/data/bookstore.lap \
+    examples/data/bookstore_facts.lap --addr "$LAPD_ADDR" > "$LAPD_DIR/daemon_1.txt"
+cmp "$LAPD_DIR/oneshot_1.txt" "$LAPD_DIR/daemon_1.txt"
+target/release/lapq run examples/data/example4.lap \
+    examples/data/example4_facts.lap > "$LAPD_DIR/oneshot_2.txt"
+target/release/lapq query-daemon examples/data/example4.lap \
+    examples/data/example4_facts.lap --addr "$LAPD_ADDR" > "$LAPD_DIR/daemon_2.txt"
+cmp "$LAPD_DIR/oneshot_2.txt" "$LAPD_DIR/daemon_2.txt"
+target/release/lapq run examples/data/bookstore.lap \
+    examples/data/bookstore_facts.lap \
+    --fault-rate 0.4 --fault-seed 11 --retry 3 --io-workers 2 > "$LAPD_DIR/oneshot_3.txt"
+target/release/lapq query-daemon examples/data/bookstore.lap \
+    examples/data/bookstore_facts.lap --addr "$LAPD_ADDR" \
+    --fault-rate 0.4 --fault-seed 11 --retry 3 --io-workers 2 > "$LAPD_DIR/daemon_3.txt"
+cmp "$LAPD_DIR/oneshot_3.txt" "$LAPD_DIR/daemon_3.txt"
+# A repeat of client 1 must be served from the plan cache, same bytes.
+target/release/lapq query-daemon examples/data/bookstore.lap \
+    examples/data/bookstore_facts.lap --addr "$LAPD_ADDR" > "$LAPD_DIR/daemon_1b.txt"
+cmp "$LAPD_DIR/oneshot_1.txt" "$LAPD_DIR/daemon_1b.txt"
+target/release/lapq daemon-ctl "$LAPD_ADDR" stats | grep -q 'plan cache:'
+# Clean shutdown: the control frame must stop the process.
+target/release/lapq daemon-ctl "$LAPD_ADDR" shutdown > /dev/null
+i=0
+while kill -0 "$LAPD_PID" 2>/dev/null; do
+    if [ "$i" -ge 100 ]; then
+        echo "daemon smoke: lapd did not exit after shutdown" >&2
+        kill "$LAPD_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+grep -q 'lapd: shut down' "$LAPD_DIR/lapd.log"
+rm -rf "$LAPD_DIR"
 
 echo "==> resilience smoke: same seed must replay the same degraded answer"
 CHAOS_A="${TMPDIR:-/tmp}/lapq_ci_chaos_a.txt"

@@ -30,6 +30,9 @@ pub const VALUE_FLAGS: &[&str] = &[
     "--chrome-trace",
     "--feedback",
     "--out",
+    "--addr",
+    "--clients",
+    "--requests",
 ];
 
 /// An argument vector split into positionals and recognized flags.
@@ -44,16 +47,24 @@ pub struct CliArgs {
 
 impl CliArgs {
     /// Splits `args` into positionals and flags. Fails on a flag outside
-    /// [`BOOL_FLAGS`]/[`VALUE_FLAGS`] or a valued flag with no value.
+    /// [`BOOL_FLAGS`]/[`VALUE_FLAGS`], a valued flag with no value, or any
+    /// flag given twice — a repeated flag is always a typo or a stale
+    /// shell history entry, and silently keeping the *last* occurrence
+    /// (as a map insert would) runs a different configuration than the
+    /// user reviewed.
     pub fn parse(args: &[String]) -> Result<CliArgs, String> {
         let mut out = CliArgs::default();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             if BOOL_FLAGS.contains(&arg.as_str()) {
-                out.flags.insert(arg.clone());
+                if !out.flags.insert(arg.clone()) {
+                    return Err(format!("duplicate flag {arg}"));
+                }
             } else if VALUE_FLAGS.contains(&arg.as_str()) {
                 let value = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
-                out.values.insert(arg.clone(), value.clone());
+                if out.values.insert(arg.clone(), value.clone()).is_some() {
+                    return Err(format!("duplicate flag {arg}"));
+                }
             } else if arg.starts_with("--") {
                 return Err(format!("unknown flag {arg}"));
             } else {
@@ -152,6 +163,19 @@ mod tests {
         assert!(CliArgs::parse(&args(&["run", "--frobnicate"]))
             .unwrap_err()
             .contains("unknown flag"));
+    }
+
+    #[test]
+    fn duplicate_flags_are_a_parse_error() {
+        // Regression: `--batch-width 4 --batch-width 0` used to silently
+        // keep the last value; now any repeated flag fails up front.
+        let err = CliArgs::parse(&args(&["run", "p.lap", "f.lap", "--batch-width", "4", "--batch-width", "0"]))
+            .unwrap_err();
+        assert!(err.contains("duplicate flag --batch-width"), "{err}");
+        let err = CliArgs::parse(&args(&["check", "p.lap", "--trace", "--trace"])).unwrap_err();
+        assert!(err.contains("duplicate flag --trace"), "{err}");
+        // Same flag once is of course fine.
+        assert!(CliArgs::parse(&args(&["run", "p.lap", "--batch-width", "4"])).is_ok());
     }
 
     #[test]

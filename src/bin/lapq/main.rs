@@ -33,6 +33,15 @@
 //! lapq obs-validate <file.json>             check an exported snapshot,
 //!                                           journal, chrome trace, or
 //!                                           feedback profile
+//! lapq query-daemon <program.lap> <facts.lap> --addr <host:port>
+//!                                           run the query on a `lapd`
+//!                                           daemon; output is byte-
+//!                                           identical to `lapq run`
+//! lapq daemon-ctl <host:port> <ping|stats|shutdown>
+//!                                           control a running daemon
+//! lapq bench-daemon --addr <host:port> [--clients <n>] [--requests <n>]
+//!                                           concurrent mixed-workload
+//!                                           benchmark against a daemon
 //! ```
 //!
 //! Every command additionally accepts `--trace` (print the span tree and
@@ -56,8 +65,8 @@ use lap::core::{
     answer_star_obs_cfg, answer_star_planned_obs_cfg, answer_star_replay_cfg,
     answer_star_resilient_cfg, answer_star_resilient_planned_cfg, answer_star_with_domain,
     feasible_detailed_with,
-    is_executable, is_orderable, AnswerOutcome, AnswerReport, Completeness, ContainmentEngine,
-    DecisionPath, EngineConfig,
+    is_executable, is_orderable, render_answer_report, render_outcome, AnswerOutcome,
+    AnswerReport, ContainmentEngine, DecisionPath, EngineConfig,
 };
 use lap::engine::{
     display_tuple, Database, ExecConfig, FaultConfig, ReplaySource, ResilienceConfig, RetryPolicy,
@@ -95,6 +104,9 @@ fn main() -> ExitCode {
             eprintln!("  lapq optimize <program.lap> [facts.lap] [--trace] [--metrics-json <file>]");
             eprintln!("  lapq profile <program.lap> <facts.lap> [--batch-width <n>] [--io-workers <n>] [--trace] [--metrics-json <file>]");
             eprintln!("  lapq obs-validate <metrics|journal|chrome-trace|feedback .json>");
+            eprintln!("  lapq query-daemon <program.lap> <facts.lap> --addr <host:port> [run's resilience/executor flags]");
+            eprintln!("  lapq daemon-ctl <host:port> <ping|stats|shutdown>");
+            eprintln!("  lapq bench-daemon --addr <host:port> [--clients <n>] [--requests <n>] [run's resilience/executor flags]");
             ExitCode::FAILURE
         }
     }
@@ -199,6 +211,20 @@ fn dispatch(cmd: &str, args: &CliArgs, recorder: &Recorder) -> Result<(), String
             args.require(3, "contain needs the name of Q")?,
             &engine_from_args(args, recorder),
             recorder,
+        ),
+        "query-daemon" => query_daemon(
+            args.require(1, "query-daemon needs a program file")?,
+            args.require(2, "query-daemon needs a facts file")?,
+            args.value("--addr").ok_or("query-daemon needs --addr <host:port>")?,
+            args,
+        ),
+        "daemon-ctl" => daemon_ctl(
+            args.require(1, "daemon-ctl needs <host:port>")?,
+            args.require(2, "daemon-ctl needs an op: ping | stats | shutdown")?,
+        ),
+        "bench-daemon" => bench_daemon(
+            args.value("--addr").ok_or("bench-daemon needs --addr <host:port>")?,
+            args,
         ),
         "replay" => replay_cmd(args.require(1, "replay needs a journal file")?, recorder),
         "report" => report_cmd(args.require(1, "report needs a journal file")?),
@@ -496,45 +522,18 @@ fn plan(path: &str, recorder: &Recorder) -> Result<(), String> {
 
 /// Prints the body of an [`AnswerReport`]: certain answers, the
 /// completeness verdict, possible extra tuples, and call statistics.
+/// Delegates to the shared renderer so the daemon and the CLI cannot
+/// drift apart byte-wise.
 fn print_answer_report(rep: &AnswerReport) {
-    for t in &rep.under {
-        println!("  {}", display_tuple(t));
-    }
-    match rep.completeness {
-        Completeness::Complete => println!("  -- answer is complete"),
-        Completeness::AtLeast(r) => {
-            println!("  -- answer is not known to be complete (>= {:.0}%)", r * 100.0);
-        }
-        Completeness::Unknown => println!("  -- answer is not known to be complete"),
-    }
-    if !rep.delta.is_empty() {
-        println!("  -- these tuples may be part of the answer:");
-        for t in &rep.delta {
-            println!("     {}", display_tuple(t));
-        }
-    }
-    println!("  -- {}", rep.stats);
+    print!("{}", render_answer_report(rep));
 }
 
 /// Prints the resilience tail of an [`AnswerOutcome`]: degraded disjuncts
 /// and retry/failure/virtual-clock totals. Shared by `run` (resilient
-/// mode) and `replay`, whose outputs must match byte for byte.
+/// mode) and `replay`, whose outputs must match byte for byte — and with
+/// the daemon, via the shared renderer.
 fn print_outcome(outcome: &AnswerOutcome) {
-    print_answer_report(&outcome.report);
-    if outcome.degradation.is_degraded() {
-        println!(
-            "  -- degraded: {} disjunct(s) dropped after exhausting retries:",
-            outcome.degradation.total()
-        );
-        for line in outcome.degradation.to_string().lines() {
-            println!("     {line}");
-        }
-    }
-    println!(
-        "  -- resilience: {} retry(ies), {} source failure(s), {} virtual ms",
-        outcome.retries, outcome.failures, outcome.virtual_ms
-    );
-    println!();
+    print!("{}", render_outcome(outcome));
 }
 
 fn run_query(
@@ -613,6 +612,204 @@ fn run_query(
             );
         }
         println!();
+    }
+    Ok(())
+}
+
+/// Maps the resilience/executor flags onto daemon [`QueryOptions`] — the
+/// same flags `run` takes, so `lapq query-daemon` output can be `cmp`ed
+/// against one-shot `lapq run` byte for byte.
+fn query_options_from_args(args: &CliArgs) -> Result<lap::proto::QueryOptions, String> {
+    Ok(lap::proto::QueryOptions {
+        io_workers: args.value_u64("--io-workers")?,
+        batch_width: args.value_u64("--batch-width")?,
+        fault_rate: args.value_f64("--fault-rate")?,
+        fault_seed: args.value_u64("--fault-seed")?,
+        latency_ms: args.value_u64("--latency-ms")?,
+        timeout_ms: args.value_u64("--timeout-ms")?,
+        retry: args.value_u64("--retry")?,
+        deadline_ms: args.value_u64("--retry-budget-ms")?,
+    })
+}
+
+/// `lapq query-daemon <program> <facts> --addr <host:port>`: ship the
+/// files to a running `lapd` and print the daemon's answer text verbatim.
+fn query_daemon(
+    program_path: &str,
+    facts_path: &str,
+    addr: &str,
+    args: &CliArgs,
+) -> Result<(), String> {
+    let program = std::fs::read_to_string(program_path)
+        .map_err(|e| format!("cannot read {program_path}: {e}"))?;
+    let facts = std::fs::read_to_string(facts_path)
+        .map_err(|e| format!("cannot read {facts_path}: {e}"))?;
+    let options = query_options_from_args(args)?;
+    let mut client = lap::proto::Client::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    match client.query(&program, &facts, options).map_err(|e| format!("daemon: {e}"))? {
+        lap::proto::Response::Ok { text, .. } => {
+            print!("{text}");
+            Ok(())
+        }
+        lap::proto::Response::Error { code, message, .. } => {
+            Err(format!("daemon error ({code}): {message}"))
+        }
+    }
+}
+
+/// `lapq daemon-ctl <host:port> <ping|stats|shutdown>`: one control frame,
+/// print the response text.
+fn daemon_ctl(addr: &str, op: &str) -> Result<(), String> {
+    let mut client = lap::proto::Client::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let resp = match op {
+        "ping" => client.ping(),
+        "stats" => client.stats(),
+        "shutdown" => client.shutdown(),
+        other => return Err(format!("unknown daemon-ctl op {other:?} (ping | stats | shutdown)")),
+    }
+    .map_err(|e| format!("daemon: {e}"))?;
+    match resp {
+        lap::proto::Response::Ok { text, .. } => {
+            if text.ends_with('\n') {
+                print!("{text}");
+            } else {
+                println!("{text}");
+            }
+            Ok(())
+        }
+        lap::proto::Response::Error { code, message, .. } => {
+            Err(format!("daemon error ({code}): {message}"))
+        }
+    }
+}
+
+/// The mixed workload `bench-daemon` cycles through: a feasible
+/// negation query, an infeasible union, a plain scan, and a two-query
+/// program — repeated texts by design, so the plan cache carries the load.
+const BENCH_SCENARIOS: &[(&str, &str)] = &[
+    (
+        "B^ioo. B^oio. C^oo. L^o.\nQ(i, a, t) :- B(i, a, t), C(i, a), not L(i).",
+        r#"B(1, "a", "t1"). B(2, "b", "t2"). C(1, "a"). C(2, "b"). L(1)."#,
+    ),
+    (
+        "S^o. R^oo. B^ii. T^oo.\nQ(x, y) :- not S(z), R(x, z), B(x, y).\nQ(x, y) :- T(x, y).",
+        "R(1, 10). S(99). T(7, 8). B(1, 5).",
+    ),
+    ("C^oo.\nQ(i) :- C(i, a).", r#"C(1, "a"). C(2, "b"). C(3, "c")."#),
+    (
+        "C^oo. F^o.\nQ(i) :- C(i, a).\nP(x) :- F(x).",
+        r#"C(1, "a"). F(9). F(10)."#,
+    ),
+];
+
+/// `lapq bench-daemon --addr <host:port> [--clients n] [--requests n]`:
+/// hammer a running daemon with concurrent clients on a mixed workload
+/// and report throughput, latency percentiles, and the plan-cache hit
+/// rate.
+fn bench_daemon(addr: &str, args: &CliArgs) -> Result<(), String> {
+    use lap::proto::{Client, ErrorCode, Response};
+    let clients = args.value_u64("--clients")?.unwrap_or(32).max(1) as usize;
+    let requests = args.value_u64("--requests")?.unwrap_or(25).max(1) as usize;
+    let options = query_options_from_args(args)?;
+
+    struct ClientTally {
+        latencies_us: Vec<u64>,
+        ok: u64,
+        quota: u64,
+        errors: u64,
+    }
+
+    let started = std::time::Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let options = options.clone();
+                scope.spawn(move || {
+                    let mut tally = ClientTally {
+                        latencies_us: Vec::with_capacity(requests),
+                        ok: 0,
+                        quota: 0,
+                        errors: 0,
+                    };
+                    let Ok(mut client) = Client::connect(addr) else {
+                        tally.errors += requests as u64;
+                        return tally;
+                    };
+                    for r in 0..requests {
+                        let (program, facts) =
+                            BENCH_SCENARIOS[(c + r) % BENCH_SCENARIOS.len()];
+                        let t0 = std::time::Instant::now();
+                        match client.query(program, facts, options.clone()) {
+                            Ok(Response::Ok { .. }) => {
+                                tally.ok += 1;
+                                tally.latencies_us.push(t0.elapsed().as_micros() as u64);
+                            }
+                            Ok(Response::Error { code: ErrorCode::Quota, .. }) => {
+                                tally.quota += 1;
+                            }
+                            Ok(Response::Error { .. }) => tally.errors += 1,
+                            Err(_) => {
+                                // Transport failure (e.g. refused over
+                                // capacity): the connection is gone.
+                                tally.errors += (requests - r) as u64;
+                                break;
+                            }
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("bench client thread")).collect()
+    });
+    let wall = started.elapsed();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let (mut ok, mut quota, mut errors) = (0u64, 0u64, 0u64);
+    for t in tallies {
+        latencies.extend(t.latencies_us);
+        ok += t.ok;
+        quota += t.quota;
+        errors += t.errors;
+    }
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((p / 100.0) * (latencies.len() - 1) as f64).round() as usize;
+        latencies[idx] as f64 / 1000.0
+    };
+    let qps = if wall.as_secs_f64() > 0.0 { ok as f64 / wall.as_secs_f64() } else { 0.0 };
+
+    println!("bench-daemon against {addr}:");
+    println!("  clients: {clients}, requests per client: {requests}");
+    println!("  ok: {ok}, quota rejections: {quota}, errors: {errors}");
+    println!("  wall time: {:.1} ms, throughput: {qps:.0} qps", wall.as_secs_f64() * 1000.0);
+    println!(
+        "  latency ms: p50 {:.2}, p95 {:.2}, p99 {:.2}, max {:.2}",
+        pct(50.0),
+        pct(95.0),
+        pct(99.0),
+        latencies.last().map_or(0.0, |&v| v as f64 / 1000.0),
+    );
+    // One stats frame for the server-side view of the same run.
+    if let Ok(mut ctl) = Client::connect(addr) {
+        if let Ok(Response::Ok { data, .. }) = ctl.stats() {
+            if let Some(cache) = data.get("plan_cache") {
+                let g = |k: &str| cache.get(k).and_then(Json::as_u64).unwrap_or(0);
+                let rate = cache.get("hit_rate").and_then(Json::as_f64).unwrap_or(0.0);
+                println!(
+                    "  plan cache: {} hits, {} misses, {} evictions ({:.1}% hit rate)",
+                    g("hits"),
+                    g("misses"),
+                    g("evictions"),
+                    rate * 100.0,
+                );
+            }
+        }
     }
     Ok(())
 }

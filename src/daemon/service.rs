@@ -1,0 +1,362 @@
+//! The shared query service behind every `lapd` session.
+//!
+//! One [`Service`] lives for the whole daemon: it owns the shared plan
+//! cache, the memoized containment engine, the admission [`Gate`], and the
+//! server-wide recorder. Session threads borrow it through an `Arc` and
+//! call [`Service::handle`] per request — everything mutable inside is
+//! already thread-safe (the cache and gate lock internally, the engine
+//! memoizes behind its own mutexes, counters are atomic).
+
+use super::DaemonConfig;
+use lap_core::{canonical_text, render_answer_report, render_outcome, PlanCache, PreparedProgram};
+use lap_engine::sched::Gate;
+use lap_engine::{
+    Database, ExecConfig, FaultConfig, ResilienceConfig, RetryPolicy, MAX_BATCH_WIDTH,
+    MAX_IO_WORKERS,
+};
+use lap_containment::{ContainmentEngine, EngineConfig};
+use lap_obs::{Counter, Json, Recorder};
+use lap_proto::{ErrorCode, QueryOptions, Request, Response};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The daemon-wide state shared by every session thread.
+pub(crate) struct Service {
+    config: DaemonConfig,
+    /// Server-wide recorder: plan-cache counters, request/session totals.
+    /// Per-session recorders (with journals) live in the session threads;
+    /// this one aggregates what must survive sessions.
+    recorder: Recorder,
+    engine: ContainmentEngine,
+    cache: PlanCache<PreparedProgram>,
+    gate: Gate,
+    active_sessions: AtomicUsize,
+    sessions_total: Counter,
+    requests_total: Counter,
+    errors_total: Counter,
+    quota_rejections: Counter,
+    shutdown: AtomicBool,
+    addr: Mutex<Option<SocketAddr>>,
+    started: Instant,
+}
+
+impl Service {
+    pub(crate) fn new(config: DaemonConfig) -> Service {
+        let recorder = Recorder::new();
+        // Memoized containment engine: feasibility verdicts are shared
+        // across every session and every cached program.
+        let engine = ContainmentEngine::with_recorder(
+            EngineConfig { parallel: false, cache: true },
+            &recorder,
+        );
+        let cache = PlanCache::new(config.cache_bytes).with_recorder(&recorder);
+        let gate = Gate::new(config.exec_permits());
+        Service {
+            sessions_total: recorder.counter("daemon.sessions"),
+            requests_total: recorder.counter("daemon.requests"),
+            errors_total: recorder.counter("daemon.errors"),
+            quota_rejections: recorder.counter("daemon.quota_rejections"),
+            config,
+            recorder,
+            engine,
+            cache,
+            gate,
+            active_sessions: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            addr: Mutex::new(None),
+            started: Instant::now(),
+        }
+    }
+
+    pub(crate) fn config(&self) -> &DaemonConfig {
+        &self.config
+    }
+
+    pub(crate) fn set_addr(&self, addr: SocketAddr) {
+        *self.addr.lock().expect("addr mutex") = Some(addr);
+    }
+
+    pub(crate) fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flips the shutdown flag and pokes the accept loop awake with a
+    /// throwaway connection so it observes the flag without waiting for a
+    /// real client.
+    pub(crate) fn request_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let addr = *self.addr.lock().expect("addr mutex");
+        if let Some(addr) = addr {
+            let _ = std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+        }
+    }
+
+    /// Session accounting: returns `false` when the daemon is at its
+    /// session cap and the connection must be refused with a quota frame.
+    pub(crate) fn try_open_session(&self) -> bool {
+        loop {
+            let active = self.active_sessions.load(Ordering::SeqCst);
+            if active >= self.config.max_sessions {
+                self.quota_rejections.incr();
+                return false;
+            }
+            if self
+                .active_sessions
+                .compare_exchange(active, active + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                self.sessions_total.incr();
+                return true;
+            }
+        }
+    }
+
+    pub(crate) fn close_session(&self) {
+        self.active_sessions.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn active_sessions(&self) -> usize {
+        self.active_sessions.load(Ordering::SeqCst)
+    }
+
+    /// Handles one parsed request, returning the response to frame back.
+    /// `session` is the per-session recorder (journal included) that
+    /// query execution reports into.
+    pub(crate) fn handle(&self, req: Request, session: &Recorder) -> Response {
+        self.requests_total.incr();
+        let id = req.id();
+        let result = match req {
+            Request::Ping { .. } => Ok(("pong".to_owned(), Json::Null)),
+            Request::Stats { .. } => Ok((self.stats_text(), self.stats_json())),
+            Request::Shutdown { .. } => Ok(("shutting down".to_owned(), Json::Null)),
+            Request::Query { program, facts, options, .. } => {
+                self.run_query(&program, &facts, &options, session)
+            }
+        };
+        match result {
+            Ok((text, data)) => Response::Ok { id, text, data },
+            Err((code, message)) => {
+                self.errors_total.incr();
+                if code == ErrorCode::Quota {
+                    self.quota_rejections.incr();
+                }
+                Response::Error { id, code, message }
+            }
+        }
+    }
+
+    /// The query path: admission gate → plan cache → execute each
+    /// prepared query, rendering exactly what one-shot `lapq run` prints.
+    fn run_query(
+        &self,
+        program: &str,
+        facts: &str,
+        options: &QueryOptions,
+        session: &Recorder,
+    ) -> Result<(String, Json), (ErrorCode, String)> {
+        if self.shutting_down() {
+            return Err((ErrorCode::ShuttingDown, "daemon is shutting down".to_owned()));
+        }
+        let exec = exec_config_from_options(options)?;
+        let resilience = resilience_from_options(options)?;
+
+        // Admission: wait a bounded slice of the request's deadline budget
+        // for an execution permit; a full gate past the budget is an
+        // honest quota rejection, never a hang.
+        let wait_ms = self.config.admission_wait_ms.min(
+            options.deadline_ms.unwrap_or(self.config.admission_wait_ms),
+        );
+        let Some(_permit) = self.gate.try_enter(Duration::from_millis(wait_ms)) else {
+            return Err((
+                ErrorCode::Quota,
+                format!(
+                    "admission queue full: no execution permit freed within {wait_ms} ms \
+                     ({} in flight)",
+                    self.gate.permits()
+                ),
+            ));
+        };
+
+        // Plan cache: compile outside the cache lock on a miss; every
+        // session with the same canonical program text shares one entry.
+        let key = canonical_text(program);
+        let (prepared, cache_hit) = self
+            .cache
+            .get_or_compile(&key, PreparedProgram::estimated_bytes, || {
+                PreparedProgram::compile_with(program, &self.engine)
+            })
+            .map_err(|e| (ErrorCode::QueryError, format!("program: {e}")))?;
+        let db = Database::from_facts(facts)
+            .map_err(|e| (ErrorCode::QueryError, format!("facts: {e}")))?;
+
+        let mut text = String::new();
+        for prep in prepared.queries() {
+            let sig = prep.query().signature.0;
+            text.push_str(&format!("query {sig}:\n"));
+            match &resilience {
+                Some(res) => {
+                    let outcome = prep
+                        .execute_resilient_obs_cfg(&db, session, res, exec)
+                        .map_err(|e| {
+                            (ErrorCode::QueryError, format!("evaluating {sig}: {e}"))
+                        })?;
+                    text.push_str(&render_outcome(&outcome));
+                }
+                None => {
+                    let rep = prep.execute_obs_cfg(&db, session, exec).map_err(|e| {
+                        (ErrorCode::QueryError, format!("evaluating {sig}: {e}"))
+                    })?;
+                    text.push_str(&render_answer_report(&rep));
+                    text.push('\n');
+                }
+            }
+        }
+        let data = Json::obj([
+            ("cache_hit", Json::Bool(cache_hit)),
+            ("queries", Json::num(prepared.queries().len() as u64)),
+        ]);
+        Ok((text, data))
+    }
+
+    fn stats_text(&self) -> String {
+        let cache = self.cache.stats();
+        format!(
+            "sessions: {} active, {} total\n\
+             requests: {} ({} errors, {} quota rejections)\n\
+             plan cache: {} hits, {} misses, {} evictions, {} publishes, \
+             {} entries, {} bytes ({:.1}% hit rate)\n\
+             containment engine: {}\n\
+             uptime: {} ms\n",
+            self.active_sessions(),
+            self.sessions_total.get(),
+            self.requests_total.get(),
+            self.errors_total.get(),
+            self.quota_rejections.get(),
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.publishes,
+            cache.entries,
+            cache.bytes,
+            cache.hit_rate() * 100.0,
+            self.engine.stats(),
+            self.started.elapsed().as_millis(),
+        )
+    }
+
+    pub(crate) fn stats_json(&self) -> Json {
+        let cache = self.cache.stats();
+        Json::obj([
+            (
+                "sessions",
+                Json::obj([
+                    ("active", Json::num(self.active_sessions() as u64)),
+                    ("total", Json::num(self.sessions_total.get())),
+                    ("max", Json::num(self.config.max_sessions as u64)),
+                ]),
+            ),
+            (
+                "requests",
+                Json::obj([
+                    ("total", Json::num(self.requests_total.get())),
+                    ("errors", Json::num(self.errors_total.get())),
+                    ("quota_rejections", Json::num(self.quota_rejections.get())),
+                ]),
+            ),
+            (
+                "plan_cache",
+                Json::obj([
+                    ("hits", Json::num(cache.hits)),
+                    ("misses", Json::num(cache.misses)),
+                    ("evictions", Json::num(cache.evictions)),
+                    ("publishes", Json::num(cache.publishes)),
+                    ("entries", Json::num(cache.entries as u64)),
+                    ("bytes", Json::num(cache.bytes as u64)),
+                    ("hit_rate", Json::Num(cache.hit_rate())),
+                ]),
+            ),
+            (
+                "admission",
+                Json::obj([
+                    ("permits", Json::num(self.gate.permits() as u64)),
+                    ("in_use", Json::num(self.gate.in_use() as u64)),
+                ]),
+            ),
+            ("uptime_ms", Json::num(self.started.elapsed().as_millis() as u64)),
+        ])
+    }
+
+    /// The server-wide recorder (plan-cache and daemon counters).
+    pub(crate) fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+}
+
+/// Mirrors `lapq`'s `--io-workers` / `--batch-width` validation: zero and
+/// out-of-range values are rejected with a `bad-request` frame.
+fn exec_config_from_options(
+    options: &QueryOptions,
+) -> Result<ExecConfig, (ErrorCode, String)> {
+    let mut cfg = ExecConfig::default();
+    if let Some(n) = options.io_workers {
+        if n == 0 || n > MAX_IO_WORKERS as u64 {
+            return Err((
+                ErrorCode::BadRequest,
+                format!("io_workers must be in [1, {MAX_IO_WORKERS}], got {n}"),
+            ));
+        }
+        cfg = cfg.with_io_workers(n as usize);
+    }
+    if let Some(n) = options.batch_width {
+        if n == 0 || n > MAX_BATCH_WIDTH as u64 {
+            return Err((
+                ErrorCode::BadRequest,
+                format!("batch_width must be in [1, {MAX_BATCH_WIDTH}], got {n}"),
+            ));
+        }
+        cfg.batch_size = n as usize;
+    }
+    Ok(cfg)
+}
+
+/// Mirrors `lapq`'s resilience-flag handling bit for bit (same defaults,
+/// same seed, same retry policy) so a daemon answer equals the CLI's.
+fn resilience_from_options(
+    options: &QueryOptions,
+) -> Result<Option<ResilienceConfig>, (ErrorCode, String)> {
+    if !options.wants_resilience() {
+        return Ok(None);
+    }
+    let rate = options.fault_rate.unwrap_or(0.0);
+    if !(0.0..=1.0).contains(&rate) {
+        return Err((
+            ErrorCode::BadRequest,
+            format!("fault_rate must be in [0, 1], got {rate}"),
+        ));
+    }
+    let fault = FaultConfig {
+        error_rate: rate,
+        latency_ms: options.latency_ms.unwrap_or(0),
+        latency_jitter_ms: 0,
+        timeout_ms: options.timeout_ms,
+        seed: options.fault_seed.unwrap_or(0xC0FFEE),
+    };
+    let mut retry = RetryPolicy::standard();
+    if let Some(n) = options.retry {
+        if n == 0 || n > u32::MAX as u64 {
+            return Err((
+                ErrorCode::BadRequest,
+                format!("retry must be in [1, {}], got {n}", u32::MAX),
+            ));
+        }
+        retry = retry.with_max_attempts(n as u32);
+    }
+    if let Some(budget) = options.deadline_ms {
+        retry = retry.with_deadline_ms(budget);
+    }
+    Ok(Some(ResilienceConfig { fault: Some(fault), retry }))
+}

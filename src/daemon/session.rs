@@ -1,0 +1,84 @@
+//! One session per connection: a thread that reads frames, dispatches
+//! them through the shared [`Service`](super::service::Service), and
+//! writes response frames back.
+//!
+//! Error containment is the design rule: nothing a single client does —
+//! oversized frames, garbage bytes, invalid requests, infeasible
+//! programs, quota exhaustion — may take down the daemon or another
+//! session. Frame-level damage (`bad-frame`) ends only the offending
+//! connection (the stream may be out of sync past the bad frame);
+//! request-level errors are answered and the session continues.
+
+use super::service::Service;
+use lap_obs::{JournalConfig, Recorder};
+use lap_proto::{read_frame, write_frame, ErrorCode, FrameError, Request, Response, MAX_FRAME_BYTES};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Decrements the active-session count on drop, so a panicking session
+/// thread can never leak its slot.
+struct SessionSlot<'a>(&'a Service);
+
+impl Drop for SessionSlot<'_> {
+    fn drop(&mut self) {
+        self.0.close_session();
+    }
+}
+
+/// Runs one accepted connection to completion. The session owns a
+/// recorder with a flight-recorder journal: queries executed on this
+/// connection record into it exactly like a one-shot `lapq run --journal`
+/// would, without contending with other sessions.
+pub(crate) fn run_session(stream: TcpStream, service: Arc<Service>) {
+    let _slot = SessionSlot(&service);
+    stream.set_nodelay(true).ok();
+    let idle = service.config().idle_timeout_ms;
+    if idle > 0 {
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_millis(idle)))
+            .ok();
+    }
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let session_recorder = Recorder::with_journal(JournalConfig::light());
+    loop {
+        let doc = match read_frame(&mut reader, MAX_FRAME_BYTES) {
+            Ok(doc) => doc,
+            // Clean close or transport failure: nothing to answer.
+            Err(FrameError::Closed) | Err(FrameError::Io(_)) => break,
+            // Unusable frame: answer, then end this session only — the
+            // byte stream past a bad frame cannot be trusted.
+            Err(FrameError::Malformed(message)) => {
+                let resp = Response::Error { id: 0, code: ErrorCode::BadFrame, message };
+                let _ = write_frame(&mut writer, &resp.to_json());
+                break;
+            }
+        };
+        let req = match Request::from_json(&doc) {
+            Ok(req) => req,
+            // Valid JSON, invalid request: answer and keep the session.
+            Err(message) => {
+                let resp = Response::Error { id: 0, code: ErrorCode::BadRequest, message };
+                if write_frame(&mut writer, &resp.to_json()).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let is_shutdown = matches!(req, Request::Shutdown { .. });
+        if is_shutdown {
+            // Flip the flag before the ack goes out: a client that has
+            // seen the ack must observe `is_shutting_down()` as true.
+            service.request_shutdown();
+        }
+        let resp = service.handle(req, &session_recorder);
+        if write_frame(&mut writer, &resp.to_json()).is_err() {
+            break;
+        }
+        if is_shutdown {
+            break;
+        }
+    }
+}

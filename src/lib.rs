@@ -55,6 +55,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod daemon;
+
 pub use lap_baselines as baselines;
 pub use lap_constraints as constraints;
 pub use lap_containment as containment;
@@ -64,4 +66,5 @@ pub use lap_ir as ir;
 pub use lap_mediator as mediator;
 pub use lap_obs as obs;
 pub use lap_planner as planner;
+pub use lap_proto as proto;
 pub use lap_workload as workload;

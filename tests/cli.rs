@@ -411,6 +411,80 @@ fn report_rolls_the_journal_into_tables() {
     assert!(text.contains("operators:"), "{text}");
 }
 
+/// Regression pin: `--journal-sample 0` is rejected at the CLI (the
+/// library additionally clamps 0 to 1 defensively — pinned in
+/// `lap-obs`'s journal tests — so neither guard can be dropped).
+#[test]
+fn journal_sample_zero_is_rejected() {
+    let journal = Scratch::new("sample-zero.json");
+    let out = lapq(&[
+        "run",
+        "examples/data/bookstore.lap",
+        "examples/data/bookstore_facts.lap",
+        "--journal",
+        journal.as_str(),
+        "--journal-sample",
+        "0",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("--journal-sample must be at least 1"), "{err}");
+}
+
+/// Regression: a repeated flag used to silently keep the last value
+/// (`--batch-width 4 --batch-width 0` ran with width 0); it is now a
+/// parse error before any file is touched.
+#[test]
+fn duplicate_flags_are_rejected() {
+    let out = lapq(&[
+        "run",
+        "examples/data/bookstore.lap",
+        "examples/data/bookstore_facts.lap",
+        "--batch-width",
+        "4",
+        "--batch-width",
+        "0",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("duplicate flag --batch-width"), "{err}");
+}
+
+/// Regression: a journal with no retries used to render `NaN%` in the
+/// report's wait-share column when the virtual clock never advanced;
+/// zero-retry sources now print `-` for both wait columns.
+#[test]
+fn report_zero_retry_wait_columns_render_dash() {
+    let journal = Scratch::new("report-zero-retry.json");
+    let out = lapq(&[
+        "run",
+        "examples/data/bookstore.lap",
+        "examples/data/bookstore_facts.lap",
+        "--fault-rate",
+        "0.0",
+        "--journal",
+        journal.as_str(),
+    ]);
+    assert!(out.status.success());
+    let report = lapq(&["report", journal.as_str()]);
+    assert!(report.status.success(), "{}", String::from_utf8_lossy(&report.stderr));
+    let text = stdout(&report);
+    assert!(!text.contains("NaN"), "{text}");
+    assert!(text.contains("wait%"), "{text}");
+    // Every source row (between "sources:" and the next blank line) ends
+    // with the dashed wait columns: no retries happened anywhere.
+    let rows: Vec<&str> = text
+        .lines()
+        .skip_while(|l| !l.starts_with("sources:"))
+        .skip(2)
+        .take_while(|l| !l.trim().is_empty())
+        .collect();
+    assert!(!rows.is_empty(), "{text}");
+    for row in rows {
+        assert!(row.trim_end().ends_with('-'), "{row}");
+    }
+}
+
 #[test]
 fn replay_of_a_non_replayable_journal_fails_cleanly() {
     let journal = Scratch::new("light.json");

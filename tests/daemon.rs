@@ -1,0 +1,341 @@
+//! Integration suite for the `lapd` daemon (`lap::daemon`).
+//!
+//! The load-bearing contract is **byte identity**: a daemon `query`
+//! response's `text` equals what one-shot `lapq run` prints for the same
+//! program, facts, and options — on the plan-cache miss path, on the hit
+//! path, and under concurrent sessions. The remaining tests pin error
+//! containment: quota, malformed frames, and invalid requests produce
+//! error frames without taking the server down.
+
+use lap::daemon::{DaemonConfig, Server};
+use lap::proto::{
+    read_frame, write_frame, Client, ErrorCode, QueryOptions, Response, MAX_FRAME_BYTES,
+};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::process::Command;
+
+fn start_server(config: DaemonConfig) -> Server {
+    Server::start(config, "127.0.0.1:0").expect("ephemeral bind")
+}
+
+fn lapq_run(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_lapq"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("lapq runs");
+    assert!(
+        out.status.success(),
+        "lapq {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("lapq output is utf-8")
+}
+
+fn read_example(name: &str) -> String {
+    let path = format!("{}/examples/data/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).expect("example file")
+}
+
+fn query_text(client: &mut Client, program: &str, facts: &str, options: QueryOptions) -> String {
+    match client.query(program, facts, options).expect("query frame round-trips") {
+        Response::Ok { text, .. } => text,
+        Response::Error { code, message, .. } => panic!("daemon error ({code}): {message}"),
+    }
+}
+
+/// The daemon's answer text equals one-shot `lapq run` byte for byte —
+/// for a complete bookstore answer, for example 4's partial answer with
+/// a delta block, and for a resilient run with a fixed seed.
+#[test]
+fn daemon_answers_are_byte_identical_to_one_shot_run() {
+    let server = start_server(DaemonConfig::default());
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let scenarios: &[(&str, &str)] = &[
+        ("bookstore.lap", "bookstore_facts.lap"),
+        ("example4.lap", "example4_facts.lap"),
+    ];
+    for (prog, facts) in scenarios {
+        let expected = lapq_run(&[
+            "run",
+            &format!("examples/data/{prog}"),
+            &format!("examples/data/{facts}"),
+        ]);
+        let got = query_text(
+            &mut client,
+            &read_example(prog),
+            &read_example(facts),
+            QueryOptions::default(),
+        );
+        assert_eq!(got, expected, "{prog}: daemon text must match lapq run");
+    }
+
+    // The resilient path: same fault profile, same seed, same bytes.
+    let expected = lapq_run(&[
+        "run",
+        "examples/data/bookstore.lap",
+        "examples/data/bookstore_facts.lap",
+        "--fault-rate",
+        "0.4",
+        "--fault-seed",
+        "11",
+        "--retry",
+        "3",
+        "--io-workers",
+        "2",
+    ]);
+    let got = query_text(
+        &mut client,
+        &read_example("bookstore.lap"),
+        &read_example("bookstore_facts.lap"),
+        QueryOptions {
+            fault_rate: Some(0.4),
+            fault_seed: Some(11),
+            retry: Some(3),
+            io_workers: Some(2),
+            ..QueryOptions::default()
+        },
+    );
+    assert_eq!(got, expected, "resilient daemon text must match lapq run");
+    server.shutdown();
+}
+
+/// The plan-cache hit path returns the same bytes as the miss path that
+/// populated it, and cosmetic whitespace differences hit the same entry.
+#[test]
+fn cache_hit_path_matches_miss_path() {
+    let server = start_server(DaemonConfig::default());
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let program = read_example("bookstore.lap");
+    let facts = read_example("bookstore_facts.lap");
+
+    let cache_hit = |resp: &Response| -> bool {
+        match resp {
+            Response::Ok { data, .. } => {
+                data.get("cache_hit") == Some(&lap::obs::Json::Bool(true))
+            }
+            Response::Error { code, message, .. } => panic!("daemon error ({code}): {message}"),
+        }
+    };
+    let text_of = |resp: Response| -> String {
+        match resp {
+            Response::Ok { text, .. } => text,
+            Response::Error { code, message, .. } => panic!("daemon error ({code}): {message}"),
+        }
+    };
+
+    let first = client.query(&program, &facts, QueryOptions::default()).unwrap();
+    assert!(!cache_hit(&first), "first request compiles (miss)");
+    let second = client.query(&program, &facts, QueryOptions::default()).unwrap();
+    assert!(cache_hit(&second), "repeat request is served from the cache");
+    // Whitespace-only variation canonicalizes onto the same entry.
+    let spaced = format!("  {}  ", program.replace('\n', "\n\n"));
+    let third = client.query(&spaced, &facts, QueryOptions::default()).unwrap();
+    assert!(cache_hit(&third), "whitespace variant hits the same entry");
+
+    let first = text_of(first);
+    assert_eq!(first, text_of(second), "hit path must render the same bytes");
+    assert_eq!(first, text_of(third));
+
+    let snap = server.metrics();
+    assert_eq!(snap.counter("plan_cache.miss"), 1);
+    assert_eq!(snap.counter("plan_cache.hit"), 2);
+    server.shutdown();
+}
+
+/// Many concurrent sessions, mixed scenarios, every response
+/// byte-identical to the one-shot reference output.
+#[test]
+fn concurrent_sessions_stay_byte_identical() {
+    let server = start_server(DaemonConfig::default());
+    let addr = server.addr().to_string();
+
+    let scenarios: Vec<(String, String, String)> = [
+        ("bookstore.lap", "bookstore_facts.lap"),
+        ("example4.lap", "example4_facts.lap"),
+    ]
+    .iter()
+    .map(|(p, f)| {
+        let expected =
+            lapq_run(&["run", &format!("examples/data/{p}"), &format!("examples/data/{f}")]);
+        (read_example(p), read_example(f), expected)
+    })
+    .collect();
+
+    std::thread::scope(|scope| {
+        for c in 0..8 {
+            let addr = addr.clone();
+            let scenarios = &scenarios;
+            scope.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                for r in 0..6 {
+                    let (program, facts, expected) = &scenarios[(c + r) % scenarios.len()];
+                    let got =
+                        query_text(&mut client, program, facts, QueryOptions::default());
+                    assert_eq!(&got, expected, "client {c} request {r} diverged");
+                }
+            });
+        }
+    });
+
+    let snap = server.metrics();
+    let hits = snap.counter("plan_cache.hit");
+    let misses = snap.counter("plan_cache.miss");
+    assert_eq!(hits + misses, 48, "every query consulted the cache");
+    assert!(misses <= 4, "compile stampede at worst doubles the 2 misses: {misses}");
+    server.shutdown();
+}
+
+/// A connection beyond `max_sessions` receives one `quota` error frame
+/// and is closed; the in-cap session keeps working.
+#[test]
+fn session_cap_refuses_with_quota_frame() {
+    let server = start_server(DaemonConfig { max_sessions: 1, ..DaemonConfig::default() });
+    let addr = server.addr().to_string();
+    let mut inside = Client::connect(&addr).expect("first session connects");
+    // Prove the slot is held before racing the second connection in.
+    assert!(matches!(inside.ping().unwrap(), Response::Ok { .. }));
+
+    let mut refused = Client::connect(&addr).expect("tcp connect still succeeds");
+    match refused.ping() {
+        Ok(Response::Error { code: ErrorCode::Quota, message, .. }) => {
+            assert!(message.contains("session limit"), "{message}");
+        }
+        other => panic!("expected a quota frame, got {other:?}"),
+    }
+
+    // The refusal did not disturb the admitted session.
+    let text = query_text(
+        &mut inside,
+        &read_example("bookstore.lap"),
+        &read_example("bookstore_facts.lap"),
+        QueryOptions::default(),
+    );
+    assert!(text.contains("answer is complete"), "{text}");
+    server.shutdown();
+}
+
+/// A malformed frame (valid length prefix, garbage payload) gets a
+/// `bad-frame` error reply and closes only that session; the server
+/// keeps serving new connections.
+#[test]
+fn malformed_frame_is_answered_and_contained() {
+    let server = start_server(DaemonConfig::default());
+    let addr = server.addr().to_string();
+
+    let mut raw = TcpStream::connect(&addr).expect("connect");
+    let garbage = b"this is not json";
+    raw.write_all(&(garbage.len() as u32).to_be_bytes()).unwrap();
+    raw.write_all(garbage).unwrap();
+    raw.flush().unwrap();
+
+    let doc = read_frame(&mut raw, MAX_FRAME_BYTES).expect("error frame comes back");
+    match Response::from_json(&doc).expect("frame is a response") {
+        Response::Error { id, code: ErrorCode::BadFrame, .. } => assert_eq!(id, 0),
+        other => panic!("expected bad-frame, got {other:?}"),
+    }
+    // The session is closed after a bad frame: next read sees EOF.
+    match read_frame(&mut raw, MAX_FRAME_BYTES) {
+        Err(_) => {}
+        Ok(doc) => panic!("session should be closed, got {doc:?}"),
+    }
+
+    // The server survived: a fresh client gets answers.
+    let mut client = Client::connect(&addr).expect("server still accepts");
+    assert!(matches!(client.ping().unwrap(), Response::Ok { .. }));
+    server.shutdown();
+}
+
+/// Valid JSON that is not a valid request draws a `bad-request` frame
+/// and the session continues; a query error (unparsable program) draws
+/// a `query-error` frame, ditto.
+#[test]
+fn request_level_errors_keep_the_session_alive() {
+    let server = start_server(DaemonConfig::default());
+    let addr = server.addr().to_string();
+
+    let mut raw = TcpStream::connect(&addr).expect("connect");
+    let bogus = lap::obs::Json::obj([
+        ("v", lap::obs::Json::num(1)),
+        ("id", lap::obs::Json::num(5)),
+        ("op", lap::obs::Json::str("frobnicate")),
+    ]);
+    write_frame(&mut raw, &bogus).unwrap();
+    let doc = read_frame(&mut raw, MAX_FRAME_BYTES).expect("reply");
+    match Response::from_json(&doc).unwrap() {
+        Response::Error { code: ErrorCode::BadRequest, message, .. } => {
+            assert!(message.contains("unknown op"), "{message}");
+        }
+        other => panic!("expected bad-request, got {other:?}"),
+    }
+    // Same connection still serves valid requests afterwards.
+    let ping = lap::proto::Request::Ping { id: 6 };
+    write_frame(&mut raw, &ping.to_json()).unwrap();
+    let doc = read_frame(&mut raw, MAX_FRAME_BYTES).expect("pong");
+    assert!(matches!(Response::from_json(&doc).unwrap(), Response::Ok { id: 6, .. }));
+
+    // A program that fails to parse is a query-error, not a dead session.
+    let mut client = Client::connect(&addr).expect("connect");
+    match client.query("this is not a program", "", QueryOptions::default()).unwrap() {
+        Response::Error { code: ErrorCode::QueryError, .. } => {}
+        other => panic!("expected query-error, got {other:?}"),
+    }
+    let text = query_text(
+        &mut client,
+        &read_example("bookstore.lap"),
+        &read_example("bookstore_facts.lap"),
+        QueryOptions::default(),
+    );
+    assert!(text.contains("answer is complete"), "{text}");
+    server.shutdown();
+}
+
+/// Out-of-range options are rejected with `bad-request`, mirroring the
+/// CLI's validation exactly.
+#[test]
+fn bad_options_are_rejected_like_the_cli() {
+    let server = start_server(DaemonConfig::default());
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let program = read_example("bookstore.lap");
+    let facts = read_example("bookstore_facts.lap");
+
+    let cases: &[QueryOptions] = &[
+        QueryOptions { io_workers: Some(0), ..QueryOptions::default() },
+        QueryOptions { batch_width: Some(0), ..QueryOptions::default() },
+        QueryOptions { fault_rate: Some(1.5), ..QueryOptions::default() },
+        QueryOptions { retry: Some(0), ..QueryOptions::default() },
+    ];
+    for options in cases {
+        match client.query(&program, &facts, options.clone()).unwrap() {
+            Response::Error { code: ErrorCode::BadRequest, .. } => {}
+            other => panic!("{options:?}: expected bad-request, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+/// A client-initiated shutdown frame stops the accept loop and the
+/// server handle drains cleanly.
+#[test]
+fn shutdown_frame_stops_the_server() {
+    let server = start_server(DaemonConfig::default());
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    match client.shutdown().expect("shutdown acked") {
+        Response::Ok { text, .. } => assert!(text.contains("shutting down"), "{text}"),
+        other => panic!("expected ok, got {other:?}"),
+    }
+    assert!(server.is_shutting_down());
+    server.shutdown();
+    // The listener is gone: connects now fail (allow a beat for teardown).
+    let refused = (0..50).any(|_| {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        TcpStream::connect(&addr).is_err()
+    });
+    assert!(refused, "listener should be closed after shutdown");
+}
