@@ -1,10 +1,10 @@
-//! Experiment driver: prints the E1–E24 tables.
+//! Experiment driver: prints the E1–E25 tables.
 //!
 //! ```sh
 //! cargo run --release -p lap-bench --bin experiments             # all, text
 //! cargo run --release -p lap-bench --bin experiments -- e2 e11  # subset
 //! cargo run --release -p lap-bench --bin experiments -- --markdown
-//! cargo run --release -p lap-bench --bin experiments -- --json            # BENCH_PR9.json
+//! cargo run --release -p lap-bench --bin experiments -- --json            # BENCH_PR10.json
 //! cargo run --release -p lap-bench --bin experiments -- --json=tables.json
 //! ```
 
@@ -12,7 +12,7 @@ use lap_bench::runner;
 use lap_bench::tables::{tables_to_json, Table};
 
 /// Default path for `--json` without an explicit `=<path>`.
-const DEFAULT_JSON_PATH: &str = "BENCH_PR9.json";
+const DEFAULT_JSON_PATH: &str = "BENCH_PR10.json";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,6 +57,7 @@ fn main() {
         ("e22", Box::new(runner::e22_calibrated_replanning)),
         ("e23", Box::new(runner::e23_columnar_executor)),
         ("e24", Box::new(runner::e24_daemon_concurrency)),
+        ("e25", Box::new(runner::e25_daemon_drift_recalibration)),
     ];
 
     let mut rendered: Vec<Table> = Vec::new();

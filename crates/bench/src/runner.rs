@@ -1623,6 +1623,199 @@ pub fn e24_daemon_concurrency() -> Table {
     t
 }
 
+/// E25 — daemon self-healing under source drift: a live `lapd` server
+/// (in-process, telemetry watcher on) is fed a baseline workload, then
+/// the same query against a 100x-drifted instance. The watcher must
+/// detect the drift from the streamed journal folds and republish a
+/// recalibrated plan on its own — no `recalibrate` frame, no restart.
+/// Recovery is measured E22-style: the daemon's *live* profile (fetched
+/// over the wire with a `profile` frame) calibrates a cost model, and
+/// the resulting plan's virtual-ms saving under latency chaos is
+/// compared against the oracle re-plan built from true extents.
+/// Acceptance: recovery >= 80%, zero restarts, and a control query
+/// byte-identical to its one-shot rendering before and after the sweep.
+pub fn e25_daemon_drift_recalibration() -> Table {
+    use lap::daemon::{DaemonConfig, Server};
+    use lap::proto::{Client, QueryOptions, Response};
+    use lap_core::{
+        answer_star_obs_cfg, answer_star_resilient_planned_cfg, render_answer_report,
+        AnswerOutcome,
+    };
+    use lap_engine::{Database, ExecConfig, FaultConfig, ResilienceConfig, RetryPolicy};
+    use lap_obs::{FeedbackStore, Recorder};
+    use std::time::{Duration, Instant};
+
+    let mut t = Table::new(
+        "E25 — daemon drift auto-recalibration (telemetry watcher, live profile)",
+        "An in-process lapd (fold every request, 20ms watcher, no cooldown) answers Q(x, y) :- A(x), D(x, y) over A^o, D^oo, D^io first at A=4 rows (baseline folds freeze the drift expectations), then at A=400 (100x drift). The watcher must flag the drift and republish a recalibrated plan unprompted; the experiment polls the recalibration counter and never sends a recalibrate frame. The 'daemon' row plans from the live profile fetched with a profile frame, replayed under 10ms-latency chaos (rate 0.05, standard retry, seed 25) on the drifted instance; recovery is its share of the oracle re-plan's virtual-ms saving. Acceptance: recovery >= 80%, zero daemon restarts, and the untouched bookstore control byte-identical to its one-shot rendering before and after the sweep.",
+        &["plan", "answers", "calls", "virtual ms", "vs static", "recovery"],
+    );
+
+    const DRIFT: &str = "A^o. D^oo. D^io.\nQ(x, y) :- A(x), D(x, y).";
+    let facts_with = |a_rows: usize| {
+        let mut facts = String::new();
+        for i in 0..a_rows {
+            facts.push_str(&format!("A({i}). "));
+        }
+        for i in 0..8 {
+            facts.push_str(&format!("D({i}, {}). ", 100 + i));
+        }
+        facts
+    };
+    // The control scenario: its relations are disjoint from the drift, so
+    // its cached plan must never be touched by the sweep.
+    let (control_program, control_facts) = E24_SCENARIOS[0];
+    let one_shot_text = |program_text: &str, facts_text: &str| -> String {
+        let program = parse_program(program_text).expect("scenario parses");
+        let db = Database::from_facts(facts_text).expect("scenario facts parse");
+        let recorder = Recorder::disabled();
+        let mut text = String::new();
+        for q in &program.queries {
+            text.push_str(&format!("query {}:\n", q.signature.0));
+            let report =
+                answer_star_obs_cfg(q, &program.schema, &db, &recorder, ExecConfig::default())
+                    .expect("scenario answers");
+            text.push_str(&render_answer_report(&report));
+            text.push('\n');
+        }
+        text
+    };
+    let control_expected = one_shot_text(control_program, control_facts);
+
+    let server = Server::start(
+        DaemonConfig {
+            fold_every_requests: 1,
+            watch_interval_ms: 20,
+            recalibrate_cooldown_ms: 0,
+            ..DaemonConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("ephemeral bind");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("client connects");
+    let answer_text = |client: &mut Client, program: &str, facts: &str| -> String {
+        match client.query(program, facts, QueryOptions::default()).expect("query frame") {
+            Response::Ok { text, .. } => text,
+            Response::Error { code, message, .. } => panic!("daemon error ({code}): {message}"),
+        }
+    };
+
+    // Control before the drift, baseline phase, drifted phase.
+    assert_eq!(
+        answer_text(&mut client, control_program, control_facts),
+        control_expected,
+        "pre-drift control must match the one-shot rendering"
+    );
+    answer_text(&mut client, DRIFT, &facts_with(4));
+    answer_text(&mut client, DRIFT, &facts_with(400));
+
+    // The watcher must act alone: poll its counter, never send a
+    // recalibrate frame.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if server.metrics().counter("daemon.telemetry.recalibrations") >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "acceptance: the watcher never recalibrated; stats: {}",
+            server.stats_json().to_pretty()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let journal = server.journal().expect("server-wide journal");
+    assert!(
+        journal.events.iter().any(|e| e.kind == "daemon.recalibrate"),
+        "acceptance: the recalibration must be journaled"
+    );
+
+    // Zero restarts: the same server instance answers the control query
+    // byte-identically after the sweep.
+    assert_eq!(
+        answer_text(&mut client, control_program, control_facts),
+        control_expected,
+        "acceptance: post-sweep control must stay byte-identical"
+    );
+
+    // The live profile, over the wire — the same store the watcher
+    // calibrated from.
+    let live = match client.profile().expect("profile frame") {
+        Response::Ok { data, .. } => {
+            let store = FeedbackStore::from_json(&data).expect("live profile parses");
+            store.validate().expect("live profile validates");
+            store
+        }
+        Response::Error { code, message, .. } => panic!("daemon error ({code}): {message}"),
+    };
+    server.shutdown();
+
+    // E22-style recovery on the drifted instance: static vs the daemon's
+    // live-profile calibration vs the true-extent oracle.
+    let program = parse_program(DRIFT).expect("parses");
+    let q = program.single_query().expect("one query").clone();
+    let db = Database::from_facts(&facts_with(400)).expect("facts parse");
+    let resilience = ResilienceConfig {
+        fault: Some(FaultConfig {
+            error_rate: 0.05,
+            latency_ms: 10,
+            latency_jitter_ms: 0,
+            timeout_ms: None,
+            seed: 25,
+        }),
+        retry: RetryPolicy::standard(),
+    };
+    let cfg = ExecConfig::default();
+    let base_pair = plan_star(&q, &program.schema);
+    let quiet = Recorder::disabled();
+    let run_with = |model: &CostModel| -> AnswerOutcome {
+        let plans = optimize_plan_pair(&base_pair, &program.schema, model, Strategy::Exhaustive);
+        answer_star_resilient_planned_cfg(
+            &q, &plans, &program.schema, &db, &quiet, &resilience, cfg,
+        )
+        .expect("planned run")
+    };
+    let static_model = CostModel::new();
+    let static_run = run_with(&static_model);
+    let daemon_run = run_with(&static_model.calibrated(&live));
+    let oracle = run_with(&CostModel::from_database(&db));
+    for (name, outcome) in [("daemon", &daemon_run), ("oracle", &oracle)] {
+        assert_eq!(outcome.report.under, static_run.report.under, "{name} answers");
+        assert!(!outcome.degradation.is_degraded(), "{name} must not degrade");
+    }
+    let saved_oracle = static_run.virtual_ms.saturating_sub(oracle.virtual_ms) as f64;
+    let saved_daemon = static_run.virtual_ms.saturating_sub(daemon_run.virtual_ms) as f64;
+    let recovery = saved_daemon / saved_oracle.max(1e-12);
+    assert!(saved_oracle > 0.0, "the oracle re-plan must beat the static plan");
+    assert!(
+        recovery >= 0.8,
+        "acceptance: live-profile plan recovers >= 80% of the oracle saving, got {:.0}% \
+         (static {} vs daemon {} vs oracle {} virtual ms)",
+        recovery * 100.0,
+        static_run.virtual_ms,
+        daemon_run.virtual_ms,
+        oracle.virtual_ms
+    );
+    for (name, outcome, rec_cell) in [
+        ("static", &static_run, "-".to_owned()),
+        ("daemon", &daemon_run, format!("{:.0}%", recovery * 100.0)),
+        ("oracle", &oracle, "100%".to_owned()),
+    ] {
+        t.row(vec![
+            name.to_owned(),
+            outcome.report.under.len().to_string(),
+            outcome.report.stats.calls.to_string(),
+            outcome.virtual_ms.to_string(),
+            format!(
+                "{:.2}x",
+                outcome.virtual_ms as f64 / (static_run.virtual_ms as f64).max(1e-12)
+            ),
+            rec_cell,
+        ]);
+    }
+    t
+}
+
 /// Runs every experiment with the default sizes used in EXPERIMENTS.md.
 pub fn run_all() -> Vec<Table> {
     let sizes = [8usize, 16, 32, 64, 128, 256];
@@ -1651,6 +1844,7 @@ pub fn run_all() -> Vec<Table> {
         e22_calibrated_replanning(),
         e23_columnar_executor(),
         e24_daemon_concurrency(),
+        e25_daemon_drift_recalibration(),
     ]
 }
 

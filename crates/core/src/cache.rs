@@ -91,11 +91,27 @@ impl PlanCacheStats {
     }
 }
 
+/// A per-entry view for operator consoles (`daemon-ctl stats`): which keys
+/// are resident, how big each is, and how often each has been served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanCacheEntry {
+    /// Canonical query text the entry is keyed on.
+    pub key: String,
+    /// Estimated resident bytes.
+    pub bytes: usize,
+    /// Lookups served from this slot since it was (re)inserted.
+    pub hits: u64,
+    /// LRU clock value at last use (larger = more recently used).
+    pub last_used: u64,
+}
+
 struct Slot<V> {
     value: Arc<V>,
     bytes: usize,
     /// LRU clock: larger = more recently used.
     last_used: u64,
+    /// Hits served from this slot since (re)insertion.
+    hits: u64,
 }
 
 struct CacheState<V> {
@@ -158,6 +174,7 @@ impl<V> PlanCache<V> {
         match state.slots.get_mut(key) {
             Some(slot) => {
                 slot.last_used = tick;
+                slot.hits += 1;
                 self.hits.incr();
                 Some(Arc::clone(&slot.value))
             }
@@ -187,7 +204,7 @@ impl<V> PlanCache<V> {
         let tick = state.tick;
         if let Some(old) = state.slots.insert(
             key.to_owned(),
-            Slot { value: Arc::clone(&value), bytes, last_used: tick },
+            Slot { value: Arc::clone(&value), bytes, last_used: tick, hits: 0 },
         ) {
             state.bytes -= old.bytes;
         }
@@ -246,6 +263,24 @@ impl<V> PlanCache<V> {
             entries: state.slots.len(),
             bytes: state.bytes,
         }
+    }
+
+    /// Per-entry residency detail, sorted by key for stable console and
+    /// JSON output. Does not touch counters or the LRU clock.
+    pub fn entries_detail(&self) -> Vec<PlanCacheEntry> {
+        let state = self.lock();
+        let mut entries: Vec<PlanCacheEntry> = state
+            .slots
+            .iter()
+            .map(|(key, slot)| PlanCacheEntry {
+                key: key.clone(),
+                bytes: slot.bytes,
+                hits: slot.hits,
+                last_used: slot.last_used,
+            })
+            .collect();
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        entries
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, CacheState<V>> {
@@ -366,6 +401,32 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.hits, 1600);
         assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn entries_detail_reports_per_entry_hits_and_bytes() {
+        let cache: PlanCache<u8> = PlanCache::new(1000);
+        cache.insert("b", 2, 20);
+        cache.insert("a", 1, 10);
+        cache.get("a");
+        cache.get("a");
+        cache.get("b");
+        let detail = cache.entries_detail();
+        assert_eq!(detail.len(), 2);
+        assert_eq!(
+            detail.iter().map(|e| e.key.as_str()).collect::<Vec<_>>(),
+            ["a", "b"],
+            "sorted by key"
+        );
+        assert_eq!((detail[0].bytes, detail[0].hits), (10, 2));
+        assert_eq!((detail[1].bytes, detail[1].hits), (20, 1));
+        assert!(detail[1].last_used > 0);
+        // A publish resets the slot's hit count — it is a new entry.
+        cache.publish("a", 3, 10);
+        let detail = cache.entries_detail();
+        assert_eq!(detail[0].hits, 0);
+        // The detail pass itself must not count as traffic.
+        assert_eq!(cache.stats().hits, 3);
     }
 
     #[test]

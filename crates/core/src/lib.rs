@@ -62,7 +62,7 @@ pub use feasible::{
 };
 pub use lap_containment::{ContainmentEngine, ContainmentStats, EngineConfig, EngineStats};
 pub use plan::{lower_pair, plan_star, plan_star_obs, CqPlan, PhysicalPair, PlanPair, UnionPlan};
-pub use cache::{canonical_text, PlanCache, PlanCacheStats, DEFAULT_CACHE_BYTES};
+pub use cache::{canonical_text, PlanCache, PlanCacheEntry, PlanCacheStats, DEFAULT_CACHE_BYTES};
 pub use prepared::{PreparedProgram, PreparedQuery};
 pub use render::{render_answer_report, render_outcome};
 pub use reduction::{

@@ -237,6 +237,18 @@ impl PreparedQuery {
     pub fn decision_path(&self) -> DecisionPath {
         self.report.decided_by
     }
+
+    /// The relation names this query's bodies reference — the daemon's
+    /// telemetry watcher uses this to map a drifted source to the cached
+    /// entries whose plans depend on it.
+    pub fn relations(&self) -> BTreeSet<String> {
+        self.query
+            .disjuncts
+            .iter()
+            .flat_map(|cq| &cq.body)
+            .map(|lit| lit.atom.predicate.name.as_str().to_owned())
+            .collect()
+    }
 }
 
 /// A whole program compiled once: the parsed [`Program`] plus one
@@ -283,6 +295,11 @@ impl PreparedProgram {
     /// (see [`PreparedQuery::estimated_bytes`]).
     pub fn estimated_bytes(&self) -> usize {
         self.prepared.iter().map(PreparedQuery::estimated_bytes).sum()
+    }
+
+    /// The union of [`PreparedQuery::relations`] over the program.
+    pub fn relations(&self) -> BTreeSet<String> {
+        self.prepared.iter().flat_map(PreparedQuery::relations).collect()
     }
 
     /// A copy of this program with `prepared` substituted for the compiled

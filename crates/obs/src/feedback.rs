@@ -17,7 +17,7 @@
 //! [`SourceProfile::failure_rate`], latency percentiles). Turning those
 //! into plan costs is the planner's job (`CostModel::calibrated`).
 
-use crate::journal::{kind, JournalSnapshot};
+use crate::journal::{kind, JournalEvent, JournalSnapshot};
 use crate::json::Json;
 use crate::metrics::{bucket_index, HistogramSnapshot, HISTOGRAM_BUCKETS};
 use std::collections::BTreeMap;
@@ -275,6 +275,35 @@ impl std::fmt::Display for DriftFlag {
     }
 }
 
+/// A watermark over one journal's global event sequence, for incremental
+/// folding of a *live* journal ([`FeedbackStore::fold_since`]).
+///
+/// A session journal keeps growing while its connection lives; folding the
+/// whole snapshot after every request would double-count the events that
+/// were already folded. A cursor remembers the first sequence number that
+/// has **not** been folded yet, so each incremental fold consumes exactly
+/// the new suffix. Sequence numbers are globally monotone within one
+/// journal and begin/end pairs occupy adjacent sequences inside one ring
+/// entry, so a cursor taken between snapshots can never split a pair.
+/// Events evicted from the ring before they were folded are simply gone
+/// (the journal's `dropped` counter accounts for them).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FoldCursor {
+    next_seq: u64,
+}
+
+impl FoldCursor {
+    /// A cursor positioned before the first event.
+    pub fn new() -> FoldCursor {
+        FoldCursor::default()
+    }
+
+    /// The first sequence number that has not been folded yet.
+    pub fn position(&self) -> u64 {
+        self.next_seq
+    }
+}
+
 /// A calibrated statistics store: per-source, per-pattern profiles folded
 /// from journal snapshots, serializable to a frozen JSON profile.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -296,13 +325,47 @@ impl FeedbackStore {
     /// `source.retry` markers, and one EWMA health update per profile that
     /// saw traffic in this snapshot.
     pub fn fold(&mut self, snapshot: &JournalSnapshot) {
+        self.fold_events(&snapshot.events);
+        self.folds += 1;
+    }
+
+    /// Incrementally folds the events of `snapshot` that `cursor` has not
+    /// seen yet, advancing the cursor past them. Returns the number of
+    /// events folded; a call that finds nothing new leaves the store (and
+    /// its fold count) completely untouched, so idle polls do not dilute
+    /// the EWMA health scores.
+    ///
+    /// This is the streaming counterpart of [`FeedbackStore::fold`]: a
+    /// daemon session folds its live journal every N requests and once
+    /// more at session end, and the cursor guarantees each event
+    /// contributes exactly once. Counting statistics (attempts, rows,
+    /// latency histograms) end up identical to a single fold of the final
+    /// snapshot; only the EWMA health and the fold count depend on how the
+    /// stream was sliced (each slice with traffic is one EWMA step).
+    pub fn fold_since(&mut self, snapshot: &JournalSnapshot, cursor: &mut FoldCursor) -> u64 {
+        let fresh: Vec<JournalEvent> = snapshot
+            .events
+            .iter()
+            .filter(|e| e.seq >= cursor.next_seq)
+            .cloned()
+            .collect();
+        if fresh.is_empty() {
+            return 0;
+        }
+        cursor.next_seq = fresh.iter().map(|e| e.seq).max().unwrap_or(0) + 1;
+        self.fold_events(&fresh);
+        self.folds += 1;
+        fresh.len() as u64
+    }
+
+    fn fold_events(&mut self, events: &[JournalEvent]) {
         // (relation, pattern) open per lane, so an end event (which omits
         // the pattern) can be attributed; plus the last pattern begun per
         // relation, for retry markers (which carry the relation only).
         let mut open: BTreeMap<u64, (String, String)> = BTreeMap::new();
         let mut last_pattern: BTreeMap<String, String> = BTreeMap::new();
         let mut fold_traffic: BTreeMap<(String, String), (u64, u64)> = BTreeMap::new();
-        for event in &snapshot.events {
+        for event in events {
             let rel = |key: &str| {
                 event
                     .data
@@ -370,7 +433,6 @@ impl FeedbackStore {
                 profile.fold_health(ok, attempts);
             }
         }
-        self.folds += 1;
     }
 
     /// The profile for `(relation, pattern)`, if any traffic was folded.
@@ -407,13 +469,25 @@ impl FeedbackStore {
     where
         F: Fn(&str) -> Option<Expectation>,
     {
+        self.drift_flags_by(|relation, _pattern| expect(relation))
+    }
+
+    /// Like [`FeedbackStore::drift_flags`], but with a per-`(relation,
+    /// pattern)` expectation. The daemon's telemetry hub needs this
+    /// granularity: rows-per-call for a full scan (`oo`) and a per-binding
+    /// probe (`io`) of the same relation differ by orders of magnitude, so
+    /// one per-relation baseline would self-flag immediately.
+    pub fn drift_flags_by<F>(&self, expect: F) -> Vec<DriftFlag>
+    where
+        F: Fn(&str, &str) -> Option<Expectation>,
+    {
         let mut flags = Vec::new();
         let apart = |observed: f64, expected: f64| {
             observed.max(expected) >= DRIFT_FACTOR * observed.min(expected).max(1e-9)
                 && (observed - expected).abs() > 1e-9
         };
         for profile in self.profiles.values() {
-            let Some(expectation) = expect(&profile.relation) else {
+            let Some(expectation) = expect(&profile.relation, &profile.pattern) else {
                 continue;
             };
             if profile.ok > 0 && apart(profile.rows_per_call(), expectation.rows_per_call) {
@@ -681,6 +755,150 @@ mod tests {
         store.profiles.get_mut(&key).unwrap().health = 1.5;
         let err = store.validate().unwrap_err();
         assert!(err.contains("health"), "{err}");
+    }
+
+    /// The order-invariant part of a profile: everything except the EWMA
+    /// health and the per-profile fold count, which by design depend on
+    /// how traffic was sliced into folds.
+    fn counting(p: &SourceProfile) -> (u64, u64, u64, u64, u64, u64, u64, HistogramSnapshot) {
+        (
+            p.attempts,
+            p.ok,
+            p.faults,
+            p.timeouts,
+            p.retries,
+            p.rows,
+            p.wait_ms,
+            p.latency.clone(),
+        )
+    }
+
+    #[test]
+    fn fold_since_consumes_each_event_exactly_once() {
+        let j = journal();
+        ok(&j, 0, "B", "io", 4, 10);
+        ok(&j, 10, "B", "io", 6, 20);
+        let mut store = FeedbackStore::new();
+        let mut cursor = FoldCursor::new();
+        assert_eq!(cursor.position(), 0);
+        // Each call is one begin/end pair → two events.
+        assert_eq!(store.fold_since(&j.snapshot(), &mut cursor), 4);
+        assert_eq!(store.profile("B", "io").unwrap().attempts, 2);
+        assert_eq!(store.folds, 1);
+
+        // An idle poll folds nothing and changes nothing — not even the
+        // fold count, so it cannot dilute the health EWMA.
+        let before = store.clone();
+        assert_eq!(store.fold_since(&j.snapshot(), &mut cursor), 0);
+        assert_eq!(store, before);
+
+        // New traffic folds only the unseen suffix.
+        ok(&j, 40, "B", "io", 10, 5);
+        assert_eq!(store.fold_since(&j.snapshot(), &mut cursor), 2);
+        let p = store.profile("B", "io").unwrap();
+        assert_eq!((p.attempts, p.rows), (3, 20));
+
+        // Counting statistics match a one-shot fold of the final snapshot.
+        let mut one = FeedbackStore::new();
+        one.fold(&j.snapshot());
+        assert_eq!(
+            counting(store.profile("B", "io").unwrap()),
+            counting(one.profile("B", "io").unwrap()),
+        );
+        store.validate().expect("incrementally folded store validates");
+    }
+
+    #[test]
+    fn fold_order_is_invariant_for_counting_stats_and_drift() {
+        // (relation, pattern, ok?, rows, latency)
+        type Call = (&'static str, &'static str, bool, u64, u64);
+        const A: &[Call] = &[("B", "io", true, 4, 10), ("S", "o", false, 0, 5)];
+        const B: &[Call] = &[("B", "io", true, 6, 20), ("B", "oo", true, 500, 3)];
+        const C: &[Call] = &[("S", "o", true, 3, 5)];
+        let make = |specs: &[&[Call]]| {
+            let j = journal();
+            let mut ts = 0;
+            for spec in specs {
+                for &(rel, pat, is_ok, rows, latency) in *spec {
+                    if is_ok {
+                        ok(&j, ts, rel, pat, rows, latency);
+                    } else {
+                        j.record_call(
+                            0,
+                            ts,
+                            ts + latency,
+                            rel,
+                            pat,
+                            1,
+                            WireOutcome::Unavailable { latency_ms: latency },
+                        );
+                    }
+                    ts += latency + 1;
+                }
+            }
+            j.snapshot()
+        };
+        let (a, b, c) = (make(&[A]), make(&[B]), make(&[C]));
+        let fold_all = |order: &[&JournalSnapshot]| {
+            let mut store = FeedbackStore::new();
+            for snap in order {
+                store.fold(snap);
+            }
+            store
+        };
+        let abc = fold_all(&[&a, &b, &c]);
+        let cba = fold_all(&[&c, &b, &a]);
+        let bac = fold_all(&[&b, &a, &c]);
+        // The same traffic as one combined journal, folded once.
+        let mut one = FeedbackStore::new();
+        one.fold(&make(&[A, B, C]));
+
+        for store in [&abc, &cba, &bac] {
+            assert_eq!(store.folds, 3);
+            assert_eq!(store.profiles.len(), one.profiles.len());
+            for (key, p) in &one.profiles {
+                let q = store.profiles.get(key).unwrap_or_else(|| panic!("{key:?}"));
+                assert_eq!(counting(q), counting(p), "{key:?}");
+            }
+        }
+
+        // Drift flags depend only on the counting stats, so any fold order
+        // (and the combined fold) agrees.
+        let expect = |_: &str| Some(Expectation { rows_per_call: 10.0, latency_ms: 0.0 });
+        assert_eq!(abc.drift_flags(expect), one.drift_flags(expect));
+        assert_eq!(cba.drift_flags(expect), one.drift_flags(expect));
+        assert!(!abc.drift_flags(expect).is_empty(), "B^oo at 500 rows/call flags");
+
+        // EWMA health is order-*dependent* by design — the latest fold
+        // weighs HEALTH_ALPHA. S^o faulted in journal A and succeeded in
+        // journal C, so the order of A and C decides where it lands.
+        let s_abc = abc.profile("S", "o").unwrap().health;
+        let s_cba = cba.profile("S", "o").unwrap().health;
+        assert!((s_abc - HEALTH_ALPHA).abs() < 1e-9, "fault then ok: {s_abc}");
+        assert!((s_cba - (1.0 - HEALTH_ALPHA)).abs() < 1e-9, "ok then fault: {s_cba}");
+    }
+
+    #[test]
+    fn per_pattern_drift_expectations_are_independent() {
+        let j = journal();
+        ok(&j, 0, "B", "oo", 500, 3); // scans are expected to be wide
+        ok(&j, 3, "B", "io", 4, 3); // probes are expected to be narrow
+        let mut store = FeedbackStore::new();
+        store.fold(&j.snapshot());
+        // A per-relation baseline cannot describe both patterns at once...
+        let flat = store.drift_flags(|_| {
+            Some(Expectation { rows_per_call: 500.0, latency_ms: 0.0 })
+        });
+        assert_eq!(flat.len(), 1, "{flat:?}");
+        assert_eq!((flat[0].pattern.as_str(), flat[0].metric.as_str()), ("io", "rows_per_call"));
+        // ...while per-(relation, pattern) expectations fit each exactly.
+        let by = store.drift_flags_by(|_, pat| {
+            Some(Expectation {
+                rows_per_call: if pat == "oo" { 500.0 } else { 4.0 },
+                latency_ms: 0.0,
+            })
+        });
+        assert!(by.is_empty(), "{by:?}");
     }
 
     #[test]

@@ -76,6 +76,10 @@ pub mod kind {
     pub const MEDIATOR_UNFOLD: &str = "mediator.unfold";
     /// The mediator pruned unanswerable disjuncts.
     pub const MEDIATOR_PRUNE: &str = "mediator.prune";
+    /// The daemon's telemetry watcher recalibrated a published plan-cache
+    /// entry. Carries the cache key, the triggering relations, and the
+    /// before/after estimated-vs-calibrated root costs.
+    pub const DAEMON_RECALIBRATE: &str = "daemon.recalibrate";
 }
 
 /// Configuration for one [`Journal`].

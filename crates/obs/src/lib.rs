@@ -52,7 +52,9 @@ pub mod sink;
 pub mod span;
 
 pub use chrome::{chrome_trace, validate_chrome_trace};
-pub use feedback::{DriftFlag, Expectation, FeedbackStore, SourceProfile, DRIFT_FACTOR};
+pub use feedback::{
+    DriftFlag, Expectation, FeedbackStore, FoldCursor, SourceProfile, DRIFT_FACTOR, HEALTH_ALPHA,
+};
 pub use journal::{
     InstantPayload, Journal, JournalCheck, JournalConfig, JournalEvent, JournalSnapshot,
     WireOutcome,

@@ -85,6 +85,21 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<Response, FrameError> {
         self.call(Request::Shutdown { id: 0 })
     }
+
+    /// Fetches the daemon's live calibration profile.
+    pub fn profile(&mut self) -> Result<Response, FrameError> {
+        self.call(Request::Profile { id: 0 })
+    }
+
+    /// Fetches per-source health and drift rollups.
+    pub fn health(&mut self) -> Result<Response, FrameError> {
+        self.call(Request::Health { id: 0 })
+    }
+
+    /// Forces a recalibration sweep over every cached plan.
+    pub fn recalibrate(&mut self) -> Result<Response, FrameError> {
+        self.call(Request::Recalibrate { id: 0 })
+    }
 }
 
 fn with_id(req: Request, id: u64) -> Request {
@@ -92,6 +107,9 @@ fn with_id(req: Request, id: u64) -> Request {
         Request::Ping { .. } => Request::Ping { id },
         Request::Stats { .. } => Request::Stats { id },
         Request::Shutdown { .. } => Request::Shutdown { id },
+        Request::Profile { .. } => Request::Profile { id },
+        Request::Health { .. } => Request::Health { id },
+        Request::Recalibrate { .. } => Request::Recalibrate { id },
         Request::Query { program, facts, options, .. } => {
             Request::Query { id, program, facts, options }
         }

@@ -121,6 +121,24 @@ pub enum Request {
         /// Client-chosen correlation id, echoed in the response.
         id: u64,
     },
+    /// The daemon's live calibration profile — the telemetry hub's
+    /// published `FeedbackStore` as JSON (the same shape `lapq calibrate`
+    /// writes and `lapq obs-validate` checks).
+    Profile {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+    },
+    /// Per-source health and drift rollups from the telemetry hub.
+    Health {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+    },
+    /// Force one telemetry sweep that recalibrates every cached plan
+    /// against the live profile, ignoring drift thresholds and cooldowns.
+    Recalibrate {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+    },
 }
 
 impl Request {
@@ -130,7 +148,10 @@ impl Request {
             Request::Ping { id }
             | Request::Query { id, .. }
             | Request::Stats { id }
-            | Request::Shutdown { id } => *id,
+            | Request::Shutdown { id }
+            | Request::Profile { id }
+            | Request::Health { id }
+            | Request::Recalibrate { id } => *id,
         }
     }
 
@@ -160,6 +181,21 @@ impl Request {
                 ("id", Json::num(*id)),
                 ("op", Json::str("shutdown")),
             ]),
+            Request::Profile { id } => Json::obj([
+                ("v", Json::num(PROTO_VERSION)),
+                ("id", Json::num(*id)),
+                ("op", Json::str("profile")),
+            ]),
+            Request::Health { id } => Json::obj([
+                ("v", Json::num(PROTO_VERSION)),
+                ("id", Json::num(*id)),
+                ("op", Json::str("health")),
+            ]),
+            Request::Recalibrate { id } => Json::obj([
+                ("v", Json::num(PROTO_VERSION)),
+                ("id", Json::num(*id)),
+                ("op", Json::str("recalibrate")),
+            ]),
         }
     }
 
@@ -176,6 +212,9 @@ impl Request {
             "ping" => Ok(Request::Ping { id }),
             "stats" => Ok(Request::Stats { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
+            "profile" => Ok(Request::Profile { id }),
+            "health" => Ok(Request::Health { id }),
+            "recalibrate" => Ok(Request::Recalibrate { id }),
             "query" => {
                 let program = doc
                     .get("program")
@@ -336,6 +375,9 @@ mod tests {
             Request::Ping { id: 1 },
             Request::Stats { id: 2 },
             Request::Shutdown { id: 3 },
+            Request::Profile { id: 5 },
+            Request::Health { id: 6 },
+            Request::Recalibrate { id: 7 },
             Request::Query {
                 id: 4,
                 program: "C^oo.\nQ(i) :- C(i, a).".to_owned(),

@@ -163,7 +163,11 @@ rm -rf "$CAL_DIR"
 echo "==> daemon smoke: lapd on an ephemeral port, answers byte-identical to one-shot run"
 LAPD_DIR="${TMPDIR:-/tmp}/lapq_ci_daemon"
 mkdir -p "$LAPD_DIR"
-target/release/lapd --bind 127.0.0.1:0 > "$LAPD_DIR/lapd.log" 2>&1 &
+# Watcher off (--watch-interval-ms 0): drift stays pending until the
+# forced sweep below, so `health` deterministically shows the flags. The
+# automatic watcher path is covered by tests/daemon.rs and experiment E25.
+target/release/lapd --bind 127.0.0.1:0 --watch-interval-ms 0 \
+    > "$LAPD_DIR/lapd.log" 2>&1 &
 LAPD_PID=$!
 # Scrape the ephemeral port from the startup line.
 LAPD_ADDR=""
@@ -201,7 +205,70 @@ cmp "$LAPD_DIR/oneshot_3.txt" "$LAPD_DIR/daemon_3.txt"
 target/release/lapq query-daemon examples/data/bookstore.lap \
     examples/data/bookstore_facts.lap --addr "$LAPD_ADDR" > "$LAPD_DIR/daemon_1b.txt"
 cmp "$LAPD_DIR/oneshot_1.txt" "$LAPD_DIR/daemon_1b.txt"
-target/release/lapq daemon-ctl "$LAPD_ADDR" stats | grep -q 'plan cache:'
+target/release/lapq daemon-ctl "$LAPD_ADDR" stats > "$LAPD_DIR/stats.txt"
+grep -q 'plan cache:' "$LAPD_DIR/stats.txt"
+# Satellite detail: per-entry cache lines, telemetry tallies, latency
+# percentiles are all part of the stats payload now.
+grep -q 'entry:' "$LAPD_DIR/stats.txt"
+grep -q 'telemetry:' "$LAPD_DIR/stats.txt"
+grep -q 'latency: gate wait' "$LAPD_DIR/stats.txt"
+
+echo "==> telemetry smoke: drift workload, health flags it, profile validates, forced sweep heals it"
+DRIFT_PROG="$LAPD_DIR/drift.lap"
+printf 'A^o. D^oo. D^io.\nQ(x, y) :- A(x), D(x, y).\n' > "$DRIFT_PROG"
+# Phase 1 freezes the baselines at A=4 rows; phase 2 is the same query
+# against a 100x larger A — rows-per-call blows past the drift factor.
+DRIFT_SMALL="$LAPD_DIR/drift_small.lap"
+DRIFT_BIG="$LAPD_DIR/drift_big.lap"
+: > "$DRIFT_SMALL"
+: > "$DRIFT_BIG"
+i=0
+while [ "$i" -lt 400 ]; do
+    [ "$i" -lt 4 ] && printf 'A(%d). ' "$i" >> "$DRIFT_SMALL"
+    printf 'A(%d). ' "$i" >> "$DRIFT_BIG"
+    i=$((i + 1))
+done
+i=0
+while [ "$i" -lt 8 ]; do
+    printf 'D(%d, %d). ' "$i" $((100 + i)) >> "$DRIFT_SMALL"
+    printf 'D(%d, %d). ' "$i" $((100 + i)) >> "$DRIFT_BIG"
+    i=$((i + 1))
+done
+target/release/lapq query-daemon "$DRIFT_PROG" "$DRIFT_SMALL" \
+    --addr "$LAPD_ADDR" > /dev/null
+target/release/lapq query-daemon "$DRIFT_PROG" "$DRIFT_BIG" \
+    --addr "$LAPD_ADDR" > /dev/null
+# The drifted source shows up in the health rollup.
+target/release/lapq daemon-ctl "$LAPD_ADDR" health > "$LAPD_DIR/health.txt"
+grep -q '^A: .*drifting' "$LAPD_DIR/health.txt"
+grep -q '^drift: A' "$LAPD_DIR/health.txt"
+# The live profile round-trips through the exported-snapshot validator.
+target/release/lapq daemon-ctl "$LAPD_ADDR" profile > "$LAPD_DIR/profile.json"
+target/release/lapq obs-validate "$LAPD_DIR/profile.json"
+# Forced recalibration sweep, then the handled drift stops flagging.
+target/release/lapq daemon-ctl "$LAPD_ADDR" recalibrate | grep -q '^sweep: '
+target/release/lapq daemon-ctl "$LAPD_ADDR" health > "$LAPD_DIR/health_after.txt"
+if grep -q 'drifting' "$LAPD_DIR/health_after.txt"; then
+    echo "telemetry smoke: drift still flagged after the forced sweep" >&2
+    exit 1
+fi
+# The sweep republished exactly the plan one-shot calibrated planning
+# builds from the same live profile: the post-sweep daemon answer is
+# byte-identical to `lapq run --feedback <profile>` (answers AND call
+# schedule). Plans the automatic watcher leaves untouched keep one-shot
+# static bytes instead — tests/daemon.rs and experiment E25 pin that.
+target/release/lapq run examples/data/bookstore.lap \
+    examples/data/bookstore_facts.lap \
+    --feedback "$LAPD_DIR/profile.json" > "$LAPD_DIR/oneshot_1_cal.txt"
+target/release/lapq query-daemon examples/data/bookstore.lap \
+    examples/data/bookstore_facts.lap --addr "$LAPD_ADDR" > "$LAPD_DIR/daemon_1c.txt"
+cmp "$LAPD_DIR/oneshot_1_cal.txt" "$LAPD_DIR/daemon_1c.txt"
+# Same answer tuples as the static plan — calibration only re-ordered.
+grep -v ' calls, ' "$LAPD_DIR/oneshot_1.txt" > "$LAPD_DIR/oneshot_1_answers.txt"
+grep -v ' calls, ' "$LAPD_DIR/daemon_1c.txt" > "$LAPD_DIR/daemon_1c_answers.txt"
+cmp "$LAPD_DIR/oneshot_1_answers.txt" "$LAPD_DIR/daemon_1c_answers.txt"
+target/release/lapq daemon-ctl "$LAPD_ADDR" stats \
+    | grep -q 'recalibrations'
 # Clean shutdown: the control frame must stop the process.
 target/release/lapq daemon-ctl "$LAPD_ADDR" shutdown > /dev/null
 i=0

@@ -3,6 +3,8 @@
 //! ```text
 //! lapd [--bind <addr>] [--max-sessions <n>] [--exec-permits <n>]
 //!      [--admission-wait-ms <n>] [--cache-mb <n>] [--idle-timeout-ms <n>]
+//!      [--fold-every <n>] [--watch-interval-ms <n>]
+//!      [--recalibrate-cooldown-ms <n>]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:7464`; use port `0` for an
@@ -32,6 +34,10 @@ fn main() -> ExitCode {
             eprintln!(
                 "       [--admission-wait-ms <n>] [--cache-mb <n>] [--idle-timeout-ms <n>]"
             );
+            eprintln!(
+                "       [--fold-every <n>] [--watch-interval-ms <n>] \
+                 [--recalibrate-cooldown-ms <n>]"
+            );
             ExitCode::FAILURE
         }
     }
@@ -46,6 +52,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--admission-wait-ms",
     "--cache-mb",
     "--idle-timeout-ms",
+    "--fold-every",
+    "--watch-interval-ms",
+    "--recalibrate-cooldown-ms",
 ];
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -89,6 +98,15 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if let Some(n) = u64_flag("--idle-timeout-ms")? {
         config.idle_timeout_ms = n;
+    }
+    if let Some(n) = u64_flag("--fold-every")? {
+        config.fold_every_requests = n;
+    }
+    if let Some(n) = u64_flag("--watch-interval-ms")? {
+        config.watch_interval_ms = n;
+    }
+    if let Some(n) = u64_flag("--recalibrate-cooldown-ms")? {
+        config.recalibrate_cooldown_ms = n;
     }
 
     let bind = values.get("--bind").map(String::as_str).unwrap_or(DEFAULT_BIND);

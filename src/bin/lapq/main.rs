@@ -105,7 +105,7 @@ fn main() -> ExitCode {
             eprintln!("  lapq profile <program.lap> <facts.lap> [--batch-width <n>] [--io-workers <n>] [--trace] [--metrics-json <file>]");
             eprintln!("  lapq obs-validate <metrics|journal|chrome-trace|feedback .json>");
             eprintln!("  lapq query-daemon <program.lap> <facts.lap> --addr <host:port> [run's resilience/executor flags]");
-            eprintln!("  lapq daemon-ctl <host:port> <ping|stats|shutdown>");
+            eprintln!("  lapq daemon-ctl <host:port> <{DAEMON_CTL_OPS}>");
             eprintln!("  lapq bench-daemon --addr <host:port> [--clients <n>] [--requests <n>] [run's resilience/executor flags]");
             ExitCode::FAILURE
         }
@@ -220,7 +220,7 @@ fn dispatch(cmd: &str, args: &CliArgs, recorder: &Recorder) -> Result<(), String
         ),
         "daemon-ctl" => daemon_ctl(
             args.require(1, "daemon-ctl needs <host:port>")?,
-            args.require(2, "daemon-ctl needs an op: ping | stats | shutdown")?,
+            args.require(2, &format!("daemon-ctl needs an op: {DAEMON_CTL_OPS}"))?,
         ),
         "bench-daemon" => bench_daemon(
             args.value("--addr").ok_or("bench-daemon needs --addr <host:port>")?,
@@ -658,21 +658,34 @@ fn query_daemon(
     }
 }
 
-/// `lapq daemon-ctl <host:port> <ping|stats|shutdown>`: one control frame,
-/// print the response text.
+/// Every op `daemon-ctl` speaks — the single source of truth for the
+/// usage string and both unknown-op errors.
+const DAEMON_CTL_OPS: &str = "ping | stats | profile | health | recalibrate | shutdown";
+
+/// `lapq daemon-ctl <host:port> <op>`: one control frame, print the
+/// response. `profile` prints the structured payload (the live feedback
+/// profile JSON, pipeable into `lapq obs-validate`); every other op
+/// prints the response text.
 fn daemon_ctl(addr: &str, op: &str) -> Result<(), String> {
     let mut client = lap::proto::Client::connect(addr)
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let resp = match op {
         "ping" => client.ping(),
         "stats" => client.stats(),
+        "profile" => client.profile(),
+        "health" => client.health(),
+        "recalibrate" => client.recalibrate(),
         "shutdown" => client.shutdown(),
-        other => return Err(format!("unknown daemon-ctl op {other:?} (ping | stats | shutdown)")),
+        other => {
+            return Err(format!("unknown daemon-ctl op {other:?} ({DAEMON_CTL_OPS})"))
+        }
     }
     .map_err(|e| format!("daemon: {e}"))?;
     match resp {
-        lap::proto::Response::Ok { text, .. } => {
-            if text.ends_with('\n') {
+        lap::proto::Response::Ok { text, data, .. } => {
+            if op == "profile" {
+                println!("{}", data.to_pretty());
+            } else if text.ends_with('\n') {
                 print!("{text}");
             } else {
                 println!("{text}");
@@ -808,6 +821,25 @@ fn bench_daemon(addr: &str, args: &CliArgs) -> Result<(), String> {
                     g("evictions"),
                     rate * 100.0,
                 );
+            }
+            // Server-side percentiles from the shared recorder histograms:
+            // gate wait isolates admission queueing, request latency is the
+            // daemon's own view of the work (excludes client transport).
+            if let Some(latency) = data.get("latency") {
+                let line = |name: &str, key: &str| {
+                    let Some(h) = latency.get(key) else { return };
+                    let g = |k: &str| h.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+                    println!(
+                        "  server {name} ms: p50 {:.2}, p95 {:.2}, p99 {:.2} \
+                         ({} samples)",
+                        g("p50") / 1000.0,
+                        g("p95") / 1000.0,
+                        g("p99") / 1000.0,
+                        h.get("count").and_then(Json::as_u64).unwrap_or(0),
+                    );
+                };
+                line("gate wait", "gate_wait_us");
+                line("request", "request_us");
             }
         }
     }

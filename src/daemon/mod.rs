@@ -36,6 +36,7 @@
 
 mod service;
 mod session;
+mod telemetry;
 
 use lap_obs::Json;
 use lap_proto::{write_frame, ErrorCode, Response};
@@ -66,6 +67,18 @@ pub struct DaemonConfig {
     /// Close a session after this much idle time on the read side
     /// (`0` = never).
     pub idle_timeout_ms: u64,
+    /// Fold a session's journal into the shared telemetry store every
+    /// this many query requests (`0` = only at session end). The fold is
+    /// incremental (a cursor tracks what was already folded), so the
+    /// default of every request stays cheap.
+    pub fold_every_requests: u64,
+    /// Telemetry watcher interval: how often drift flags and relation
+    /// health are evaluated against the cached plans (`0` = no watcher;
+    /// the `recalibrate` op still forces sweeps on demand).
+    pub watch_interval_ms: u64,
+    /// Minimum time between recalibration attempts of the same cache
+    /// entry (`0` = no cooldown). Forced sweeps ignore it.
+    pub recalibrate_cooldown_ms: u64,
 }
 
 impl Default for DaemonConfig {
@@ -76,6 +89,9 @@ impl Default for DaemonConfig {
             admission_wait_ms: 1_000,
             cache_bytes: lap_core::DEFAULT_CACHE_BYTES,
             idle_timeout_ms: 0,
+            fold_every_requests: 1,
+            watch_interval_ms: 500,
+            recalibrate_cooldown_ms: 2_000,
         }
     }
 }
@@ -98,22 +114,35 @@ impl DaemonConfig {
 pub struct Server {
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
     service: Arc<Service>,
 }
 
 impl Server {
     /// Binds `bind` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts accepting sessions on a background thread.
+    /// starts accepting sessions on a background thread. When the config
+    /// enables the telemetry watcher, its thread starts here too.
     pub fn start(config: DaemonConfig, bind: &str) -> io::Result<Server> {
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
+        let watch = config.watch_interval_ms > 0;
         let service = Arc::new(Service::new(config));
         service.set_addr(addr);
         let svc = Arc::clone(&service);
         let accept = std::thread::Builder::new()
             .name("lapd-accept".to_owned())
             .spawn(move || accept_loop(listener, svc))?;
-        Ok(Server { addr, accept: Some(accept), service })
+        let watcher = if watch {
+            let svc = Arc::clone(&service);
+            Some(
+                std::thread::Builder::new()
+                    .name("lapd-telemetry".to_owned())
+                    .spawn(move || svc.watch_loop())?,
+            )
+        } else {
+            None
+        };
+        Ok(Server { addr, accept: Some(accept), watcher, service })
     }
 
     /// The address the daemon is listening on.
@@ -132,6 +161,18 @@ impl Server {
         self.service.recorder().snapshot()
     }
 
+    /// Snapshot of the server-wide journal — watcher actions
+    /// (`daemon.recalibrate` events) land here.
+    pub fn journal(&self) -> Option<lap_obs::JournalSnapshot> {
+        self.service.recorder().journal().map(|j| j.snapshot())
+    }
+
+    /// Forces one telemetry sweep, exactly as a `recalibrate` frame
+    /// would. Returns how many cached entries were recalibrated.
+    pub fn force_recalibrate(&self) -> u64 {
+        self.service.telemetry_sweep(true).recalibrated
+    }
+
     /// True once a shutdown has been requested (by this handle or by a
     /// client's `shutdown` frame).
     pub fn is_shutting_down(&self) -> bool {
@@ -144,6 +185,9 @@ impl Server {
     pub fn shutdown(mut self) {
         self.service.request_shutdown();
         if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.watcher.take() {
             let _ = handle.join();
         }
         // Best-effort drain: sessions answering a request finish it; idle
@@ -159,6 +203,9 @@ impl Server {
     /// the `lapd` binary's main loop.
     pub fn run_until_shutdown(mut self) {
         if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.watcher.take() {
             let _ = handle.join();
         }
         let deadline = Instant::now() + Duration::from_secs(2);

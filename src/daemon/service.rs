@@ -7,6 +7,7 @@
 //! already thread-safe (the cache and gate lock internally, the engine
 //! memoizes behind its own mutexes, counters are atomic).
 
+use super::telemetry::{TelemetryHub, HEALTH_FLOOR};
 use super::DaemonConfig;
 use lap_core::{canonical_text, render_answer_report, render_outcome, PlanCache, PreparedProgram};
 use lap_engine::sched::Gate;
@@ -15,11 +16,14 @@ use lap_engine::{
     MAX_IO_WORKERS,
 };
 use lap_containment::{ContainmentEngine, EngineConfig};
-use lap_obs::{Counter, Json, Recorder};
+use lap_obs::journal::kind;
+use lap_obs::{Counter, FoldCursor, Histogram, HistogramSnapshot, Json, JournalConfig, Recorder};
+use lap_planner::{recalibrate_published, CostModel, Strategy};
 use lap_proto::{ErrorCode, QueryOptions, Request, Response};
+use std::collections::BTreeSet;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// The daemon-wide state shared by every session thread.
@@ -40,11 +44,26 @@ pub(crate) struct Service {
     shutdown: AtomicBool,
     addr: Mutex<Option<SocketAddr>>,
     started: Instant,
+    /// The telemetry plane: published feedback store, drift baselines,
+    /// recalibration rate limiting.
+    telemetry: TelemetryHub,
+    /// Static cost model the watcher calibrates against.
+    static_model: CostModel,
+    /// Admission-gate wait per query request, in microseconds.
+    gate_wait_us: Histogram,
+    /// End-to-end query handling latency, in microseconds.
+    request_us: Histogram,
+    /// Watcher parking: flips true on shutdown; the condvar wakes the
+    /// watcher thread out of its interval sleep immediately.
+    watch_stop: Mutex<bool>,
+    watch_cv: Condvar,
 }
 
 impl Service {
     pub(crate) fn new(config: DaemonConfig) -> Service {
-        let recorder = Recorder::new();
+        // The server-wide recorder carries a journal so watcher actions
+        // (`daemon.recalibrate`) are auditable like any other event.
+        let recorder = Recorder::with_journal(JournalConfig::light());
         // Memoized containment engine: feasibility verdicts are shared
         // across every session and every cached program.
         let engine = ContainmentEngine::with_recorder(
@@ -58,6 +77,10 @@ impl Service {
             requests_total: recorder.counter("daemon.requests"),
             errors_total: recorder.counter("daemon.errors"),
             quota_rejections: recorder.counter("daemon.quota_rejections"),
+            telemetry: TelemetryHub::new(&recorder),
+            static_model: CostModel::new(),
+            gate_wait_us: recorder.histogram("daemon.gate_wait_us"),
+            request_us: recorder.histogram("daemon.request_us"),
             config,
             recorder,
             engine,
@@ -67,6 +90,8 @@ impl Service {
             shutdown: AtomicBool::new(false),
             addr: Mutex::new(None),
             started: Instant::now(),
+            watch_stop: Mutex::new(false),
+            watch_cv: Condvar::new(),
         }
     }
 
@@ -89,6 +114,9 @@ impl Service {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
+        // Park the telemetry watcher before poking the accept loop.
+        *self.watch_stop.lock().expect("watch mutex") = true;
+        self.watch_cv.notify_all();
         let addr = *self.addr.lock().expect("addr mutex");
         if let Some(addr) = addr {
             let _ = std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(250));
@@ -133,8 +161,17 @@ impl Service {
             Request::Ping { .. } => Ok(("pong".to_owned(), Json::Null)),
             Request::Stats { .. } => Ok((self.stats_text(), self.stats_json())),
             Request::Shutdown { .. } => Ok(("shutting down".to_owned(), Json::Null)),
+            Request::Profile { .. } => {
+                let store = self.telemetry.store();
+                Ok((store.summary(), store.to_json()))
+            }
+            Request::Health { .. } => Ok(self.health_payload()),
+            Request::Recalibrate { .. } => Ok(self.recalibrate_payload()),
             Request::Query { program, facts, options, .. } => {
-                self.run_query(&program, &facts, &options, session)
+                let begun = Instant::now();
+                let result = self.run_query(&program, &facts, &options, session);
+                self.request_us.record(begun.elapsed().as_micros() as u64);
+                result
             }
         };
         match result {
@@ -170,7 +207,10 @@ impl Service {
         let wait_ms = self.config.admission_wait_ms.min(
             options.deadline_ms.unwrap_or(self.config.admission_wait_ms),
         );
-        let Some(_permit) = self.gate.try_enter(Duration::from_millis(wait_ms)) else {
+        let gate_begun = Instant::now();
+        let permit = self.gate.try_enter(Duration::from_millis(wait_ms));
+        self.gate_wait_us.record(gate_begun.elapsed().as_micros() as u64);
+        let Some(_permit) = permit else {
             return Err((
                 ErrorCode::Quota,
                 format!(
@@ -224,13 +264,11 @@ impl Service {
 
     fn stats_text(&self) -> String {
         let cache = self.cache.stats();
-        format!(
+        let mut out = format!(
             "sessions: {} active, {} total\n\
              requests: {} ({} errors, {} quota rejections)\n\
              plan cache: {} hits, {} misses, {} evictions, {} publishes, \
-             {} entries, {} bytes ({:.1}% hit rate)\n\
-             containment engine: {}\n\
-             uptime: {} ms\n",
+             {} entries, {} bytes ({:.1}% hit rate)\n",
             self.active_sessions(),
             self.sessions_total.get(),
             self.requests_total.get(),
@@ -243,9 +281,44 @@ impl Service {
             cache.entries,
             cache.bytes,
             cache.hit_rate() * 100.0,
+        );
+        for entry in self.cache.entries_detail() {
+            out.push_str(&format!(
+                "  entry: {} bytes, {} hits — {}\n",
+                entry.bytes,
+                entry.hits,
+                ellipsize(&entry.key, 60),
+            ));
+        }
+        out.push_str(&format!(
+            "telemetry: {} folds ({} events), {} sweeps, {} recalibrations, \
+             {} cooldown skips, last fold at {} ms\n",
+            self.telemetry.folds(),
+            self.telemetry.events_folded(),
+            self.telemetry.sweeps(),
+            self.telemetry.recalibrations(),
+            self.telemetry.cooldown_skips(),
+            self.telemetry.last_fold_ms(),
+        ));
+        let gate = self.gate_wait_us.snapshot();
+        let request = self.request_us.snapshot();
+        out.push_str(&format!(
+            "latency: gate wait p50 {:.0}us p95 {:.0}us p99 {:.0}us, \
+             request p50 {:.0}us p95 {:.0}us p99 {:.0}us ({} queries)\n",
+            gate.p50(),
+            gate.p95(),
+            gate.p99(),
+            request.p50(),
+            request.p95(),
+            request.p99(),
+            request.count,
+        ));
+        out.push_str(&format!(
+            "containment engine: {}\nuptime: {} ms\n",
             self.engine.stats(),
             self.started.elapsed().as_millis(),
-        )
+        ));
+        out
     }
 
     pub(crate) fn stats_json(&self) -> Json {
@@ -277,6 +350,22 @@ impl Service {
                     ("entries", Json::num(cache.entries as u64)),
                     ("bytes", Json::num(cache.bytes as u64)),
                     ("hit_rate", Json::Num(cache.hit_rate())),
+                    (
+                        "per_entry",
+                        Json::Arr(
+                            self.cache
+                                .entries_detail()
+                                .into_iter()
+                                .map(|e| {
+                                    Json::obj([
+                                        ("key", Json::str(&e.key)),
+                                        ("bytes", Json::num(e.bytes as u64)),
+                                        ("hits", Json::num(e.hits)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
             (
@@ -284,6 +373,25 @@ impl Service {
                 Json::obj([
                     ("permits", Json::num(self.gate.permits() as u64)),
                     ("in_use", Json::num(self.gate.in_use() as u64)),
+                ]),
+            ),
+            (
+                "telemetry",
+                Json::obj([
+                    ("folds", Json::num(self.telemetry.folds())),
+                    ("events_folded", Json::num(self.telemetry.events_folded())),
+                    ("last_fold_ms", Json::num(self.telemetry.last_fold_ms())),
+                    ("profiles", Json::num(self.telemetry.store().profiles.len() as u64)),
+                    ("sweeps", Json::num(self.telemetry.sweeps())),
+                    ("recalibrations", Json::num(self.telemetry.recalibrations())),
+                    ("cooldown_skips", Json::num(self.telemetry.cooldown_skips())),
+                ]),
+            ),
+            (
+                "latency",
+                Json::obj([
+                    ("gate_wait_us", histogram_json(&self.gate_wait_us.snapshot())),
+                    ("request_us", histogram_json(&self.request_us.snapshot())),
                 ]),
             ),
             ("uptime_ms", Json::num(self.started.elapsed().as_millis() as u64)),
@@ -294,6 +402,271 @@ impl Service {
     pub(crate) fn recorder(&self) -> &Recorder {
         &self.recorder
     }
+
+    /// Folds the unseen suffix of a session's journal into the telemetry
+    /// hub. Sessions call this synchronously every
+    /// `fold_every_requests` queries (before the response is written, so
+    /// a client that has read its answer can immediately observe the
+    /// folded profile) and once more when the session ends.
+    pub(crate) fn fold_session(&self, session: &Recorder, cursor: &mut FoldCursor) -> u64 {
+        let Some(journal) = session.journal() else { return 0 };
+        self.telemetry.fold(
+            &journal.snapshot(),
+            cursor,
+            self.started.elapsed().as_millis() as u64,
+        )
+    }
+
+    /// The telemetry watcher's thread body: sweep every
+    /// `watch_interval_ms`, park immediately on shutdown.
+    pub(crate) fn watch_loop(&self) {
+        let interval = Duration::from_millis(self.config.watch_interval_ms.max(1));
+        let mut stop = self.watch_stop.lock().expect("watch mutex");
+        while !*stop {
+            let (guard, _) = self
+                .watch_cv
+                .wait_timeout(stop, interval)
+                .expect("watch mutex");
+            stop = guard;
+            if *stop {
+                break;
+            }
+            drop(stop);
+            self.telemetry_sweep(false);
+            stop = self.watch_stop.lock().expect("watch mutex");
+        }
+    }
+
+    /// One telemetry sweep: evaluate drift flags and relation health
+    /// against the published store, then recalibrate every cached plan
+    /// that depends on an affected relation (all plans when `force`).
+    /// Every published recalibration is journaled as a
+    /// `daemon.recalibrate` event with before/after root costs.
+    pub(crate) fn telemetry_sweep(&self, force: bool) -> SweepSummary {
+        self.telemetry.note_sweep();
+        let store = self.telemetry.store();
+        let flags = self.telemetry.drift_flags(&store);
+        let mut affected: BTreeSet<String> =
+            flags.iter().map(|f| f.relation.clone()).collect();
+        let relations: BTreeSet<String> =
+            store.profiles.keys().map(|(rel, _)| rel.clone()).collect();
+        for rel in &relations {
+            if self.relation_unhealthy(&store, rel) {
+                affected.insert(rel.clone());
+            }
+        }
+        let mut summary = SweepSummary {
+            drift_flags: flags.len() as u64,
+            affected: affected.iter().cloned().collect(),
+            checked: 0,
+            recalibrated: 0,
+        };
+        if affected.is_empty() && !force {
+            return summary;
+        }
+        let cooldown = Duration::from_millis(self.config.recalibrate_cooldown_ms);
+        for entry in self.cache.entries_detail() {
+            let Some(prog) = self.cache.peek(&entry.key) else { continue };
+            let touched = prog.relations();
+            if !force && touched.is_disjoint(&affected) {
+                continue;
+            }
+            if !self.telemetry.cooldown_check(&entry.key, cooldown, force) {
+                continue;
+            }
+            summary.checked += 1;
+            let before = root_costs(&prog);
+            let published = recalibrate_published(
+                &self.cache,
+                &entry.key,
+                &self.static_model,
+                &store,
+                Strategy::Exhaustive,
+            );
+            if !published {
+                continue;
+            }
+            summary.recalibrated += 1;
+            self.telemetry.note_recalibration();
+            let after = self
+                .cache
+                .peek(&entry.key)
+                .map(|p| root_costs(&p))
+                .unwrap_or(Json::Null);
+            if let Some(journal) = self.recorder.journal() {
+                journal.emit(
+                    0,
+                    self.started.elapsed().as_millis() as u64,
+                    kind::DAEMON_RECALIBRATE,
+                    Json::obj([
+                        ("key", Json::str(&entry.key)),
+                        ("forced", Json::Bool(force)),
+                        (
+                            "relations",
+                            Json::Arr(touched.iter().map(Json::str).collect()),
+                        ),
+                        ("before", before),
+                        ("after", after),
+                    ]),
+                );
+            }
+        }
+        // The drift we just handled becomes the new expectation, so the
+        // same divergence cannot re-trigger the watcher every interval.
+        let refresh = if force { &relations } else { &affected };
+        self.telemetry.refresh_baselines(&store, refresh);
+        summary
+    }
+
+    fn relation_unhealthy(&self, store: &lap_obs::FeedbackStore, relation: &str) -> bool {
+        store
+            .relation_health(relation)
+            .is_some_and(|h| h < HEALTH_FLOOR)
+    }
+
+    /// The `health` op: per-relation EWMA health and drift rollups.
+    fn health_payload(&self) -> (String, Json) {
+        let store = self.telemetry.store();
+        let flags = self.telemetry.drift_flags(&store);
+        let relations: BTreeSet<String> =
+            store.profiles.keys().map(|(rel, _)| rel.clone()).collect();
+        let mut text = String::new();
+        let mut rows = Vec::new();
+        for rel in &relations {
+            let health = store.relation_health(rel).unwrap_or(0.0);
+            let attempts: u64 = store.profiles_of(rel).map(|p| p.attempts).sum();
+            let drifted = flags.iter().filter(|f| &f.relation == rel).count() as u64;
+            let status = if drifted > 0 {
+                "drifting"
+            } else if health < HEALTH_FLOOR {
+                "unhealthy"
+            } else {
+                "ok"
+            };
+            text.push_str(&format!(
+                "{rel}: health {health:.2}, {attempts} attempt(s), {status}\n"
+            ));
+            rows.push(Json::obj([
+                ("relation", Json::str(rel)),
+                ("health", Json::Num(health)),
+                ("attempts", Json::num(attempts)),
+                ("drift_flags", Json::num(drifted)),
+                ("status", Json::str(status)),
+            ]));
+        }
+        for flag in &flags {
+            text.push_str(&format!("drift: {flag}\n"));
+        }
+        if relations.is_empty() {
+            text.push_str("no telemetry folded yet\n");
+        }
+        let drift = flags
+            .iter()
+            .map(|f| {
+                Json::obj([
+                    ("relation", Json::str(&f.relation)),
+                    ("pattern", Json::str(&f.pattern)),
+                    ("metric", Json::str(&f.metric)),
+                    ("observed", Json::Num(f.observed)),
+                    ("expected", Json::Num(f.expected)),
+                ])
+            })
+            .collect();
+        let data = Json::obj([
+            ("relations", Json::Arr(rows)),
+            ("drift", Json::Arr(drift)),
+            ("folds", Json::num(self.telemetry.folds())),
+            ("last_fold_ms", Json::num(self.telemetry.last_fold_ms())),
+        ]);
+        (text, data)
+    }
+
+    /// The `recalibrate` op: one forced sweep over every cached plan.
+    fn recalibrate_payload(&self) -> (String, Json) {
+        let summary = self.telemetry_sweep(true);
+        let text = format!(
+            "sweep: {} entr{} checked, {} recalibrated\n",
+            summary.checked,
+            if summary.checked == 1 { "y" } else { "ies" },
+            summary.recalibrated,
+        );
+        (text, summary.to_json())
+    }
+}
+
+/// What one telemetry sweep did — the `recalibrate` op's payload.
+pub(crate) struct SweepSummary {
+    /// Drift flags outstanding when the sweep started.
+    pub(crate) drift_flags: u64,
+    /// Relations that triggered the sweep (drifting or unhealthy).
+    pub(crate) affected: Vec<String>,
+    /// Cache entries whose recalibration was attempted.
+    pub(crate) checked: u64,
+    /// Entries whose recalibrated plans were published.
+    pub(crate) recalibrated: u64,
+}
+
+impl SweepSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("drift_flags", Json::num(self.drift_flags)),
+            (
+                "affected",
+                Json::Arr(self.affected.iter().map(Json::str).collect()),
+            ),
+            ("checked", Json::num(self.checked)),
+            ("recalibrated", Json::num(self.recalibrated)),
+        ])
+    }
+}
+
+/// Sums the dual root-cost annotations over a program's underestimate
+/// plans. Entries compiled before any recalibration carry no annotations
+/// and sum to zero — the first `daemon.recalibrate` event's `before` says
+/// exactly that.
+fn root_costs(prog: &PreparedProgram) -> Json {
+    let (mut est_calls, mut est_tuples) = (0.0, 0.0);
+    let (mut cal_calls, mut cal_tuples) = (0.0, 0.0);
+    for q in prog.queries() {
+        for part in &q.physical().under.parts {
+            let Some(root) = part.ops.last() else { continue };
+            if let Some(cost) = root.cost() {
+                est_calls += cost.calls;
+                est_tuples += cost.tuples;
+            }
+            if let Some(cost) = root.calibrated() {
+                cal_calls += cost.calls;
+                cal_tuples += cost.tuples;
+            }
+        }
+    }
+    Json::obj([
+        ("est_calls", Json::Num(est_calls)),
+        ("est_tuples", Json::Num(est_tuples)),
+        ("cal_calls", Json::Num(cal_calls)),
+        ("cal_tuples", Json::Num(cal_tuples)),
+    ])
+}
+
+fn histogram_json(snap: &HistogramSnapshot) -> Json {
+    Json::obj([
+        ("count", Json::num(snap.count)),
+        ("mean", Json::Num(snap.mean())),
+        ("p50", Json::Num(snap.p50())),
+        ("p95", Json::Num(snap.p95())),
+        ("p99", Json::Num(snap.p99())),
+        ("max", Json::num(snap.max)),
+    ])
+}
+
+/// Truncates `text` to at most `limit` characters with an ellipsis, for
+/// one-line console output of long cache keys.
+fn ellipsize(text: &str, limit: usize) -> String {
+    if text.chars().count() <= limit {
+        return text.to_owned();
+    }
+    let head: String = text.chars().take(limit.saturating_sub(1)).collect();
+    format!("{head}…")
 }
 
 /// Mirrors `lapq`'s `--io-workers` / `--batch-width` validation: zero and

@@ -10,7 +10,7 @@
 //! request-level errors are answered and the session continues.
 
 use super::service::Service;
-use lap_obs::{JournalConfig, Recorder};
+use lap_obs::{FoldCursor, JournalConfig, Recorder};
 use lap_proto::{read_frame, write_frame, ErrorCode, FrameError, Request, Response, MAX_FRAME_BYTES};
 use std::io::BufReader;
 use std::net::TcpStream;
@@ -43,6 +43,12 @@ pub(crate) fn run_session(stream: TcpStream, service: Arc<Service>) {
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     let session_recorder = Recorder::with_journal(JournalConfig::light());
+    // Telemetry: this session's contribution to the shared feedback
+    // store. The cursor makes each fold incremental — every journal event
+    // is folded exactly once, at the periodic fold or the final one.
+    let mut fold_cursor = FoldCursor::new();
+    let fold_every = service.config().fold_every_requests;
+    let mut queries_since_fold: u64 = 0;
     loop {
         let doc = match read_frame(&mut reader, MAX_FRAME_BYTES) {
             Ok(doc) => doc,
@@ -68,12 +74,22 @@ pub(crate) fn run_session(stream: TcpStream, service: Arc<Service>) {
             }
         };
         let is_shutdown = matches!(req, Request::Shutdown { .. });
+        let is_query = matches!(req, Request::Query { .. });
         if is_shutdown {
             // Flip the flag before the ack goes out: a client that has
             // seen the ack must observe `is_shutting_down()` as true.
             service.request_shutdown();
         }
         let resp = service.handle(req, &session_recorder);
+        if is_query && fold_every > 0 {
+            // Fold *before* the response goes out: a client that has read
+            // its answer can immediately fetch a profile that includes it.
+            queries_since_fold += 1;
+            if queries_since_fold >= fold_every {
+                service.fold_session(&session_recorder, &mut fold_cursor);
+                queries_since_fold = 0;
+            }
+        }
         if write_frame(&mut writer, &resp.to_json()).is_err() {
             break;
         }
@@ -81,4 +97,7 @@ pub(crate) fn run_session(stream: TcpStream, service: Arc<Service>) {
             break;
         }
     }
+    // Final fold: whatever the periodic cadence left unfolded still
+    // reaches the hub when the connection closes.
+    service.fold_session(&session_recorder, &mut fold_cursor);
 }

@@ -339,3 +339,233 @@ fn shutdown_frame_stops_the_server() {
     });
     assert!(refused, "listener should be closed after shutdown");
 }
+
+/// `stats` surfaces the plan cache's byte usage and per-entry hit
+/// counts, the telemetry fold counters, and the latency histograms —
+/// the operator console's at-a-glance view.
+#[test]
+fn stats_reports_cache_detail_telemetry_and_latency() {
+    let server = start_server(DaemonConfig::default());
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let bookstore = read_example("bookstore.lap");
+    let bookstore_facts = read_example("bookstore_facts.lap");
+
+    // 1 miss + 2 hits on the bookstore entry, 1 miss on example 4.
+    for _ in 0..3 {
+        query_text(&mut client, &bookstore, &bookstore_facts, QueryOptions::default());
+    }
+    query_text(
+        &mut client,
+        &read_example("example4.lap"),
+        &read_example("example4_facts.lap"),
+        QueryOptions::default(),
+    );
+
+    let (text, data) = match client.stats().expect("stats frame") {
+        Response::Ok { text, data, .. } => (text, data),
+        other => panic!("expected ok, got {other:?}"),
+    };
+    assert!(text.contains("entry:"), "per-entry lines in stats text:\n{text}");
+    assert!(text.contains("2 hits"), "bookstore entry shows its hit count:\n{text}");
+    assert!(text.contains("telemetry:"), "{text}");
+    assert!(text.contains("latency: gate wait"), "{text}");
+
+    let cache = data.get("plan_cache").expect("plan_cache object");
+    assert!(cache.get("evictions").and_then(lap::obs::Json::as_u64).is_some());
+    assert!(cache.get("bytes").and_then(lap::obs::Json::as_u64).unwrap() > 0);
+    let Some(lap::obs::Json::Arr(per_entry)) = cache.get("per_entry") else {
+        panic!("per_entry array missing: {data:?}");
+    };
+    assert_eq!(per_entry.len(), 2, "two cached programs");
+    let hits: Vec<u64> = per_entry
+        .iter()
+        .map(|e| e.get("hits").and_then(lap::obs::Json::as_u64).unwrap())
+        .collect();
+    assert!(hits.contains(&2), "one entry was hit twice: {hits:?}");
+    assert!(
+        per_entry
+            .iter()
+            .all(|e| e.get("bytes").and_then(lap::obs::Json::as_u64).unwrap() > 0),
+        "every entry reports its estimated bytes"
+    );
+
+    // fold_every defaults to 1: each of the 4 queries folded its events
+    // before the response went out, so the stats frame already sees them.
+    let telemetry = data.get("telemetry").expect("telemetry object");
+    let g = |k: &str| telemetry.get(k).and_then(lap::obs::Json::as_u64).unwrap();
+    assert!(g("folds") >= 4, "per-request folds: {telemetry:?}");
+    assert!(g("events_folded") > 0);
+    assert!(g("profiles") > 0, "folded profiles are visible");
+
+    let latency = data.get("latency").expect("latency object");
+    let count = |k: &str| {
+        latency.get(k).and_then(|h| h.get("count")).and_then(lap::obs::Json::as_u64)
+    };
+    assert_eq!(count("request_us"), Some(4), "one sample per query");
+    assert_eq!(count("gate_wait_us"), Some(4));
+    server.shutdown();
+}
+
+/// The operator ops: `profile` returns the live feedback store (valid
+/// under the same invariants `lapq obs-validate` checks), `health` rolls
+/// up per-relation status, and `recalibrate` forces a sweep.
+#[test]
+fn operator_ops_expose_profile_health_and_forced_recalibration() {
+    // Watcher off: only forced sweeps run, so the tallies are exact.
+    let server = start_server(DaemonConfig { watch_interval_ms: 0, ..DaemonConfig::default() });
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // Before any query there is nothing to report.
+    match client.health().expect("health frame") {
+        Response::Ok { text, .. } => {
+            assert!(text.contains("no telemetry folded yet"), "{text}");
+        }
+        other => panic!("expected ok, got {other:?}"),
+    }
+
+    query_text(
+        &mut client,
+        &read_example("bookstore.lap"),
+        &read_example("bookstore_facts.lap"),
+        QueryOptions::default(),
+    );
+
+    // `profile` is the live store: parseable, non-empty, and valid under
+    // the exported-snapshot invariants.
+    match client.profile().expect("profile frame") {
+        Response::Ok { text, data, .. } => {
+            let store = lap::obs::FeedbackStore::from_json(&data).expect("profile parses");
+            store.validate().expect("profile validates");
+            assert!(!store.profiles.is_empty(), "live profile has traffic");
+            assert!(!text.is_empty(), "summary text accompanies the JSON");
+        }
+        other => panic!("expected ok, got {other:?}"),
+    }
+
+    // `health`: every bookstore source answered cleanly, so every
+    // relation rolls up as ok with health 1.00.
+    match client.health().expect("health frame") {
+        Response::Ok { text, data, .. } => {
+            assert!(text.contains("B: health 1.00"), "{text}");
+            assert!(text.contains("ok"), "{text}");
+            let Some(lap::obs::Json::Arr(relations)) = data.get("relations") else {
+                panic!("relations array missing: {data:?}");
+            };
+            assert!(!relations.is_empty());
+            assert!(relations.iter().all(|r| {
+                r.get("status") == Some(&lap::obs::Json::str("ok"))
+            }), "{data:?}");
+        }
+        other => panic!("expected ok, got {other:?}"),
+    }
+
+    // `recalibrate`: the forced sweep visits the one cached entry. With
+    // no drift the calibrated order matches, so nothing republishes.
+    match client.recalibrate().expect("recalibrate frame") {
+        Response::Ok { text, data, .. } => {
+            assert!(text.starts_with("sweep: 1 entry checked"), "{text}");
+            assert_eq!(
+                data.get("checked").and_then(lap::obs::Json::as_u64),
+                Some(1),
+                "{data:?}"
+            );
+        }
+        other => panic!("expected ok, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// The tentpole contract: when a source drifts an order of magnitude
+/// away from its first-observed baseline, the watcher notices (drift
+/// flag), recalibrates the affected cached plan, journals the action —
+/// and plans for untouched queries keep answering byte-identically.
+#[test]
+fn watcher_recalibrates_drifted_plans_and_preserves_unchanged_bytes() {
+    let server = start_server(DaemonConfig {
+        watch_interval_ms: 20,
+        recalibrate_cooldown_ms: 0,
+        ..DaemonConfig::default()
+    });
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // The planner feedback scenario: the static model scans A and probes
+    // D^io per row; once A grows, the D^oo-first order is far cheaper.
+    const DRIFT: &str = "A^o. D^oo. D^io.\nQ(x, y) :- A(x), D(x, y).";
+    let facts_with = |a_rows: usize| {
+        let mut facts = String::new();
+        for i in 0..a_rows {
+            facts.push_str(&format!("A({i}). "));
+        }
+        for i in 0..8 {
+            facts.push_str(&format!("D({i}, {}). ", 100 + i));
+        }
+        facts
+    };
+
+    let bookstore = read_example("bookstore.lap");
+    let bookstore_facts = read_example("bookstore_facts.lap");
+    let expected = lapq_run(&[
+        "run",
+        "examples/data/bookstore.lap",
+        "examples/data/bookstore_facts.lap",
+    ]);
+    assert_eq!(
+        query_text(&mut client, &bookstore, &bookstore_facts, QueryOptions::default()),
+        expected,
+        "pre-drift bookstore baseline"
+    );
+
+    // Phase 1 freezes the baselines; phase 2 is the drifted reality
+    // (A 100x larger), folded into the shared store request by request.
+    query_text(&mut client, DRIFT, &facts_with(4), QueryOptions::default());
+    let drifted_before = query_text(&mut client, DRIFT, &facts_with(400), QueryOptions::default());
+
+    // No `recalibrate` frame is ever sent: the watcher must act alone.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        if server.metrics().counter("daemon.telemetry.recalibrations") >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "watcher never recalibrated; stats: {}",
+            server.stats_json().to_pretty()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // The action is journaled with the entry's key, its relations, and
+    // before/after root costs.
+    let journal = server.journal().expect("server-wide journal");
+    let event = journal
+        .events
+        .iter()
+        .find(|e| e.kind == "daemon.recalibrate")
+        .expect("recalibration is journaled");
+    let relations = format!("{:?}", event.data.get("relations"));
+    assert!(relations.contains('A'), "drifted relation recorded: {relations}");
+    assert!(event.data.get("before").is_some() && event.data.get("after").is_some());
+    assert_eq!(event.data.get("forced"), Some(&lap::obs::Json::Bool(false)));
+
+    // Untouched plan, untouched bytes: the bookstore entry was disjoint
+    // from the drift, so its text is still identical to one-shot lapq.
+    assert_eq!(
+        query_text(&mut client, &bookstore, &bookstore_facts, QueryOptions::default()),
+        expected,
+        "post-recalibration bookstore must stay byte-identical"
+    );
+
+    // The drifted query still returns exactly the same answer tuples
+    // (the stats tail may differ — the replanned order makes fewer
+    // calls, which is the point).
+    let drifted_after = query_text(&mut client, DRIFT, &facts_with(400), QueryOptions::default());
+    let tuples = |text: &str| -> Vec<String> {
+        text.lines().filter(|l| !l.starts_with("  --") && !l.starts_with("query ")).map(str::to_owned).collect()
+    };
+    assert_eq!(tuples(&drifted_before), tuples(&drifted_after), "same answer, new plan");
+    assert!(drifted_after.contains("answer is complete"), "{drifted_after}");
+    server.shutdown();
+}
